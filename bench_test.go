@@ -1,0 +1,165 @@
+// Package repro's root benchmark harness: one testing.B benchmark per
+// table and figure of the paper (each regenerates the experiment's rows
+// at a fast scale; cmd/gss-bench runs the same code at any scale up to
+// paper size), plus micro-benchmarks of the core sketch operations.
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/adjlist"
+	"repro/internal/experiments"
+	"repro/internal/gss"
+	"repro/internal/stream"
+	"repro/internal/tcm"
+)
+
+// benchOpt keeps each experiment iteration around a second.
+func benchOpt() experiments.Options {
+	return experiments.Options{Scale: 0.004, QuerySample: 50, Seed: 1}
+}
+
+func runExperiment(b *testing.B, fn func(experiments.Options) []experiments.Table) {
+	b.Helper()
+	b.ReportAllocs()
+	var tables []experiments.Table
+	for i := 0; i < b.N; i++ {
+		tables = fn(benchOpt())
+	}
+	// Surface the headline number of the last table so bench output is
+	// readable on its own.
+	if len(tables) > 0 && len(tables[0].Rows) > 0 {
+		row := tables[0].Rows[len(tables[0].Rows)-1]
+		if len(row) > 1 {
+			b.ReportMetric(row[1], "headline")
+		}
+	}
+	_ = io.Discard
+}
+
+// Benchmarks regenerating each figure/table (see DESIGN.md §4 for the
+// experiment index).
+
+func BenchmarkFig03Theory(b *testing.B)             { runExperiment(b, experiments.Fig03) }
+func BenchmarkFig08EdgeQueryARE(b *testing.B)       { runExperiment(b, experiments.Fig08) }
+func BenchmarkFig09PrecursorPrecision(b *testing.B) { runExperiment(b, experiments.Fig09) }
+func BenchmarkFig10SuccessorPrecision(b *testing.B) { runExperiment(b, experiments.Fig10) }
+func BenchmarkFig11NodeQueryARE(b *testing.B)       { runExperiment(b, experiments.Fig11) }
+func BenchmarkFig12Reachability(b *testing.B)       { runExperiment(b, experiments.Fig12) }
+func BenchmarkFig13BufferPercentage(b *testing.B)   { runExperiment(b, experiments.Fig13) }
+func BenchmarkTable1UpdateSpeed(b *testing.B)       { runExperiment(b, experiments.Table1) }
+func BenchmarkFig14Triangle(b *testing.B)           { runExperiment(b, experiments.Fig14) }
+func BenchmarkFig15Subgraph(b *testing.B)           { runExperiment(b, experiments.Fig15) }
+
+// Ablation benches for the design choices DESIGN.md §5 calls out.
+
+func BenchmarkAblationFingerprint(b *testing.B) { runExperiment(b, experiments.Ablation) }
+func BenchmarkValidateTheory(b *testing.B)      { runExperiment(b, experiments.Validate) }
+func BenchmarkEdgeOnlyBaselines(b *testing.B)   { runExperiment(b, experiments.EdgeOnly) }
+func BenchmarkGMatrixBaseline(b *testing.B)     { runExperiment(b, experiments.GMatrix) }
+
+func ablationInsertBench(b *testing.B, cfg gss.Config) {
+	b.Helper()
+	items := stream.Generate(stream.CitHepPh().Scaled(0.01))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := gss.MustNew(cfg)
+		for _, it := range items {
+			g.Insert(it)
+		}
+	}
+}
+
+func BenchmarkAblationSquareHash(b *testing.B) {
+	b.Run("on", func(b *testing.B) {
+		ablationInsertBench(b, gss.Config{Width: 72, Rooms: 2, SeqLen: 8, Candidates: 8})
+	})
+	b.Run("off", func(b *testing.B) {
+		ablationInsertBench(b, gss.Config{Width: 72, Rooms: 2, DisableSquareHash: true})
+	})
+}
+
+func BenchmarkAblationSampling(b *testing.B) {
+	b.Run("on", func(b *testing.B) {
+		ablationInsertBench(b, gss.Config{Width: 72, Rooms: 2, SeqLen: 8, Candidates: 8})
+	})
+	b.Run("off", func(b *testing.B) {
+		ablationInsertBench(b, gss.Config{Width: 72, Rooms: 2, SeqLen: 8, DisableSampling: true})
+	})
+}
+
+func BenchmarkAblationRooms(b *testing.B) {
+	for _, rooms := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "rooms1", 2: "rooms2", 4: "rooms4"}[rooms], func(b *testing.B) {
+			ablationInsertBench(b, gss.Config{Width: 72, Rooms: rooms, SeqLen: 8, Candidates: 8})
+		})
+	}
+}
+
+// Micro-benchmarks of the core operations (per-op costs behind Table I).
+
+func benchStream() []stream.Item {
+	return stream.Generate(stream.CitHepPh().Scaled(0.02))
+}
+
+func BenchmarkGSSInsert(b *testing.B) {
+	items := benchStream()
+	g := gss.MustNew(gss.Config{Width: 128, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Insert(items[i%len(items)])
+	}
+}
+
+func BenchmarkGSSEdgeQuery(b *testing.B) {
+	items := benchStream()
+	g := gss.MustNew(gss.Config{Width: 128, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8})
+	for _, it := range items {
+		g.Insert(it)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := items[i%len(items)]
+		g.EdgeWeight(it.Src, it.Dst)
+	}
+}
+
+func BenchmarkGSSSuccessorQuery(b *testing.B) {
+	items := benchStream()
+	g := gss.MustNew(gss.Config{Width: 128, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8})
+	for _, it := range items {
+		g.Insert(it)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Successors(items[i%len(items)].Src)
+	}
+}
+
+func BenchmarkTCMInsert(b *testing.B) {
+	items := benchStream()
+	t := tcm.MustNew(tcm.Config{Width: 512, Depth: 4})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Insert(items[i%len(items)])
+	}
+}
+
+func BenchmarkAdjacencyListInsert(b *testing.B) {
+	items := benchStream()
+	b.ReportAllocs()
+	b.ResetTimer()
+	c := adjlist.NewClassic()
+	for i := 0; i < b.N; i++ {
+		it := items[i%len(items)]
+		c.Insert(it.Src, it.Dst, it.Weight)
+	}
+}

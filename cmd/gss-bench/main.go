@@ -1,0 +1,48 @@
+// Command gss-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	gss-bench -exp fig8                 # one experiment at fast scale
+//	gss-bench -exp all -scale 0.1       # everything at 10% of paper scale
+//	gss-bench -exp fig12 -datasets cit-HepPh,email-EuAll
+//	gss-bench -list
+//
+// -scale 1.0 reproduces paper-size datasets (several GB of working set
+// for the Caida figures; budget accordingly).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment to run (see -list)")
+		scale    = flag.Float64("scale", 0, "dataset scale; 1.0 = paper scale, 0 = fast default")
+		sample   = flag.Int("sample", 0, "max queries per configuration; 0 = default")
+		seed     = flag.Int64("seed", 1, "query sampling seed")
+		datasets = flag.String("datasets", "", "comma-separated dataset filter (paper names)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.Name, e.Desc)
+		}
+		return
+	}
+	opt := experiments.Options{Scale: *scale, QuerySample: *sample, Seed: *seed}
+	if *datasets != "" {
+		opt.Datasets = strings.Split(*datasets, ",")
+	}
+	if err := experiments.Run(*exp, opt, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,39 @@
+// Command gss-server runs the HTTP-facing Graph Stream Sketch service
+// (see internal/server for the API).
+//
+//	gss-server -addr :8080 -width 2000 -fpbits 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"repro/internal/gss"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":8080", "listen address")
+		width  = flag.Int("width", 1000, "matrix width m (≈ sqrt of expected edge count)")
+		fpbits = flag.Int("fpbits", 16, "fingerprint bits")
+		rooms  = flag.Int("rooms", 2, "rooms per bucket")
+		seqlen = flag.Int("seqlen", 16, "square-hashing sequence length r")
+	)
+	flag.Parse()
+
+	srv, err := server.New(gss.Config{Width: *width, FingerprintBits: *fpbits,
+		Rooms: *rooms, SeqLen: *seqlen, Candidates: *seqlen})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gss-server:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("gss-server listening on %s (width=%d fp=%dbit rooms=%d r=%d)\n",
+		*addr, *width, *fpbits, *rooms, *seqlen)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "gss-server:", err)
+		os.Exit(1)
+	}
+}

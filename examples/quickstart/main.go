@@ -1,0 +1,59 @@
+// Quickstart: build a Graph Stream Sketch over a small stream, run the
+// three query primitives and a couple of compound queries, and compare
+// against exact answers.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/adjlist"
+	"repro/internal/gss"
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+func main() {
+	// The sample graph stream of the paper's Fig. 1.
+	items := []stream.Item{
+		{Src: "a", Dst: "b", Time: 1, Weight: 1}, {Src: "a", Dst: "c", Time: 2, Weight: 1},
+		{Src: "b", Dst: "d", Time: 3, Weight: 1}, {Src: "a", Dst: "c", Time: 4, Weight: 1},
+		{Src: "a", Dst: "f", Time: 5, Weight: 1}, {Src: "c", Dst: "f", Time: 6, Weight: 1},
+		{Src: "a", Dst: "e", Time: 7, Weight: 1}, {Src: "a", Dst: "c", Time: 8, Weight: 3},
+		{Src: "c", Dst: "f", Time: 9, Weight: 1}, {Src: "d", Dst: "a", Time: 10, Weight: 1},
+		{Src: "d", Dst: "f", Time: 11, Weight: 1}, {Src: "f", Dst: "e", Time: 12, Weight: 3},
+		{Src: "a", Dst: "g", Time: 13, Weight: 1}, {Src: "e", Dst: "b", Time: 14, Weight: 2},
+		{Src: "d", Dst: "a", Time: 15, Weight: 1},
+	}
+
+	// A GSS sized like the paper's running example: a small matrix plus
+	// fingerprints gives a node-hash range far beyond the matrix width.
+	g := gss.MustNew(gss.Config{Width: 16, FingerprintBits: 16, Rooms: 2, SeqLen: 4, Candidates: 4})
+	exact := adjlist.New()
+	for _, it := range items {
+		g.Insert(it)
+		exact.Insert(it.Src, it.Dst, it.Weight)
+	}
+
+	// Primitive 1: edge query. The repeated (a,c) items sum to 5.
+	w, ok := g.EdgeWeight("a", "c")
+	truth, _ := exact.EdgeWeight("a", "c")
+	fmt.Printf("edge (a,c): sketch=%d exact=%d found=%v\n", w, truth, ok)
+
+	// Primitive 2 and 3: 1-hop successors and precursors.
+	fmt.Printf("successors(a): %v\n", g.Successors("a"))
+	fmt.Printf("precursors(f): %v\n", g.Precursors("f"))
+
+	// Compound queries built from the primitives (package query).
+	fmt.Printf("node query out(a): sketch=%d exact=%d\n",
+		query.NodeOut(g, "a"), exact.NodeOutWeight("a"))
+	fmt.Printf("reachable a->e: sketch=%v exact=%v\n",
+		query.Reachable(g, "a", "e"), exact.Reachable("a", "e"))
+	fmt.Printf("path a->e: %v\n", query.Path(g, "a", "e"))
+
+	// Sketch health.
+	s := g.Stats()
+	fmt.Printf("sketch: %d edges in matrix, %d in buffer, occupancy %.1f%%, %d bytes\n",
+		s.MatrixEdges, s.BufferEdges, 100*s.Occupancy, s.MatrixBytes)
+}

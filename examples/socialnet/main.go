@@ -1,0 +1,90 @@
+// Socialnet: use case 2 of the paper — interaction graphs of a social
+// network. The sketch answers friend-suggestion queries (successors of
+// successors, ranked by interaction weight) and traces how a post
+// spreads through reshares, using only the three query primitives.
+//
+//	go run ./examples/socialnet
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/gss"
+	"repro/internal/query"
+)
+
+func main() {
+	g := gss.MustNew(gss.Config{Width: 128, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8})
+
+	// Interaction stream: edge weight counts interactions between users.
+	interactions := []struct {
+		from, to string
+		n        int64
+	}{
+		{"alice", "bob", 12}, {"alice", "carol", 7}, {"bob", "carol", 3},
+		{"bob", "dave", 9}, {"carol", "erin", 5}, {"dave", "erin", 2},
+		{"erin", "frank", 8}, {"carol", "frank", 1}, {"frank", "grace", 4},
+		{"dave", "grace", 6}, {"grace", "alice", 2}, {"heidi", "alice", 3},
+	}
+	for _, e := range interactions {
+		g.InsertEdge(e.from, e.to, e.n)
+	}
+
+	// Friend suggestion for alice: people her contacts interact with,
+	// whom she does not contact yet, scored by the path weight.
+	suggest("alice", g)
+
+	// Spread tracing: who can a post by alice reach, and along which
+	// path does it get to frank?
+	fmt.Printf("alice can reach frank: %v\n", query.Reachable(g, "alice", "frank"))
+	fmt.Printf("spread path: %v\n", query.Path(g, "alice", "frank"))
+
+	// Influence: total outgoing interaction volume per user.
+	users := g.Nodes()
+	sort.Slice(users, func(i, j int) bool {
+		return query.NodeOut(g, users[i]) > query.NodeOut(g, users[j])
+	})
+	fmt.Println("top influencers by outgoing interactions:")
+	for _, u := range users[:3] {
+		fmt.Printf("  %-6s %d\n", u, query.NodeOut(g, u))
+	}
+}
+
+func suggest(user string, g *gss.GSS) {
+	direct := map[string]bool{user: true}
+	for _, f := range g.Successors(user) {
+		direct[f] = true
+	}
+	scores := map[string]int64{}
+	for _, f := range g.Successors(user) {
+		w1, _ := g.EdgeWeight(user, f)
+		for _, ff := range g.Successors(f) {
+			if direct[ff] {
+				continue
+			}
+			w2, _ := g.EdgeWeight(f, ff)
+			if s := w1 + w2; s > scores[ff] {
+				scores[ff] = s
+			}
+		}
+	}
+	type cand struct {
+		who   string
+		score int64
+	}
+	var ranked []cand
+	for who, s := range scores {
+		ranked = append(ranked, cand{who, s})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		return ranked[i].who < ranked[j].who
+	})
+	fmt.Printf("friend suggestions for %s:\n", user)
+	for _, c := range ranked {
+		fmt.Printf("  %-6s score %d\n", c.who, c.score)
+	}
+}

@@ -1,0 +1,55 @@
+// Troubleshoot: use case 3 of the paper — real-time troubleshooting in
+// a data center from communication logs. The sketch summarizes the log
+// stream; traversal queries answer "can messages from service A reach
+// service B", and edge queries recover per-link detail, without
+// retaining the log.
+//
+//	go run ./examples/troubleshoot
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/gss"
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+func main() {
+	g := gss.MustNew(gss.Config{Width: 128, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8})
+
+	// A day of communication log entries across a small service mesh.
+	// Weight counts messages on the link.
+	logs := []stream.Item{
+		{Src: "web-1", Dst: "api-1", Weight: 1200}, {Src: "web-2", Dst: "api-1", Weight: 900},
+		{Src: "api-1", Dst: "auth", Weight: 2100}, {Src: "api-1", Dst: "cache-1", Weight: 1800},
+		{Src: "cache-1", Dst: "db-primary", Weight: 340}, {Src: "api-1", Dst: "queue", Weight: 760},
+		{Src: "queue", Dst: "worker-1", Weight: 700}, {Src: "queue", Dst: "worker-2", Weight: 720},
+		{Src: "worker-1", Dst: "db-primary", Weight: 410}, {Src: "worker-2", Dst: "db-replica", Weight: 390},
+		{Src: "auth", Dst: "db-primary", Weight: 150}, {Src: "batch", Dst: "db-replica", Weight: 80},
+	}
+	for _, it := range logs {
+		g.Insert(it)
+	}
+
+	// Ticket: "writes from web-1 never land in db-replica". Traversal
+	// query over the summarized topology:
+	for _, dst := range []string{"db-primary", "db-replica"} {
+		ok := query.Reachable(g, "web-1", dst)
+		fmt.Printf("web-1 -> %s reachable: %v", dst, ok)
+		if ok {
+			fmt.Printf("  via %v", query.Path(g, "web-1", dst))
+		}
+		fmt.Println()
+	}
+	// Root cause: the replica is fed only by worker-2 and batch.
+	fmt.Printf("writers to db-replica: %v\n", g.Precursors("db-replica"))
+
+	// Edge query: per-link message counts for the suspect hop.
+	w, _ := g.EdgeWeight("queue", "worker-2")
+	fmt.Printf("queue -> worker-2 carried %d messages\n", w)
+
+	// Which services does the api node fan out to, and how hot is it?
+	fmt.Printf("api-1 downstreams: %v (out volume %d)\n",
+		g.Successors("api-1"), query.NodeOut(g, "api-1"))
+}

@@ -1,0 +1,128 @@
+// End-to-end integration tests across modules: stream file codec ->
+// sketch build -> snapshot -> compound queries, matching ground truth.
+package repro
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/adjlist"
+	"repro/internal/gss"
+	"repro/internal/query"
+	"repro/internal/stream"
+	"repro/internal/tcm"
+)
+
+// TestEndToEndPipeline drives the full production flow: generate a
+// stream, persist it to a GSS1 file, re-read it, build the sketch,
+// checkpoint and restore the sketch, and answer compound queries —
+// verifying parity with the exact store at each step.
+func TestEndToEndPipeline(t *testing.T) {
+	cfg := stream.EmailEuAll().Scaled(0.003)
+	items := stream.Generate(cfg)
+
+	// 1. Persist and reload the stream.
+	path := filepath.Join(t.TempDir(), "stream.gss")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.WriteAll(f, stream.NewSliceSource(items)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	loaded, err := stream.ReadAll(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(items) {
+		t.Fatalf("reloaded %d items, wrote %d", len(loaded), len(items))
+	}
+
+	// 2. Build sketch and ground truth from the reloaded stream.
+	g := gss.MustNew(gss.Config{Width: 48, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8})
+	exact := adjlist.New()
+	for _, it := range loaded {
+		g.Insert(it)
+		exact.Insert(it.Src, it.Dst, it.Weight)
+	}
+
+	// 3. Checkpoint and restore.
+	var snap bytes.Buffer
+	if _, err := g.WriteTo(&snap); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := gss.ReadSketch(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 4. Compound-query parity on the restored sketch.
+	nodes := exact.Nodes()
+	step := len(nodes)/50 + 1
+	for i := 0; i < len(nodes); i += step {
+		v := nodes[i]
+		truth := exact.NodeOutWeight(v)
+		if got := query.NodeOut(restored, v); got < truth {
+			t.Fatalf("NodeOut(%s) = %d < exact %d", v, got, truth)
+		}
+		for _, u := range exact.Successors(v) {
+			if !query.Reachable(restored, v, u) {
+				t.Fatalf("direct edge (%s,%s) not reachable", v, u)
+			}
+		}
+	}
+}
+
+// TestSummariesAgreeOnPrimitives cross-checks GSS and TCM against the
+// exact store through the shared query.Summary interface.
+func TestSummariesAgreeOnPrimitives(t *testing.T) {
+	items := stream.Generate(stream.CitHepPh().Scaled(0.003))
+	exact := query.NewExact()
+	summaries := map[string]query.Summary{
+		"gss": gss.MustNew(gss.Config{Width: 64, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8}),
+		"tcm": tcm.MustNew(tcm.Config{Width: 1024, Depth: 4}),
+	}
+	for _, it := range items {
+		exact.Insert(it)
+		for _, s := range summaries {
+			s.Insert(it)
+		}
+	}
+	for name, s := range summaries {
+		for _, it := range items[:400] {
+			truth, _ := exact.EdgeWeight(it.Src, it.Dst)
+			got, ok := s.EdgeWeight(it.Src, it.Dst)
+			if !ok || got < truth {
+				t.Fatalf("%s: edge (%s,%s) %d,%v want >= %d", name, it.Src, it.Dst, got, ok, truth)
+			}
+		}
+	}
+}
+
+// TestDeletionFlowAcrossStack exercises negative-weight deletions from
+// stream items through to compound queries.
+func TestDeletionFlowAcrossStack(t *testing.T) {
+	g := gss.MustNew(gss.Config{Width: 32, FingerprintBits: 16, Rooms: 2, SeqLen: 4, Candidates: 4})
+	g.Insert(stream.Item{Src: "a", Dst: "b", Weight: 10})
+	g.Insert(stream.Item{Src: "b", Dst: "c", Weight: 4})
+	g.Insert(stream.Item{Src: "a", Dst: "b", Weight: -7})
+	if w, _ := g.EdgeWeight("a", "b"); w != 3 {
+		t.Fatalf("w(a,b) = %d, want 3", w)
+	}
+	if got := query.NodeOut(g, "a"); got != 3 {
+		t.Fatalf("NodeOut(a) = %d, want 3", got)
+	}
+	if !query.Reachable(g, "a", "c") {
+		t.Fatal("reachability broken after deletion")
+	}
+}

@@ -1,0 +1,211 @@
+package adjlist
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stream"
+)
+
+func TestGraphBasicInsertAndQuery(t *testing.T) {
+	g := New()
+	g.Insert("a", "b", 1)
+	g.Insert("a", "c", 1)
+	g.Insert("a", "c", 3) // repeated edge: weights sum (Definition 1)
+	if w, ok := g.EdgeWeight("a", "c"); !ok || w != 4 {
+		t.Fatalf("EdgeWeight(a,c) = %d,%v want 4,true", w, ok)
+	}
+	if _, ok := g.EdgeWeight("c", "a"); ok {
+		t.Fatal("reverse edge must not exist")
+	}
+	if got := g.Successors("a"); !reflect.DeepEqual(got, []string{"b", "c"}) {
+		t.Fatalf("Successors(a) = %v", got)
+	}
+	if got := g.Precursors("c"); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("Precursors(c) = %v", got)
+	}
+	if g.NodeCount() != 3 || g.EdgeCount() != 2 || g.ItemCount() != 3 {
+		t.Fatalf("counts: V=%d E=%d items=%d", g.NodeCount(), g.EdgeCount(), g.ItemCount())
+	}
+}
+
+func TestGraphPaperExample(t *testing.T) {
+	// The Fig. 1 sample stream: weight of (a,c) accumulates 1+1+3 = 5.
+	g := New()
+	for _, it := range fig1Stream() {
+		g.Insert(it.Src, it.Dst, it.Weight)
+	}
+	if w, _ := g.EdgeWeight("a", "c"); w != 5 {
+		t.Fatalf("w(a,c) = %d, want 5", w)
+	}
+	if w, _ := g.EdgeWeight("d", "a"); w != 2 {
+		t.Fatalf("w(d,a) = %d, want 2", w)
+	}
+	if got := g.NodeOutWeight("a"); got != 1+5+1+1+1 {
+		t.Fatalf("node query a = %d, want 9", got)
+	}
+}
+
+func fig1Stream() []stream.Item {
+	return []stream.Item{
+		{Src: "a", Dst: "b", Weight: 1}, {Src: "a", Dst: "c", Weight: 1},
+		{Src: "b", Dst: "d", Weight: 1}, {Src: "a", Dst: "c", Weight: 1},
+		{Src: "a", Dst: "f", Weight: 1}, {Src: "c", Dst: "f", Weight: 1},
+		{Src: "a", Dst: "e", Weight: 1}, {Src: "a", Dst: "c", Weight: 3},
+		{Src: "c", Dst: "f", Weight: 1}, {Src: "d", Dst: "a", Weight: 1},
+		{Src: "d", Dst: "f", Weight: 1}, {Src: "f", Dst: "e", Weight: 3},
+		{Src: "a", Dst: "g", Weight: 1}, {Src: "e", Dst: "b", Weight: 2},
+		{Src: "d", Dst: "a", Weight: 1},
+	}
+}
+
+func TestGraphDeletion(t *testing.T) {
+	g := New()
+	g.Insert("a", "b", 5)
+	g.Insert("a", "b", -3)
+	if w, ok := g.EdgeWeight("a", "b"); !ok || w != 2 {
+		t.Fatalf("after deletion w = %d,%v", w, ok)
+	}
+}
+
+func TestGraphReachable(t *testing.T) {
+	g := New()
+	g.Insert("a", "b", 1)
+	g.Insert("b", "c", 1)
+	g.Insert("x", "y", 1)
+	cases := []struct {
+		s, d string
+		want bool
+	}{
+		{"a", "c", true}, {"c", "a", false}, {"a", "y", false},
+		{"x", "y", true}, {"a", "a", true}, {"missing", "c", false},
+	}
+	for _, c := range cases {
+		if got := g.Reachable(c.s, c.d); got != c.want {
+			t.Errorf("Reachable(%s,%s) = %v want %v", c.s, c.d, got, c.want)
+		}
+	}
+}
+
+func TestGraphTriangles(t *testing.T) {
+	g := New()
+	// Directed cycle a->b->c->a: one undirected triangle.
+	g.Insert("a", "b", 1)
+	g.Insert("b", "c", 1)
+	g.Insert("c", "a", 1)
+	if got := g.Triangles(); got != 1 {
+		t.Fatalf("Triangles = %d, want 1", got)
+	}
+	// A reciprocal edge must not create a new triangle.
+	g.Insert("b", "a", 1)
+	if got := g.Triangles(); got != 1 {
+		t.Fatalf("Triangles after reciprocal = %d, want 1", got)
+	}
+	// d connected to a and b closes a second triangle.
+	g.Insert("d", "a", 1)
+	g.Insert("b", "d", 1)
+	if got := g.Triangles(); got != 2 {
+		t.Fatalf("Triangles = %d, want 2", got)
+	}
+}
+
+func TestGraphTrianglesK4(t *testing.T) {
+	g := New()
+	nodes := []string{"a", "b", "c", "d"}
+	for i, u := range nodes {
+		for _, v := range nodes[i+1:] {
+			g.Insert(u, v, 1)
+		}
+	}
+	if got := g.Triangles(); got != 4 {
+		t.Fatalf("K4 triangles = %d, want 4", got)
+	}
+}
+
+func TestGraphDegreesAndWeights(t *testing.T) {
+	g := New()
+	g.Insert("a", "b", 2)
+	g.Insert("a", "c", 3)
+	g.Insert("d", "a", 7)
+	if g.OutDegree("a") != 2 || g.InDegree("a") != 1 {
+		t.Fatalf("degrees: out=%d in=%d", g.OutDegree("a"), g.InDegree("a"))
+	}
+	if g.NodeOutWeight("a") != 5 || g.NodeInWeight("a") != 7 {
+		t.Fatalf("weights: out=%d in=%d", g.NodeOutWeight("a"), g.NodeInWeight("a"))
+	}
+	if g.MaxOutDegree() != 2 {
+		t.Fatalf("MaxOutDegree = %d", g.MaxOutDegree())
+	}
+}
+
+func TestClassicMatchesGraph(t *testing.T) {
+	items := stream.Generate(stream.EmailEuAll().Scaled(0.002))
+	g, c := New(), NewClassic()
+	for _, it := range items {
+		g.Insert(it.Src, it.Dst, it.Weight)
+		c.Insert(it.Src, it.Dst, it.Weight)
+	}
+	if g.NodeCount() != c.NodeCount() {
+		t.Fatalf("node counts differ: %d vs %d", g.NodeCount(), c.NodeCount())
+	}
+	for _, it := range items {
+		gw, gok := g.EdgeWeight(it.Src, it.Dst)
+		cw, cok := c.EdgeWeight(it.Src, it.Dst)
+		if gw != cw || gok != cok {
+			t.Fatalf("edge (%s,%s): graph %d,%v classic %d,%v", it.Src, it.Dst, gw, gok, cw, cok)
+		}
+	}
+	for _, v := range g.Nodes()[:min(50, g.NodeCount())] {
+		gs := g.Successors(v)
+		cs := c.Successors(v)
+		if len(gs) != len(cs) {
+			t.Fatalf("successor counts differ for %s: %d vs %d", v, len(gs), len(cs))
+		}
+		gp := g.Precursors(v)
+		cp := c.Precursors(v)
+		if len(gp) != len(cp) {
+			t.Fatalf("precursor counts differ for %s: %d vs %d", v, len(gp), len(cp))
+		}
+	}
+}
+
+func TestClassicEmpty(t *testing.T) {
+	c := NewClassic()
+	if _, ok := c.EdgeWeight("a", "b"); ok {
+		t.Fatal("empty classic reported an edge")
+	}
+	if c.Successors("a") != nil || c.Precursors("a") != nil {
+		t.Fatal("empty classic reported neighbors")
+	}
+}
+
+// Property: Graph edge weight equals the sum of all inserted weights for
+// that (src,dst) pair, for arbitrary insertion interleavings.
+func TestGraphWeightSumProperty(t *testing.T) {
+	f := func(ws []int8) bool {
+		g := New()
+		var want int64
+		for i, w := range ws {
+			g.Insert("s", "d", int64(w))
+			want += int64(w)
+			// Interleave unrelated edges.
+			g.Insert("s", stream.NodeID(i), 1)
+		}
+		got, ok := g.EdgeWeight("s", "d")
+		if len(ws) == 0 {
+			return !ok
+		}
+		return ok && got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

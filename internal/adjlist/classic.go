@@ -1,0 +1,106 @@
+package adjlist
+
+// Classic is the adjacency-list baseline of Table I: each node's
+// out-edges live in a slice that is scanned linearly on every update, so
+// inserting an edge costs O(out-degree). A map locates each node's list
+// in O(1) — §VII-H: "accelerated using a map that records the position
+// of the list for each node" — but the scan inside the list is what
+// makes adjacency lists too slow for high-speed graph streams.
+type Classic struct {
+	index map[string]int // node -> position in lists
+	lists [][]classicEdge
+	names []string
+	items int64
+}
+
+type classicEdge struct {
+	dst    string
+	weight int64
+}
+
+// NewClassic returns an empty classic adjacency list.
+func NewClassic() *Classic {
+	return &Classic{index: make(map[string]int)}
+}
+
+func (c *Classic) nodePos(v string) int {
+	if p, ok := c.index[v]; ok {
+		return p
+	}
+	p := len(c.lists)
+	c.index[v] = p
+	c.lists = append(c.lists, nil)
+	c.names = append(c.names, v)
+	return p
+}
+
+// Insert adds w to edge (src,dst), scanning src's list for an existing
+// entry as a textbook adjacency list does.
+func (c *Classic) Insert(src, dst string, w int64) {
+	c.items++
+	p := c.nodePos(src)
+	c.nodePos(dst)
+	list := c.lists[p]
+	for i := range list {
+		if list[i].dst == dst {
+			list[i].weight += w
+			return
+		}
+	}
+	c.lists[p] = append(list, classicEdge{dst: dst, weight: w})
+}
+
+// EdgeWeight scans src's list for dst.
+func (c *Classic) EdgeWeight(src, dst string) (int64, bool) {
+	p, ok := c.index[src]
+	if !ok {
+		return 0, false
+	}
+	for _, e := range c.lists[p] {
+		if e.dst == dst {
+			return e.weight, true
+		}
+	}
+	return 0, false
+}
+
+// Successors returns the 1-hop successors of v in insertion order.
+func (c *Classic) Successors(v string) []string {
+	p, ok := c.index[v]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(c.lists[p]))
+	for _, e := range c.lists[p] {
+		out = append(out, e.dst)
+	}
+	return out
+}
+
+// Precursors scans every list — the classic structure has no reverse
+// index, which is part of why the paper needs a purpose-built summary.
+func (c *Classic) Precursors(v string) []string {
+	var out []string
+	for i, list := range c.lists {
+		for _, e := range list {
+			if e.dst == v {
+				out = append(out, c.names[i])
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Nodes returns all node identifiers in first-seen order.
+func (c *Classic) Nodes() []string {
+	out := make([]string, len(c.names))
+	copy(out, c.names)
+	return out
+}
+
+// NodeCount is |V|.
+func (c *Classic) NodeCount() int { return len(c.names) }
+
+// ItemCount is the number of stream items inserted.
+func (c *Classic) ItemCount() int64 { return c.items }

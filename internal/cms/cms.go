@@ -1,0 +1,121 @@
+// Package cms implements the Count-Min sketch and its conservative-
+// update variant (the CU sketch), the counter-array baselines of §II.
+// They store each stream item independently: edge-weight queries work,
+// but no topology query (successors, reachability) is possible — the
+// limitation that motivates graph-aware summaries like TCM and GSS.
+package cms
+
+import (
+	"errors"
+
+	"repro/internal/hashing"
+	"repro/internal/stream"
+)
+
+// Config configures a CM or CU sketch.
+type Config struct {
+	Width int // counters per row
+	Depth int // number of rows; defaults to 4
+	Seed  uint64
+	// Conservative enables CU-sketch updates: only the minimal counters
+	// advance, tightening over-estimates. CU supports non-negative
+	// increments only; negative weights fall back to plain CM updates.
+	Conservative bool
+}
+
+// Sketch is a Count-Min / CU sketch keyed by arbitrary strings. For
+// graph streams the key is the edge "src -> dst". Not safe for
+// concurrent use.
+type Sketch struct {
+	cfg      Config
+	counters [][]int64
+	items    int64
+}
+
+// New builds an empty sketch.
+func New(cfg Config) (*Sketch, error) {
+	if cfg.Width <= 0 {
+		return nil, errors.New("cms: Config.Width must be positive")
+	}
+	if cfg.Depth == 0 {
+		cfg.Depth = 4
+	}
+	if cfg.Depth < 1 {
+		return nil, errors.New("cms: Config.Depth must be positive")
+	}
+	s := &Sketch{cfg: cfg}
+	for i := 0; i < cfg.Depth; i++ {
+		s.counters = append(s.counters, make([]int64, cfg.Width))
+	}
+	return s, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *Sketch {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// EdgeKey canonicalizes a directed edge into a sketch key.
+func EdgeKey(src, dst string) string { return src + "\x00" + dst }
+
+// InsertItem ingests a graph-stream item keyed by its edge.
+func (s *Sketch) InsertItem(it stream.Item) { s.Add(EdgeKey(it.Src, it.Dst), it.Weight) }
+
+// Add increments key's counters by w.
+func (s *Sketch) Add(key string, w int64) {
+	s.items++
+	if s.cfg.Conservative && w > 0 {
+		s.addConservative(key, w)
+		return
+	}
+	for i := 0; i < s.cfg.Depth; i++ {
+		s.counters[i][s.pos(key, i)] += w
+	}
+}
+
+// addConservative raises only the counters below the new estimate —
+// the CU-sketch rule of Estan & Varghese.
+func (s *Sketch) addConservative(key string, w int64) {
+	est := s.Estimate(key) + w
+	for i := 0; i < s.cfg.Depth; i++ {
+		p := s.pos(key, i)
+		if s.counters[i][p] < est {
+			s.counters[i][p] = est
+		}
+	}
+}
+
+// Estimate returns the minimum counter across rows for key.
+func (s *Sketch) Estimate(key string) int64 {
+	var est int64
+	for i := 0; i < s.cfg.Depth; i++ {
+		c := s.counters[i][s.pos(key, i)]
+		if i == 0 || c < est {
+			est = c
+		}
+	}
+	return est
+}
+
+// EdgeWeight estimates the weight of edge (src,dst); zero means absent
+// under additive positive weights.
+func (s *Sketch) EdgeWeight(src, dst string) (int64, bool) {
+	est := s.Estimate(EdgeKey(src, dst))
+	return est, est != 0
+}
+
+func (s *Sketch) pos(key string, row int) int {
+	return int(hashing.HashSeeded(key, s.cfg.Seed+uint64(row)*0x9e3779b97f4a7c15) % uint64(s.cfg.Width))
+}
+
+// MemoryBytes is the counter footprint.
+func (s *Sketch) MemoryBytes() int64 {
+	return int64(s.cfg.Depth) * int64(s.cfg.Width) * 8
+}
+
+// ItemCount is the number of Add calls.
+func (s *Sketch) ItemCount() int64 { return s.items }

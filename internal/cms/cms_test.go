@@ -1,0 +1,100 @@
+package cms
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	if _, err := New(Config{Width: 4, Depth: -1}); err == nil {
+		t.Fatal("negative depth accepted")
+	}
+	if s := MustNew(Config{Width: 4}); s.cfg.Depth != 4 {
+		t.Fatalf("default depth = %d", s.cfg.Depth)
+	}
+}
+
+func TestCMNeverUnderestimates(t *testing.T) {
+	s := MustNew(Config{Width: 256, Depth: 4})
+	rng := rand.New(rand.NewSource(1))
+	want := map[string]int64{}
+	for i := 0; i < 5000; i++ {
+		key := EdgeKey(stream.NodeID(rng.Intn(300)), stream.NodeID(rng.Intn(300)))
+		w := int64(rng.Intn(5) + 1)
+		s.Add(key, w)
+		want[key] += w
+	}
+	for k, w := range want {
+		if got := s.Estimate(k); got < w {
+			t.Fatalf("CM underestimated %q: %d < %d", k, got, w)
+		}
+	}
+}
+
+func TestCUNeverUnderestimatesAndTighter(t *testing.T) {
+	cm := MustNew(Config{Width: 128, Depth: 4})
+	cu := MustNew(Config{Width: 128, Depth: 4, Conservative: true})
+	rng := rand.New(rand.NewSource(2))
+	want := map[string]int64{}
+	for i := 0; i < 8000; i++ {
+		key := EdgeKey(stream.NodeID(rng.Intn(400)), stream.NodeID(rng.Intn(400)))
+		cm.Add(key, 1)
+		cu.Add(key, 1)
+		want[key]++
+	}
+	var cmErr, cuErr int64
+	for k, w := range want {
+		cmEst, cuEst := cm.Estimate(k), cu.Estimate(k)
+		if cuEst < w {
+			t.Fatalf("CU underestimated %q: %d < %d", k, cuEst, w)
+		}
+		if cuEst > cmEst {
+			t.Fatalf("CU estimate above CM for %q: %d > %d", k, cuEst, cmEst)
+		}
+		cmErr += cmEst - w
+		cuErr += cuEst - w
+	}
+	if cuErr > cmErr {
+		t.Fatalf("CU total error %d not tighter than CM %d", cuErr, cmErr)
+	}
+}
+
+func TestEdgeWeightAndItems(t *testing.T) {
+	s := MustNew(Config{Width: 64})
+	s.InsertItem(stream.Item{Src: "a", Dst: "b", Weight: 5})
+	if w, ok := s.EdgeWeight("a", "b"); !ok || w < 5 {
+		t.Fatalf("EdgeWeight = %d,%v", w, ok)
+	}
+	if _, ok := s.EdgeWeight("never", "seen"); ok {
+		// Collisions can make this true in a tiny sketch, but at one
+		// item it must be exact.
+		t.Fatal("phantom edge in near-empty sketch")
+	}
+	if s.ItemCount() != 1 {
+		t.Fatalf("ItemCount = %d", s.ItemCount())
+	}
+	if s.MemoryBytes() != 64*4*8 {
+		t.Fatalf("MemoryBytes = %d", s.MemoryBytes())
+	}
+}
+
+func TestNegativeWeightsFallBackToCM(t *testing.T) {
+	cu := MustNew(Config{Width: 64, Conservative: true})
+	cu.Add("k", 10)
+	cu.Add("k", -4)
+	if got := cu.Estimate("k"); got < 6 {
+		t.Fatalf("after deletion estimate = %d, want >= 6", got)
+	}
+}
+
+func TestEdgeKeyUnambiguous(t *testing.T) {
+	// "ab"+"c" must differ from "a"+"bc".
+	if EdgeKey("ab", "c") == EdgeKey("a", "bc") {
+		t.Fatal("EdgeKey is ambiguous")
+	}
+}

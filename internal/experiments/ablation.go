@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/gss"
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+// Ablation quantifies each design decision of DESIGN.md §5 in
+// isolation on one dataset: fingerprint length (edge-query ARE and
+// successor precision), square hashing and rooms (buffer percentage),
+// and candidate sampling (probes per insert, via buffer cost).
+func Ablation(opt Options) []Table {
+	cfg := stream.CitHepPh()
+	ds := loadDataset(cfg, opt.scale())
+	width := scaledWidths(cfg.Name, opt.scale())[2]
+	nodes := sampleNodes(ds.exact, opt.querySample()/2, opt.Seed+6)
+	edges := sampleEdges(ds.exact, opt.querySample(), opt.Seed+7)
+
+	fpT := Table{
+		Title: "Ablation: fingerprint length",
+		Cols:  []string{"fpBits", "edgeARE", "succPrecision", "matrixKB"},
+		Notes: fmt.Sprintf("%s, width=%d, rooms=2, r=k=8", cfg.Name, width),
+	}
+	for _, bits := range []int{4, 8, 12, 16} {
+		g := gss.MustNew(gss.Config{Width: width, FingerprintBits: bits,
+			Rooms: 2, SeqLen: 8, Candidates: 8})
+		for _, it := range ds.items {
+			g.Insert(it)
+		}
+		var are metrics.ARE
+		for _, q := range edges {
+			truth, _ := ds.exact.EdgeWeight(q[0], q[1])
+			est, _ := g.EdgeWeight(q[0], q[1])
+			are.Observe(est, truth)
+		}
+		var prec metrics.AvgPrecision
+		for _, v := range nodes {
+			mustObserve(&prec, g.Successors(v), ds.exact.Successors(v))
+		}
+		fpT.Rows = append(fpT.Rows, []float64{float64(bits), are.Value(),
+			prec.Value(), float64(g.MemoryBytes()) / 1024})
+	}
+
+	structT := Table{
+		Title: "Ablation: square hashing, sampling, rooms",
+		Cols:  []string{"variant#", "bufferPct", "matrixEdges", "bufferEdges"},
+		Notes: "1=full 2=no-sampling 3=no-squarehash 4=rooms-1 5=rooms-4 (same width)",
+	}
+	variants := []gss.Config{
+		{Width: width, Rooms: 2, SeqLen: 8, Candidates: 8},
+		{Width: width, Rooms: 2, SeqLen: 8, DisableSampling: true},
+		{Width: width, Rooms: 2, DisableSquareHash: true},
+		{Width: width, Rooms: 1, SeqLen: 8, Candidates: 8},
+		{Width: width, Rooms: 4, SeqLen: 8, Candidates: 8},
+	}
+	for i, vc := range variants {
+		vc.DisableNodeIndex = true
+		g := gss.MustNew(vc)
+		for _, it := range ds.items {
+			g.Insert(it)
+		}
+		s := g.Stats()
+		structT.Rows = append(structT.Rows, []float64{float64(i + 1),
+			s.BufferPct, float64(s.MatrixEdges), float64(s.BufferEdges)})
+	}
+	return []Table{fpT, structT}
+}

@@ -1,0 +1,265 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VII). Each Fig*/Table* function returns printable tables
+// with the same rows/series the paper reports; cmd/gss-bench exposes
+// them on the command line and bench_test.go wires them into testing.B.
+//
+// Experiments run on synthetic datasets shaped like the paper's (see
+// DESIGN.md §3) at a configurable scale: Options.Scale = 1 is paper
+// scale, the defaults keep `go test` and `go test -bench` fast. Matrix
+// widths scale with sqrt(scale) because the paper sets m ≈ sqrt(|E|).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/adjlist"
+	"repro/internal/gss"
+	"repro/internal/stream"
+	"repro/internal/tcm"
+)
+
+// Options controls experiment scale and sampling.
+type Options struct {
+	// Scale is the dataset scale factor; 1.0 reproduces paper-size
+	// datasets. 0 selects the experiment's fast default (see
+	// DefaultScale).
+	Scale float64
+	// QuerySample bounds the number of set/node queries per
+	// configuration (the paper queries every node; sampling keeps the
+	// default runs fast). 0 selects DefaultQuerySample.
+	QuerySample int
+	// Seed drives query sampling and unreachable-pair generation.
+	Seed int64
+	// Datasets restricts the run to the named datasets (paper names);
+	// empty means the experiment's full set.
+	Datasets []string
+}
+
+// Defaults for fast runs.
+const (
+	DefaultScale       = 0.01
+	DefaultQuerySample = 400
+	// CaidaExtraScale further shrinks the Caida dataset, whose paper
+	// size (445M items) is far beyond the others.
+	CaidaExtraScale = 1.0 / 64
+)
+
+func (o Options) scale() float64 {
+	if o.Scale <= 0 {
+		return DefaultScale
+	}
+	return o.Scale
+}
+
+func (o Options) querySample() int {
+	if o.QuerySample <= 0 {
+		return DefaultQuerySample
+	}
+	return o.QuerySample
+}
+
+func (o Options) wantDataset(name string) bool {
+	if len(o.Datasets) == 0 {
+		return true
+	}
+	for _, d := range o.Datasets {
+		if strings.EqualFold(d, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// Table is one printable experiment result (a sub-figure or table).
+type Table struct {
+	Title string
+	Cols  []string
+	Rows  [][]float64
+	Notes string
+}
+
+// Fprint renders the table as aligned text.
+func (t Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	if t.Notes != "" {
+		fmt.Fprintf(w, "   (%s)\n", t.Notes)
+	}
+	widths := make([]int, len(t.Cols))
+	cells := make([][]string, len(t.Rows))
+	for i, col := range t.Cols {
+		widths[i] = len(col)
+	}
+	for r, row := range t.Rows {
+		cells[r] = make([]string, len(row))
+		for c, v := range row {
+			cells[r][c] = formatCell(v)
+			if c < len(widths) && len(cells[r][c]) > widths[c] {
+				widths[c] = len(cells[r][c])
+			}
+		}
+	}
+	for i, col := range t.Cols {
+		if i > 0 {
+			fmt.Fprint(w, "  ")
+		}
+		fmt.Fprintf(w, "%*s", widths[i], col)
+	}
+	fmt.Fprintln(w)
+	for _, row := range cells {
+		for i, cell := range row {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%*s", widths[i], cell)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+func formatCell(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e9 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// dataset bundles a generated stream with its exact ground truth.
+type dataset struct {
+	cfg   stream.DatasetConfig
+	items []stream.Item
+	exact *adjlist.Graph
+}
+
+func loadDataset(cfg stream.DatasetConfig, scale float64) *dataset {
+	if cfg.Name == "Caida-networkflow" {
+		scale *= CaidaExtraScale
+	}
+	scaled := cfg.Scaled(scale)
+	items := stream.Generate(scaled)
+	exact := adjlist.New()
+	for _, it := range items {
+		exact.Insert(it.Src, it.Dst, it.Weight)
+	}
+	return &dataset{cfg: scaled, items: items, exact: exact}
+}
+
+// accuracyDatasets is the five-dataset suite of Figs. 8-12.
+func accuracyDatasets() []stream.DatasetConfig {
+	return []stream.DatasetConfig{
+		stream.EmailEuAll(), stream.CitHepPh(), stream.WebNotreDame(),
+		stream.LkmlReply(), stream.Caida(),
+	}
+}
+
+// paperWidths maps each dataset to the matrix-width sweep of the
+// paper's figures.
+func paperWidths(name string) []int {
+	switch name {
+	case "email-EuAll":
+		return []int{600, 700, 800, 900, 1000}
+	case "cit-HepPh":
+		return []int{400, 550, 700, 850, 1000}
+	case "web-NotreDame":
+		return []int{800, 900, 1000, 1100, 1200}
+	case "lkml-reply":
+		return []int{300, 475, 650, 825, 1000}
+	case "Caida-networkflow":
+		return []int{5000, 6250, 7500, 8750, 10000}
+	default:
+		return []int{600, 800, 1000}
+	}
+}
+
+// scaledWidths shrinks the paper's width sweep with sqrt(scale), since
+// m tracks sqrt(|E|).
+func scaledWidths(name string, scale float64) []int {
+	if name == "Caida-networkflow" {
+		scale *= CaidaExtraScale
+	}
+	f := math.Sqrt(scale)
+	ws := paperWidths(name)
+	out := make([]int, len(ws))
+	for i, w := range ws {
+		sw := int(math.Round(float64(w) * f))
+		if sw < 16 {
+			sw = 16
+		}
+		out[i] = sw
+	}
+	return out
+}
+
+// gssFor builds a GSS in the paper's §VII-C configuration: r=k=16 for
+// the large datasets, r=k=8 for the two small ones.
+func gssFor(dsName string, width, fpBits int) *gss.GSS {
+	r := 16
+	if dsName == "email-EuAll" || dsName == "cit-HepPh" {
+		r = 8
+	}
+	return gss.MustNew(gss.Config{
+		Width: width, FingerprintBits: fpBits, Rooms: 2, SeqLen: r, Candidates: r,
+	})
+}
+
+// tcmWithMemoryRatio builds a 4-sketch TCM sized to ratio times the
+// memory of the given GSS (the 8x / 256x / 16x budgets of §VII-C).
+func tcmWithMemoryRatio(g *gss.GSS, ratio float64) *tcm.TCM {
+	budget := int64(float64(g.MemoryBytes()) * ratio)
+	const depth = 4
+	w := tcm.WidthForMemory(budget, depth)
+	return tcm.MustNew(tcm.Config{Width: w, Depth: depth, Seed: 99})
+}
+
+// tcmRatioForSetQueries is the per-dataset memory multiplier the paper
+// grants TCM in the set-query experiments (256x, except 16x on the two
+// big streams where the authors hit server memory limits).
+func tcmRatioForSetQueries(dsName string) float64 {
+	switch dsName {
+	case "web-NotreDame", "Caida-networkflow":
+		return 16
+	default:
+		return 256
+	}
+}
+
+// sampleNodes draws a deterministic sample of up to n node IDs.
+func sampleNodes(exact *adjlist.Graph, n int, seed int64) []string {
+	nodes := exact.Nodes()
+	if len(nodes) <= n {
+		return nodes
+	}
+	rng := newRand(seed)
+	idx := rng.Perm(len(nodes))[:n]
+	sort.Ints(idx)
+	out := make([]string, n)
+	for i, j := range idx {
+		out[i] = nodes[j]
+	}
+	return out
+}
+
+// sampleEdges draws a deterministic sample of up to n distinct edges.
+func sampleEdges(exact *adjlist.Graph, n int, seed int64) [][2]string {
+	var edges [][2]string
+	for _, v := range exact.Nodes() {
+		for _, u := range exact.Successors(v) {
+			edges = append(edges, [2]string{v, u})
+		}
+	}
+	if len(edges) <= n {
+		return edges
+	}
+	rng := newRand(seed)
+	idx := rng.Perm(len(edges))[:n]
+	sort.Ints(idx)
+	out := make([][2]string, n)
+	for i, j := range idx {
+		out[i] = edges[j]
+	}
+	return out
+}

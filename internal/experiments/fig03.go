@@ -1,0 +1,49 @@
+package experiments
+
+import "repro/internal/theory"
+
+// Fig03 evaluates the theoretical accuracy model of §VI-B over the
+// M/|V| ratios and degrees that Fig. 3 plots: the correct rate of the
+// edge query and the 1-hop successor/precursor queries as functions of
+// the hash range.
+func Fig03(opt Options) []Table {
+	const nodes = 100000
+	const avgDeg = 5
+	ratios := []float64{0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500}
+	degrees := []int64{2, 8, 32, 128, 512}
+
+	edge := Table{
+		Title: "Fig. 3(a) Edge query correct rate (theory)",
+		Cols:  []string{"M/|V|", "d=2", "d=8", "d=32", "d=128", "d=512"},
+		Notes: "d is d1+d2, edges adjacent to the queried edge; |V|=1e5, |E|=5e5",
+	}
+	succ := Table{
+		Title: "Fig. 3(b) 1-hop successor query correct rate (theory)",
+		Cols:  []string{"M/|V|", "d=2", "d=8", "d=32", "d=128", "d=512"},
+		Notes: "d is the out-degree of the queried node",
+	}
+	prec := Table{
+		Title: "Fig. 3(c) 1-hop precursor query correct rate (theory)",
+		Cols:  []string{"M/|V|", "d=2", "d=8", "d=32", "d=128", "d=512"},
+		Notes: "symmetric to the successor model with in-degree",
+	}
+	pts := theory.Fig3Surface(nodes, avgDeg, ratios, degrees)
+	byRatio := map[float64][]theory.Fig3Point{}
+	for _, p := range pts {
+		byRatio[p.MOverV] = append(byRatio[p.MOverV], p)
+	}
+	for _, r := range ratios {
+		erow := []float64{r}
+		srow := []float64{r}
+		prow := []float64{r}
+		for _, p := range byRatio[r] {
+			erow = append(erow, p.EdgeQuery)
+			srow = append(srow, p.SuccessorQ)
+			prow = append(prow, p.PrecursorQ)
+		}
+		edge.Rows = append(edge.Rows, erow)
+		succ.Rows = append(succ.Rows, srow)
+		prec.Rows = append(prec.Rows, prow)
+	}
+	return []Table{edge, succ, prec}
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// Fig08 reproduces the edge-query ARE sweep of Fig. 8: for each dataset
+// and matrix width, the average relative error of edge queries for GSS
+// with 12- and 16-bit fingerprints and for TCM at 8 times the memory of
+// the 16-bit GSS.
+func Fig08(opt Options) []Table {
+	var out []Table
+	for _, cfg := range accuracyDatasets() {
+		if !opt.wantDataset(cfg.Name) {
+			continue
+		}
+		ds := loadDataset(cfg, opt.scale())
+		queries := sampleEdges(ds.exact, 4*opt.querySample(), opt.Seed+1)
+		t := Table{
+			Title: fmt.Sprintf("Fig. 8 Edge query ARE — %s", cfg.Name),
+			Cols:  []string{"width", "GSS(fsize=12)", "GSS(fsize=16)", "TCM(8*memory)"},
+			Notes: fmt.Sprintf("|V|=%d |E|=%d items=%d queries=%d",
+				ds.exact.NodeCount(), ds.exact.EdgeCount(), len(ds.items), len(queries)),
+		}
+		for _, w := range scaledWidths(cfg.Name, opt.scale()) {
+			g12 := gssFor(cfg.Name, w, 12)
+			g16 := gssFor(cfg.Name, w, 16)
+			tc := tcmWithMemoryRatio(g16, 8)
+			for _, it := range ds.items {
+				g12.Insert(it)
+				g16.Insert(it)
+				tc.Insert(it)
+			}
+			var a12, a16, atc metrics.ARE
+			for _, q := range queries {
+				truth, _ := ds.exact.EdgeWeight(q[0], q[1])
+				e12, _ := g12.EdgeWeight(q[0], q[1])
+				e16, _ := g16.EdgeWeight(q[0], q[1])
+				etc, _ := tc.EdgeWeight(q[0], q[1])
+				a12.Observe(e12, truth)
+				a16.Observe(e16, truth)
+				atc.Observe(etc, truth)
+			}
+			t.Rows = append(t.Rows, []float64{float64(w), a12.Value(), a16.Value(), atc.Value()})
+		}
+		out = append(out, t)
+	}
+	return out
+}

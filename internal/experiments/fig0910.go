@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// Fig09 reproduces the 1-hop precursor average-precision sweep of
+// Fig. 9: GSS (12/16-bit fingerprints) vs TCM at 256x memory (16x on
+// the two big streams).
+func Fig09(opt Options) []Table { return setQuerySweep(opt, false) }
+
+// Fig10 reproduces the 1-hop successor average-precision sweep of
+// Fig. 10.
+func Fig10(opt Options) []Table { return setQuerySweep(opt, true) }
+
+func setQuerySweep(opt Options, successors bool) []Table {
+	kind, fig := "precursor", 9
+	if successors {
+		kind, fig = "successor", 10
+	}
+	var out []Table
+	for _, cfg := range accuracyDatasets() {
+		if !opt.wantDataset(cfg.Name) {
+			continue
+		}
+		ds := loadDataset(cfg, opt.scale())
+		nodes := sampleNodes(ds.exact, opt.querySample(), opt.Seed+2)
+		ratio := tcmRatioForSetQueries(cfg.Name)
+		t := Table{
+			Title: fmt.Sprintf("Fig. %d 1-hop %s avg precision — %s", fig, kind, cfg.Name),
+			Cols: []string{"width", "GSS(fsize=12)", "GSS(fsize=16)",
+				fmt.Sprintf("TCM(%g*memory)", ratio)},
+			Notes: fmt.Sprintf("|V|=%d |E|=%d queried nodes=%d",
+				ds.exact.NodeCount(), ds.exact.EdgeCount(), len(nodes)),
+		}
+		for _, w := range scaledWidths(cfg.Name, opt.scale()) {
+			g12 := gssFor(cfg.Name, w, 12)
+			g16 := gssFor(cfg.Name, w, 16)
+			tc := tcmWithMemoryRatio(g16, ratio)
+			for _, it := range ds.items {
+				g12.Insert(it)
+				g16.Insert(it)
+				tc.Insert(it)
+			}
+			var p12, p16, ptc metrics.AvgPrecision
+			for _, v := range nodes {
+				var truth, r12, r16, rtc []string
+				if successors {
+					truth = ds.exact.Successors(v)
+					r12, r16, rtc = g12.Successors(v), g16.Successors(v), tc.Successors(v)
+				} else {
+					truth = ds.exact.Precursors(v)
+					r12, r16, rtc = g12.Precursors(v), g16.Precursors(v), tc.Precursors(v)
+				}
+				// All three structures are false-positive-only; a
+				// soundness error here is a bug worth surfacing loudly.
+				mustObserve(&p12, r12, truth)
+				mustObserve(&p16, r16, truth)
+				mustObserve(&ptc, rtc, truth)
+			}
+			t.Rows = append(t.Rows, []float64{float64(w), p12.Value(), p16.Value(), ptc.Value()})
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+func mustObserve(p *metrics.AvgPrecision, reported, truth []string) {
+	if err := p.Observe(reported, truth); err != nil {
+		panic(fmt.Sprintf("experiments: summary violated no-false-negative invariant: %v", err))
+	}
+}

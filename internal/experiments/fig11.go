@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/query"
+)
+
+// Fig11 reproduces the node-query ARE sweep of Fig. 11: the aggregate
+// out-weight of every sampled node, estimated through the successor and
+// edge primitives, against the same TCM memory grants as the set-query
+// experiments.
+func Fig11(opt Options) []Table {
+	var out []Table
+	for _, cfg := range accuracyDatasets() {
+		if !opt.wantDataset(cfg.Name) {
+			continue
+		}
+		ds := loadDataset(cfg, opt.scale())
+		nodes := sampleNodes(ds.exact, opt.querySample(), opt.Seed+3)
+		ratio := tcmRatioForSetQueries(cfg.Name)
+		t := Table{
+			Title: fmt.Sprintf("Fig. 11 Node query ARE — %s", cfg.Name),
+			Cols: []string{"width", "GSS(fsize=12)", "GSS(fsize=16)",
+				fmt.Sprintf("TCM(%g*memory)", ratio)},
+			Notes: fmt.Sprintf("|V|=%d |E|=%d queried nodes=%d",
+				ds.exact.NodeCount(), ds.exact.EdgeCount(), len(nodes)),
+		}
+		for _, w := range scaledWidths(cfg.Name, opt.scale()) {
+			g12 := gssFor(cfg.Name, w, 12)
+			g16 := gssFor(cfg.Name, w, 16)
+			tc := tcmWithMemoryRatio(g16, ratio)
+			for _, it := range ds.items {
+				g12.Insert(it)
+				g16.Insert(it)
+				tc.Insert(it)
+			}
+			var a12, a16, atc metrics.ARE
+			for _, v := range nodes {
+				truth := ds.exact.NodeOutWeight(v)
+				a12.Observe(query.NodeOut(g12, v), truth)
+				a16.Observe(query.NodeOut(g16, v), truth)
+				// TCM answers node queries natively as a row sum.
+				atc.Observe(tc.NodeOutWeight(v), truth)
+			}
+			t.Rows = append(t.Rows, []float64{float64(w), a12.Value(), a16.Value(), atc.Value()})
+		}
+		out = append(out, t)
+	}
+	return out
+}

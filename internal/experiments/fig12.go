@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/adjlist"
+	"repro/internal/metrics"
+	"repro/internal/query"
+)
+
+// Fig12 reproduces the reachability true-negative-recall sweep of
+// Fig. 12: query sets of unreachable node pairs (100 in the paper),
+// with the recall of "unreachable" answers per structure.
+func Fig12(opt Options) []Table {
+	const pairsWanted = 100
+	var out []Table
+	for _, cfg := range accuracyDatasets() {
+		if !opt.wantDataset(cfg.Name) {
+			continue
+		}
+		ds := loadDataset(cfg, opt.scale())
+		pairs := unreachablePairs(ds.exact, pairsWanted, opt.Seed+4)
+		if len(pairs) == 0 {
+			continue
+		}
+		ratio := tcmRatioForSetQueries(cfg.Name)
+		t := Table{
+			Title: fmt.Sprintf("Fig. 12 Reachability true negative recall — %s", cfg.Name),
+			Cols: []string{"width", "GSS(fsize=12)", "GSS(fsize=16)",
+				fmt.Sprintf("TCM(%g*memory)", ratio)},
+			Notes: fmt.Sprintf("%d unreachable pairs", len(pairs)),
+		}
+		for _, w := range scaledWidths(cfg.Name, opt.scale()) {
+			g12 := gssFor(cfg.Name, w, 12)
+			g16 := gssFor(cfg.Name, w, 16)
+			tc := tcmWithMemoryRatio(g16, ratio)
+			for _, it := range ds.items {
+				g12.Insert(it)
+				g16.Insert(it)
+				tc.Insert(it)
+			}
+			var r12, r16, rtc metrics.Recall
+			for _, p := range pairs {
+				r12.Observe(!query.Reachable(g12, p[0], p[1]))
+				r16.Observe(!query.Reachable(g16, p[0], p[1]))
+				rtc.Observe(!query.Reachable(tc, p[0], p[1]))
+			}
+			t.Rows = append(t.Rows, []float64{float64(w), r12.Value(), r16.Value(), rtc.Value()})
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// unreachablePairs draws up to n node pairs that are unreachable in the
+// exact graph, as the Fig. 12 query generator does.
+func unreachablePairs(exact *adjlist.Graph, n int, seed int64) [][2]string {
+	nodes := exact.Nodes()
+	if len(nodes) < 2 {
+		return nil
+	}
+	rng := newRand(seed)
+	var out [][2]string
+	for attempts := 0; len(out) < n && attempts < 60*n; attempts++ {
+		s := nodes[rng.Intn(len(nodes))]
+		d := nodes[rng.Intn(len(nodes))]
+		if s == d || exact.Reachable(s, d) {
+			continue
+		}
+		out = append(out, [2]string{s, d})
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gss"
+	"repro/internal/stream"
+)
+
+// Fig13 reproduces the buffer-percentage sweep of Fig. 13 on the three
+// larger datasets: GSS with 1 or 2 rooms per bucket, with and without
+// square hashing. As in the paper, the x-axis width w applies to the
+// 2-room variants; 1-room variants use width w*sqrt(2) so all four
+// curves compare at equal memory.
+func Fig13(opt Options) []Table {
+	var out []Table
+	for _, cfg := range []stream.DatasetConfig{
+		stream.WebNotreDame(), stream.LkmlReply(), stream.Caida(),
+	} {
+		if !opt.wantDataset(cfg.Name) {
+			continue
+		}
+		ds := loadDataset(cfg, opt.scale())
+		t := Table{
+			Title: fmt.Sprintf("Fig. 13 Buffer percentage — %s", cfg.Name),
+			Cols: []string{"width", "Room=1", "Room=2",
+				"Room=1(NoSquareHash)", "Room=2(NoSquareHash)"},
+			Notes: fmt.Sprintf("|E|=%d distinct edges", ds.exact.EdgeCount()),
+		}
+		r := 16
+		if cfg.Name == "email-EuAll" || cfg.Name == "cit-HepPh" {
+			r = 8
+		}
+		for _, w := range scaledWidths(cfg.Name, opt.scale()) {
+			w1 := int(math.Round(float64(w) * math.Sqrt2))
+			variants := []*gss.GSS{
+				gss.MustNew(gss.Config{Width: w1, Rooms: 1, SeqLen: r, Candidates: r, DisableNodeIndex: true}),
+				gss.MustNew(gss.Config{Width: w, Rooms: 2, SeqLen: r, Candidates: r, DisableNodeIndex: true}),
+				gss.MustNew(gss.Config{Width: w1, Rooms: 1, DisableSquareHash: true, DisableNodeIndex: true}),
+				gss.MustNew(gss.Config{Width: w, Rooms: 2, DisableSquareHash: true, DisableNodeIndex: true}),
+			}
+			for _, it := range ds.items {
+				for _, g := range variants {
+					g.Insert(it)
+				}
+			}
+			row := []float64{float64(w)}
+			for _, g := range variants {
+				row = append(row, g.BufferPercentage())
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,9 @@
+package experiments
+
+import "math/rand"
+
+// newRand centralizes RNG construction so every experiment is
+// deterministic in its seed.
+func newRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Experiment is a named, runnable reproduction of one paper table or
+// figure.
+type Experiment struct {
+	Name string
+	Desc string
+	Run  func(Options) []Table
+}
+
+// All returns the experiment catalog in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig3", "Theoretical correct rates vs M/|V| (Fig. 3)", Fig03},
+		{"fig8", "Edge query ARE vs width (Fig. 8)", Fig08},
+		{"fig9", "1-hop precursor precision vs width (Fig. 9)", Fig09},
+		{"fig10", "1-hop successor precision vs width (Fig. 10)", Fig10},
+		{"fig11", "Node query ARE vs width (Fig. 11)", Fig11},
+		{"fig12", "Reachability true negative recall vs width (Fig. 12)", Fig12},
+		{"fig13", "Buffer percentage vs width (Fig. 13)", Fig13},
+		{"table1", "Update speed in Mips (Table I)", Table1},
+		{"fig14", "Triangle counting vs TRIEST (Fig. 14)", Fig14},
+		{"fig15", "Subgraph matching vs SJ-tree (Fig. 15)", Fig15},
+		{"ablation", "Design-choice ablations (fingerprints, square hash, sampling, rooms)", Ablation},
+		{"validate", "Theory vs measurement for the §VI models", Validate},
+		{"scaling", "Sharded-GSS parallel ingestion throughput (extension)", Scaling},
+		{"edgeonly", "GSS vs CM/CU/gSketch on edge queries at equal memory", EdgeOnly},
+		{"gmatrix", "gMatrix vs TCM vs GSS (reverse-hash baseline)", GMatrix},
+	}
+}
+
+// Lookup finds an experiment by name (case-insensitive).
+func Lookup(name string) (Experiment, bool) {
+	for _, e := range All() {
+		if strings.EqualFold(e.Name, name) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Names lists the available experiment names, sorted.
+func Names() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the named experiment (or all of them for "all") and
+// prints its tables to w.
+func Run(name string, opt Options, w io.Writer) error {
+	if strings.EqualFold(name, "all") {
+		for _, e := range All() {
+			fmt.Fprintf(w, "### %s — %s\n\n", e.Name, e.Desc)
+			for _, t := range e.Run(opt) {
+				t.Fprint(w)
+			}
+		}
+		return nil
+	}
+	e, ok := Lookup(name)
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	for _, t := range e.Run(opt) {
+		t.Fprint(w)
+	}
+	return nil
+}

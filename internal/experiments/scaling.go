@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/gss"
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+// Scaling measures parallel ingestion throughput of the sharded GSS
+// (an extension beyond the paper, whose sketch is single-threaded):
+// Mips as a function of shard count with one ingesting goroutine per
+// shard, at constant total matrix memory.
+func Scaling(opt Options) []Table {
+	cfg := stream.LkmlReply()
+	ds := loadDataset(cfg, opt.scale())
+	width := scaledWidths(cfg.Name, opt.scale())[4]
+	t := Table{
+		Title: "Scaling: sharded ingestion throughput",
+		Cols:  []string{"shards", "goroutines", "Mips"},
+		Notes: "constant total matrix memory; GOMAXPROCS=" +
+			itoa(runtime.GOMAXPROCS(0)),
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		s, err := gss.NewSharded(gss.Config{Width: width, FingerprintBits: 16,
+			Rooms: 2, SeqLen: 16, Candidates: 16}, shards)
+		if err != nil {
+			continue
+		}
+		workers := shards
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(ds.items); i += workers {
+					s.Insert(ds.items[i])
+				}
+			}(w)
+		}
+		wg.Wait()
+		mips := metrics.Mips(int64(len(ds.items)), time.Since(start))
+		t.Rows = append(t.Rows, []float64{float64(shards), float64(workers), mips})
+	}
+	return []Table{t}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

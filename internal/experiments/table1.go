@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/adjlist"
+	"repro/internal/gss"
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+// Table1 reproduces the update-speed comparison of Table I, in million
+// insertions per second: GSS, GSS without candidate sampling, TCM (same
+// settings as the accuracy experiments) and the classic adjacency list.
+// The paper repeats each insertion pass and averages; Repeats controls
+// that here.
+func Table1(opt Options) []Table {
+	const repeats = 3
+	t := Table{
+		Title: "Table I Update speed (Mips)",
+		Cols:  []string{"dataset#", "GSS", "GSS(no sampling)", "TCM", "AdjacencyLists"},
+		Notes: "rows: 1=email-EuAll 2=cit-HepPh 3=web-NotreDame; 16-bit fingerprints",
+	}
+	for i, cfg := range []stream.DatasetConfig{
+		stream.EmailEuAll(), stream.CitHepPh(), stream.WebNotreDame(),
+	} {
+		if !opt.wantDataset(cfg.Name) {
+			continue
+		}
+		ds := loadDataset(cfg, opt.scale())
+		width := scaledWidths(cfg.Name, opt.scale())[2] // middle of the sweep
+		r := 16
+		if cfg.Name == "email-EuAll" || cfg.Name == "cit-HepPh" {
+			r = 8
+		}
+
+		gssMips := measureMips(repeats, ds.items, func() inserter {
+			return gssFor(cfg.Name, width, 16)
+		})
+		noSampleMips := measureMips(repeats, ds.items, func() inserter {
+			return gss.MustNew(gss.Config{Width: width, FingerprintBits: 16,
+				Rooms: 2, SeqLen: r, DisableSampling: true})
+		})
+		tcmMips := measureMips(repeats, ds.items, func() inserter {
+			return tcmWithMemoryRatio(gssFor(cfg.Name, width, 16), 8)
+		})
+		adjMips := measureMips(repeats, ds.items, func() inserter {
+			return classicInserter{adjlist.NewClassic()}
+		})
+		t.Rows = append(t.Rows, []float64{float64(i + 1), gssMips, noSampleMips, tcmMips, adjMips})
+	}
+	return []Table{t}
+}
+
+type inserter interface{ Insert(it stream.Item) }
+
+type classicInserter struct{ c *adjlist.Classic }
+
+func (ci classicInserter) Insert(it stream.Item) { ci.c.Insert(it.Src, it.Dst, it.Weight) }
+
+// measureMips inserts the whole stream `repeats` times into fresh
+// structures and averages the throughput.
+func measureMips(repeats int, items []stream.Item, build func() inserter) float64 {
+	var total float64
+	for r := 0; r < repeats; r++ {
+		s := build()
+		start := time.Now()
+		for _, it := range items {
+			s.Insert(it)
+		}
+		total += metrics.Mips(int64(len(items)), time.Since(start))
+	}
+	return total / float64(repeats)
+}

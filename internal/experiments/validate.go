@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/gss"
+	"repro/internal/theory"
+)
+
+// Validate compares the §VI closed-form models against measurement on
+// one dataset: the edge-query correct rate of Eq. 12 across fingerprint
+// lengths (i.e. across M = m·F), and the left-over probability bound of
+// Eq. 16-18 against the observed buffer percentage across widths. The
+// theory is an upper bound on error (it ignores second-order effects),
+// so measured accuracy should sit at or above the prediction.
+func Validate(opt Options) []Table {
+	cfg := accuracyDatasets()[1] // cit-HepPh
+	ds := loadDataset(cfg, opt.scale())
+	edges := sampleEdges(ds.exact, 2*opt.querySample(), opt.Seed+8)
+	width := scaledWidths(cfg.Name, opt.scale())[2]
+
+	acc := Table{
+		Title: "Validation: edge-query correct rate, Eq. 12 vs measured",
+		Cols:  []string{"fpBits", "M", "predicted", "measured"},
+		Notes: fmt.Sprintf("%s, width=%d, |E|=%d", cfg.Name, width, ds.exact.EdgeCount()),
+	}
+	for _, bits := range []int{2, 4, 6, 8, 12, 16} {
+		g := gss.MustNew(gss.Config{Width: width, FingerprintBits: bits,
+			Rooms: 2, SeqLen: 8, Candidates: 8})
+		for _, it := range ds.items {
+			g.Insert(it)
+		}
+		m := float64(width) * float64(uint64(1)<<uint(bits))
+		var predicted float64
+		correct := 0
+		for _, q := range edges {
+			d := int64(ds.exact.OutDegree(q[0]) + ds.exact.InDegree(q[0]) +
+				ds.exact.OutDegree(q[1]) + ds.exact.InDegree(q[1]))
+			predicted += theory.EdgeCorrectRate(int64(ds.exact.EdgeCount()), d, m)
+			truth, _ := ds.exact.EdgeWeight(q[0], q[1])
+			if est, ok := g.EdgeWeight(q[0], q[1]); ok && est == truth {
+				correct++
+			}
+		}
+		predicted /= float64(len(edges))
+		measured := float64(correct) / float64(len(edges))
+		acc.Rows = append(acc.Rows, []float64{float64(bits), m, predicted, measured})
+	}
+
+	buf := Table{
+		Title: "Validation: left-over probability, Eq. 16-18 vs measured buffer pct",
+		Cols:  []string{"width", "predictedBound", "measured"},
+		Notes: fmt.Sprintf("%s, rooms=2, r=k=8; the bound is for the final edge, measured is the average", cfg.Name),
+	}
+	n := int64(ds.exact.EdgeCount())
+	// Average adjacency for the bound: 2|E|/|V| edges touch an average
+	// node, and an edge has two endpoints.
+	d := 4 * n / int64(ds.exact.NodeCount())
+	for _, w := range scaledWidths(cfg.Name, opt.scale()) {
+		g := gss.MustNew(gss.Config{Width: w, Rooms: 2, SeqLen: 8, Candidates: 8,
+			DisableNodeIndex: true})
+		for _, it := range ds.items {
+			g.Insert(it)
+		}
+		bound := theory.LeftOverProbability(n, d, w, 8, 2, 8)
+		buf.Rows = append(buf.Rows, []float64{float64(w), bound, g.BufferPercentage()})
+	}
+	return []Table{acc, buf}
+}

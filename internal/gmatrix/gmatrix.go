@@ -1,0 +1,238 @@
+// Package gmatrix implements gMatrix ("Query-friendly compression of
+// graph streams", ASONAM 2016), the TCM variant the paper discusses in
+// §II. Like TCM it keeps d adjacency-matrix sketches, but its node hash
+// functions are *reversible* affine maps over a prime field, so query
+// results can be decompressed back to candidate node IDs without a hash
+// table — at the price of extra false positives from the reverse step,
+// which is exactly why the paper finds its accuracy no better than TCM.
+//
+// gMatrix assumes integer node identifiers in [0, IDSpace), as the
+// ASONAM paper does; the experiments adapt string IDs through
+// stream.NodeID ordinals.
+package gmatrix
+
+import (
+	"errors"
+	"sort"
+)
+
+// Config configures a gMatrix summary.
+type Config struct {
+	Width   int    // side length of each matrix
+	Depth   int    // number of sketches; defaults to 4
+	IDSpace uint64 // node identifiers are in [0, IDSpace)
+	Seed    uint64
+}
+
+// GMatrix is a reversible multi-sketch graph summary over integer node
+// IDs. Not safe for concurrent use.
+type GMatrix struct {
+	cfg      Config
+	p        uint64 // prime modulus > IDSpace
+	a, b     []uint64
+	ainv     []uint64
+	counters [][]int64
+	items    int64
+}
+
+// New builds an empty gMatrix.
+func New(cfg Config) (*GMatrix, error) {
+	if cfg.Width <= 0 {
+		return nil, errors.New("gmatrix: Config.Width must be positive")
+	}
+	if cfg.IDSpace < 2 {
+		return nil, errors.New("gmatrix: Config.IDSpace must be at least 2")
+	}
+	if cfg.Depth == 0 {
+		cfg.Depth = 4
+	}
+	if cfg.Depth < 1 {
+		return nil, errors.New("gmatrix: Config.Depth must be positive")
+	}
+	p := nextPrime(cfg.IDSpace)
+	g := &GMatrix{cfg: cfg, p: p}
+	rng := cfg.Seed*2862933555777941757 + 3037000493
+	for k := 0; k < cfg.Depth; k++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		a := rng%(p-1) + 1 // a in [1, p-1]: invertible mod p
+		rng = rng*6364136223846793005 + 1442695040888963407
+		b := rng % p
+		g.a = append(g.a, a)
+		g.b = append(g.b, b)
+		g.ainv = append(g.ainv, modInverse(a, p))
+		g.counters = append(g.counters, make([]int64, cfg.Width*cfg.Width))
+	}
+	return g, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *GMatrix {
+	g, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// hash maps id through the k-th reversible affine function and folds it
+// onto a matrix coordinate.
+func (g *GMatrix) hash(id uint64, k int) (cell int, hv uint64) {
+	hv = (mulMod(g.a[k], id%g.p, g.p) + g.b[k]) % g.p
+	return int(hv % uint64(g.cfg.Width)), hv
+}
+
+// unhash inverts the k-th affine function: the id whose hash value is hv.
+func (g *GMatrix) unhash(hv uint64, k int) uint64 {
+	return mulMod(g.ainv[k], (hv+g.p-g.b[k])%g.p, g.p)
+}
+
+// InsertEdge adds w to edge (src,dst) in every sketch.
+func (g *GMatrix) InsertEdge(src, dst uint64, w int64) {
+	g.items++
+	for k := 0; k < g.cfg.Depth; k++ {
+		r, _ := g.hash(src, k)
+		c, _ := g.hash(dst, k)
+		g.counters[k][r*g.cfg.Width+c] += w
+	}
+}
+
+// EdgeWeight estimates the weight of (src,dst) as the minimum over
+// sketches; zero means absent under additive positive weights.
+func (g *GMatrix) EdgeWeight(src, dst uint64) (int64, bool) {
+	est := g.edgeEstimate(src, dst)
+	return est, est != 0
+}
+
+func (g *GMatrix) edgeEstimate(src, dst uint64) int64 {
+	var est int64
+	for k := 0; k < g.cfg.Depth; k++ {
+		r, _ := g.hash(src, k)
+		c, _ := g.hash(dst, k)
+		v := g.counters[k][r*g.cfg.Width+c]
+		if k == 0 || v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// Successors decompresses the nonzero row cells of v in sketch 0 into
+// candidate IDs via the reverse hash and keeps those confirmed by every
+// other sketch. Candidates that were never inserted can survive — the
+// reverse-procedure error the paper notes.
+func (g *GMatrix) Successors(v uint64) []uint64 { return g.neighbors(v, true) }
+
+// Precursors is the column-wise analogue of Successors.
+func (g *GMatrix) Precursors(v uint64) []uint64 { return g.neighbors(v, false) }
+
+func (g *GMatrix) neighbors(v uint64, forward bool) []uint64 {
+	w := g.cfg.Width
+	rv, _ := g.hash(v, 0)
+	var out []uint64
+	for c := 0; c < w; c++ {
+		var cnt int64
+		if forward {
+			cnt = g.counters[0][rv*w+c]
+		} else {
+			cnt = g.counters[0][c*w+rv]
+		}
+		if cnt == 0 {
+			continue
+		}
+		// Reverse sketch-0: every hash value congruent to c modulo the
+		// width decompresses to one candidate ID.
+		for hv := uint64(c); hv < g.p; hv += uint64(w) {
+			id := g.unhash(hv, 0)
+			if id >= g.cfg.IDSpace {
+				continue
+			}
+			var est int64
+			if forward {
+				est = g.edgeEstimate(v, id)
+			} else {
+				est = g.edgeEstimate(id, v)
+			}
+			if est != 0 {
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HeavyEdge is an edge whose estimated weight reached a threshold.
+type HeavyEdge struct {
+	Src, Dst uint64
+	Weight   int64
+}
+
+// HeavyEdges reports the edge heavy hitters — the query class gMatrix
+// adds over TCM (§II). Cells of sketch 0 at or above minWeight are
+// decompressed into candidate endpoint pairs and cross-checked against
+// the remaining sketches.
+func (g *GMatrix) HeavyEdges(minWeight int64) []HeavyEdge {
+	if minWeight <= 0 {
+		minWeight = 1
+	}
+	w := g.cfg.Width
+	var out []HeavyEdge
+	for r := 0; r < w; r++ {
+		for c := 0; c < w; c++ {
+			if g.counters[0][r*w+c] < minWeight {
+				continue
+			}
+			for hs := uint64(r); hs < g.p; hs += uint64(w) {
+				src := g.unhash(hs, 0)
+				if src >= g.cfg.IDSpace {
+					continue
+				}
+				for hd := uint64(c); hd < g.p; hd += uint64(w) {
+					dst := g.unhash(hd, 0)
+					if dst >= g.cfg.IDSpace {
+						continue
+					}
+					if est := g.edgeEstimate(src, dst); est >= minWeight {
+						out = append(out, HeavyEdge{Src: src, Dst: dst, Weight: est})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
+}
+
+// NodeOutWeight estimates the aggregate out-weight of v (row sum,
+// minimized over sketches).
+func (g *GMatrix) NodeOutWeight(v uint64) int64 {
+	var est int64
+	w := g.cfg.Width
+	for k := 0; k < g.cfg.Depth; k++ {
+		r, _ := g.hash(v, k)
+		var sum int64
+		for c := 0; c < w; c++ {
+			sum += g.counters[k][r*w+c]
+		}
+		if k == 0 || sum < est {
+			est = sum
+		}
+	}
+	return est
+}
+
+// MemoryBytes is the counter footprint across sketches.
+func (g *GMatrix) MemoryBytes() int64 {
+	return int64(g.cfg.Depth) * int64(g.cfg.Width) * int64(g.cfg.Width) * 8
+}
+
+// ItemCount is the number of stream items ingested.
+func (g *GMatrix) ItemCount() int64 { return g.items }

@@ -1,0 +1,167 @@
+package gmatrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrimeHelpers(t *testing.T) {
+	primes := []uint64{2, 3, 5, 7, 65537, 2147483647}
+	for _, p := range primes {
+		if !isPrime(p) {
+			t.Errorf("isPrime(%d) = false", p)
+		}
+	}
+	composites := []uint64{0, 1, 4, 9, 65536, 2147483646, 3215031751}
+	for _, c := range composites {
+		if isPrime(c) {
+			t.Errorf("isPrime(%d) = true", c)
+		}
+	}
+	if got := nextPrime(1000); got != 1009 {
+		t.Fatalf("nextPrime(1000) = %d, want 1009", got)
+	}
+	if got := nextPrime(2); got != 2 {
+		t.Fatalf("nextPrime(2) = %d", got)
+	}
+}
+
+func TestModInverse(t *testing.T) {
+	f := func(a uint64) bool {
+		const p = 1000003
+		a = a%(p-1) + 1
+		inv := modInverse(a, p)
+		return mulMod(a, inv, p) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulModMatchesBigArithmetic(t *testing.T) {
+	f := func(a, b uint64) bool {
+		const m = 2147483647
+		want := (a % m) * (b % m) % m // fits in uint64 since m < 2^31
+		return mulMod(a%m, b%m, m) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashReversible(t *testing.T) {
+	g := MustNew(Config{Width: 32, Depth: 4, IDSpace: 10000, Seed: 7})
+	for id := uint64(0); id < 10000; id += 37 {
+		for k := 0; k < 4; k++ {
+			_, hv := g.hash(id, k)
+			if got := g.unhash(hv, k); got != id {
+				t.Fatalf("unhash(hash(%d)) = %d in sketch %d", id, got, k)
+			}
+		}
+	}
+}
+
+func TestEdgeWeightOverestimateOnly(t *testing.T) {
+	g := MustNew(Config{Width: 64, Depth: 4, IDSpace: 5000, Seed: 1})
+	rng := rand.New(rand.NewSource(42))
+	type key struct{ s, d uint64 }
+	want := map[key]int64{}
+	for i := 0; i < 3000; i++ {
+		s, d := uint64(rng.Intn(5000)), uint64(rng.Intn(5000))
+		w := int64(rng.Intn(10) + 1)
+		g.InsertEdge(s, d, w)
+		want[key{s, d}] += w
+	}
+	for k, w := range want {
+		got, ok := g.EdgeWeight(k.s, k.d)
+		if !ok || got < w {
+			t.Fatalf("edge (%d,%d): got %d,%v want >= %d", k.s, k.d, got, ok, w)
+		}
+	}
+}
+
+func TestSuccessorsSupersetWithReverseError(t *testing.T) {
+	g := MustNew(Config{Width: 64, Depth: 4, IDSpace: 2000, Seed: 3})
+	truth := map[uint64]map[uint64]bool{}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 1500; i++ {
+		s, d := uint64(rng.Intn(2000)), uint64(rng.Intn(2000))
+		g.InsertEdge(s, d, 1)
+		if truth[s] == nil {
+			truth[s] = map[uint64]bool{}
+		}
+		truth[s][d] = true
+	}
+	for s, ds := range truth {
+		got := map[uint64]bool{}
+		for _, d := range g.Successors(s) {
+			got[d] = true
+		}
+		for d := range ds {
+			if !got[d] {
+				t.Fatalf("gMatrix lost successor %d of %d", d, s)
+			}
+		}
+	}
+}
+
+func TestPrecursorsSuperset(t *testing.T) {
+	g := MustNew(Config{Width: 48, Depth: 3, IDSpace: 1000, Seed: 5})
+	g.InsertEdge(1, 42, 1)
+	g.InsertEdge(2, 42, 1)
+	got := map[uint64]bool{}
+	for _, s := range g.Precursors(42) {
+		got[s] = true
+	}
+	if !got[1] || !got[2] {
+		t.Fatalf("Precursors(42) = %v", g.Precursors(42))
+	}
+}
+
+func TestHeavyEdges(t *testing.T) {
+	g := MustNew(Config{Width: 32, Depth: 4, IDSpace: 500, Seed: 11})
+	g.InsertEdge(7, 9, 50)
+	g.InsertEdge(3, 4, 2)
+	heavy := g.HeavyEdges(25)
+	found := false
+	for _, he := range heavy {
+		if he.Src == 7 && he.Dst == 9 && he.Weight >= 50 {
+			found = true
+		}
+		if he.Weight < 25 {
+			t.Fatalf("heavy edge below threshold: %+v", he)
+		}
+	}
+	if !found {
+		t.Fatalf("true heavy edge (7,9) missing from %v", heavy)
+	}
+}
+
+func TestNodeOutWeight(t *testing.T) {
+	g := MustNew(Config{Width: 64, Depth: 4, IDSpace: 100, Seed: 2})
+	g.InsertEdge(5, 6, 3)
+	g.InsertEdge(5, 7, 4)
+	if got := g.NodeOutWeight(5); got < 7 {
+		t.Fatalf("NodeOutWeight = %d, want >= 7", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Width: 0, IDSpace: 10}); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	if _, err := New(Config{Width: 8, IDSpace: 1}); err == nil {
+		t.Fatal("tiny ID space accepted")
+	}
+	if _, err := New(Config{Width: 8, IDSpace: 100, Depth: -2}); err == nil {
+		t.Fatal("negative depth accepted")
+	}
+	g := MustNew(Config{Width: 8, IDSpace: 100})
+	if g.cfg.Depth != 4 {
+		t.Fatalf("default depth = %d", g.cfg.Depth)
+	}
+	if g.MemoryBytes() != 4*8*8*8 {
+		t.Fatalf("MemoryBytes = %d", g.MemoryBytes())
+	}
+}

@@ -1,0 +1,81 @@
+package gmatrix
+
+import "math/bits"
+
+// mulMod computes a*b mod m without overflow using 128-bit intermediate
+// arithmetic.
+func mulMod(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi%m, lo, m)
+	return rem
+}
+
+// powMod computes base^exp mod m.
+func powMod(base, exp, m uint64) uint64 {
+	result := uint64(1)
+	base %= m
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = mulMod(result, base, m)
+		}
+		base = mulMod(base, base, m)
+		exp >>= 1
+	}
+	return result
+}
+
+// isPrime is a deterministic Miller-Rabin test valid for all uint64
+// values (the listed witness set is proven sufficient below 2^64).
+func isPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n%p == 0 {
+			return n == p
+		}
+	}
+	d := n - 1
+	r := 0
+	for d%2 == 0 {
+		d /= 2
+		r++
+	}
+	for _, a := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		x := powMod(a, d, n)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		composite := true
+		for i := 0; i < r-1; i++ {
+			x = mulMod(x, x, n)
+			if x == n-1 {
+				composite = false
+				break
+			}
+		}
+		if composite {
+			return false
+		}
+	}
+	return true
+}
+
+// nextPrime returns the smallest prime >= n.
+func nextPrime(n uint64) uint64 {
+	if n <= 2 {
+		return 2
+	}
+	if n%2 == 0 {
+		n++
+	}
+	for !isPrime(n) {
+		n += 2
+	}
+	return n
+}
+
+// modInverse returns a^-1 mod p for prime p (Fermat's little theorem).
+func modInverse(a, p uint64) uint64 {
+	return powMod(a%p, p-2, p)
+}

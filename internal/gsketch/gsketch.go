@@ -1,0 +1,170 @@
+// Package gsketch implements gSketch ("gSketch: on query estimation in
+// graph streams", PVLDB 2011), the partitioned-CM-sketch baseline of
+// §II. gSketch improves on one global CM sketch by splitting the global
+// space budget across partitions of source nodes, sized from a workload
+// sample so that heavy sources get proportionally wider sketches. Like
+// CM sketches it answers only edge-weight (and per-source aggregate)
+// queries — no topology.
+package gsketch
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/cms"
+	"repro/internal/hashing"
+	"repro/internal/stream"
+)
+
+// Config configures a gSketch.
+type Config struct {
+	// TotalCounters is the global budget of 8-byte counters, divided
+	// across partitions.
+	TotalCounters int
+	// Partitions is the number of source-node partitions. Defaults to 8.
+	Partitions int
+	// Depth is the per-partition CM depth. Defaults to 4.
+	Depth int
+	Seed  uint64
+}
+
+// Sketch is a gSketch: a partition function over source nodes plus one
+// CM sketch per partition. Not safe for concurrent use.
+type Sketch struct {
+	cfg    Config
+	parts  []*cms.Sketch
+	shares []int
+	items  int64
+}
+
+// New builds a gSketch whose partition widths are proportional to the
+// per-partition item frequency observed in sample, mirroring the
+// workload-aware sketch partitioning of the PVLDB paper. An empty
+// sample yields uniform partitions.
+func New(cfg Config, sample []stream.Item) (*Sketch, error) {
+	if cfg.TotalCounters <= 0 {
+		return nil, errors.New("gsketch: Config.TotalCounters must be positive")
+	}
+	if cfg.Partitions == 0 {
+		cfg.Partitions = 8
+	}
+	if cfg.Partitions < 1 {
+		return nil, errors.New("gsketch: Config.Partitions must be positive")
+	}
+	if cfg.Depth == 0 {
+		cfg.Depth = 4
+	}
+	if cfg.TotalCounters < cfg.Partitions*cfg.Depth {
+		return nil, errors.New("gsketch: TotalCounters too small for partition layout")
+	}
+	s := &Sketch{cfg: cfg}
+	// Estimate per-partition load from the sample. Collision error in a
+	// CM row grows with the number of *distinct* keys, not raw item
+	// volume, so each partition's share follows its distinct sampled
+	// edges.
+	counts := make([]int, cfg.Partitions)
+	seen := make(map[string]bool, len(sample))
+	for _, it := range sample {
+		k := cms.EdgeKey(it.Src, it.Dst)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		counts[s.partition(it.Src)]++
+	}
+	total := len(seen)
+	perRowBudget := cfg.TotalCounters / cfg.Depth
+	minWidth := 1
+	s.shares = make([]int, cfg.Partitions)
+	assigned := 0
+	for p := 0; p < cfg.Partitions; p++ {
+		var w int
+		if total == 0 {
+			w = perRowBudget / cfg.Partitions
+		} else {
+			w = perRowBudget * counts[p] / total
+		}
+		if w < minWidth {
+			w = minWidth
+		}
+		s.shares[p] = w
+		assigned += w
+	}
+	// Renormalize if rounding plus minimums overshot the budget.
+	for assigned > perRowBudget {
+		i := maxIdx(s.shares)
+		if s.shares[i] <= minWidth {
+			break
+		}
+		s.shares[i]--
+		assigned--
+	}
+	for p := 0; p < cfg.Partitions; p++ {
+		part, err := cms.New(cms.Config{Width: s.shares[p], Depth: cfg.Depth,
+			Seed: cfg.Seed + uint64(p)*7919})
+		if err != nil {
+			return nil, err
+		}
+		s.parts = append(s.parts, part)
+	}
+	return s, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config, sample []stream.Item) *Sketch {
+	s, err := New(cfg, sample)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *Sketch) partition(src string) int {
+	return int(hashing.HashSeeded(src, s.cfg.Seed^0xabcdef) % uint64(s.cfg.Partitions))
+}
+
+func maxIdx(xs []int) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// InsertItem routes the item to its source partition.
+func (s *Sketch) InsertItem(it stream.Item) { s.InsertEdge(it.Src, it.Dst, it.Weight) }
+
+// InsertEdge adds w to edge (src,dst).
+func (s *Sketch) InsertEdge(src, dst string, w int64) {
+	s.items++
+	s.parts[s.partition(src)].Add(cms.EdgeKey(src, dst), w)
+}
+
+// EdgeWeight estimates the weight of (src,dst).
+func (s *Sketch) EdgeWeight(src, dst string) (int64, bool) {
+	est := s.parts[s.partition(src)].Estimate(cms.EdgeKey(src, dst))
+	return est, est != 0
+}
+
+// PartitionWidths exposes the per-partition row widths (sorted copies)
+// for tests and diagnostics.
+func (s *Sketch) PartitionWidths() []int {
+	out := make([]int, len(s.shares))
+	copy(out, s.shares)
+	sort.Ints(out)
+	return out
+}
+
+// MemoryBytes sums the partition footprints.
+func (s *Sketch) MemoryBytes() int64 {
+	var sum int64
+	for _, p := range s.parts {
+		sum += p.MemoryBytes()
+	}
+	return sum
+}
+
+// ItemCount is the number of items inserted.
+func (s *Sketch) ItemCount() int64 { return s.items }

@@ -1,0 +1,117 @@
+package gsketch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cms"
+	"repro/internal/stream"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}, nil); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if _, err := New(Config{TotalCounters: 10, Partitions: 8, Depth: 4}, nil); err == nil {
+		t.Fatal("budget below partition minimum accepted")
+	}
+	s := MustNew(Config{TotalCounters: 4096}, nil)
+	if s.cfg.Partitions != 8 || s.cfg.Depth != 4 {
+		t.Fatalf("defaults: %+v", s.cfg)
+	}
+}
+
+func TestNeverUnderestimates(t *testing.T) {
+	items := stream.Generate(stream.EmailEuAll().Scaled(0.002))
+	s := MustNew(Config{TotalCounters: 1 << 16}, items[:len(items)/10])
+	exact := map[string]int64{}
+	for _, it := range items {
+		s.InsertItem(it)
+		exact[cms.EdgeKey(it.Src, it.Dst)] += it.Weight
+	}
+	for _, it := range items {
+		want := exact[cms.EdgeKey(it.Src, it.Dst)]
+		got, ok := s.EdgeWeight(it.Src, it.Dst)
+		if !ok || got < want {
+			t.Fatalf("edge (%s,%s): got %d,%v want >= %d", it.Src, it.Dst, got, ok, want)
+		}
+	}
+}
+
+func TestWorkloadAwarePartitioning(t *testing.T) {
+	// A sample dominated by one hot source should produce visibly
+	// unequal partition widths.
+	var sample []stream.Item
+	for i := 0; i < 900; i++ {
+		sample = append(sample, stream.Item{Src: "hot", Dst: stream.NodeID(i), Weight: 1})
+	}
+	for i := 0; i < 100; i++ {
+		sample = append(sample, stream.Item{Src: stream.NodeID(i), Dst: "x", Weight: 1})
+	}
+	s := MustNew(Config{TotalCounters: 1 << 14, Partitions: 8}, sample)
+	ws := s.PartitionWidths()
+	if ws[len(ws)-1] < 4*ws[0] {
+		t.Fatalf("expected skewed partition widths, got %v", ws)
+	}
+}
+
+func TestUniformWithoutSample(t *testing.T) {
+	s := MustNew(Config{TotalCounters: 1 << 12, Partitions: 4}, nil)
+	ws := s.PartitionWidths()
+	if ws[0] != ws[len(ws)-1] {
+		t.Fatalf("expected uniform widths without sample, got %v", ws)
+	}
+}
+
+func TestBudgetRespected(t *testing.T) {
+	items := stream.Generate(stream.CitHepPh().Scaled(0.001))
+	cfg := Config{TotalCounters: 1 << 12, Partitions: 8, Depth: 4}
+	s := MustNew(cfg, items)
+	if got, budget := s.MemoryBytes(), int64(cfg.TotalCounters)*8; got > budget+budget/8 {
+		t.Fatalf("memory %d exceeds budget %d", got, budget)
+	}
+}
+
+func TestAccuracyBeatsGlobalCMOnSkewedWorkload(t *testing.T) {
+	// gSketch's pitch: at equal memory, partitioning by source reduces
+	// error on skewed workloads.
+	cfg := stream.LkmlReply().Scaled(0.005)
+	items := stream.Generate(cfg)
+	const counters = 1 << 12
+	gs := MustNew(Config{TotalCounters: counters, Partitions: 16}, items[:len(items)/2])
+	cm := cms.MustNew(cms.Config{Width: counters / 4, Depth: 4})
+	exact := map[string]int64{}
+	for _, it := range items {
+		gs.InsertItem(it)
+		cm.InsertItem(it)
+		exact[cms.EdgeKey(it.Src, it.Dst)] += it.Weight
+	}
+	var gsErr, cmErr float64
+	for k, w := range exact {
+		gsErr += float64(gs.parts[gs.partition(keySrc(k))].Estimate(k) - w)
+		cmErr += float64(cm.Estimate(k) - w)
+	}
+	if gsErr > cmErr*1.2 {
+		t.Fatalf("gSketch error %.0f worse than CM %.0f despite workload-aware partitioning", gsErr, cmErr)
+	}
+}
+
+func keySrc(key string) string {
+	for i := 0; i < len(key); i++ {
+		if key[i] == 0 {
+			return key[:i]
+		}
+	}
+	return key
+}
+
+func TestDeterministicRouting(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := MustNew(Config{TotalCounters: 1 << 10}, nil)
+	for i := 0; i < 100; i++ {
+		src := stream.NodeID(rng.Intn(50))
+		if s.partition(src) != s.partition(src) {
+			t.Fatal("partition routing not deterministic")
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package gss
+
+// buffer is the adjacency-list buffer B for left-over edges (Definition
+// 5, item 4). It stores sketch-graph edges exactly, keyed by the hash
+// values of the endpoints, with per-endpoint lists so the successor and
+// precursor primitives can scan it.
+type buffer struct {
+	weights map[edgeKey]int64
+	out     map[uint64][]uint64 // H(s) -> destinations
+	in      map[uint64][]uint64 // H(d) -> sources
+}
+
+type edgeKey struct{ s, d uint64 }
+
+func newBuffer() *buffer {
+	return &buffer{
+		weights: make(map[edgeKey]int64),
+		out:     make(map[uint64][]uint64),
+		in:      make(map[uint64][]uint64),
+	}
+}
+
+// add accumulates w on sketch edge (s,d), registering the adjacency
+// lists on first sight.
+func (b *buffer) add(s, d uint64, w int64) {
+	k := edgeKey{s, d}
+	if _, ok := b.weights[k]; !ok {
+		b.out[s] = append(b.out[s], d)
+		b.in[d] = append(b.in[d], s)
+	}
+	b.weights[k] += w
+}
+
+// get returns the buffered weight of (s,d).
+func (b *buffer) get(s, d uint64) (int64, bool) {
+	w, ok := b.weights[edgeKey{s, d}]
+	return w, ok
+}
+
+// successors returns the buffered destinations of s.
+func (b *buffer) successors(s uint64) []uint64 { return b.out[s] }
+
+// precursors returns the buffered sources of d.
+func (b *buffer) precursors(d uint64) []uint64 { return b.in[d] }
+
+// size is the number of distinct left-over sketch edges.
+func (b *buffer) size() int { return len(b.weights) }

@@ -1,0 +1,90 @@
+package gss
+
+import (
+	"sync"
+
+	"repro/internal/stream"
+)
+
+// Concurrent wraps a GSS with a read-write mutex so one ingester and
+// many queriers can share it. Insertion stays O(1); queries take the
+// read lock, so they run in parallel with each other but exclude
+// inserts — the usual summary-structure deployment (hot path writes,
+// periodic analytical reads).
+type Concurrent struct {
+	mu sync.RWMutex
+	g  *GSS
+}
+
+// NewConcurrent builds a thread-safe GSS.
+func NewConcurrent(cfg Config) (*Concurrent, error) {
+	g, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Concurrent{g: g}, nil
+}
+
+// Insert ingests one stream item.
+func (c *Concurrent) Insert(it stream.Item) {
+	c.mu.Lock()
+	c.g.Insert(it)
+	c.mu.Unlock()
+}
+
+// InsertEdge adds w to edge (src,dst).
+func (c *Concurrent) InsertEdge(src, dst string, w int64) {
+	c.mu.Lock()
+	c.g.InsertEdge(src, dst, w)
+	c.mu.Unlock()
+}
+
+// EdgeWeight is the edge query primitive.
+func (c *Concurrent) EdgeWeight(src, dst string) (int64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	// The scratch sequence buffers are per-sketch; clone-free reads
+	// need their own. Query paths allocate nothing else, so a small
+	// stack copy keeps RLock concurrency real.
+	g := *c.g
+	g.rowSeq = make([]uint32, c.g.cfg.SeqLen)
+	g.colSeq = make([]uint32, c.g.cfg.SeqLen)
+	g.sample = make([]uint32, c.g.cfg.Candidates)
+	return g.EdgeWeight(src, dst)
+}
+
+// Successors is the 1-hop successor primitive.
+func (c *Concurrent) Successors(v string) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	g := *c.g
+	g.rowSeq = make([]uint32, c.g.cfg.SeqLen)
+	g.colSeq = make([]uint32, c.g.cfg.SeqLen)
+	g.sample = make([]uint32, c.g.cfg.Candidates)
+	return g.Successors(v)
+}
+
+// Precursors is the 1-hop precursor primitive.
+func (c *Concurrent) Precursors(v string) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	g := *c.g
+	g.rowSeq = make([]uint32, c.g.cfg.SeqLen)
+	g.colSeq = make([]uint32, c.g.cfg.SeqLen)
+	g.sample = make([]uint32, c.g.cfg.Candidates)
+	return g.Precursors(v)
+}
+
+// Nodes lists registered node identifiers.
+func (c *Concurrent) Nodes() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.g.Nodes()
+}
+
+// Stats snapshots sketch statistics.
+func (c *Concurrent) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.g.Stats()
+}

@@ -1,0 +1,104 @@
+package gss
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestConcurrentValidation(t *testing.T) {
+	if _, err := NewConcurrent(Config{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestConcurrentMatchesSerial(t *testing.T) {
+	items := stream.Generate(stream.CitHepPh().Scaled(0.002))
+	cfg := Config{Width: 48, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8}
+	serial := MustNew(cfg)
+	conc, err := NewConcurrent(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		serial.Insert(it)
+		conc.Insert(it)
+	}
+	for _, it := range items[:500] {
+		w1, ok1 := serial.EdgeWeight(it.Src, it.Dst)
+		w2, ok2 := conc.EdgeWeight(it.Src, it.Dst)
+		if w1 != w2 || ok1 != ok2 {
+			t.Fatalf("divergence on (%s,%s)", it.Src, it.Dst)
+		}
+	}
+	if conc.Stats() != serial.Stats() {
+		t.Fatalf("stats diverge: %+v vs %+v", conc.Stats(), serial.Stats())
+	}
+}
+
+// TestConcurrentRace drives parallel writers and readers; `go test
+// -race` validates the locking discipline.
+func TestConcurrentRace(t *testing.T) {
+	conc, err := NewConcurrent(Config{Width: 32, SeqLen: 4, Candidates: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := stream.Generate(stream.EmailEuAll().Scaled(0.001))
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for _, it := range items {
+			conc.Insert(it)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < len(items); i += 5 {
+			conc.EdgeWeight(items[i].Src, items[i].Dst)
+			conc.Successors(items[i].Src)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < len(items); i += 7 {
+			conc.Precursors(items[i].Dst)
+			conc.Stats()
+			conc.Nodes()
+		}
+	}()
+	wg.Wait()
+	// After all writers finish, every edge must be present.
+	missing := 0
+	for _, it := range items {
+		if _, ok := conc.EdgeWeight(it.Src, it.Dst); !ok {
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Fatalf("%d edges lost under concurrency", missing)
+	}
+}
+
+func TestConcurrentParallelReaders(t *testing.T) {
+	conc, err := NewConcurrent(Config{Width: 32, SeqLen: 4, Candidates: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc.InsertEdge("a", "b", 5)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if w, ok := conc.EdgeWeight("a", "b"); !ok || w != 5 {
+					panic("reader saw wrong value")
+				}
+				conc.Successors("a")
+			}
+		}()
+	}
+	wg.Wait()
+}

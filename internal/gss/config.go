@@ -1,0 +1,112 @@
+// Package gss implements the Graph Stream Sketch of "Fast and Accurate
+// Graph Stream Summarization" (Gou, Zou, Zhao, Yang — ICDE 2019).
+//
+// GSS compresses a graph stream G into a graph sketch Gh via a node hash
+// H(v) with range M = m*F, and stores Gh in an m x m bucket matrix where
+// each edge is identified by a fingerprint pair plus a square-hashing
+// index pair; edges that find no room go to an exact left-over buffer.
+// The combination gives O(|E|) space, O(1) update, and supports the
+// three query primitives (edge, 1-hop successor, 1-hop precursor) from
+// which arbitrary graph queries are composed (package query).
+package gss
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Defaults mirror the experimental settings of §VII-C.
+const (
+	DefaultFingerprintBits = 16
+	DefaultRooms           = 2
+	DefaultSeqLen          = 16
+	DefaultCandidates      = 16
+	maxSeqLen              = 16 // index pairs are packed 4+4 bits
+	maxRooms               = 64
+	maxFingerprintBits     = 16
+)
+
+// Config configures a GSS instance. The zero value of the optional
+// fields selects the fully augmented sketch of §V (square hashing on,
+// mapped-bucket sampling on, paper defaults for the sizes); the Disable*
+// fields turn individual optimizations off for ablations, reproducing
+// the basic version of §IV when both are set with SeqLen 1.
+type Config struct {
+	// Width is m, the side length of the bucket matrix. Required.
+	// The paper sets m ≈ sqrt(|E|).
+	Width int
+
+	// FingerprintBits sets F = 2^bits. The paper evaluates 12 and 16.
+	// Defaults to 16.
+	FingerprintBits int
+
+	// Rooms is l, the number of edge slots per bucket (§V-B2).
+	// Defaults to 2.
+	Rooms int
+
+	// SeqLen is r, the length of the square-hashing address sequence
+	// (§V-A). Defaults to 16. Ignored (forced to 1) when
+	// DisableSquareHash is set.
+	SeqLen int
+
+	// Candidates is k, the number of sampled candidate buckets among the
+	// r*r mapped buckets (§V-B1). Defaults to min(16, r*r). Ignored when
+	// DisableSampling is set (all r*r buckets are probed).
+	Candidates int
+
+	// DisableSquareHash reverts to the basic version's single mapped
+	// bucket per edge (§IV).
+	DisableSquareHash bool
+
+	// DisableSampling probes all r*r mapped buckets instead of a k-sized
+	// sample (the "GSS(no sampling)" row of Table I).
+	DisableSampling bool
+
+	// DisableNodeIndex drops the H(v) -> original-ID hash table. Edge
+	// queries still work; successor/precursor queries then return
+	// synthetic identifiers for the recovered hash values.
+	DisableNodeIndex bool
+}
+
+// normalized validates cfg and fills defaults.
+func (cfg Config) normalized() (Config, error) {
+	if cfg.Width <= 0 {
+		return cfg, errors.New("gss: Config.Width must be positive")
+	}
+	if cfg.FingerprintBits == 0 {
+		cfg.FingerprintBits = DefaultFingerprintBits
+	}
+	if cfg.FingerprintBits < 1 || cfg.FingerprintBits > maxFingerprintBits {
+		return cfg, fmt.Errorf("gss: FingerprintBits must be in [1,%d], got %d", maxFingerprintBits, cfg.FingerprintBits)
+	}
+	if cfg.Rooms == 0 {
+		cfg.Rooms = DefaultRooms
+	}
+	if cfg.Rooms < 1 || cfg.Rooms > maxRooms {
+		return cfg, fmt.Errorf("gss: Rooms must be in [1,%d], got %d", maxRooms, cfg.Rooms)
+	}
+	if cfg.DisableSquareHash {
+		cfg.SeqLen = 1
+		cfg.Candidates = 1
+		cfg.DisableSampling = true
+	}
+	if cfg.SeqLen == 0 {
+		cfg.SeqLen = DefaultSeqLen
+	}
+	if cfg.SeqLen < 1 || cfg.SeqLen > maxSeqLen {
+		return cfg, fmt.Errorf("gss: SeqLen must be in [1,%d], got %d", maxSeqLen, cfg.SeqLen)
+	}
+	if cfg.DisableSampling {
+		cfg.Candidates = cfg.SeqLen * cfg.SeqLen
+	}
+	if cfg.Candidates == 0 {
+		cfg.Candidates = DefaultCandidates
+		if max := cfg.SeqLen * cfg.SeqLen; cfg.Candidates > max {
+			cfg.Candidates = max
+		}
+	}
+	if cfg.Candidates < 1 || cfg.Candidates > cfg.SeqLen*cfg.SeqLen {
+		return cfg, fmt.Errorf("gss: Candidates must be in [1,%d], got %d", cfg.SeqLen*cfg.SeqLen, cfg.Candidates)
+	}
+	return cfg, nil
+}

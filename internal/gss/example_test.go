@@ -1,0 +1,58 @@
+package gss_test
+
+import (
+	"fmt"
+
+	"repro/internal/gss"
+	"repro/internal/stream"
+)
+
+// Example builds a sketch over a tiny stream and runs the three query
+// primitives of Definition 4.
+func Example() {
+	g := gss.MustNew(gss.Config{Width: 16, FingerprintBits: 16, Rooms: 2, SeqLen: 4, Candidates: 4})
+	g.Insert(stream.Item{Src: "a", Dst: "b", Weight: 1})
+	g.Insert(stream.Item{Src: "a", Dst: "c", Weight: 2})
+	g.Insert(stream.Item{Src: "a", Dst: "c", Weight: 3}) // weights sum
+
+	w, ok := g.EdgeWeight("a", "c")
+	fmt.Println("edge (a,c):", w, ok)
+	fmt.Println("successors(a):", g.Successors("a"))
+	fmt.Println("precursors(c):", g.Precursors("c"))
+	// Output:
+	// edge (a,c): 5 true
+	// successors(a): [b c]
+	// precursors(c): [a]
+}
+
+// ExampleGSS_HeavyEdges finds the heaviest flows by decoding the matrix
+// directly — no candidate list needed, thanks to reversible square
+// hashing.
+func ExampleGSS_HeavyEdges() {
+	g := gss.MustNew(gss.Config{Width: 16})
+	g.InsertEdge("alice", "bob", 100)
+	g.InsertEdge("carol", "dave", 7)
+	for _, he := range g.HeavyEdges(50) {
+		fmt.Println(he.Srcs, "->", he.Dsts, he.Weight)
+	}
+	// Output:
+	// [alice] -> [bob] 100
+}
+
+// ExampleGSS_Merge aggregates two worker sketches into one, as a
+// distributed ingestion tier would.
+func ExampleGSS_Merge() {
+	cfg := gss.Config{Width: 16}
+	worker1 := gss.MustNew(cfg)
+	worker2 := gss.MustNew(cfg)
+	worker1.InsertEdge("x", "y", 3)
+	worker2.InsertEdge("x", "y", 4)
+	if err := worker1.Merge(worker2); err != nil {
+		fmt.Println("merge failed:", err)
+		return
+	}
+	w, _ := worker1.EdgeWeight("x", "y")
+	fmt.Println("merged weight:", w)
+	// Output:
+	// merged weight: 7
+}

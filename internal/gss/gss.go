@@ -1,0 +1,156 @@
+package gss
+
+import (
+	"repro/internal/hashing"
+	"repro/internal/stream"
+)
+
+// GSS is a Graph Stream Sketch (Definition 5). It is not safe for
+// concurrent use; wrap it in a mutex or shard streams by hash if
+// parallel ingestion is needed.
+type GSS struct {
+	cfg Config
+	nh  hashing.NodeHasher
+
+	// Bucket matrix, struct-of-arrays per the bucket-separation layout
+	// of §V-B2 (Fig. 7): index area, fingerprint area, weight area. Room
+	// p of bucket (row, col) lives at slot (row*m+col)*l + p.
+	idx     []uint8  // packed index pair: is<<4 | id
+	fps     []uint32 // packed fingerprint pair: f(s)<<16 | f(d)
+	weights []int64
+	occ     []uint64 // occupancy bitset over room slots
+
+	buf     *buffer
+	reg     *registry
+	entries int   // occupied rooms in the matrix (distinct sketch edges there)
+	items   int64 // stream items ingested
+
+	// Scratch buffers so Insert does zero allocations in steady state.
+	rowSeq, colSeq, sample []uint32
+}
+
+// New builds an empty GSS for cfg.
+func New(cfg Config) (*GSS, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	slots := cfg.Width * cfg.Width * cfg.Rooms
+	g := &GSS{
+		cfg:     cfg,
+		nh:      hashing.NewNodeHasher(cfg.Width, cfg.FingerprintBits),
+		idx:     make([]uint8, slots),
+		fps:     make([]uint32, slots),
+		weights: make([]int64, slots),
+		occ:     make([]uint64, (slots+63)/64),
+		buf:     newBuffer(),
+		rowSeq:  make([]uint32, cfg.SeqLen),
+		colSeq:  make([]uint32, cfg.SeqLen),
+		sample:  make([]uint32, cfg.Candidates),
+	}
+	if !cfg.DisableNodeIndex {
+		g.reg = newRegistry()
+	}
+	return g, nil
+}
+
+// MustNew is New for configurations known valid at compile time; it
+// panics on error.
+func MustNew(cfg Config) *GSS {
+	g, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Config returns the normalized configuration the sketch runs with.
+func (g *GSS) Config() Config { return g.cfg }
+
+func (g *GSS) occupied(slot int) bool { return g.occ[slot>>6]&(1<<(uint(slot)&63)) != 0 }
+func (g *GSS) setOccupied(slot int)   { g.occ[slot>>6] |= 1 << (uint(slot) & 63) }
+
+// Insert ingests one stream item: the edge is mapped into the graph
+// sketch and stored per the augmented edge-updating procedure of §V.
+func (g *GSS) Insert(it stream.Item) {
+	g.InsertEdge(it.Src, it.Dst, it.Weight)
+}
+
+// InsertEdge adds w to edge (src,dst) of the streaming graph.
+func (g *GSS) InsertEdge(src, dst string, w int64) {
+	hs := g.nh.Hash(src)
+	hd := g.nh.Hash(dst)
+	if g.reg != nil {
+		g.reg.add(hs, src)
+		g.reg.add(hd, dst)
+	}
+	g.insertHashed(hs, hd, w)
+}
+
+// insertHashed inserts the sketch-graph edge H(s) -> H(d).
+func (g *GSS) insertHashed(hvS, hvD uint64, w int64) {
+	g.items++
+	addrS, fpS := g.nh.Split(hvS)
+	addrD, fpD := g.nh.Split(hvD)
+	m := g.cfg.Width
+	rows := hashing.AddressSequence(addrS, fpS, m, g.rowSeq)
+	cols := hashing.AddressSequence(addrD, fpD, m, g.colSeq)
+	fpPair := fpS<<16 | fpD
+
+	tryBucket := func(i, j int) bool {
+		idxPair := uint8(i)<<4 | uint8(j)
+		base := (int(rows[i])*m + int(cols[j])) * g.cfg.Rooms
+		for p := 0; p < g.cfg.Rooms; p++ {
+			slot := base + p
+			if !g.occupied(slot) {
+				g.setOccupied(slot)
+				g.idx[slot] = idxPair
+				g.fps[slot] = fpPair
+				g.weights[slot] = w
+				g.entries++
+				return true
+			}
+			// Bucket separation: the cheap index-pair comparison gates
+			// the fingerprint comparison (§V-B2).
+			if g.idx[slot] == idxPair && g.fps[slot] == fpPair {
+				g.weights[slot] += w
+				return true
+			}
+		}
+		return false
+	}
+
+	if g.probeCandidates(fpS, fpD, tryBucket) {
+		return
+	}
+	// All candidate buckets occupied by other edges: left-over edge.
+	g.buf.add(hvS, hvD, w)
+}
+
+// probeCandidates invokes visit over the candidate bucket sequence of
+// this edge — either the k sampled pairs of Eq. 5 or all r*r mapped
+// buckets in row-major order — stopping early when visit returns true.
+// The order is a pure function of the fingerprint pair, which keeps
+// repeat insertions of the same edge finding the same slot.
+func (g *GSS) probeCandidates(fpS, fpD uint32, visit func(i, j int) bool) bool {
+	r := g.cfg.SeqLen
+	if g.cfg.DisableSampling || r == 1 {
+		for i := 0; i < r; i++ {
+			for j := 0; j < r; j++ {
+				if visit(i, j) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	seed := fpS + fpD // seed(e) = f(s) + f(d), §V-B1
+	hashing.SampleSequence(seed, g.sample)
+	for _, q := range g.sample {
+		i, j := hashing.CandidatePair(q, r)
+		if visit(i, j) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,351 @@
+package gss
+
+import (
+	"testing"
+
+	"repro/internal/adjlist"
+	"repro/internal/stream"
+)
+
+func smallConfig() Config {
+	return Config{Width: 64, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"missing width", Config{}, false},
+		{"negative width", Config{Width: -5}, false},
+		{"defaults fill", Config{Width: 10}, true},
+		{"fp too long", Config{Width: 10, FingerprintBits: 17}, false},
+		{"too many rooms", Config{Width: 10, Rooms: 100}, false},
+		{"seq too long", Config{Width: 10, SeqLen: 17}, false},
+		{"candidates over r2", Config{Width: 10, SeqLen: 2, Candidates: 5}, false},
+		{"basic version", Config{Width: 10, DisableSquareHash: true}, true},
+	}
+	for _, c := range cases {
+		_, err := New(c.cfg)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: err=%v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestConfigNormalizationDefaults(t *testing.T) {
+	g := MustNew(Config{Width: 10})
+	cfg := g.Config()
+	if cfg.FingerprintBits != 16 || cfg.Rooms != 2 || cfg.SeqLen != 16 || cfg.Candidates != 16 {
+		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+	basic := MustNew(Config{Width: 10, DisableSquareHash: true})
+	if basic.Config().SeqLen != 1 || basic.Config().Candidates != 1 {
+		t.Fatalf("basic version not normalized: %+v", basic.Config())
+	}
+	nosample := MustNew(Config{Width: 10, SeqLen: 4, DisableSampling: true})
+	if nosample.Config().Candidates != 16 {
+		t.Fatalf("no-sampling should probe all r^2: %+v", nosample.Config())
+	}
+}
+
+func TestEdgeQueryBasics(t *testing.T) {
+	g := MustNew(smallConfig())
+	g.InsertEdge("a", "b", 3)
+	g.InsertEdge("a", "b", 2)
+	g.InsertEdge("b", "a", 7)
+	if w, ok := g.EdgeWeight("a", "b"); !ok || w != 5 {
+		t.Fatalf("w(a,b) = %d,%v want 5,true", w, ok)
+	}
+	if w, ok := g.EdgeWeight("b", "a"); !ok || w != 7 {
+		t.Fatalf("w(b,a) = %d,%v want 7,true", w, ok)
+	}
+	if _, ok := g.EdgeWeight("a", "zzz"); ok {
+		t.Fatal("absent edge reported present")
+	}
+}
+
+func TestDeletionViaNegativeWeight(t *testing.T) {
+	g := MustNew(smallConfig())
+	g.Insert(stream.Item{Src: "a", Dst: "b", Weight: 10})
+	g.Insert(stream.Item{Src: "a", Dst: "b", Weight: -4})
+	if w, _ := g.EdgeWeight("a", "b"); w != 6 {
+		t.Fatalf("w = %d after deletion, want 6", w)
+	}
+}
+
+func TestPaperExampleStream(t *testing.T) {
+	// Fig. 1 stream against the Fig. 2-style sketch: every edge weight
+	// must be recovered exactly with a comfortably sized sketch.
+	items := []stream.Item{
+		{Src: "a", Dst: "b", Weight: 1}, {Src: "a", Dst: "c", Weight: 1},
+		{Src: "b", Dst: "d", Weight: 1}, {Src: "a", Dst: "c", Weight: 1},
+		{Src: "a", Dst: "f", Weight: 1}, {Src: "c", Dst: "f", Weight: 1},
+		{Src: "a", Dst: "e", Weight: 1}, {Src: "a", Dst: "c", Weight: 3},
+		{Src: "c", Dst: "f", Weight: 1}, {Src: "d", Dst: "a", Weight: 1},
+		{Src: "d", Dst: "f", Weight: 1}, {Src: "f", Dst: "e", Weight: 3},
+		{Src: "a", Dst: "g", Weight: 1}, {Src: "e", Dst: "b", Weight: 2},
+		{Src: "d", Dst: "a", Weight: 1},
+	}
+	g := MustNew(Config{Width: 16, FingerprintBits: 8, Rooms: 2, SeqLen: 2, Candidates: 4})
+	exact := adjlist.New()
+	for _, it := range items {
+		g.Insert(it)
+		exact.Insert(it.Src, it.Dst, it.Weight)
+	}
+	for _, it := range items {
+		want, _ := exact.EdgeWeight(it.Src, it.Dst)
+		got, ok := g.EdgeWeight(it.Src, it.Dst)
+		if !ok || got != want {
+			t.Fatalf("w(%s,%s) = %d,%v want %d", it.Src, it.Dst, got, ok, want)
+		}
+	}
+	if got := g.Successors("a"); len(got) < 5 {
+		t.Fatalf("Successors(a) = %v, want at least {b,c,e,f,g}", got)
+	}
+}
+
+// TestNoFalseNegatives is the core soundness property: every true edge
+// must be found, every true successor/precursor must be in the reported
+// set. GSS has false positives only (§VII-B).
+func TestNoFalseNegatives(t *testing.T) {
+	items := stream.Generate(stream.EmailEuAll().Scaled(0.004))
+	g := MustNew(Config{Width: 48, FingerprintBits: 12, Rooms: 2, SeqLen: 8, Candidates: 8})
+	exact := adjlist.New()
+	for _, it := range items {
+		g.Insert(it)
+		exact.Insert(it.Src, it.Dst, it.Weight)
+	}
+	for _, it := range items {
+		want, _ := exact.EdgeWeight(it.Src, it.Dst)
+		got, ok := g.EdgeWeight(it.Src, it.Dst)
+		if !ok {
+			t.Fatalf("false negative on edge (%s,%s)", it.Src, it.Dst)
+		}
+		if got < want {
+			t.Fatalf("underestimate on edge (%s,%s): %d < %d", it.Src, it.Dst, got, want)
+		}
+	}
+	nodes := exact.Nodes()
+	if len(nodes) > 300 {
+		nodes = nodes[:300]
+	}
+	for _, v := range nodes {
+		succ := toSet(g.Successors(v))
+		for _, u := range exact.Successors(v) {
+			if !succ[u] {
+				t.Fatalf("successor %s of %s missing", u, v)
+			}
+		}
+		prec := toSet(g.Precursors(v))
+		for _, u := range exact.Precursors(v) {
+			if !prec[u] {
+				t.Fatalf("precursor %s of %s missing", u, v)
+			}
+		}
+	}
+}
+
+// TestHighAccuracyWithLongFingerprints checks the paper's headline
+// claim: with 16-bit fingerprints and m ≈ sqrt(|E|), edge weights are
+// exact and successor sets have no false positives for almost every
+// node.
+func TestHighAccuracyWithLongFingerprints(t *testing.T) {
+	items := stream.Generate(stream.CitHepPh().Scaled(0.01))
+	exact := adjlist.New()
+	for _, it := range items {
+		exact.Insert(it.Src, it.Dst, it.Weight)
+	}
+	g := MustNew(Config{Width: 72, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8})
+	for _, it := range items {
+		g.Insert(it)
+	}
+	wrongWeights := 0
+	for _, it := range items {
+		want, _ := exact.EdgeWeight(it.Src, it.Dst)
+		if got, _ := g.EdgeWeight(it.Src, it.Dst); got != want {
+			wrongWeights++
+		}
+	}
+	if wrongWeights > len(items)/200 { // > 0.5% is far off the paper's ARE
+		t.Fatalf("%d/%d edge weights wrong", wrongWeights, len(items))
+	}
+	falsePos, totalReported := 0, 0
+	for _, v := range exact.Nodes() {
+		got := g.Successors(v)
+		trueSucc := toSet(exact.Successors(v))
+		totalReported += len(got)
+		for _, u := range got {
+			if !trueSucc[u] {
+				falsePos++
+			}
+		}
+	}
+	if totalReported == 0 {
+		t.Fatal("no successors reported at all")
+	}
+	if frac := float64(falsePos) / float64(totalReported); frac > 0.02 {
+		t.Fatalf("successor false-positive rate %.3f too high", frac)
+	}
+}
+
+func TestSuccessorsPrecursorsSymmetry(t *testing.T) {
+	items := stream.Generate(stream.LkmlReply().Scaled(0.002))
+	g := MustNew(smallConfig())
+	for _, it := range items {
+		g.Insert(it)
+	}
+	// If u is reported as a successor of v, then v must be reported as a
+	// precursor of u: both decode the same stored rooms.
+	nodes := g.Nodes()
+	if len(nodes) > 120 {
+		nodes = nodes[:120]
+	}
+	for _, v := range nodes {
+		for _, u := range g.Successors(v) {
+			prec := toSet(g.Precursors(u))
+			if !prec[v] {
+				t.Fatalf("asymmetry: %s in Succ(%s) but %s not in Prec(%s)", u, v, v, u)
+			}
+		}
+	}
+}
+
+func TestBufferOverflowPath(t *testing.T) {
+	// A deliberately tiny matrix forces left-over edges into the buffer;
+	// queries must remain exact for the sketch graph (Theorem 1 says the
+	// storage itself never loses or mixes sketch edges).
+	g := MustNew(Config{Width: 2, FingerprintBits: 16, Rooms: 1, SeqLen: 1, Candidates: 1, DisableSampling: true})
+	exact := adjlist.New()
+	items := stream.Generate(stream.EmailEuAll().Scaled(0.001))
+	for _, it := range items {
+		g.Insert(it)
+		exact.Insert(it.Src, it.Dst, it.Weight)
+	}
+	if g.BufferSize() == 0 {
+		t.Fatal("expected left-over edges with a 2x2 matrix")
+	}
+	missing := 0
+	for _, it := range items {
+		if _, ok := g.EdgeWeight(it.Src, it.Dst); !ok {
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Fatalf("%d edges lost despite buffer", missing)
+	}
+	// Successor queries must surface buffered edges too.
+	v := items[0].Src
+	succ := toSet(g.Successors(v))
+	for _, u := range exact.Successors(v) {
+		if !succ[u] {
+			t.Fatalf("buffered successor %s of %s missing", u, v)
+		}
+	}
+}
+
+func TestSquareHashReducesBuffer(t *testing.T) {
+	// The §V-A claim behind Fig. 13: square hashing shrinks the buffer
+	// dramatically at equal memory.
+	items := stream.Generate(stream.WebNotreDame().Scaled(0.002))
+	with := MustNew(Config{Width: 56, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8})
+	without := MustNew(Config{Width: 56, FingerprintBits: 16, Rooms: 2, DisableSquareHash: true})
+	for _, it := range items {
+		with.Insert(it)
+		without.Insert(it)
+	}
+	if w, wo := with.BufferPercentage(), without.BufferPercentage(); w >= wo {
+		t.Fatalf("square hashing did not help: with=%.4f without=%.4f", w, wo)
+	}
+}
+
+func TestRoomsReduceBuffer(t *testing.T) {
+	items := stream.Generate(stream.WebNotreDame().Scaled(0.002))
+	// Same memory: l=1 at width w*sqrt(2) vs l=2 at width w (§VII-G).
+	one := MustNew(Config{Width: 79, FingerprintBits: 16, Rooms: 1, SeqLen: 8, Candidates: 8})
+	two := MustNew(Config{Width: 56, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8})
+	for _, it := range items {
+		one.Insert(it)
+		two.Insert(it)
+	}
+	if two.BufferPercentage() > one.BufferPercentage() {
+		t.Fatalf("2 rooms worse than 1: %.4f vs %.4f", two.BufferPercentage(), one.BufferPercentage())
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := MustNew(smallConfig())
+	g.InsertEdge("a", "b", 1)
+	g.InsertEdge("c", "d", 2)
+	s := g.Stats()
+	if s.Items != 2 || s.MatrixEdges != 2 || s.BufferEdges != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.IndexedNodes != 4 {
+		t.Fatalf("IndexedNodes = %d, want 4", s.IndexedNodes)
+	}
+	if s.Occupancy <= 0 || s.Occupancy > 1 {
+		t.Fatalf("occupancy = %f", s.Occupancy)
+	}
+	if s.MatrixBytes != g.MemoryBytes() || s.MatrixBytes <= 0 {
+		t.Fatalf("memory accounting broken: %d", s.MatrixBytes)
+	}
+}
+
+func TestNodesRegistry(t *testing.T) {
+	g := MustNew(smallConfig())
+	g.InsertEdge("x", "y", 1)
+	g.InsertEdge("y", "z", 1)
+	nodes := g.Nodes()
+	if len(nodes) != 3 {
+		t.Fatalf("Nodes = %v", nodes)
+	}
+	noIdx := MustNew(Config{Width: 8, DisableNodeIndex: true})
+	noIdx.InsertEdge("x", "y", 1)
+	if noIdx.Nodes() != nil {
+		t.Fatal("disabled index must return nil nodes")
+	}
+	if succ := noIdx.Successors("x"); len(succ) != 1 || succ[0][0] != '#' {
+		t.Fatalf("expected synthetic successor IDs, got %v", succ)
+	}
+}
+
+func TestHeavyEdges(t *testing.T) {
+	g := MustNew(smallConfig())
+	g.InsertEdge("a", "b", 100)
+	g.InsertEdge("a", "c", 5)
+	g.InsertEdge("d", "e", 40)
+	heavy := g.HeavyEdges(40)
+	if len(heavy) != 2 {
+		t.Fatalf("HeavyEdges(40) returned %d edges", len(heavy))
+	}
+	if heavy[0].Weight != 100 || heavy[1].Weight != 40 {
+		t.Fatalf("heavy edges unsorted: %+v", heavy)
+	}
+	if len(heavy[0].Srcs) != 1 || heavy[0].Srcs[0] != "a" {
+		t.Fatalf("heavy edge did not decode to original ID: %+v", heavy[0])
+	}
+}
+
+func TestHeavyEdgesIncludesBuffered(t *testing.T) {
+	g := MustNew(Config{Width: 2, Rooms: 1, DisableSquareHash: true})
+	for i := 0; i < 64; i++ {
+		g.InsertEdge(stream.NodeID(i), stream.NodeID(i+1000), 99)
+	}
+	if g.BufferSize() == 0 {
+		t.Skip("no buffered edges in this layout")
+	}
+	heavy := g.HeavyEdges(99)
+	if len(heavy) != 64 {
+		t.Fatalf("HeavyEdges missed buffered edges: got %d, want 64", len(heavy))
+	}
+}
+
+func toSet(xs []string) map[string]bool {
+	m := make(map[string]bool, len(xs))
+	for _, x := range xs {
+		m[x] = true
+	}
+	return m
+}

@@ -1,0 +1,48 @@
+package gss
+
+import "errors"
+
+// ErrConfigMismatch is returned when merging sketches with different
+// configurations.
+var ErrConfigMismatch = errors.New("gss: cannot merge sketches with different configurations")
+
+// Merge folds other into g. Both sketches must share a configuration,
+// so their node-hash decomposition and square-hashing sequences agree.
+// Merging enables the distributed deployment pattern the paper's §I
+// references anticipate: workers summarize disjoint sub-streams locally
+// and a coordinator merges the sketches, with the same result as one
+// sketch over the whole stream (weights add; placements may differ but
+// queries are placement-independent).
+//
+// The merge relies on square hashing being reversible: every occupied
+// room in other decodes back to its sketch-edge endpoints, which are
+// then re-inserted into g through the normal path.
+func (g *GSS) Merge(other *GSS) error {
+	if g.cfg != other.cfg {
+		return ErrConfigMismatch
+	}
+	m, l := other.cfg.Width, other.cfg.Rooms
+	for slot := 0; slot < len(other.weights); slot++ {
+		if !other.occupied(slot) {
+			continue
+		}
+		bucket := slot / l
+		row, col := uint32(bucket/m), uint32(bucket%m)
+		hs, hd := other.decodeSlot(slot, row, col)
+		g.insertHashed(hs, hd, other.weights[slot])
+		g.items-- // insertHashed counts an item; merge moves edges, not items
+	}
+	for k, w := range other.buf.weights {
+		g.insertHashed(k.s, k.d, w)
+		g.items--
+	}
+	g.items += other.items
+	if g.reg != nil && other.reg != nil {
+		for hv, ids := range other.reg.ids {
+			for _, id := range ids {
+				g.reg.add(hv, id)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package gss
+
+import (
+	"testing"
+
+	"repro/internal/adjlist"
+	"repro/internal/stream"
+)
+
+func TestMergeConfigMismatch(t *testing.T) {
+	a := MustNew(Config{Width: 16})
+	b := MustNew(Config{Width: 32})
+	if err := a.Merge(b); err != ErrConfigMismatch {
+		t.Fatalf("err = %v, want ErrConfigMismatch", err)
+	}
+}
+
+func TestMergeEquivalentToSingleSketch(t *testing.T) {
+	items := stream.Generate(stream.EmailEuAll().Scaled(0.003))
+	cfg := Config{Width: 56, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8}
+
+	// Split the stream across two workers, then merge.
+	w1, w2 := MustNew(cfg), MustNew(cfg)
+	whole := MustNew(cfg)
+	exact := adjlist.New()
+	for i, it := range items {
+		if i%2 == 0 {
+			w1.Insert(it)
+		} else {
+			w2.Insert(it)
+		}
+		whole.Insert(it)
+		exact.Insert(it.Src, it.Dst, it.Weight)
+	}
+	if err := w1.Merge(w2); err != nil {
+		t.Fatal(err)
+	}
+	if w1.Stats().Items != int64(len(items)) {
+		t.Fatalf("merged item count %d, want %d", w1.Stats().Items, len(items))
+	}
+	// Merged queries match the single-sketch queries on every edge.
+	for _, it := range items {
+		mw, mok := w1.EdgeWeight(it.Src, it.Dst)
+		sw, sok := whole.EdgeWeight(it.Src, it.Dst)
+		if mok != sok || mw != sw {
+			t.Fatalf("edge (%s,%s): merged %d,%v single %d,%v", it.Src, it.Dst, mw, mok, sw, sok)
+		}
+		truth, _ := exact.EdgeWeight(it.Src, it.Dst)
+		if mw < truth {
+			t.Fatalf("merged underestimates (%s,%s): %d < %d", it.Src, it.Dst, mw, truth)
+		}
+	}
+	// Set queries survive the merge (registries union).
+	nodes := exact.Nodes()
+	if len(nodes) > 80 {
+		nodes = nodes[:80]
+	}
+	for _, v := range nodes {
+		got := map[string]bool{}
+		for _, u := range w1.Successors(v) {
+			got[u] = true
+		}
+		for _, u := range exact.Successors(v) {
+			if !got[u] {
+				t.Fatalf("merged sketch lost successor %s of %s", u, v)
+			}
+		}
+	}
+}
+
+func TestMergeWithBufferedEdges(t *testing.T) {
+	// Tiny matrices force both sides into their buffers; merging must
+	// not lose anything.
+	cfg := Config{Width: 3, FingerprintBits: 10, Rooms: 1, SeqLen: 2, Candidates: 2}
+	a, b := MustNew(cfg), MustNew(cfg)
+	for i := 0; i < 60; i++ {
+		a.InsertEdge(stream.NodeID(i), stream.NodeID(i+100), 1)
+		b.InsertEdge(stream.NodeID(i+200), stream.NodeID(i+300), 2)
+	}
+	if a.BufferSize() == 0 || b.BufferSize() == 0 {
+		t.Fatal("test needs buffered edges on both sides")
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		if w, ok := a.EdgeWeight(stream.NodeID(i), stream.NodeID(i+100)); !ok || w != 1 {
+			t.Fatalf("own edge %d lost: %d,%v", i, w, ok)
+		}
+		if w, ok := a.EdgeWeight(stream.NodeID(i+200), stream.NodeID(i+300)); !ok || w != 2 {
+			t.Fatalf("merged edge %d lost: %d,%v", i, w, ok)
+		}
+	}
+}
+
+func TestMergeOverlappingEdgesSumWeights(t *testing.T) {
+	cfg := Config{Width: 16, FingerprintBits: 16, Rooms: 2, SeqLen: 4, Candidates: 4}
+	a, b := MustNew(cfg), MustNew(cfg)
+	a.InsertEdge("x", "y", 3)
+	b.InsertEdge("x", "y", 4)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := a.EdgeWeight("x", "y"); w != 7 {
+		t.Fatalf("overlapping edge weight = %d, want 7", w)
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	cfg := Config{Width: 16}
+	a, b := MustNew(cfg), MustNew(cfg)
+	a.InsertEdge("p", "q", 5)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := a.EdgeWeight("p", "q"); w != 5 {
+		t.Fatalf("merge with empty changed weight: %d", w)
+	}
+	if err := b.Merge(a); err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := b.EdgeWeight("p", "q"); w != 5 {
+		t.Fatalf("empty.Merge(a) lost edge: %d", w)
+	}
+}

@@ -1,0 +1,194 @@
+package gss
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/adjlist"
+	"repro/internal/stream"
+)
+
+// TestTheorem1NoCrossTalk verifies Theorem 1: the storage of the graph
+// sketch inside GSS is exact — two sketch-graph edges have their weights
+// merged iff they are the same sketch edge. We drive random streams and
+// compare every sketch-edge weight against an exact recomputation on the
+// hashed node space.
+func TestTheorem1NoCrossTalk(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := MustNew(Config{Width: 8, FingerprintBits: 6, Rooms: 2, SeqLen: 4, Candidates: 4})
+		// Exact weights per sketch edge (pair of hash values).
+		want := map[[2]uint64]int64{}
+		for i := 0; i < 400; i++ {
+			src := stream.NodeID(rng.Intn(60))
+			dst := stream.NodeID(rng.Intn(60))
+			w := int64(rng.Intn(9) + 1)
+			g.InsertEdge(src, dst, w)
+			k := [2]uint64{g.nh.Hash(src), g.nh.Hash(dst)}
+			want[k] += w
+		}
+		for k, w := range want {
+			got, ok := g.edgeWeightHashed(k[0], k[1])
+			if !ok || got != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSketchSuccessorsMatchHashedGraph verifies that the successor sets
+// computed from the matrix+buffer equal the successor sets of the exact
+// hashed graph Gh — i.e. the data structure introduces no error beyond
+// the G -> Gh node mapping (the premise of the §VI-B analysis).
+func TestSketchSuccessorsMatchHashedGraph(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := MustNew(Config{Width: 8, FingerprintBits: 6, Rooms: 1, SeqLen: 4, Candidates: 4})
+		succ := map[uint64]map[uint64]bool{}
+		prec := map[uint64]map[uint64]bool{}
+		nodes := map[uint64]bool{}
+		for i := 0; i < 300; i++ {
+			src := stream.NodeID(rng.Intn(50))
+			dst := stream.NodeID(rng.Intn(50))
+			g.InsertEdge(src, dst, 1)
+			hs, hd := g.nh.Hash(src), g.nh.Hash(dst)
+			addSet(succ, hs, hd)
+			addSet(prec, hd, hs)
+			nodes[hs] = true
+			nodes[hd] = true
+		}
+		for hv := range nodes {
+			if !sameSet(g.SuccessorHashes(hv), succ[hv]) {
+				return false
+			}
+			if !sameSet(g.PrecursorHashes(hv), prec[hv]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func addSet(m map[uint64]map[uint64]bool, k, v uint64) {
+	s, ok := m[k]
+	if !ok {
+		s = map[uint64]bool{}
+		m[k] = s
+	}
+	s[v] = true
+}
+
+func sameSet(got []uint64, want map[uint64]bool) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for _, h := range got {
+		if !want[h] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestOverEstimateOnly: with purely positive weights the estimate is
+// always >= the truth and equality holds unless the edge collides.
+func TestOverEstimateOnly(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := MustNew(Config{Width: 16, FingerprintBits: 8, Rooms: 2, SeqLen: 4, Candidates: 4})
+		exact := adjlist.New()
+		for i := 0; i < 500; i++ {
+			src := stream.NodeID(rng.Intn(80))
+			dst := stream.NodeID(rng.Intn(80))
+			w := int64(rng.Intn(20) + 1)
+			g.InsertEdge(src, dst, w)
+			exact.Insert(src, dst, w)
+		}
+		for _, v := range exact.Nodes() {
+			for _, u := range exact.Successors(v) {
+				want, _ := exact.EdgeWeight(v, u)
+				got, ok := g.EdgeWeight(v, u)
+				if !ok || got < want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBufferAccounting: matrix entries plus buffered edges always equals
+// the number of distinct sketch edges inserted.
+func TestBufferAccounting(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := MustNew(Config{Width: 4, FingerprintBits: 8, Rooms: 1, SeqLen: 2, Candidates: 2})
+		distinct := map[[2]uint64]bool{}
+		for i := 0; i < 300; i++ {
+			src := stream.NodeID(rng.Intn(64))
+			dst := stream.NodeID(rng.Intn(64))
+			g.InsertEdge(src, dst, 1)
+			distinct[[2]uint64{g.nh.Hash(src), g.nh.Hash(dst)}] = true
+		}
+		s := g.Stats()
+		return s.MatrixEdges+s.BufferEdges == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInsertionOrderInvariance: the final weights do not depend on the
+// order items arrive in (addition commutes and slot assignment is
+// stable under permutation only for weights, not placement — so we
+// compare query results, not internal layout).
+func TestInsertionOrderInvariance(t *testing.T) {
+	items := stream.Generate(stream.CitHepPh().Scaled(0.001))
+	build := func(perm []stream.Item) *GSS {
+		g := MustNew(Config{Width: 32, FingerprintBits: 12, Rooms: 2, SeqLen: 4, Candidates: 4})
+		for _, it := range perm {
+			g.Insert(it)
+		}
+		return g
+	}
+	g1 := build(items)
+	rev := make([]stream.Item, len(items))
+	for i, it := range items {
+		rev[len(items)-1-i] = it
+	}
+	g2 := build(rev)
+	for _, it := range items {
+		w1, ok1 := g1.EdgeWeight(it.Src, it.Dst)
+		w2, ok2 := g2.EdgeWeight(it.Src, it.Dst)
+		if ok1 != ok2 || w1 != w2 {
+			t.Fatalf("order dependence on (%s,%s): %d,%v vs %d,%v", it.Src, it.Dst, w1, ok1, w2, ok2)
+		}
+	}
+}
+
+// TestDeleteToZeroStillFound: deleting an edge's full weight leaves a
+// zero-weight entry (sketches cannot reclaim slots) but must not break
+// other edges.
+func TestDeleteToZeroStillFound(t *testing.T) {
+	g := MustNew(smallConfig())
+	g.InsertEdge("a", "b", 5)
+	g.InsertEdge("c", "d", 9)
+	g.InsertEdge("a", "b", -5)
+	if w, ok := g.EdgeWeight("a", "b"); !ok || w != 0 {
+		t.Fatalf("deleted edge: %d,%v want 0,true", w, ok)
+	}
+	if w, _ := g.EdgeWeight("c", "d"); w != 9 {
+		t.Fatalf("unrelated edge disturbed: %d", w)
+	}
+}

@@ -1,0 +1,178 @@
+package gss
+
+import (
+	"sort"
+	"strconv"
+
+	"repro/internal/hashing"
+)
+
+// EdgeWeight implements the edge query primitive: it returns the summed
+// weight of edge (src,dst) and whether the edge was found. Weights are
+// exact for the sketch-graph edge (Theorem 1); over-estimation happens
+// only when distinct original edges collide in the node map.
+func (g *GSS) EdgeWeight(src, dst string) (int64, bool) {
+	return g.edgeWeightHashed(g.nh.Hash(src), g.nh.Hash(dst))
+}
+
+func (g *GSS) edgeWeightHashed(hvS, hvD uint64) (int64, bool) {
+	addrS, fpS := g.nh.Split(hvS)
+	addrD, fpD := g.nh.Split(hvD)
+	m := g.cfg.Width
+	rows := hashing.AddressSequence(addrS, fpS, m, g.rowSeq)
+	cols := hashing.AddressSequence(addrD, fpD, m, g.colSeq)
+	fpPair := fpS<<16 | fpD
+
+	var (
+		found   int64
+		matched bool
+	)
+	g.probeCandidates(fpS, fpD, func(i, j int) bool {
+		idxPair := uint8(i)<<4 | uint8(j)
+		base := (int(rows[i])*m + int(cols[j])) * g.cfg.Rooms
+		for p := 0; p < g.cfg.Rooms; p++ {
+			slot := base + p
+			if !g.occupied(slot) {
+				// Rooms fill in probe order and are never freed, so an
+				// empty room here proves the edge was never stored in
+				// the matrix: stop probing and fall back to the buffer.
+				return true
+			}
+			if g.idx[slot] == idxPair && g.fps[slot] == fpPair {
+				found = g.weights[slot]
+				matched = true
+				return true
+			}
+		}
+		return false
+	})
+	if matched {
+		return found, true
+	}
+	return g.buf.get(hvS, hvD)
+}
+
+// Successors implements the 1-hop successor query primitive: all
+// original node identifiers 1-hop reachable from v according to the
+// sketch. The result is a superset of the true successors (false
+// positives only), sorted for determinism. Returns nil when none found.
+func (g *GSS) Successors(v string) []string {
+	return g.expand(g.SuccessorHashes(g.nh.Hash(v)))
+}
+
+// Precursors implements the 1-hop precursor query primitive.
+func (g *GSS) Precursors(v string) []string {
+	return g.expand(g.PrecursorHashes(g.nh.Hash(v)))
+}
+
+// SuccessorHashes returns the sketch-graph successors of hash value hv,
+// scanning the r mapped rows of the matrix plus the buffer (§V).
+func (g *GSS) SuccessorHashes(hv uint64) []uint64 {
+	addr, fp := g.nh.Split(hv)
+	m, l, r := g.cfg.Width, g.cfg.Rooms, g.cfg.SeqLen
+	rows := hashing.AddressSequence(addr, fp, m, g.rowSeq)
+	seen := make(map[uint64]struct{})
+	for i := 0; i < r; i++ {
+		row := rows[i]
+		base := int(row) * m * l
+		for slot := base; slot < base+m*l; slot++ {
+			if !g.occupied(slot) {
+				continue
+			}
+			fpS := g.fps[slot] >> 16
+			if fpS != fp {
+				continue
+			}
+			is := int(g.idx[slot] >> 4)
+			if is >= r || hashing.RecoverAddress(row, fpS, is, m) != addr {
+				continue // same fingerprint, different source node
+			}
+			col := uint32((slot / l) % m)
+			fpD := g.fps[slot] & 0xffff
+			id := int(g.idx[slot] & 0x0f)
+			hd := hashing.RecoverAddress(col, fpD, id, m)
+			seen[g.nh.Combine(hd, fpD)] = struct{}{}
+		}
+	}
+	for _, d := range g.buf.successors(hv) {
+		seen[d] = struct{}{}
+	}
+	return hashSet(seen)
+}
+
+// PrecursorHashes returns the sketch-graph precursors of hash value hv,
+// scanning the r mapped columns plus the buffer.
+func (g *GSS) PrecursorHashes(hv uint64) []uint64 {
+	addr, fp := g.nh.Split(hv)
+	m, l, r := g.cfg.Width, g.cfg.Rooms, g.cfg.SeqLen
+	cols := hashing.AddressSequence(addr, fp, m, g.colSeq)
+	seen := make(map[uint64]struct{})
+	for j := 0; j < r; j++ {
+		col := cols[j]
+		for row := 0; row < m; row++ {
+			base := (row*m + int(col)) * l
+			for p := 0; p < l; p++ {
+				slot := base + p
+				if !g.occupied(slot) {
+					continue
+				}
+				fpD := g.fps[slot] & 0xffff
+				if fpD != fp {
+					continue
+				}
+				id := int(g.idx[slot] & 0x0f)
+				if id >= r || hashing.RecoverAddress(col, fpD, id, m) != addr {
+					continue
+				}
+				fpS := g.fps[slot] >> 16
+				is := int(g.idx[slot] >> 4)
+				hs := hashing.RecoverAddress(uint32(row), fpS, is, m)
+				seen[g.nh.Combine(hs, fpS)] = struct{}{}
+			}
+		}
+	}
+	for _, s := range g.buf.precursors(hv) {
+		seen[s] = struct{}{}
+	}
+	return hashSet(seen)
+}
+
+func hashSet(m map[uint64]struct{}) []uint64 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]uint64, 0, len(m))
+	for h := range m {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// expand converts recovered hash values to original node identifiers via
+// the node-index hash table. Without the index, synthetic identifiers of
+// the form "#<hash>" are returned.
+func (g *GSS) expand(hvs []uint64) []string {
+	if len(hvs) == 0 {
+		return nil
+	}
+	var out []string
+	for _, hv := range hvs {
+		if g.reg == nil {
+			out = append(out, "#"+strconv.FormatUint(hv, 10))
+			continue
+		}
+		out = append(out, g.reg.lookup(hv)...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Nodes returns all node identifiers ever inserted, from the node-index
+// hash table. It returns nil when the index is disabled.
+func (g *GSS) Nodes() []string {
+	if g.reg == nil {
+		return nil
+	}
+	return g.reg.nodes()
+}

@@ -1,0 +1,43 @@
+package gss
+
+import "sort"
+
+// registry is the <H(v), v> hash table of §IV that makes the node map
+// reversible: given a recovered hash value, it returns every original
+// identifier that maps there. Several identifiers sharing a hash value
+// is exactly the node-collision event the accuracy analysis (§VI-B)
+// quantifies.
+type registry struct {
+	ids   map[uint64][]string
+	count int
+}
+
+func newRegistry() *registry {
+	return &registry{ids: make(map[uint64][]string)}
+}
+
+// add registers id under hash value hv if not already present. The list
+// per hash value is tiny in any sane configuration (collisions are rare
+// by design), so the linear containment scan is cheap.
+func (r *registry) add(hv uint64, id string) {
+	for _, existing := range r.ids[hv] {
+		if existing == id {
+			return
+		}
+	}
+	r.ids[hv] = append(r.ids[hv], id)
+	r.count++
+}
+
+// lookup returns the original identifiers registered under hv.
+func (r *registry) lookup(hv uint64) []string { return r.ids[hv] }
+
+// nodes returns every registered identifier, sorted.
+func (r *registry) nodes() []string {
+	out := make([]string, 0, r.count)
+	for _, list := range r.ids {
+		out = append(out, list...)
+	}
+	sort.Strings(out)
+	return out
+}

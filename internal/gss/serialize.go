@@ -1,0 +1,194 @@
+package gss
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary sketch snapshot format (versioned, little-endian):
+//
+//	magic    "GSSK"            4 bytes
+//	version  uint16            currently 1
+//	config   8 x int32         width, fpBits, rooms, seqLen, candidates,
+//	                           flags(squarehash off, sampling off, index off)
+//	state    items int64, entries int32
+//	matrix   idx bytes, fps uint32s, weights int64s, occ uint64s
+//	buffer   count uint32, then (src,dst,weight) per edge
+//	registry count uint32, then (hash, id string) per node (if enabled)
+//
+// Snapshots make GSS restartable: a stream processor can checkpoint the
+// sketch and resume after failure without replaying the stream.
+
+var sketchMagic = [4]byte{'G', 'S', 'S', 'K'}
+
+const snapshotVersion = 1
+
+// ErrBadSnapshot reports a malformed or incompatible snapshot.
+var ErrBadSnapshot = errors.New("gss: bad sketch snapshot")
+
+// WriteTo serializes the sketch. It implements io.WriterTo.
+func (g *GSS) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	write := func(v interface{}) {
+		if cw.err == nil {
+			cw.err = binary.Write(cw, binary.LittleEndian, v)
+		}
+	}
+	cw.Write(sketchMagic[:])
+	write(uint16(snapshotVersion))
+	var flags int32
+	if g.cfg.DisableSquareHash {
+		flags |= 1
+	}
+	if g.cfg.DisableSampling {
+		flags |= 2
+	}
+	if g.cfg.DisableNodeIndex {
+		flags |= 4
+	}
+	for _, v := range []int32{int32(g.cfg.Width), int32(g.cfg.FingerprintBits),
+		int32(g.cfg.Rooms), int32(g.cfg.SeqLen), int32(g.cfg.Candidates), flags} {
+		write(v)
+	}
+	write(g.items)
+	write(int32(g.entries))
+	cw.Write(g.idx)
+	write(g.fps)
+	write(g.weights)
+	write(g.occ)
+
+	write(uint32(len(g.buf.weights)))
+	for k, wgt := range g.buf.weights {
+		write(k.s)
+		write(k.d)
+		write(wgt)
+	}
+	if g.reg == nil {
+		write(uint32(0))
+	} else {
+		write(uint32(g.reg.count))
+		for hv, ids := range g.reg.ids {
+			for _, id := range ids {
+				write(hv)
+				write(uint32(len(id)))
+				cw.Write([]byte(id))
+			}
+		}
+	}
+	if cw.err == nil {
+		cw.err = cw.w.(*bufio.Writer).Flush()
+	}
+	return cw.n, cw.err
+}
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	if cw.err != nil {
+		return 0, cw.err
+	}
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	cw.err = err
+	return n, err
+}
+
+// ReadSketch deserializes a sketch snapshot written by WriteTo.
+func ReadSketch(r io.Reader) (*GSS, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if magic != sketchMagic {
+		return nil, fmt.Errorf("%w: wrong magic", ErrBadSnapshot)
+	}
+	read := func(v interface{}) error { return binary.Read(br, binary.LittleEndian, v) }
+	var version uint16
+	if err := read(&version); err != nil || version != snapshotVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, version)
+	}
+	var raw [6]int32
+	for i := range raw {
+		if err := read(&raw[i]); err != nil {
+			return nil, fmt.Errorf("%w: truncated config", ErrBadSnapshot)
+		}
+	}
+	cfg := Config{
+		Width: int(raw[0]), FingerprintBits: int(raw[1]), Rooms: int(raw[2]),
+		SeqLen: int(raw[3]), Candidates: int(raw[4]),
+		DisableSquareHash: raw[5]&1 != 0,
+		DisableSampling:   raw[5]&2 != 0,
+		DisableNodeIndex:  raw[5]&4 != 0,
+	}
+	g, err := New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	var entries int32
+	if err := read(&g.items); err != nil {
+		return nil, fmt.Errorf("%w: truncated state", ErrBadSnapshot)
+	}
+	if err := read(&entries); err != nil {
+		return nil, fmt.Errorf("%w: truncated state", ErrBadSnapshot)
+	}
+	g.entries = int(entries)
+	if _, err := io.ReadFull(br, g.idx); err != nil {
+		return nil, fmt.Errorf("%w: truncated matrix", ErrBadSnapshot)
+	}
+	for _, v := range []interface{}{g.fps, g.weights, g.occ} {
+		if err := read(v); err != nil {
+			return nil, fmt.Errorf("%w: truncated matrix", ErrBadSnapshot)
+		}
+	}
+	var bufCount uint32
+	if err := read(&bufCount); err != nil {
+		return nil, fmt.Errorf("%w: truncated buffer", ErrBadSnapshot)
+	}
+	for i := uint32(0); i < bufCount; i++ {
+		var s, d uint64
+		var wgt int64
+		if err := read(&s); err != nil {
+			return nil, fmt.Errorf("%w: truncated buffer", ErrBadSnapshot)
+		}
+		if err := read(&d); err != nil {
+			return nil, fmt.Errorf("%w: truncated buffer", ErrBadSnapshot)
+		}
+		if err := read(&wgt); err != nil {
+			return nil, fmt.Errorf("%w: truncated buffer", ErrBadSnapshot)
+		}
+		g.buf.add(s, d, wgt)
+	}
+	var regCount uint32
+	if err := read(&regCount); err != nil {
+		return nil, fmt.Errorf("%w: truncated registry", ErrBadSnapshot)
+	}
+	for i := uint32(0); i < regCount; i++ {
+		var hv uint64
+		var n uint32
+		if err := read(&hv); err != nil {
+			return nil, fmt.Errorf("%w: truncated registry", ErrBadSnapshot)
+		}
+		if err := read(&n); err != nil {
+			return nil, fmt.Errorf("%w: truncated registry", ErrBadSnapshot)
+		}
+		if n > 1<<20 {
+			return nil, fmt.Errorf("%w: unreasonable id length %d", ErrBadSnapshot, n)
+		}
+		id := make([]byte, n)
+		if _, err := io.ReadFull(br, id); err != nil {
+			return nil, fmt.Errorf("%w: truncated registry", ErrBadSnapshot)
+		}
+		if g.reg != nil {
+			g.reg.add(hv, string(id))
+		}
+	}
+	return g, nil
+}

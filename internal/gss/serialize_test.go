@@ -1,0 +1,134 @@
+package gss
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func buildSketchForSnapshot(t *testing.T, cfg Config) (*GSS, []stream.Item) {
+	t.Helper()
+	items := stream.Generate(stream.EmailEuAll().Scaled(0.002))
+	g := MustNew(cfg)
+	for _, it := range items {
+		g.Insert(it)
+	}
+	return g, items
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	g, items := buildSketchForSnapshot(t, Config{Width: 32, FingerprintBits: 12, Rooms: 2, SeqLen: 4, Candidates: 4})
+	var buf bytes.Buffer
+	n, err := g.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	g2, err := ReadSketch(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Config() != g.Config() {
+		t.Fatalf("config mismatch: %+v vs %+v", g2.Config(), g.Config())
+	}
+	if g2.Stats() != g.Stats() {
+		t.Fatalf("stats mismatch: %+v vs %+v", g2.Stats(), g.Stats())
+	}
+	for _, it := range items {
+		w1, ok1 := g.EdgeWeight(it.Src, it.Dst)
+		w2, ok2 := g2.EdgeWeight(it.Src, it.Dst)
+		if w1 != w2 || ok1 != ok2 {
+			t.Fatalf("edge (%s,%s): %d,%v vs %d,%v", it.Src, it.Dst, w1, ok1, w2, ok2)
+		}
+	}
+	// Set queries must survive too (registry round-trips).
+	v := items[0].Src
+	s1, s2 := g.Successors(v), g2.Successors(v)
+	if len(s1) != len(s2) {
+		t.Fatalf("successors differ after restore: %v vs %v", s1, s2)
+	}
+	// The restored sketch must accept further inserts.
+	g2.InsertEdge("post-restore", "node", 7)
+	if w, ok := g2.EdgeWeight("post-restore", "node"); !ok || w != 7 {
+		t.Fatalf("restored sketch broken for new inserts: %d,%v", w, ok)
+	}
+}
+
+func TestSnapshotRoundTripWithBufferedEdges(t *testing.T) {
+	g, items := buildSketchForSnapshot(t, Config{Width: 4, FingerprintBits: 8, Rooms: 1, SeqLen: 2, Candidates: 2})
+	if g.BufferSize() == 0 {
+		t.Fatal("test needs buffered edges; shrink the matrix")
+	}
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadSketch(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.BufferSize() != g.BufferSize() {
+		t.Fatalf("buffer size %d vs %d", g2.BufferSize(), g.BufferSize())
+	}
+	for _, it := range items[:200] {
+		w1, _ := g.EdgeWeight(it.Src, it.Dst)
+		w2, _ := g2.EdgeWeight(it.Src, it.Dst)
+		if w1 != w2 {
+			t.Fatalf("buffered edge weight mismatch on (%s,%s)", it.Src, it.Dst)
+		}
+	}
+}
+
+func TestSnapshotNoIndex(t *testing.T) {
+	g := MustNew(Config{Width: 16, DisableNodeIndex: true})
+	g.InsertEdge("a", "b", 3)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadSketch(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Nodes() != nil {
+		t.Fatal("restored no-index sketch grew an index")
+	}
+	if w, ok := g2.EdgeWeight("a", "b"); !ok || w != 3 {
+		t.Fatalf("edge lost: %d,%v", w, ok)
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ReadSketch(bytes.NewReader([]byte("not a sketch"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Truncations at every prefix must error, not panic.
+	g := MustNew(Config{Width: 8})
+	g.InsertEdge("a", "b", 1)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{0, 3, 4, 5, 10, 30, len(raw) / 2, len(raw) - 1} {
+		if _, err := ReadSketch(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestSnapshotVersionCheck(t *testing.T) {
+	g := MustNew(Config{Width: 8})
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[4] = 0xFF // corrupt version
+	if _, err := ReadSketch(bytes.NewReader(raw)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}

@@ -1,0 +1,146 @@
+package gss
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/hashing"
+	"repro/internal/stream"
+)
+
+// Sharded partitions a GSS into independently locked shards keyed by
+// the edge's endpoint pair, so multiple ingestion goroutines proceed in
+// parallel as long as they touch different shards — the scale-out
+// deployment the paper's distributed-graph-system references (§I)
+// anticipate. Edge queries route to one shard; set queries union all
+// shards (a node's edges spread across shards with its partners).
+type Sharded struct {
+	shards []shard
+	seed   uint64
+}
+
+type shard struct {
+	mu sync.Mutex
+	g  *GSS
+}
+
+// NewSharded builds n shards, each a GSS with cfg scaled so the total
+// matrix memory is comparable to one unsharded GSS of cfg (the width is
+// divided by sqrt(n)).
+func NewSharded(cfg Config, n int) (*Sharded, error) {
+	if n < 1 {
+		n = 1
+	}
+	scaled := cfg
+	scaled.Width = intSqrtScale(cfg.Width, n)
+	s := &Sharded{shards: make([]shard, n), seed: 0x5eed}
+	for i := range s.shards {
+		g, err := New(scaled)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i].g = g
+	}
+	return s, nil
+}
+
+// intSqrtScale divides width by sqrt(n), flooring at 1.
+func intSqrtScale(width, n int) int {
+	lo, hi := 1, width
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if mid*mid*n <= width*width {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+func (s *Sharded) shardFor(src, dst string) *shard {
+	h := hashing.HashSeeded(src, s.seed) ^ hashing.HashSeeded(dst, s.seed+1)
+	return &s.shards[h%uint64(len(s.shards))]
+}
+
+// Insert ingests one item; safe for concurrent use.
+func (s *Sharded) Insert(it stream.Item) { s.InsertEdge(it.Src, it.Dst, it.Weight) }
+
+// InsertEdge adds w to edge (src,dst); safe for concurrent use.
+func (s *Sharded) InsertEdge(src, dst string, w int64) {
+	sh := s.shardFor(src, dst)
+	sh.mu.Lock()
+	sh.g.InsertEdge(src, dst, w)
+	sh.mu.Unlock()
+}
+
+// EdgeWeight queries the owning shard.
+func (s *Sharded) EdgeWeight(src, dst string) (int64, bool) {
+	sh := s.shardFor(src, dst)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.g.EdgeWeight(src, dst)
+}
+
+// Successors unions the shard-local successor sets.
+func (s *Sharded) Successors(v string) []string {
+	return s.unionAll(func(g *GSS) []string { return g.Successors(v) })
+}
+
+// Precursors unions the shard-local precursor sets.
+func (s *Sharded) Precursors(v string) []string {
+	return s.unionAll(func(g *GSS) []string { return g.Precursors(v) })
+}
+
+// Nodes unions the shard registries.
+func (s *Sharded) Nodes() []string {
+	return s.unionAll(func(g *GSS) []string { return g.Nodes() })
+}
+
+func (s *Sharded) unionAll(get func(*GSS) []string) []string {
+	seen := map[string]bool{}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, v := range get(sh.g) {
+			seen[v] = true
+		}
+		sh.mu.Unlock()
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats aggregates shard statistics.
+func (s *Sharded) Stats() Stats {
+	var agg Stats
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		st := sh.g.Stats()
+		sh.mu.Unlock()
+		if i == 0 {
+			agg = st
+			continue
+		}
+		agg.Items += st.Items
+		agg.MatrixEdges += st.MatrixEdges
+		agg.BufferEdges += st.BufferEdges
+		agg.MatrixBytes += st.MatrixBytes
+		agg.IndexedNodes += st.IndexedNodes
+	}
+	if total := agg.MatrixEdges + agg.BufferEdges; total > 0 {
+		agg.BufferPct = float64(agg.BufferEdges) / float64(total)
+	}
+	return agg
+}
+
+// ShardCount reports the number of shards.
+func (s *Sharded) ShardCount() int { return len(s.shards) }

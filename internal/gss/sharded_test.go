@@ -1,0 +1,116 @@
+package gss
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/adjlist"
+	"repro/internal/stream"
+)
+
+func TestShardedMatchesExact(t *testing.T) {
+	items := stream.Generate(stream.EmailEuAll().Scaled(0.002))
+	s, err := NewSharded(Config{Width: 64, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := adjlist.New()
+	for _, it := range items {
+		s.Insert(it)
+		exact.Insert(it.Src, it.Dst, it.Weight)
+	}
+	for _, it := range items {
+		want, _ := exact.EdgeWeight(it.Src, it.Dst)
+		got, ok := s.EdgeWeight(it.Src, it.Dst)
+		if !ok || got < want {
+			t.Fatalf("edge (%s,%s): %d,%v want >= %d", it.Src, it.Dst, got, ok, want)
+		}
+	}
+	nodes := exact.Nodes()
+	if len(nodes) > 100 {
+		nodes = nodes[:100]
+	}
+	for _, v := range nodes {
+		got := map[string]bool{}
+		for _, u := range s.Successors(v) {
+			got[u] = true
+		}
+		for _, u := range exact.Successors(v) {
+			if !got[u] {
+				t.Fatalf("sharded lost successor %s of %s", u, v)
+			}
+		}
+	}
+}
+
+func TestShardedParallelIngestion(t *testing.T) {
+	items := stream.Generate(stream.LkmlReply().Scaled(0.002))
+	s, err := NewSharded(Config{Width: 48, SeqLen: 4, Candidates: 4}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(items); i += workers {
+				s.Insert(items[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Stats().Items; got != int64(len(items)) {
+		t.Fatalf("items = %d, want %d", got, len(items))
+	}
+	missing := 0
+	for _, it := range items {
+		if _, ok := s.EdgeWeight(it.Src, it.Dst); !ok {
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Fatalf("%d edges lost under parallel ingestion", missing)
+	}
+}
+
+func TestShardedMemoryComparable(t *testing.T) {
+	single := MustNew(Config{Width: 64})
+	s, err := NewSharded(Config{Width: 64}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 shards of width 32 = same total rooms as one width-64 sketch.
+	if got, want := s.Stats().MatrixBytes, single.MemoryBytes(); got > want+want/8 {
+		t.Fatalf("sharded memory %d far above single %d", got, want)
+	}
+	if s.ShardCount() != 4 {
+		t.Fatalf("ShardCount = %d", s.ShardCount())
+	}
+}
+
+func TestShardedDegenerateShardCount(t *testing.T) {
+	s, err := NewSharded(Config{Width: 16}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ShardCount() != 1 {
+		t.Fatalf("ShardCount = %d, want 1", s.ShardCount())
+	}
+	s.InsertEdge("a", "b", 2)
+	if w, ok := s.EdgeWeight("a", "b"); !ok || w != 2 {
+		t.Fatalf("w = %d,%v", w, ok)
+	}
+}
+
+func TestIntSqrtScale(t *testing.T) {
+	cases := []struct{ w, n, want int }{
+		{64, 4, 32}, {64, 1, 64}, {100, 2, 70}, {3, 100, 1},
+	}
+	for _, c := range cases {
+		if got := intSqrtScale(c.w, c.n); got != c.want {
+			t.Errorf("intSqrtScale(%d,%d) = %d, want %d", c.w, c.n, got, c.want)
+		}
+	}
+}

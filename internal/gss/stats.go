@@ -1,0 +1,137 @@
+package gss
+
+import (
+	"sort"
+
+	"repro/internal/hashing"
+)
+
+// Stats summarizes the state of a sketch for capacity planning and for
+// the buffer-size experiments (Fig. 13).
+type Stats struct {
+	Width           int
+	Rooms           int
+	SeqLen          int
+	Candidates      int
+	FingerprintBits int
+
+	Items        int64 // stream items ingested
+	MatrixEdges  int   // distinct sketch edges resident in the matrix
+	BufferEdges  int   // distinct left-over sketch edges in the buffer
+	Occupancy    float64
+	BufferPct    float64 // BufferEdges / (MatrixEdges + BufferEdges)
+	MatrixBytes  int64
+	IndexedNodes int // registered original identifiers, 0 if index disabled
+}
+
+// Stats returns a snapshot of the sketch state.
+func (g *GSS) Stats() Stats {
+	s := Stats{
+		Width:           g.cfg.Width,
+		Rooms:           g.cfg.Rooms,
+		SeqLen:          g.cfg.SeqLen,
+		Candidates:      g.cfg.Candidates,
+		FingerprintBits: g.cfg.FingerprintBits,
+		Items:           g.items,
+		MatrixEdges:     g.entries,
+		BufferEdges:     g.buf.size(),
+		MatrixBytes:     g.MemoryBytes(),
+	}
+	slots := g.cfg.Width * g.cfg.Width * g.cfg.Rooms
+	if slots > 0 {
+		s.Occupancy = float64(g.entries) / float64(slots)
+	}
+	if total := s.MatrixEdges + s.BufferEdges; total > 0 {
+		s.BufferPct = float64(s.BufferEdges) / float64(total)
+	}
+	if g.reg != nil {
+		s.IndexedNodes = g.reg.count
+	}
+	return s
+}
+
+// BufferSize returns the number of distinct left-over sketch edges
+// currently in buffer B.
+func (g *GSS) BufferSize() int { return g.buf.size() }
+
+// BufferPercentage is the Fig. 13 metric: left-over edges as a fraction
+// of all distinct sketch edges stored.
+func (g *GSS) BufferPercentage() float64 {
+	total := g.entries + g.buf.size()
+	if total == 0 {
+		return 0
+	}
+	return float64(g.buf.size()) / float64(total)
+}
+
+// MemoryBytes is the matrix footprint: fingerprint area (4 bytes/room),
+// weight area (8 bytes/room), index area (1 byte/room) and the occupancy
+// bitset. The node-index hash table is excluded — the paper's memory
+// comparisons concern the sketch proper, and every baseline needs the
+// same reverse table for set queries.
+func (g *GSS) MemoryBytes() int64 {
+	return int64(len(g.fps))*4 + int64(len(g.weights))*8 + int64(len(g.idx)) + int64(len(g.occ))*8
+}
+
+// HeavyEdge is a sketch-graph edge whose weight reached a threshold,
+// with the original identifiers recovered through the node index.
+type HeavyEdge struct {
+	SrcHash, DstHash uint64
+	Srcs, Dsts       []string // empty when the node index is disabled
+	Weight           int64
+}
+
+// HeavyEdges returns every sketch edge with weight >= minWeight. This is
+// the edge-heavy-hitter extension gMatrix advertises (§II); GSS supports
+// it directly because square hashing is reversible — each occupied room
+// decodes back to the hash values of both endpoints without any probe.
+func (g *GSS) HeavyEdges(minWeight int64) []HeavyEdge {
+	m, l := g.cfg.Width, g.cfg.Rooms
+	var out []HeavyEdge
+	for slot := 0; slot < len(g.weights); slot++ {
+		if !g.occupied(slot) || g.weights[slot] < minWeight {
+			continue
+		}
+		bucket := slot / l
+		row, col := uint32(bucket/m), uint32(bucket%m)
+		hs, hd := g.decodeSlot(slot, row, col)
+		out = append(out, g.heavyEdge(hs, hd, g.weights[slot]))
+	}
+	for k, w := range g.buf.weights {
+		if w >= minWeight {
+			out = append(out, g.heavyEdge(k.s, k.d, w))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		if out[i].SrcHash != out[j].SrcHash {
+			return out[i].SrcHash < out[j].SrcHash
+		}
+		return out[i].DstHash < out[j].DstHash
+	})
+	return out
+}
+
+// decodeSlot recovers the sketch-edge endpoints stored at slot, using
+// the reversibility property of the LR address sequences.
+func (g *GSS) decodeSlot(slot int, row, col uint32) (hs, hd uint64) {
+	m := g.cfg.Width
+	fpS := g.fps[slot] >> 16
+	fpD := g.fps[slot] & 0xffff
+	is := int(g.idx[slot] >> 4)
+	id := int(g.idx[slot] & 0x0f)
+	addrS := hashing.RecoverAddress(row, fpS, is, m)
+	addrD := hashing.RecoverAddress(col, fpD, id, m)
+	return g.nh.Combine(addrS, fpS), g.nh.Combine(addrD, fpD)
+}
+
+func (g *GSS) heavyEdge(hs, hd uint64, w int64) HeavyEdge {
+	he := HeavyEdge{SrcHash: hs, DstHash: hd, Weight: w}
+	if g.reg != nil {
+		he.Srcs = g.reg.lookup(hs)
+		he.Dsts = g.reg.lookup(hd)
+	}
+	return he
+}

@@ -1,0 +1,138 @@
+// Package hashing provides the hash machinery used throughout the GSS
+// reproduction: a 64-bit string hash, the node-hash decomposition into a
+// matrix address and a fingerprint (Definition 5 of the paper), the
+// linear-congruential address sequences used by square hashing (Eq. 1-2),
+// and the candidate-bucket sampling sequences (Eq. 4-5).
+package hashing
+
+// Linear-congruential parameters shared by the address and sampling
+// sequences. p is the prime 2^16+1 and a=75 is a primitive root modulo p
+// (the classic Lehmer generator), so the homogeneous part of the
+// recurrence has period p-1 and no value repeats within any realistic
+// sequence length r. b is a small odd constant as the paper suggests.
+const (
+	lcgA = 75
+	lcgB = 3
+	lcgP = 65537
+)
+
+// Hash64 hashes s to a well-mixed 64-bit value. It is FNV-1a followed by
+// a finalizing avalanche (the splitmix64 finalizer) so that the low bits
+// used for fingerprints are as uniform as the high bits.
+func Hash64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return Mix64(h)
+}
+
+// Mix64 applies the splitmix64 finalizer to x. It is exposed so that
+// baselines (TCM, gMatrix, CM sketches) can derive independent hash
+// functions from seed values.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// HashSeeded hashes s under an independent hash function identified by
+// seed. Distinct seeds give (empirically) independent functions.
+func HashSeeded(s string, seed uint64) uint64 {
+	return Mix64(Hash64(s) ^ Mix64(seed))
+}
+
+// NodeHasher maps node identifiers to the compressed node space [0, M)
+// with M = Width * FSize, and splits each hash value H(v) into the matrix
+// address h(v) = H(v) / F and the fingerprint f(v) = H(v) % F.
+type NodeHasher struct {
+	Width int    // m: matrix side length (number of distinct addresses)
+	FSize uint64 // F: size of the fingerprint value range
+}
+
+// NewNodeHasher returns a NodeHasher for an m-wide matrix with
+// fingerprintBits-bit fingerprints.
+func NewNodeHasher(width int, fingerprintBits int) NodeHasher {
+	return NodeHasher{Width: width, FSize: 1 << uint(fingerprintBits)}
+}
+
+// M is the size of the compressed node space, m*F.
+func (nh NodeHasher) M() uint64 { return uint64(nh.Width) * nh.FSize }
+
+// Hash returns H(v) in [0, M).
+func (nh NodeHasher) Hash(v string) uint64 {
+	return Hash64(v) % nh.M()
+}
+
+// Split decomposes H(v) into (h(v), f(v)).
+func (nh NodeHasher) Split(hv uint64) (addr uint32, fp uint32) {
+	return uint32(hv / nh.FSize), uint32(hv % nh.FSize)
+}
+
+// Combine is the inverse of Split: H(v) = h(v)*F + f(v).
+func (nh NodeHasher) Combine(addr, fp uint32) uint64 {
+	return uint64(addr)*nh.FSize + uint64(fp)
+}
+
+// LRSequence writes the linear-congruential sequence {q_i} seeded by the
+// fingerprint fp into dst (Eq. 1 of the paper) and returns it. The
+// sequence is fully determined by fp, which is what makes square hashing
+// reversible: a bucket that stores fp and the index i lets the reader
+// recompute q_i and recover the original matrix address.
+func LRSequence(fp uint32, dst []uint32) []uint32 {
+	q := (lcgA*uint64(fp%lcgP) + lcgB) % lcgP
+	for i := range dst {
+		dst[i] = uint32(q)
+		q = (lcgA*q + lcgB) % lcgP
+	}
+	return dst
+}
+
+// LRAt returns the i-th element (0-based) of the LR sequence seeded by fp
+// without materializing the prefix.
+func LRAt(fp uint32, i int) uint32 {
+	q := (lcgA*uint64(fp%lcgP) + lcgB) % lcgP
+	for ; i > 0; i-- {
+		q = (lcgA*q + lcgB) % lcgP
+	}
+	return uint32(q)
+}
+
+// AddressSequence writes the hash-address sequence {h_i(v)} of Eq. 2 into
+// dst: h_i(v) = (h(v) + q_i(v)) mod m.
+func AddressSequence(addr uint32, fp uint32, width int, dst []uint32) []uint32 {
+	LRSequence(fp, dst)
+	for i, q := range dst {
+		dst[i] = (addr + q) % uint32(width)
+	}
+	return dst
+}
+
+// RecoverAddress inverts Eq. 2: given the row (or column) index where a
+// bucket lives, the stored fingerprint and the stored sequence index, it
+// returns the original matrix address h(v). The solution is unique
+// because h(v) < m.
+func RecoverAddress(rowOrCol uint32, fp uint32, seqIndex int, width int) uint32 {
+	q := LRAt(fp, seqIndex) % uint32(width)
+	return (rowOrCol + uint32(width) - q) % uint32(width)
+}
+
+// SampleSequence writes the candidate-bucket sampling sequence of Eq. 4
+// into dst, seeded by seed(e) = f(s)+f(d).
+func SampleSequence(seed uint32, dst []uint32) []uint32 {
+	return LRSequence(seed, dst)
+}
+
+// CandidatePair maps the i-th sampling value q to a (rowIdx, colIdx) pair
+// in [0, r) x [0, r) following Eq. 5: (floor(q/r) mod r, q mod r).
+func CandidatePair(q uint32, r int) (rowIdx, colIdx int) {
+	return int(q/uint32(r)) % r, int(q) % r
+}

@@ -1,0 +1,187 @@
+package hashing
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHash64Deterministic(t *testing.T) {
+	if Hash64("node-a") != Hash64("node-a") {
+		t.Fatal("Hash64 is not deterministic")
+	}
+	if Hash64("node-a") == Hash64("node-b") {
+		t.Fatal("trivially distinct inputs collided (astronomically unlikely)")
+	}
+}
+
+func TestHash64EmptyString(t *testing.T) {
+	// The empty string must hash to a stable, usable value.
+	if Hash64("") != Hash64("") {
+		t.Fatal("empty-string hash unstable")
+	}
+}
+
+func TestHashSeededIndependence(t *testing.T) {
+	// Different seeds must give different hash functions.
+	same := 0
+	for i := 0; i < 1000; i++ {
+		s := string(rune('a'+i%26)) + string(rune('0'+i%10))
+		if HashSeeded(s, 1)%1024 == HashSeeded(s, 2)%1024 {
+			same++
+		}
+	}
+	// Expect ~1000/1024 collisions by chance; 100 is far beyond that.
+	if same > 100 {
+		t.Fatalf("seeded hashes look correlated: %d/1000 agree mod 1024", same)
+	}
+}
+
+func TestNodeHasherSplitCombineRoundTrip(t *testing.T) {
+	nh := NewNodeHasher(1000, 16)
+	f := func(x uint64) bool {
+		hv := x % nh.M()
+		addr, fp := nh.Split(hv)
+		return nh.Combine(addr, fp) == hv && addr < uint32(nh.Width) && uint64(fp) < nh.FSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeHasherRange(t *testing.T) {
+	nh := NewNodeHasher(37, 12)
+	for i := 0; i < 10000; i++ {
+		hv := nh.Hash(string(rune(i)) + "x")
+		if hv >= nh.M() {
+			t.Fatalf("Hash out of range: %d >= %d", hv, nh.M())
+		}
+	}
+}
+
+func TestLRSequenceDeterministicAndDistinct(t *testing.T) {
+	const r = 16
+	seq1 := LRSequence(12345, make([]uint32, r))
+	seq2 := LRSequence(12345, make([]uint32, r))
+	for i := range seq1 {
+		if seq1[i] != seq2[i] {
+			t.Fatalf("sequence not deterministic at %d", i)
+		}
+	}
+	seen := map[uint32]bool{}
+	for _, q := range seq1 {
+		if seen[q] {
+			t.Fatalf("repeated value %d within r=%d", q, r)
+		}
+		seen[q] = true
+	}
+}
+
+func TestLRSequenceNoRepeatsForAllFingerprints(t *testing.T) {
+	// The paper requires the LCG cycle to be much larger than r so no
+	// value repeats within a sequence. Verify across the whole 12-bit
+	// fingerprint space and a sample of the 16-bit space.
+	check := func(fp uint32) {
+		seq := LRSequence(fp, make([]uint32, 16))
+		seen := map[uint32]bool{}
+		for _, q := range seq {
+			if seen[q] {
+				t.Fatalf("fp=%d: repeated LR value %d", fp, q)
+			}
+			seen[q] = true
+		}
+	}
+	for fp := uint32(0); fp < 4096; fp++ {
+		check(fp)
+	}
+	for fp := uint32(4096); fp < 65536; fp += 97 {
+		check(fp)
+	}
+}
+
+func TestLRAtMatchesSequence(t *testing.T) {
+	f := func(fp uint32, idx uint8) bool {
+		i := int(idx % 16)
+		seq := LRSequence(fp, make([]uint32, 16))
+		return LRAt(fp, i) == seq[i]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddressSequenceRange(t *testing.T) {
+	const width = 997
+	seq := AddressSequence(500, 777, width, make([]uint32, 16))
+	for _, h := range seq {
+		if h >= width {
+			t.Fatalf("address %d out of range [0,%d)", h, width)
+		}
+	}
+}
+
+// TestRecoverAddressRoundTrip is the reversibility property at the heart
+// of square hashing: from (row, fingerprint, index) the original matrix
+// address must be recoverable exactly.
+func TestRecoverAddressRoundTrip(t *testing.T) {
+	f := func(addrRaw, fp uint32, idx uint8, widthRaw uint16) bool {
+		width := int(widthRaw%2000) + 2
+		r := int(idx%16) + 1
+		addr := addrRaw % uint32(width)
+		seq := AddressSequence(addr, fp, width, make([]uint32, r))
+		for i, row := range seq {
+			if RecoverAddress(row, fp, i, width) != addr {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCandidatePairRange(t *testing.T) {
+	for r := 1; r <= 16; r++ {
+		for q := uint32(0); q < 1000; q++ {
+			i, j := CandidatePair(q, r)
+			if i < 0 || i >= r || j < 0 || j >= r {
+				t.Fatalf("candidate pair (%d,%d) out of range r=%d", i, j, r)
+			}
+		}
+	}
+}
+
+func TestSampleSequenceCoversManyPairs(t *testing.T) {
+	// With k=16 samples over r=16 (256 buckets) we expect mostly
+	// distinct candidate pairs; duplicates waste probes.
+	const r, k = 16, 16
+	dup := 0
+	for seed := uint32(0); seed < 512; seed++ {
+		seq := SampleSequence(seed, make([]uint32, k))
+		seen := map[[2]int]bool{}
+		for _, q := range seq {
+			i, j := CandidatePair(q, r)
+			if seen[[2]int{i, j}] {
+				dup++
+			}
+			seen[[2]int{i, j}] = true
+		}
+	}
+	// Birthday bound: expected ~ k^2/(2*256) ≈ 0.5 dups per seed.
+	if dup > 512*4 {
+		t.Fatalf("too many duplicate candidate pairs: %d over 512 seeds", dup)
+	}
+}
+
+func BenchmarkHash64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Hash64("203.0.113.57->198.51.100.12")
+	}
+}
+
+func BenchmarkAddressSequence(b *testing.B) {
+	dst := make([]uint32, 16)
+	for i := 0; i < b.N; i++ {
+		AddressSequence(uint32(i)%1000, uint32(i)%65536, 1000, dst)
+	}
+}

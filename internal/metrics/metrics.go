@@ -1,0 +1,123 @@
+// Package metrics implements the evaluation metrics of §VII-B: average
+// relative error (ARE) for weight queries, average precision for set
+// queries, true negative recall for reachability, buffer percentage,
+// and insertion throughput in million insertions per second (Mips).
+package metrics
+
+import (
+	"errors"
+	"time"
+)
+
+// RelativeError is RE(q) = est/truth - 1 for a single weight query.
+// Truth must be nonzero.
+func RelativeError(est, truth int64) float64 {
+	return float64(est)/float64(truth) - 1
+}
+
+// ARE accumulates average relative error over a query set.
+type ARE struct {
+	sum float64
+	n   int
+}
+
+// Observe adds one (estimate, truth) observation; zero-truth queries
+// are skipped, as the paper's query sets contain only existing edges
+// and nodes.
+func (a *ARE) Observe(est, truth int64) {
+	if truth == 0 {
+		return
+	}
+	a.sum += RelativeError(est, truth)
+	a.n++
+}
+
+// Value returns the average relative error observed so far.
+func (a *ARE) Value() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}
+
+// Count is the number of scored queries.
+func (a *ARE) Count() int { return a.n }
+
+// Precision is |truth| / |reported| for one set query with
+// false-positives-only semantics (truth ⊆ reported). It returns 1 for
+// an empty truth set correctly reported empty, and errors if reported
+// lost a truth element — callers treat that as a soundness bug, not a
+// metric value.
+func Precision(reported, truth []string) (float64, error) {
+	rep := make(map[string]bool, len(reported))
+	for _, r := range reported {
+		rep[r] = true
+	}
+	for _, t := range truth {
+		if !rep[t] {
+			return 0, errors.New("metrics: reported set lost a true element (false negative)")
+		}
+	}
+	if len(rep) == 0 {
+		return 1, nil
+	}
+	return float64(len(truth)) / float64(len(rep)), nil
+}
+
+// AvgPrecision accumulates the average precision of a query set.
+type AvgPrecision struct {
+	sum float64
+	n   int
+}
+
+// Observe records one set query. It propagates Precision's soundness
+// error.
+func (p *AvgPrecision) Observe(reported, truth []string) error {
+	v, err := Precision(reported, truth)
+	if err != nil {
+		return err
+	}
+	p.sum += v
+	p.n++
+	return nil
+}
+
+// Value returns the average precision.
+func (p *AvgPrecision) Value() float64 {
+	if p.n == 0 {
+		return 0
+	}
+	return p.sum / float64(p.n)
+}
+
+// Recall accumulates true negative recall (§VII-B): the fraction of
+// known-unreachable query pairs correctly reported unreachable.
+type Recall struct {
+	correct, total int
+}
+
+// Observe records one unreachable-pair query: reportedUnreachable is
+// the summary's answer.
+func (r *Recall) Observe(reportedUnreachable bool) {
+	r.total++
+	if reportedUnreachable {
+		r.correct++
+	}
+}
+
+// Value returns the recall in [0,1].
+func (r *Recall) Value() float64 {
+	if r.total == 0 {
+		return 0
+	}
+	return float64(r.correct) / float64(r.total)
+}
+
+// Mips converts an insertion count and elapsed time to million
+// insertions per second, the Table I unit.
+func Mips(insertions int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(insertions) / elapsed.Seconds() / 1e6
+}

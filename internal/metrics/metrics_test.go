@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(110, 100); !approx(got, 0.1) {
+		t.Fatalf("RE = %f", got)
+	}
+	if got := RelativeError(100, 100); got != 0 {
+		t.Fatalf("RE exact = %f", got)
+	}
+}
+
+func TestAREAccumulation(t *testing.T) {
+	var a ARE
+	a.Observe(110, 100) // 0.1
+	a.Observe(100, 100) // 0
+	a.Observe(50, 0)    // skipped
+	if a.Count() != 2 {
+		t.Fatalf("Count = %d", a.Count())
+	}
+	if got := a.Value(); !approx(got, 0.05) {
+		t.Fatalf("ARE = %f", got)
+	}
+	var empty ARE
+	if empty.Value() != 0 {
+		t.Fatal("empty ARE nonzero")
+	}
+}
+
+func TestPrecision(t *testing.T) {
+	p, err := Precision([]string{"a", "b", "c", "d"}, []string{"a", "b"})
+	if err != nil || p != 0.5 {
+		t.Fatalf("Precision = %f, %v", p, err)
+	}
+	p, err = Precision([]string{"a"}, []string{"a"})
+	if err != nil || p != 1 {
+		t.Fatalf("perfect precision = %f, %v", p, err)
+	}
+	p, err = Precision(nil, nil)
+	if err != nil || p != 1 {
+		t.Fatalf("empty/empty precision = %f, %v", p, err)
+	}
+	if _, err = Precision([]string{"a"}, []string{"a", "b"}); err == nil {
+		t.Fatal("false negative undetected")
+	}
+}
+
+func TestPrecisionDeduplicatesReported(t *testing.T) {
+	p, err := Precision([]string{"a", "a", "b"}, []string{"a"})
+	if err != nil || p != 0.5 {
+		t.Fatalf("Precision with dup reported = %f, %v", p, err)
+	}
+}
+
+func TestAvgPrecision(t *testing.T) {
+	var ap AvgPrecision
+	if err := ap.Observe([]string{"a", "b"}, []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ap.Observe([]string{"x"}, []string{"x"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ap.Value(); !approx(got, 0.75) {
+		t.Fatalf("AvgPrecision = %f", got)
+	}
+}
+
+func TestRecall(t *testing.T) {
+	var r Recall
+	r.Observe(true)
+	r.Observe(true)
+	r.Observe(false)
+	if got := r.Value(); got < 0.66 || got > 0.67 {
+		t.Fatalf("Recall = %f", got)
+	}
+	var empty Recall
+	if empty.Value() != 0 {
+		t.Fatal("empty recall nonzero")
+	}
+}
+
+func TestMips(t *testing.T) {
+	if got := Mips(2_000_000, time.Second); got != 2 {
+		t.Fatalf("Mips = %f", got)
+	}
+	if got := Mips(100, 0); got != 0 {
+		t.Fatalf("Mips zero-duration = %f", got)
+	}
+}

@@ -1,0 +1,97 @@
+package query
+
+import (
+	"repro/internal/adjlist"
+	"repro/internal/stream"
+)
+
+// Exact adapts the exact adjacency store to the Summary interface so
+// ground truth and sketches run through identical query code.
+type Exact struct{ G *adjlist.Graph }
+
+// NewExact returns an empty exact summary.
+func NewExact() Exact { return Exact{G: adjlist.New()} }
+
+// Insert implements Summary.
+func (e Exact) Insert(it stream.Item) { e.G.Insert(it.Src, it.Dst, it.Weight) }
+
+// EdgeWeight implements Summary.
+func (e Exact) EdgeWeight(src, dst string) (int64, bool) { return e.G.EdgeWeight(src, dst) }
+
+// Successors implements Summary.
+func (e Exact) Successors(v string) []string { return e.G.Successors(v) }
+
+// Precursors implements Summary.
+func (e Exact) Precursors(v string) []string { return e.G.Precursors(v) }
+
+// Nodes implements Summary.
+func (e Exact) Nodes() []string { return e.G.Nodes() }
+
+// LabeledView adapts a Summary to the vf2.Graph interface for subgraph
+// matching, interpreting edge weights as labels. This is how GSS serves
+// the §VII-I experiment: window edges are deduplicated and inserted once
+// with weight = label, so an edge query recovers the label.
+//
+// Set queries against a sketch scan matrix rows, which is far more
+// expensive than a map lookup; since a backtracking matcher revisits
+// the same nodes constantly, the view memoizes neighbor sets and edge
+// labels. The view must not outlive modifications to the summary.
+type LabeledView struct {
+	S Summary
+
+	succ   map[string][]string
+	prec   map[string][]string
+	labels map[[2]string]labelEntry
+}
+
+type labelEntry struct {
+	label uint32
+	ok    bool
+}
+
+// NewLabeledView returns a memoizing vf2.Graph view of s.
+func NewLabeledView(s Summary) *LabeledView {
+	return &LabeledView{
+		S:      s,
+		succ:   make(map[string][]string),
+		prec:   make(map[string][]string),
+		labels: make(map[[2]string]labelEntry),
+	}
+}
+
+// Nodes implements vf2.Graph.
+func (lv *LabeledView) Nodes() []string { return lv.S.Nodes() }
+
+// Successors implements vf2.Graph.
+func (lv *LabeledView) Successors(v string) []string {
+	if out, ok := lv.succ[v]; ok {
+		return out
+	}
+	out := lv.S.Successors(v)
+	lv.succ[v] = out
+	return out
+}
+
+// Precursors implements vf2.Graph.
+func (lv *LabeledView) Precursors(v string) []string {
+	if out, ok := lv.prec[v]; ok {
+		return out
+	}
+	out := lv.S.Precursors(v)
+	lv.prec[v] = out
+	return out
+}
+
+// EdgeLabel implements vf2.Graph.
+func (lv *LabeledView) EdgeLabel(src, dst string) (uint32, bool) {
+	k := [2]string{src, dst}
+	if e, ok := lv.labels[k]; ok {
+		return e.label, e.ok
+	}
+	var e labelEntry
+	if w, ok := lv.S.EdgeWeight(src, dst); ok && w > 0 {
+		e = labelEntry{label: uint32(w), ok: true}
+	}
+	lv.labels[k] = e
+	return e.label, e.ok
+}

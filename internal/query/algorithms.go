@@ -1,0 +1,257 @@
+package query
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// This file implements classic graph algorithms purely on top of the
+// three query primitives, demonstrating the paper's §I claim that "all
+// kinds of queries and algorithms can be supported" once the primitives
+// exist. Each runs identically on GSS, TCM or the exact store.
+
+// KHop returns the set of nodes reachable from v in at most k hops
+// (excluding v itself), sorted.
+func KHop(s Summary, v string, k int) []string {
+	if k <= 0 {
+		return nil
+	}
+	visited := map[string]bool{v: true}
+	frontier := []string{v}
+	var out []string
+	for depth := 0; depth < k && len(frontier) > 0; depth++ {
+		var next []string
+		for _, u := range frontier {
+			for _, w := range s.Successors(u) {
+				if !visited[w] {
+					visited[w] = true
+					next = append(next, w)
+					out = append(out, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WeaklyConnectedComponents returns the components of the undirected
+// projection of the summarized graph, each sorted, ordered by size
+// descending then lexicographically.
+func WeaklyConnectedComponents(s Summary) [][]string {
+	visited := map[string]bool{}
+	var comps [][]string
+	for _, v := range s.Nodes() {
+		if visited[v] {
+			continue
+		}
+		var comp []string
+		queue := []string{v}
+		visited[v] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			comp = append(comp, u)
+			for _, w := range append(s.Successors(u), s.Precursors(u)...) {
+				if !visited[w] {
+					visited[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		sort.Strings(comp)
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		if len(comps[i]) != len(comps[j]) {
+			return len(comps[i]) > len(comps[j])
+		}
+		return comps[i][0] < comps[j][0]
+	})
+	return comps
+}
+
+// PageRank runs weighted PageRank over the summarized graph for iters
+// iterations with the given damping factor, returning the score of
+// every node. Edge weights from the edge-query primitive weight the
+// rank distribution, so heavy interaction edges carry more rank — the
+// influence analysis of the paper's social-network use case.
+func PageRank(s Summary, damping float64, iters int) map[string]float64 {
+	nodes := s.Nodes()
+	n := len(nodes)
+	if n == 0 {
+		return nil
+	}
+	// Materialize the out-adjacency once through the primitives.
+	type outEdge struct {
+		to string
+		w  float64
+	}
+	adj := make(map[string][]outEdge, n)
+	outWeight := make(map[string]float64, n)
+	for _, v := range nodes {
+		for _, u := range s.Successors(v) {
+			if w, ok := s.EdgeWeight(v, u); ok && w > 0 {
+				adj[v] = append(adj[v], outEdge{to: u, w: float64(w)})
+				outWeight[v] += float64(w)
+			}
+		}
+	}
+	rank := make(map[string]float64, n)
+	for _, v := range nodes {
+		rank[v] = 1.0 / float64(n)
+	}
+	for it := 0; it < iters; it++ {
+		next := make(map[string]float64, n)
+		var danglingMass float64
+		for _, v := range nodes {
+			if outWeight[v] == 0 {
+				danglingMass += rank[v]
+				continue
+			}
+			share := rank[v] / outWeight[v]
+			for _, e := range adj[v] {
+				next[e.to] += damping * share * e.w
+			}
+		}
+		base := (1-damping)/float64(n) + damping*danglingMass/float64(n)
+		for _, v := range nodes {
+			next[v] += base
+		}
+		rank = next
+	}
+	return rank
+}
+
+// ShortestPath returns the minimum-total-weight directed path from src
+// to dst (Dijkstra over the primitives; weights must be positive) and
+// its cost. ok is false when dst is unreachable.
+func ShortestPath(s Summary, src, dst string) (path []string, cost int64, ok bool) {
+	if src == dst {
+		return []string{src}, 0, true
+	}
+	dist := map[string]int64{src: 0}
+	parent := map[string]string{}
+	done := map[string]bool{}
+	pq := &nodeHeap{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(nodeDist)
+		if done[cur.node] {
+			continue
+		}
+		done[cur.node] = true
+		if cur.node == dst {
+			return tracePath(parentToMap(parent, src), src, dst), cur.dist, true
+		}
+		for _, u := range s.Successors(cur.node) {
+			w, okw := s.EdgeWeight(cur.node, u)
+			if !okw || w <= 0 {
+				continue // zero/negative residues are not traversable
+			}
+			nd := cur.dist + w
+			if old, seen := dist[u]; !seen || nd < old {
+				dist[u] = nd
+				parent[u] = cur.node
+				heap.Push(pq, nodeDist{node: u, dist: nd})
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+func parentToMap(parent map[string]string, src string) map[string]string {
+	m := make(map[string]string, len(parent)+1)
+	for k, v := range parent {
+		m[k] = v
+	}
+	m[src] = src
+	return m
+}
+
+type nodeDist struct {
+	node string
+	dist int64
+}
+
+type nodeHeap []nodeDist
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeDist)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// ClusteringCoefficient returns the global clustering coefficient of
+// the undirected projection: 3 x triangles / connected triples.
+func ClusteringCoefficient(s Summary) float64 {
+	nodes := s.Nodes()
+	neigh := make(map[string]map[string]bool, len(nodes))
+	for _, v := range nodes {
+		set := make(map[string]bool)
+		for _, u := range s.Successors(v) {
+			if u != v {
+				set[u] = true
+			}
+		}
+		for _, u := range s.Precursors(v) {
+			if u != v {
+				set[u] = true
+			}
+		}
+		neigh[v] = set
+	}
+	var triples float64
+	for _, set := range neigh {
+		d := float64(len(set))
+		triples += d * (d - 1) / 2
+	}
+	if triples == 0 {
+		return 0
+	}
+	return 3 * float64(Triangles(s)) / triples
+}
+
+// DegreeDistribution returns the out-degree histogram of the
+// summarized graph: hist[d] = number of nodes with out-degree d.
+func DegreeDistribution(s Summary) map[int]int {
+	hist := map[int]int{}
+	for _, v := range s.Nodes() {
+		hist[len(s.Successors(v))]++
+	}
+	return hist
+}
+
+// TopKByOutWeight returns the k nodes with the largest aggregate
+// out-weight (node query), descending; ties break lexicographically.
+func TopKByOutWeight(s Summary, k int) []string {
+	nodes := s.Nodes()
+	type scored struct {
+		node string
+		w    int64
+	}
+	all := make([]scored, 0, len(nodes))
+	for _, v := range nodes {
+		all = append(all, scored{v, NodeOut(s, v)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].w != all[j].w {
+			return all[i].w > all[j].w
+		}
+		return all[i].node < all[j].node
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].node
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package query
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/gss"
+	"repro/internal/stream"
+)
+
+func diamondItems() []stream.Item {
+	// a -> b -> d, a -> c -> d, d -> e; island: x -> y
+	return []stream.Item{
+		{Src: "a", Dst: "b", Weight: 1}, {Src: "b", Dst: "d", Weight: 4},
+		{Src: "a", Dst: "c", Weight: 2}, {Src: "c", Dst: "d", Weight: 1},
+		{Src: "d", Dst: "e", Weight: 3}, {Src: "x", Dst: "y", Weight: 1},
+	}
+}
+
+func TestKHop(t *testing.T) {
+	s := NewExact()
+	Build(s, stream.NewSliceSource(diamondItems()))
+	if got := KHop(s, "a", 1); !reflect.DeepEqual(got, []string{"b", "c"}) {
+		t.Fatalf("KHop(a,1) = %v", got)
+	}
+	if got := KHop(s, "a", 2); !reflect.DeepEqual(got, []string{"b", "c", "d"}) {
+		t.Fatalf("KHop(a,2) = %v", got)
+	}
+	if got := KHop(s, "a", 10); !reflect.DeepEqual(got, []string{"b", "c", "d", "e"}) {
+		t.Fatalf("KHop(a,10) = %v", got)
+	}
+	if KHop(s, "a", 0) != nil {
+		t.Fatal("KHop with k=0 must be empty")
+	}
+	if KHop(s, "unknown", 3) != nil {
+		t.Fatal("KHop of unknown node must be empty")
+	}
+}
+
+func TestWeaklyConnectedComponents(t *testing.T) {
+	s := NewExact()
+	Build(s, stream.NewSliceSource(diamondItems()))
+	comps := WeaklyConnectedComponents(s)
+	if len(comps) != 2 {
+		t.Fatalf("got %d components", len(comps))
+	}
+	if !reflect.DeepEqual(comps[0], []string{"a", "b", "c", "d", "e"}) {
+		t.Fatalf("large component = %v", comps[0])
+	}
+	if !reflect.DeepEqual(comps[1], []string{"x", "y"}) {
+		t.Fatalf("small component = %v", comps[1])
+	}
+}
+
+func TestPageRank(t *testing.T) {
+	s := NewExact()
+	Build(s, stream.NewSliceSource(diamondItems()))
+	rank := PageRank(s, 0.85, 30)
+	var sum float64
+	for _, r := range rank {
+		if r < 0 {
+			t.Fatalf("negative rank: %v", rank)
+		}
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("ranks sum to %f, want 1", sum)
+	}
+	// d receives from both branches and must outrank the leaves' feeder b.
+	if rank["d"] <= rank["b"] {
+		t.Fatalf("rank[d]=%f <= rank[b]=%f", rank["d"], rank["b"])
+	}
+}
+
+func TestPageRankEmpty(t *testing.T) {
+	if PageRank(NewExact(), 0.85, 10) != nil {
+		t.Fatal("empty graph should rank nil")
+	}
+}
+
+func TestPageRankAgreesAcrossStores(t *testing.T) {
+	items := stream.Generate(stream.CitHepPh().Scaled(0.002))
+	exact := NewExact()
+	g := gss.MustNew(gss.Config{Width: 64, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8})
+	for _, it := range items {
+		exact.Insert(it)
+		g.Insert(it)
+	}
+	re := PageRank(exact, 0.85, 20)
+	rg := PageRank(g, 0.85, 20)
+	var maxDiff float64
+	for v, r := range re {
+		if d := math.Abs(r - rg[v]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 0.01 {
+		t.Fatalf("PageRank diverges between exact and GSS: max diff %f", maxDiff)
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	s := NewExact()
+	Build(s, stream.NewSliceSource(diamondItems()))
+	path, cost, ok := ShortestPath(s, "a", "d")
+	if !ok || cost != 3 {
+		t.Fatalf("ShortestPath(a,d) = %v cost=%d ok=%v, want cost 3 via c", path, cost, ok)
+	}
+	if !reflect.DeepEqual(path, []string{"a", "c", "d"}) {
+		t.Fatalf("path = %v", path)
+	}
+	if _, _, ok := ShortestPath(s, "e", "a"); ok {
+		t.Fatal("phantom path found")
+	}
+	if p, c, ok := ShortestPath(s, "a", "a"); !ok || c != 0 || len(p) != 1 {
+		t.Fatalf("trivial path broken: %v %d %v", p, c, ok)
+	}
+}
+
+func TestShortestPathPrefersLightDetour(t *testing.T) {
+	s := NewExact()
+	Build(s, stream.NewSliceSource([]stream.Item{
+		{Src: "a", Dst: "z", Weight: 100},
+		{Src: "a", Dst: "m", Weight: 1},
+		{Src: "m", Dst: "z", Weight: 1},
+	}))
+	path, cost, ok := ShortestPath(s, "a", "z")
+	if !ok || cost != 2 || len(path) != 3 {
+		t.Fatalf("detour not taken: %v cost=%d", path, cost)
+	}
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	s := NewExact()
+	// Triangle: coefficient 1.
+	Build(s, stream.NewSliceSource([]stream.Item{
+		{Src: "a", Dst: "b", Weight: 1},
+		{Src: "b", Dst: "c", Weight: 1},
+		{Src: "c", Dst: "a", Weight: 1},
+	}))
+	if got := ClusteringCoefficient(s); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("triangle coefficient = %f, want 1", got)
+	}
+	// Star: no triangles, coefficient 0.
+	star := NewExact()
+	Build(star, stream.NewSliceSource([]stream.Item{
+		{Src: "hub", Dst: "l1", Weight: 1},
+		{Src: "hub", Dst: "l2", Weight: 1},
+		{Src: "hub", Dst: "l3", Weight: 1},
+	}))
+	if got := ClusteringCoefficient(star); got != 0 {
+		t.Fatalf("star coefficient = %f, want 0", got)
+	}
+	if got := ClusteringCoefficient(NewExact()); got != 0 {
+		t.Fatalf("empty coefficient = %f", got)
+	}
+}
+
+func TestDegreeDistribution(t *testing.T) {
+	s := NewExact()
+	Build(s, stream.NewSliceSource(diamondItems()))
+	hist := DegreeDistribution(s)
+	// a has 2 out-edges; b,c,d,x have 1; e,y have 0.
+	if hist[2] != 1 || hist[1] != 4 || hist[0] != 2 {
+		t.Fatalf("hist = %v", hist)
+	}
+}
+
+func TestTopKByOutWeight(t *testing.T) {
+	s := NewExact()
+	Build(s, stream.NewSliceSource(diamondItems()))
+	top := TopKByOutWeight(s, 2)
+	// b has out weight 4, a has 3.
+	if !reflect.DeepEqual(top, []string{"b", "a"}) {
+		t.Fatalf("top2 = %v", top)
+	}
+	if got := TopKByOutWeight(s, 100); len(got) != 7 {
+		t.Fatalf("overlong k returned %d nodes", len(got))
+	}
+}
+
+func TestAlgorithmsRunOnGSS(t *testing.T) {
+	// Every algorithm must accept the sketch directly.
+	g := gss.MustNew(gss.Config{Width: 32, FingerprintBits: 16, Rooms: 2, SeqLen: 4, Candidates: 4})
+	Build(g, stream.NewSliceSource(diamondItems()))
+	if got := KHop(g, "a", 2); len(got) != 3 {
+		t.Fatalf("KHop on GSS = %v", got)
+	}
+	if comps := WeaklyConnectedComponents(g); len(comps) != 2 {
+		t.Fatalf("components on GSS = %v", comps)
+	}
+	if _, cost, ok := ShortestPath(g, "a", "e"); !ok || cost != 6 {
+		t.Fatalf("ShortestPath on GSS cost = %d ok=%v", cost, ok)
+	}
+}

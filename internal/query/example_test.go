@@ -1,0 +1,40 @@
+package query_test
+
+import (
+	"fmt"
+
+	"repro/internal/gss"
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+// Example composes compound queries from the primitives: node
+// aggregates, reachability and a path, all through the sketch.
+func Example() {
+	g := gss.MustNew(gss.Config{Width: 16, FingerprintBits: 16, Rooms: 2, SeqLen: 4, Candidates: 4})
+	query.Build(g, stream.NewSliceSource([]stream.Item{
+		{Src: "a", Dst: "b", Weight: 2},
+		{Src: "b", Dst: "c", Weight: 3},
+		{Src: "a", Dst: "c", Weight: 5},
+	}))
+	fmt.Println("node out(a):", query.NodeOut(g, "a"))
+	fmt.Println("reachable a->c:", query.Reachable(g, "a", "c"))
+	fmt.Println("path a->c:", query.Path(g, "a", "c"))
+	// Output:
+	// node out(a): 7
+	// reachable a->c: true
+	// path a->c: [a c]
+}
+
+// ExampleShortestPath runs weighted Dijkstra over the sketch: the
+// lighter two-hop detour beats the heavy direct edge.
+func ExampleShortestPath() {
+	g := gss.MustNew(gss.Config{Width: 16})
+	g.InsertEdge("a", "z", 100)
+	g.InsertEdge("a", "m", 1)
+	g.InsertEdge("m", "z", 1)
+	path, cost, _ := query.ShortestPath(g, "a", "z")
+	fmt.Println(path, cost)
+	// Output:
+	// [a m z] 2
+}

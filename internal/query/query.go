@@ -1,0 +1,195 @@
+// Package query builds compound graph queries out of the three query
+// primitives of Definition 4 (edge query, 1-hop successor query, 1-hop
+// precursor query). Everything here runs unchanged against any Summary —
+// GSS, TCM, or the exact store — which is precisely the paper's point:
+// once the primitives exist, "almost all algorithms for graphs can be
+// implemented with these primitives" (§I).
+package query
+
+import (
+	"sort"
+
+	"repro/internal/stream"
+)
+
+// Summary is the common face of a graph-stream summary: the three query
+// primitives plus ingestion and node enumeration. gss.GSS, tcm.TCM and
+// adjlist.Graph all satisfy it (via thin adapters where signatures
+// differ).
+type Summary interface {
+	Insert(it stream.Item)
+	EdgeWeight(src, dst string) (int64, bool)
+	Successors(v string) []string
+	Precursors(v string) []string
+	Nodes() []string
+}
+
+// Build inserts every item from src into s and returns s.
+func Build(s Summary, src stream.Source) Summary {
+	for {
+		it, ok := src.Next()
+		if !ok {
+			return s
+		}
+		s.Insert(it)
+	}
+}
+
+// NodeOut is the paper's node query (§VII-E): the summed weight of all
+// edges with source node v, composed from the successor primitive and
+// edge queries.
+func NodeOut(s Summary, v string) int64 {
+	var sum int64
+	for _, u := range s.Successors(v) {
+		if w, ok := s.EdgeWeight(v, u); ok {
+			sum += w
+		}
+	}
+	return sum
+}
+
+// NodeIn is the aggregate over incoming edges of v.
+func NodeIn(s Summary, v string) int64 {
+	var sum int64
+	for _, u := range s.Precursors(v) {
+		if w, ok := s.EdgeWeight(u, v); ok {
+			sum += w
+		}
+	}
+	return sum
+}
+
+// Reachable answers the reachability query of §VII-F with a BFS over
+// successor queries. Because summaries have false positives only, a
+// "false" answer is certain while a "true" answer may be spurious —
+// hence the paper's true-negative-recall metric.
+func Reachable(s Summary, src, dst string) bool {
+	if src == dst {
+		return true
+	}
+	visited := map[string]bool{src: true}
+	queue := []string{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range s.Successors(v) {
+			if u == dst {
+				return true
+			}
+			if !visited[u] {
+				visited[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	return false
+}
+
+// Path returns one directed path from src to dst found by BFS, or nil.
+func Path(s Summary, src, dst string) []string {
+	if src == dst {
+		return []string{src}
+	}
+	parent := map[string]string{src: src}
+	queue := []string{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range s.Successors(v) {
+			if _, seen := parent[u]; seen {
+				continue
+			}
+			parent[u] = v
+			if u == dst {
+				return tracePath(parent, src, dst)
+			}
+			queue = append(queue, u)
+		}
+	}
+	return nil
+}
+
+func tracePath(parent map[string]string, src, dst string) []string {
+	var rev []string
+	for v := dst; ; v = parent[v] {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+	}
+	out := make([]string, len(rev))
+	for i, v := range rev {
+		out[len(rev)-1-i] = v
+	}
+	return out
+}
+
+// Triangles estimates the number of triangles in the undirected
+// projection of the summarized graph (§VII-I) by enumerating neighbor
+// sets through the primitives. Each triangle {a,b,c} is counted once.
+func Triangles(s Summary) int64 {
+	nodes := s.Nodes()
+	neigh := make(map[string]map[string]bool, len(nodes))
+	for _, v := range nodes {
+		set := make(map[string]bool)
+		for _, u := range s.Successors(v) {
+			if u != v {
+				set[u] = true
+			}
+		}
+		for _, u := range s.Precursors(v) {
+			if u != v {
+				set[u] = true
+			}
+		}
+		neigh[v] = set
+	}
+	var count int64
+	for v, nv := range neigh {
+		for u := range nv {
+			if u <= v {
+				continue
+			}
+			nu := neigh[u]
+			small, large := nv, nu
+			if len(nu) < len(nv) {
+				small, large = nu, nv
+			}
+			for w := range small {
+				if w > u && large[w] {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+// Reconstruct rebuilds the full summarized graph as edge items by
+// running successor queries over every node and edge queries for
+// weights — the graph-reconstruction procedure described after
+// Definition 4. The output is sorted and deterministic.
+func Reconstruct(s Summary) []stream.Item {
+	var out []stream.Item
+	for _, v := range s.Nodes() {
+		for _, u := range s.Successors(v) {
+			w, ok := s.EdgeWeight(v, u)
+			if !ok {
+				continue
+			}
+			out = append(out, stream.Item{Src: v, Dst: u, Weight: w})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
+}
+
+// Degree reports the successor/precursor set sizes of v.
+func Degree(s Summary, v string) (out, in int) {
+	return len(s.Successors(v)), len(s.Precursors(v))
+}

@@ -1,0 +1,217 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/gss"
+	"repro/internal/stream"
+	"repro/internal/tcm"
+	"repro/internal/vf2"
+)
+
+// summaries under test: every compound query must behave on all of them.
+func testSummaries() map[string]Summary {
+	return map[string]Summary{
+		"exact": NewExact(),
+		"gss":   gss.MustNew(gss.Config{Width: 64, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8}),
+		"tcm":   tcm.MustNew(tcm.Config{Width: 512, Depth: 4}),
+	}
+}
+
+func chainItems() []stream.Item {
+	return []stream.Item{
+		{Src: "a", Dst: "b", Weight: 2},
+		{Src: "b", Dst: "c", Weight: 3},
+		{Src: "c", Dst: "d", Weight: 4},
+		{Src: "a", Dst: "c", Weight: 5},
+		{Src: "x", Dst: "y", Weight: 1},
+	}
+}
+
+func TestNodeOutAcrossSummaries(t *testing.T) {
+	for name, s := range testSummaries() {
+		Build(s, stream.NewSliceSource(chainItems()))
+		if got := NodeOut(s, "a"); got < 7 {
+			t.Errorf("%s: NodeOut(a) = %d, want >= 7", name, got)
+		}
+		if got := NodeIn(s, "c"); got < 8 {
+			t.Errorf("%s: NodeIn(c) = %d, want >= 8", name, got)
+		}
+		if got := NodeOut(s, "y"); got != 0 {
+			t.Errorf("%s: NodeOut(y) = %d, want 0", name, got)
+		}
+	}
+}
+
+func TestReachableAcrossSummaries(t *testing.T) {
+	for name, s := range testSummaries() {
+		Build(s, stream.NewSliceSource(chainItems()))
+		if !Reachable(s, "a", "d") {
+			t.Errorf("%s: a->d must be reachable", name)
+		}
+		if !Reachable(s, "a", "a") {
+			t.Errorf("%s: trivial reachability failed", name)
+		}
+		// Summaries have false positives only; the exact store must be
+		// exactly right on negatives.
+		if name == "exact" && Reachable(s, "d", "a") {
+			t.Errorf("%s: d->a must be unreachable", name)
+		}
+	}
+}
+
+func TestPath(t *testing.T) {
+	s := NewExact()
+	Build(s, stream.NewSliceSource(chainItems()))
+	p := Path(s, "a", "d")
+	if len(p) < 3 || p[0] != "a" || p[len(p)-1] != "d" {
+		t.Fatalf("Path(a,d) = %v", p)
+	}
+	// Every hop must be a real edge.
+	for i := 0; i+1 < len(p); i++ {
+		if _, ok := s.EdgeWeight(p[i], p[i+1]); !ok {
+			t.Fatalf("path hop (%s,%s) is not an edge", p[i], p[i+1])
+		}
+	}
+	if Path(s, "d", "a") != nil {
+		t.Fatal("nonexistent path returned")
+	}
+	if got := Path(s, "a", "a"); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("trivial path = %v", got)
+	}
+}
+
+func TestTriangles(t *testing.T) {
+	tri := []stream.Item{
+		{Src: "a", Dst: "b", Weight: 1},
+		{Src: "b", Dst: "c", Weight: 1},
+		{Src: "c", Dst: "a", Weight: 1},
+		{Src: "c", Dst: "d", Weight: 1},
+	}
+	for _, name := range []string{"exact", "gss"} {
+		s := testSummaries()[name]
+		Build(s, stream.NewSliceSource(tri))
+		if got := Triangles(s); got != 1 {
+			t.Errorf("%s: Triangles = %d, want 1", name, got)
+		}
+	}
+}
+
+func TestTrianglesMatchesExactOnStream(t *testing.T) {
+	items := stream.Generate(stream.CitHepPh().Scaled(0.004))
+	exact := NewExact()
+	g := gss.MustNew(gss.Config{Width: 64, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8})
+	for _, it := range items {
+		exact.Insert(it)
+		g.Insert(it)
+	}
+	want := exact.G.Triangles()
+	got := Triangles(g)
+	// GSS has false-positive edges only, so its count can exceed but
+	// not trail the exact count; with 16-bit fingerprints it should be
+	// nearly exact.
+	if got < want {
+		t.Fatalf("GSS triangle count %d below exact %d", got, want)
+	}
+	if want > 0 && float64(got-want)/float64(want) > 0.05 {
+		t.Fatalf("GSS triangle count %d too far above exact %d", got, want)
+	}
+	// And the query.Triangles path on the exact store must agree with
+	// the specialized adjlist implementation.
+	if viaQuery := Triangles(exact); viaQuery != want {
+		t.Fatalf("query.Triangles(exact) = %d, adjlist = %d", viaQuery, want)
+	}
+}
+
+func TestReconstruct(t *testing.T) {
+	items := chainItems()
+	s := NewExact()
+	Build(s, stream.NewSliceSource(items))
+	got := Reconstruct(s)
+	if len(got) != len(items) {
+		t.Fatalf("Reconstruct returned %d edges, want %d", len(got), len(items))
+	}
+	for _, it := range items {
+		found := false
+		for _, e := range got {
+			if e.Src == it.Src && e.Dst == it.Dst && e.Weight == it.Weight {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("edge %v missing from reconstruction", it)
+		}
+	}
+}
+
+func TestReconstructGSSCoversStream(t *testing.T) {
+	items := stream.Generate(stream.EmailEuAll().Scaled(0.001))
+	g := gss.MustNew(gss.Config{Width: 48, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8})
+	exact := NewExact()
+	for _, it := range items {
+		g.Insert(it)
+		exact.Insert(it)
+	}
+	rec := map[[2]string]int64{}
+	for _, e := range Reconstruct(g) {
+		rec[[2]string{e.Src, e.Dst}] = e.Weight
+	}
+	for _, e := range Reconstruct(exact) {
+		w, ok := rec[[2]string{e.Src, e.Dst}]
+		if !ok {
+			t.Fatalf("reconstruction lost edge (%s,%s)", e.Src, e.Dst)
+		}
+		if w < e.Weight {
+			t.Fatalf("reconstruction underestimates (%s,%s): %d < %d", e.Src, e.Dst, w, e.Weight)
+		}
+	}
+}
+
+func TestDegree(t *testing.T) {
+	s := NewExact()
+	Build(s, stream.NewSliceSource(chainItems()))
+	out, in := Degree(s, "c")
+	if out != 1 || in != 2 {
+		t.Fatalf("Degree(c) = %d,%d want 1,2", out, in)
+	}
+}
+
+func TestLabeledViewSubgraphMatching(t *testing.T) {
+	// End-to-end §VII-I flow: deduplicated labeled window edges go into
+	// GSS with weight = label; VF2 matches against the sketch view.
+	g := gss.MustNew(gss.Config{Width: 32, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8})
+	edges := []stream.Item{
+		{Src: "a", Dst: "b", Weight: 3}, // label 3
+		{Src: "b", Dst: "c", Weight: 7},
+		{Src: "c", Dst: "a", Weight: 9},
+	}
+	for _, e := range edges {
+		g.Insert(e)
+	}
+	view := NewLabeledView(g)
+	p := vf2.Pattern{N: 3, Edges: []vf2.Edge{
+		{From: 0, To: 1, Label: 3}, {From: 1, To: 2, Label: 7}, {From: 2, To: 0, Label: 9}}}
+	assign, ok := vf2.FindOne(view, p)
+	if !ok {
+		t.Fatal("labeled triangle not found through GSS view")
+	}
+	if assign[0] != "a" || assign[1] != "b" || assign[2] != "c" {
+		t.Fatalf("assignment = %v", assign)
+	}
+	bad := vf2.Pattern{N: 2, Edges: []vf2.Edge{{From: 0, To: 1, Label: 99}}}
+	if _, ok := vf2.FindOne(view, bad); ok {
+		t.Fatal("phantom label matched")
+	}
+}
+
+func TestBuildDrainsSource(t *testing.T) {
+	src := stream.NewSliceSource(chainItems())
+	s := Build(NewExact(), src)
+	if _, ok := src.Next(); ok {
+		t.Fatal("Build left items in the source")
+	}
+	if len(s.Nodes()) != 6 {
+		t.Fatalf("Nodes = %v", s.Nodes())
+	}
+}

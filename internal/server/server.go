@@ -1,0 +1,284 @@
+// Package server exposes a Graph Stream Sketch over HTTP, the way a
+// monitoring pipeline would deploy it: collectors POST stream items,
+// dashboards and responders GET queries, and operators snapshot or
+// restore the sketch for fail-over. All handlers are JSON except the
+// binary snapshot endpoints.
+//
+//	POST /insert       {"src":"a","dst":"b","weight":1}  (or an array)
+//	GET  /edge?src=a&dst=b
+//	GET  /successors?v=a
+//	GET  /precursors?v=a
+//	GET  /nodeout?v=a
+//	GET  /reachable?src=a&dst=b
+//	GET  /heavy?min=100
+//	GET  /stats
+//	GET  /snapshot     (binary sketch snapshot)
+//	POST /restore      (binary sketch snapshot)
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/gss"
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+// Server wraps a GSS with an HTTP API. Reads take a shared lock so
+// queries run concurrently; inserts and restore take it exclusively.
+type Server struct {
+	mu sync.RWMutex
+	g  *gss.GSS
+}
+
+// New builds a Server around an empty sketch.
+func New(cfg gss.Config) (*Server, error) {
+	g, err := gss.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{g: g}, nil
+}
+
+// Item is the JSON wire form of a stream item.
+type Item struct {
+	Src    string `json:"src"`
+	Dst    string `json:"dst"`
+	Weight int64  `json:"weight"`
+	Time   int64  `json:"time,omitempty"`
+	Label  uint32 `json:"label,omitempty"`
+}
+
+// Handler returns the HTTP handler for the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/insert", s.handleInsert)
+	mux.HandleFunc("/edge", s.handleEdge)
+	mux.HandleFunc("/successors", s.handleNeighbors(true))
+	mux.HandleFunc("/precursors", s.handleNeighbors(false))
+	mux.HandleFunc("/nodeout", s.handleNodeOut)
+	mux.HandleFunc("/reachable", s.handleReachable)
+	mux.HandleFunc("/heavy", s.handleHeavy)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/restore", s.handleRestore)
+	return mux
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	dec := json.NewDecoder(r.Body)
+	var batch []Item
+	// Accept a single object or an array.
+	tok, err := dec.Token()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if delim, ok := tok.(json.Delim); ok && delim == '[' {
+		for dec.More() {
+			var it Item
+			if err := dec.Decode(&it); err != nil {
+				httpError(w, http.StatusBadRequest, "bad item: %v", err)
+				return
+			}
+			batch = append(batch, it)
+		}
+	} else {
+		// Re-decode the single object: simplest is to re-read from the
+		// token stream by hand.
+		var it Item
+		if err := decodeObjectAfterBrace(dec, tok, &it); err != nil {
+			httpError(w, http.StatusBadRequest, "bad item: %v", err)
+			return
+		}
+		batch = append(batch, it)
+	}
+	for _, it := range batch {
+		if it.Src == "" || it.Dst == "" {
+			httpError(w, http.StatusBadRequest, "src and dst are required")
+			return
+		}
+	}
+	s.mu.Lock()
+	for _, it := range batch {
+		s.g.Insert(stream.Item{Src: it.Src, Dst: it.Dst, Weight: it.Weight,
+			Time: it.Time, Label: it.Label})
+	}
+	s.mu.Unlock()
+	writeJSON(w, map[string]int{"inserted": len(batch)})
+}
+
+// decodeObjectAfterBrace finishes decoding a JSON object whose opening
+// '{' token has already been consumed.
+func decodeObjectAfterBrace(dec *json.Decoder, open json.Token, it *Item) error {
+	if delim, ok := open.(json.Delim); !ok || delim != '{' {
+		return fmt.Errorf("expected object or array, got %v", open)
+	}
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		key, _ := keyTok.(string)
+		switch key {
+		case "src":
+			if err := dec.Decode(&it.Src); err != nil {
+				return err
+			}
+		case "dst":
+			if err := dec.Decode(&it.Dst); err != nil {
+				return err
+			}
+		case "weight":
+			if err := dec.Decode(&it.Weight); err != nil {
+				return err
+			}
+		case "time":
+			if err := dec.Decode(&it.Time); err != nil {
+				return err
+			}
+		case "label":
+			if err := dec.Decode(&it.Label); err != nil {
+				return err
+			}
+		default:
+			var skip json.RawMessage
+			if err := dec.Decode(&skip); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := dec.Token() // closing brace
+	return err
+}
+
+func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
+	src, dst := r.URL.Query().Get("src"), r.URL.Query().Get("dst")
+	if src == "" || dst == "" {
+		httpError(w, http.StatusBadRequest, "src and dst are required")
+		return
+	}
+	s.mu.RLock()
+	weight, ok := s.g.EdgeWeight(src, dst)
+	s.mu.RUnlock()
+	writeJSON(w, map[string]interface{}{"src": src, "dst": dst, "weight": weight, "found": ok})
+}
+
+func (s *Server) handleNeighbors(successors bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		v := r.URL.Query().Get("v")
+		if v == "" {
+			httpError(w, http.StatusBadRequest, "v is required")
+			return
+		}
+		s.mu.RLock()
+		var nodes []string
+		if successors {
+			nodes = s.g.Successors(v)
+		} else {
+			nodes = s.g.Precursors(v)
+		}
+		s.mu.RUnlock()
+		if nodes == nil {
+			nodes = []string{}
+		}
+		writeJSON(w, map[string]interface{}{"v": v, "nodes": nodes})
+	}
+}
+
+func (s *Server) handleNodeOut(w http.ResponseWriter, r *http.Request) {
+	v := r.URL.Query().Get("v")
+	if v == "" {
+		httpError(w, http.StatusBadRequest, "v is required")
+		return
+	}
+	s.mu.RLock()
+	total := query.NodeOut(s.g, v)
+	s.mu.RUnlock()
+	writeJSON(w, map[string]interface{}{"v": v, "out": total})
+}
+
+func (s *Server) handleReachable(w http.ResponseWriter, r *http.Request) {
+	src, dst := r.URL.Query().Get("src"), r.URL.Query().Get("dst")
+	if src == "" || dst == "" {
+		httpError(w, http.StatusBadRequest, "src and dst are required")
+		return
+	}
+	s.mu.RLock()
+	ok := query.Reachable(s.g, src, dst)
+	s.mu.RUnlock()
+	writeJSON(w, map[string]interface{}{"src": src, "dst": dst, "reachable": ok})
+}
+
+func (s *Server) handleHeavy(w http.ResponseWriter, r *http.Request) {
+	min, err := strconv.ParseInt(r.URL.Query().Get("min"), 10, 64)
+	if err != nil || min <= 0 {
+		httpError(w, http.StatusBadRequest, "positive integer min is required")
+		return
+	}
+	s.mu.RLock()
+	heavy := s.g.HeavyEdges(min)
+	s.mu.RUnlock()
+	type edge struct {
+		Srcs   []string `json:"srcs"`
+		Dsts   []string `json:"dsts"`
+		Weight int64    `json:"weight"`
+	}
+	out := make([]edge, 0, len(heavy))
+	for _, he := range heavy {
+		out = append(out, edge{Srcs: he.Srcs, Dsts: he.Dsts, Weight: he.Weight})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	st := s.g.Stats()
+	s.mu.RUnlock()
+	writeJSON(w, st)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, err := s.g.WriteTo(w); err != nil {
+		// Headers are gone; all we can do is drop the connection.
+		return
+	}
+}
+
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	g, err := gss.ReadSketch(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad snapshot: %v", err)
+		return
+	}
+	s.mu.Lock()
+	s.g = g
+	s.mu.Unlock()
+	writeJSON(w, map[string]string{"status": "restored"})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

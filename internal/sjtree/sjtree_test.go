@@ -1,0 +1,132 @@
+package sjtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/stream"
+	"repro/internal/vf2"
+)
+
+func windowItems() []stream.Item {
+	cfg := stream.WebNotreDame().Scaled(0.008)
+	cfg.Labels = 5
+	return stream.Generate(cfg)
+}
+
+func firstN(items []stream.Item, n int) []stream.Item {
+	if len(items) < n {
+		return items
+	}
+	return items[:n]
+}
+
+func TestWindowBasics(t *testing.T) {
+	w := NewWindow([]stream.Item{
+		{Src: "a", Dst: "b", Label: 1},
+		{Src: "a", Dst: "b", Label: 2}, // repeated edge: first label wins
+		{Src: "b", Dst: "c", Label: 3},
+		{Src: "x", Dst: "x", Label: 4}, // self loop dropped
+	})
+	if w.EdgeCount() != 2 {
+		t.Fatalf("EdgeCount = %d, want 2", w.EdgeCount())
+	}
+	if l, ok := w.EdgeLabel("a", "b"); !ok || l != 1 {
+		t.Fatalf("EdgeLabel(a,b) = %d,%v", l, ok)
+	}
+	if got := w.Successors("a"); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("Successors(a) = %v", got)
+	}
+	if got := w.Precursors("c"); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("Precursors(c) = %v", got)
+	}
+	if len(w.Nodes()) != 3 {
+		t.Fatalf("Nodes = %v", w.Nodes())
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	items := firstN(windowItems(), 2000)
+	w := NewWindow(items)
+	edges := w.Edges()
+	if len(edges) != w.EdgeCount() {
+		t.Fatalf("Edges() returned %d, EdgeCount %d", len(edges), w.EdgeCount())
+	}
+	w2 := NewWindow(edges)
+	if w2.EdgeCount() != w.EdgeCount() {
+		t.Fatal("rebuilding from Edges() changed the graph")
+	}
+	for _, e := range edges[:200] {
+		if l, ok := w2.EdgeLabel(e.Src, e.Dst); !ok || l != e.Label {
+			t.Fatalf("label mismatch on (%s,%s)", e.Src, e.Dst)
+		}
+	}
+}
+
+func TestMatchFindsPlantedPattern(t *testing.T) {
+	w := NewWindow([]stream.Item{
+		{Src: "a", Dst: "b", Label: 1},
+		{Src: "b", Dst: "c", Label: 2},
+		{Src: "c", Dst: "d", Label: 3},
+	})
+	p := vf2.Pattern{N: 3, Edges: []vf2.Edge{
+		{From: 0, To: 1, Label: 1}, {From: 1, To: 2, Label: 2}}}
+	assign, ok := w.Match(p)
+	if !ok || assign[0] != "a" || assign[1] != "b" || assign[2] != "c" {
+		t.Fatalf("Match = %v, %v", assign, ok)
+	}
+}
+
+func TestRandomWalkPatternIsAlwaysMatchable(t *testing.T) {
+	// The defining property of the Fig. 15 query generator: a pattern
+	// extracted from the window must be found in that window by the
+	// exact matcher (SJ-tree's correct rate is 1.0).
+	w := NewWindow(firstN(windowItems(), 5000))
+	rng := rand.New(rand.NewSource(7))
+	extracted := 0
+	for _, size := range []int{6, 9, 12, 15} {
+		for i := 0; i < 5; i++ {
+			p, witness, ok := RandomWalkPattern(w, rng, size)
+			if !ok {
+				continue
+			}
+			extracted++
+			if len(p.Edges) != size {
+				t.Fatalf("pattern has %d edges, want %d", len(p.Edges), size)
+			}
+			// The witness itself must be an embedding.
+			for _, e := range p.Edges {
+				if l, ok := w.EdgeLabel(witness[e.From], witness[e.To]); !ok || l != e.Label {
+					t.Fatalf("witness is not an embedding at edge %v", e)
+				}
+			}
+			switch _, st := vf2.FindOneStatus(w, p, vf2.DefaultMaxSteps); st {
+			case vf2.StatusFound:
+			case vf2.StatusBudget:
+				// Subgraph isomorphism is NP-complete; a rare pattern
+				// can defeat the bounded search even when its witness
+				// exists. Inconclusive, not a correctness failure.
+			default:
+				t.Fatalf("exact matcher definitively missed its own window's pattern (size %d)", size)
+			}
+		}
+	}
+	if extracted < 10 {
+		t.Fatalf("only %d patterns extracted; generator too weak", extracted)
+	}
+}
+
+func TestRandomWalkPatternDegenerateInputs(t *testing.T) {
+	w := NewWindow(nil)
+	rng := rand.New(rand.NewSource(1))
+	if _, _, ok := RandomWalkPattern(w, rng, 3); ok {
+		t.Fatal("pattern extracted from empty window")
+	}
+	w2 := NewWindow([]stream.Item{{Src: "a", Dst: "b"}})
+	if _, _, ok := RandomWalkPattern(w2, rng, 10); ok {
+		t.Fatal("10-edge pattern extracted from 1-edge window")
+	}
+	if p, _, ok := RandomWalkPattern(w2, rng, 1); !ok || len(p.Edges) != 1 {
+		t.Fatal("1-edge pattern should be extractable")
+	}
+}

@@ -1,0 +1,209 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary stream-file format:
+//
+//	magic   [4]byte  "GSS1"
+//	records: for each item
+//	  srcLen  uvarint, src bytes
+//	  dstLen  uvarint, dst bytes
+//	  time    varint
+//	  weight  varint
+//	  label   uvarint
+//
+// The format is append-friendly: a reader consumes records until EOF, so
+// a stream file can be tailed while a producer is still writing.
+
+var magic = [4]byte{'G', 'S', 'S', '1'}
+
+// ErrBadMagic is returned when a stream file does not start with the
+// expected header.
+var ErrBadMagic = errors.New("stream: bad magic, not a GSS1 stream file")
+
+// Writer encodes items to an io.Writer in the GSS1 binary format.
+type Writer struct {
+	w       *bufio.Writer
+	scratch []byte
+	started bool
+}
+
+// NewWriter returns a Writer emitting to w. The header is written on the
+// first WriteItem call.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w), scratch: make([]byte, binary.MaxVarintLen64)}
+}
+
+// WriteItem appends one item to the stream file.
+func (sw *Writer) WriteItem(it Item) error {
+	if !sw.started {
+		if _, err := sw.w.Write(magic[:]); err != nil {
+			return err
+		}
+		sw.started = true
+	}
+	if err := sw.writeString(it.Src); err != nil {
+		return err
+	}
+	if err := sw.writeString(it.Dst); err != nil {
+		return err
+	}
+	if err := sw.writeVarint(it.Time); err != nil {
+		return err
+	}
+	if err := sw.writeVarint(it.Weight); err != nil {
+		return err
+	}
+	return sw.writeUvarint(uint64(it.Label))
+}
+
+// Flush writes any buffered data to the underlying writer. Callers must
+// Flush before closing the destination.
+func (sw *Writer) Flush() error {
+	if !sw.started { // an empty stream still gets a valid header
+		if _, err := sw.w.Write(magic[:]); err != nil {
+			return err
+		}
+		sw.started = true
+	}
+	return sw.w.Flush()
+}
+
+func (sw *Writer) writeString(s string) error {
+	if err := sw.writeUvarint(uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := sw.w.WriteString(s)
+	return err
+}
+
+func (sw *Writer) writeUvarint(v uint64) error {
+	n := binary.PutUvarint(sw.scratch, v)
+	_, err := sw.w.Write(sw.scratch[:n])
+	return err
+}
+
+func (sw *Writer) writeVarint(v int64) error {
+	n := binary.PutVarint(sw.scratch, v)
+	_, err := sw.w.Write(sw.scratch[:n])
+	return err
+}
+
+// Reader decodes a GSS1 stream file. It implements Source; decoding
+// errors after a well-formed prefix surface through Err.
+type Reader struct {
+	r       *bufio.Reader
+	started bool
+	err     error
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Next implements Source. It returns false at EOF or on the first
+// malformed record; check Err to distinguish.
+func (sr *Reader) Next() (Item, bool) {
+	if sr.err != nil {
+		return Item{}, false
+	}
+	if !sr.started {
+		var got [4]byte
+		if _, err := io.ReadFull(sr.r, got[:]); err != nil {
+			sr.setErr(err)
+			return Item{}, false
+		}
+		if got != magic {
+			sr.err = ErrBadMagic
+			return Item{}, false
+		}
+		sr.started = true
+	}
+	src, err := sr.readString()
+	if err != nil {
+		sr.setErr(err) // EOF here is a clean end of stream
+		return Item{}, false
+	}
+	var it Item
+	it.Src = src
+	if it.Dst, err = sr.readString(); err != nil {
+		sr.err = truncated(err)
+		return Item{}, false
+	}
+	if it.Time, err = binary.ReadVarint(sr.r); err != nil {
+		sr.err = truncated(err)
+		return Item{}, false
+	}
+	if it.Weight, err = binary.ReadVarint(sr.r); err != nil {
+		sr.err = truncated(err)
+		return Item{}, false
+	}
+	label, err := binary.ReadUvarint(sr.r)
+	if err != nil {
+		sr.err = truncated(err)
+		return Item{}, false
+	}
+	it.Label = uint32(label)
+	return it, true
+}
+
+// Err reports the first error encountered; nil after a clean EOF.
+func (sr *Reader) Err() error { return sr.err }
+
+func (sr *Reader) setErr(err error) {
+	if err == io.EOF {
+		return // clean end of stream
+	}
+	sr.err = err
+}
+
+func truncated(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("stream: truncated record: %w", io.ErrUnexpectedEOF)
+	}
+	return err
+}
+
+func (sr *Reader) readString() (string, error) {
+	n, err := binary.ReadUvarint(sr.r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("stream: unreasonable string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(sr.r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// WriteAll encodes all items from src to w and flushes.
+func WriteAll(w io.Writer, src Source) error {
+	sw := NewWriter(w)
+	for {
+		it, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := sw.WriteItem(it); err != nil {
+			return err
+		}
+	}
+	return sw.Flush()
+}
+
+// ReadAll decodes every item from r.
+func ReadAll(r io.Reader) ([]Item, error) {
+	sr := NewReader(r)
+	items := Collect(sr)
+	return items, sr.Err()
+}

@@ -1,0 +1,183 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+)
+
+// DatasetConfig describes a synthetic graph-stream dataset. Endpoints are
+// drawn from a Zipf (power-law) distribution over the node set, matching
+// the degree skew of the real graphs the paper evaluates on; weights are
+// Zipfian as in §VII-A ("We use the Zipfian distribution to add the
+// weight to each edge").
+type DatasetConfig struct {
+	Name       string
+	Nodes      int     // |V|: size of the node universe
+	Edges      int     // number of stream items generated
+	DegreeSkew float64 // Zipf s parameter for endpoint selection (>1)
+	WeightSkew float64 // Zipf s parameter for edge weights (>1)
+	MaxWeight  int     // weights fall in [1, MaxWeight]
+	MultiEdge  bool    // documentation flag: dataset is a multigraph log (lkml, Caida)
+	UniformMix float64 // fraction of endpoints drawn uniformly instead of Zipf (widens |V|)
+	Labels     int     // number of distinct edge labels; 0 leaves items unlabeled
+	Seed       int64   // deterministic generation seed
+}
+
+// Paper-matched dataset configurations (node and edge counts from
+// §VII-A). The generators are synthetic substitutes; see DESIGN.md §3 for
+// the substitution rationale.
+
+// EmailEuAll mirrors the email-EuAll communication network:
+// 265,214 nodes and 420,045 edges.
+func EmailEuAll() DatasetConfig {
+	return DatasetConfig{Name: "email-EuAll", Nodes: 265214, Edges: 420045,
+		DegreeSkew: 1.8, WeightSkew: 1.5, MaxWeight: 1000, UniformMix: 0.5, Seed: 1}
+}
+
+// CitHepPh mirrors the Arxiv HEP-PH citation graph: 34,546 nodes and
+// 421,578 edges.
+func CitHepPh() DatasetConfig {
+	return DatasetConfig{Name: "cit-HepPh", Nodes: 34546, Edges: 421578,
+		DegreeSkew: 1.6, WeightSkew: 1.5, MaxWeight: 1000, UniformMix: 0.45, Seed: 2}
+}
+
+// WebNotreDame mirrors the University of Notre Dame web graph:
+// 325,729 nodes and 1,497,134 edges.
+func WebNotreDame() DatasetConfig {
+	return DatasetConfig{Name: "web-NotreDame", Nodes: 325729, Edges: 1497134,
+		DegreeSkew: 2.0, WeightSkew: 1.5, MaxWeight: 1000, UniformMix: 0.5, Seed: 3}
+}
+
+// LkmlReply mirrors the Linux kernel mailing list reply network: 63,399
+// nodes and 1,096,440 timestamped communication records (a multigraph).
+func LkmlReply() DatasetConfig {
+	return DatasetConfig{Name: "lkml-reply", Nodes: 63399, Edges: 1096440,
+		DegreeSkew: 1.7, WeightSkew: 1.4, MaxWeight: 100, MultiEdge: true, UniformMix: 0.35, Seed: 4}
+}
+
+// Caida mirrors the CAIDA anonymized traces: 2,601,005 IP addresses and
+// 445,440,480 communication records. Callers are expected to run it
+// scaled down (see DatasetConfig.Scaled); full scale is reachable through
+// cmd/gss-bench.
+func Caida() DatasetConfig {
+	return DatasetConfig{Name: "Caida-networkflow", Nodes: 2601005, Edges: 445440480,
+		DegreeSkew: 1.9, WeightSkew: 1.4, MaxWeight: 100, MultiEdge: true, UniformMix: 0.35, Seed: 5}
+}
+
+// Scaled returns a copy of c with node and edge counts multiplied by
+// scale (minimums keep degenerate configs usable). The skew parameters
+// are preserved, so the shape of the degree distribution — the property
+// the experiments depend on — is unchanged.
+func (c DatasetConfig) Scaled(scale float64) DatasetConfig {
+	out := c
+	out.Nodes = maxInt(64, int(math.Round(float64(c.Nodes)*scale)))
+	out.Edges = maxInt(128, int(math.Round(float64(c.Edges)*scale)))
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Generate materializes the dataset as a stream of items ordered by
+// timestamp. Generation is deterministic in c.Seed.
+func Generate(c DatasetConfig) []Item {
+	items := make([]Item, 0, c.Edges)
+	src := NewGenerator(c)
+	for {
+		it, ok := src.Next()
+		if !ok {
+			return items
+		}
+		items = append(items, it)
+	}
+}
+
+// Generator produces a dataset lazily, so that very large configurations
+// (e.g. Caida at full scale) can be streamed into a sketch without ever
+// holding the whole item slice in memory.
+type Generator struct {
+	cfg     DatasetConfig
+	rng     *rand.Rand
+	srcZipf *rand.Zipf
+	dstZipf *rand.Zipf
+	wZipf   *rand.Zipf
+	emitted int
+}
+
+// NewGenerator returns a lazy Source for c.
+func NewGenerator(c DatasetConfig) *Generator {
+	if c.Nodes < 2 {
+		c.Nodes = 2
+	}
+	if c.DegreeSkew <= 1 {
+		c.DegreeSkew = 1.5
+	}
+	if c.WeightSkew <= 1 {
+		c.WeightSkew = 1.5
+	}
+	if c.MaxWeight < 1 {
+		c.MaxWeight = 1
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	return &Generator{
+		cfg: c,
+		rng: rng,
+		// Two independent endpoint distributions: hubs as sources need
+		// not be hubs as destinations, which is true of the web and
+		// email graphs the paper uses.
+		srcZipf: rand.NewZipf(rng, c.DegreeSkew, 1, uint64(c.Nodes-1)),
+		dstZipf: rand.NewZipf(rng, c.DegreeSkew, 1, uint64(c.Nodes-1)),
+		wZipf:   rand.NewZipf(rng, c.WeightSkew, 1, uint64(c.MaxWeight-1)),
+	}
+}
+
+// endpoint draws one endpoint ordinal: uniform with probability
+// UniformMix, Zipf otherwise.
+func (g *Generator) endpoint(z *rand.Zipf) uint64 {
+	if g.cfg.UniformMix > 0 && g.rng.Float64() < g.cfg.UniformMix {
+		return uint64(g.rng.Intn(g.cfg.Nodes))
+	}
+	return z.Uint64()
+}
+
+// Next implements Source.
+func (g *Generator) Next() (Item, bool) {
+	if g.emitted >= g.cfg.Edges {
+		return Item{}, false
+	}
+	var s, d uint64
+	for {
+		// Endpoints mix a Zipf head (hubs) with a uniform tail so that
+		// both the degree skew and the node count of the real datasets
+		// are matched. The Zipf ranks are scattered over the ordinal
+		// space so node IDs carry no structure; a fixed odd multiplier
+		// keeps the mapping a bijection mod Nodes.
+		s = g.endpoint(g.srcZipf)
+		d = g.endpoint(g.dstZipf)
+		if s != d {
+			break
+		}
+	}
+	n := uint64(g.cfg.Nodes)
+	it := Item{
+		Src:    NodeID(int((s * 2654435761) % n)),
+		Dst:    NodeID(int((d*2654435761 + 1) % n)),
+		Time:   int64(g.emitted),
+		Weight: int64(g.wZipf.Uint64()) + 1,
+	}
+	if it.Src == it.Dst { // possible after scattering; keep graphs loop-free
+		it.Dst = NodeID(int((d*2654435761 + 2) % n))
+		if it.Src == it.Dst {
+			it.Dst = NodeID(int((d*2654435761 + 3) % n))
+		}
+	}
+	if g.cfg.Labels > 0 {
+		it.Label = uint32(g.rng.Intn(g.cfg.Labels)) + 1
+	}
+	g.emitted++
+	return it, true
+}

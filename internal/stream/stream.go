@@ -1,0 +1,72 @@
+// Package stream models graph streams (Definition 1 of the paper): an
+// unbounded sequence of items, each a directed edge with a timestamp and
+// a weight. It also provides deterministic synthetic dataset generators
+// that stand in for the paper's evaluation datasets (see DESIGN.md §3)
+// and a compact binary codec for stream files.
+package stream
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Item is one element of a graph stream: a directed edge from Src to Dst
+// observed at time Time with weight Weight. A negative weight deletes
+// (part of) a previously inserted item, per Definition 1.
+type Item struct {
+	Src    string
+	Dst    string
+	Time   int64
+	Weight int64
+	Label  uint32 // optional edge label (ports/protocol in §VII-I); 0 if unused
+}
+
+// String renders the item in the paper's (src, dst; t; w) notation.
+func (it Item) String() string {
+	return fmt.Sprintf("(%s, %s; %d; %d)", it.Src, it.Dst, it.Time, it.Weight)
+}
+
+// Source yields the items of a graph stream in order. Next returns false
+// when the stream is exhausted.
+type Source interface {
+	Next() (Item, bool)
+}
+
+// SliceSource adapts an in-memory slice to a Source.
+type SliceSource struct {
+	items []Item
+	pos   int
+}
+
+// NewSliceSource returns a Source over items.
+func NewSliceSource(items []Item) *SliceSource { return &SliceSource{items: items} }
+
+// Next implements Source.
+func (s *SliceSource) Next() (Item, bool) {
+	if s.pos >= len(s.items) {
+		return Item{}, false
+	}
+	it := s.items[s.pos]
+	s.pos++
+	return it, true
+}
+
+// Reset rewinds the source to the beginning of the stream.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Collect drains src into a slice.
+func Collect(src Source) []Item {
+	var items []Item
+	for {
+		it, ok := src.Next()
+		if !ok {
+			return items
+		}
+		items = append(items, it)
+	}
+}
+
+// NodeID formats the canonical synthetic node identifier for ordinal i.
+// All generators use it, so ground-truth stores and sketches agree on
+// identifiers.
+func NodeID(i int) string { return "n" + strconv.Itoa(i) }

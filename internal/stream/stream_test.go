@@ -1,0 +1,207 @@
+package stream
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSliceSource(t *testing.T) {
+	items := []Item{{Src: "a", Dst: "b", Weight: 1}, {Src: "b", Dst: "c", Weight: 2}}
+	src := NewSliceSource(items)
+	got := Collect(src)
+	if len(got) != 2 || got[0].Src != "a" || got[1].Dst != "c" {
+		t.Fatalf("Collect = %v", got)
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("exhausted source returned an item")
+	}
+	src.Reset()
+	if it, ok := src.Next(); !ok || it.Src != "a" {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestItemString(t *testing.T) {
+	it := Item{Src: "a", Dst: "b", Time: 3, Weight: 7}
+	if got, want := it.String(), "(a, b; 3; 7)"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := EmailEuAll().Scaled(0.01)
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if len(a) != cfg.Edges {
+		t.Fatalf("generated %d items, want %d", len(a), cfg.Edges)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("generation not deterministic at item %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateProperties(t *testing.T) {
+	cfg := CitHepPh().Scaled(0.02)
+	items := Generate(cfg)
+	nodes := map[string]bool{}
+	for i, it := range items {
+		if it.Src == it.Dst {
+			t.Fatalf("self loop at %d: %v", i, it)
+		}
+		if it.Weight < 1 || it.Weight > int64(cfg.MaxWeight) {
+			t.Fatalf("weight out of range: %v", it)
+		}
+		if it.Time != int64(i) {
+			t.Fatalf("timestamps not monotone at %d", i)
+		}
+		nodes[it.Src] = true
+		nodes[it.Dst] = true
+	}
+	if len(nodes) < 2 || len(nodes) > cfg.Nodes {
+		t.Fatalf("touched %d nodes, universe %d", len(nodes), cfg.Nodes)
+	}
+}
+
+func TestGenerateSkewIsPowerLaw(t *testing.T) {
+	// The max out-degree must vastly exceed the mean for a power-law
+	// endpoint distribution; this is the skew the paper's square hashing
+	// targets.
+	cfg := WebNotreDame().Scaled(0.02)
+	items := Generate(cfg)
+	deg := map[string]int{}
+	for _, it := range items {
+		deg[it.Src]++
+	}
+	maxDeg, sum := 0, 0
+	for _, d := range deg {
+		sum += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean := float64(sum) / float64(len(deg))
+	if float64(maxDeg) < 20*mean {
+		t.Fatalf("degree distribution insufficiently skewed: max=%d mean=%.1f", maxDeg, mean)
+	}
+}
+
+func TestGenerateLabels(t *testing.T) {
+	cfg := WebNotreDame().Scaled(0.005)
+	cfg.Labels = 8
+	for _, it := range Generate(cfg) {
+		if it.Label < 1 || it.Label > 8 {
+			t.Fatalf("label out of range: %v", it)
+		}
+	}
+}
+
+func TestScaledMinimums(t *testing.T) {
+	cfg := EmailEuAll().Scaled(1e-9)
+	if cfg.Nodes < 64 || cfg.Edges < 128 {
+		t.Fatalf("Scaled lost minimums: %+v", cfg)
+	}
+	full := Caida()
+	if got := full.Scaled(1.0); got.Nodes != full.Nodes || got.Edges != full.Edges {
+		t.Fatalf("Scaled(1.0) changed counts: %+v", got)
+	}
+}
+
+func TestScaledPreservesShapeParameters(t *testing.T) {
+	c := LkmlReply().Scaled(0.25)
+	if c.DegreeSkew != LkmlReply().DegreeSkew || !c.MultiEdge {
+		t.Fatal("Scaled must preserve skew and multigraph flags")
+	}
+	wantN := int(math.Round(float64(LkmlReply().Nodes) * 0.25))
+	if c.Nodes != wantN {
+		t.Fatalf("Nodes = %d, want %d", c.Nodes, wantN)
+	}
+}
+
+func TestGeneratorLazyMatchesGenerate(t *testing.T) {
+	cfg := LkmlReply().Scaled(0.01)
+	eager := Generate(cfg)
+	lazy := Collect(NewGenerator(cfg))
+	if len(eager) != len(lazy) {
+		t.Fatalf("lazy %d items, eager %d", len(lazy), len(eager))
+	}
+	for i := range eager {
+		if eager[i] != lazy[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	items := Generate(EmailEuAll().Scaled(0.005))
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, NewSliceSource(items)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(items) {
+		t.Fatalf("decoded %d items, want %d", len(got), len(items))
+	}
+	for i := range items {
+		if got[i] != items[i] {
+			t.Fatalf("round-trip mismatch at %d: %v vs %v", i, got[i], items[i])
+		}
+	}
+}
+
+func TestCodecRoundTripQuick(t *testing.T) {
+	f := func(src, dst string, tm, w int64, label uint32) bool {
+		in := Item{Src: src, Dst: dst, Time: tm, Weight: w, Label: label}
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, NewSliceSource([]Item{in})); err != nil {
+			return false
+		}
+		out, err := ReadAll(&buf)
+		return err == nil && len(out) == 1 && out[0] == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, NewSliceSource(nil)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty stream round-trip: %v items, err=%v", got, err)
+	}
+}
+
+func TestCodecBadMagic(t *testing.T) {
+	if _, err := ReadAll(bytes.NewReader([]byte("NOPE....."))); err != ErrBadMagic {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestCodecTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, NewSliceSource([]Item{{Src: "abc", Dst: "def", Weight: 5}})); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadAll(bytes.NewReader(cut)); err == nil {
+		t.Fatal("truncated stream decoded without error")
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	cfg := EmailEuAll().Scaled(0.05)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Generate(cfg)
+	}
+}

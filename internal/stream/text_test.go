@@ -1,0 +1,78 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadTextBasics(t *testing.T) {
+	const in = `# comment
+% konect-style comment
+
+a b
+c d 5
+e f 7 1200
+g h 2 1300 9
+`
+	items, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 4 {
+		t.Fatalf("got %d items", len(items))
+	}
+	if items[0] != (Item{Src: "a", Dst: "b", Weight: 1, Time: 0}) {
+		t.Fatalf("default fields wrong: %+v", items[0])
+	}
+	if items[1].Weight != 5 || items[1].Time != 1 {
+		t.Fatalf("weight/ordinal wrong: %+v", items[1])
+	}
+	if items[2].Time != 1200 {
+		t.Fatalf("timestamp wrong: %+v", items[2])
+	}
+	if items[3].Label != 9 {
+		t.Fatalf("label wrong: %+v", items[3])
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []string{
+		"loner\n",
+		"a b notanumber\n",
+		"a b 1 notatime\n",
+		"a b 1 2 notalabel\n",
+	}
+	for _, in := range cases {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	items := Generate(CitHepPh().Scaled(0.001))
+	var buf bytes.Buffer
+	if err := WriteText(&buf, items); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(items) {
+		t.Fatalf("round trip lost items: %d vs %d", len(got), len(items))
+	}
+	for i := range items {
+		if got[i] != items[i] {
+			t.Fatalf("mismatch at %d: %+v vs %+v", i, got[i], items[i])
+		}
+	}
+}
+
+func TestReadTextEmpty(t *testing.T) {
+	items, err := ReadText(strings.NewReader("# just comments\n"))
+	if err != nil || len(items) != 0 {
+		t.Fatalf("items=%v err=%v", items, err)
+	}
+}

@@ -1,0 +1,214 @@
+// Package tcm implements TCM ("Graph stream summarization: From big
+// bang to big crunch", SIGMOD 2016), the state-of-the-art baseline the
+// paper compares against. A TCM summary is d independent graph sketches,
+// each an M x M adjacency matrix of counters under its own node hash
+// function. Edge and node estimates take the minimum over sketches; set
+// queries intersect the per-sketch candidate sets ("report the most
+// accurate value", §II).
+package tcm
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/hashing"
+	"repro/internal/stream"
+)
+
+// Config configures a TCM summary.
+type Config struct {
+	// Width is M, the side length of each adjacency matrix (which for
+	// TCM is also the node-hash range).
+	Width int
+	// Depth is the number of independent graph sketches. The paper's
+	// experiments use 4.
+	Depth int
+	// Seed derives the per-sketch hash functions.
+	Seed uint64
+}
+
+// TCM is a multi-sketch TCM summary. Not safe for concurrent use.
+type TCM struct {
+	cfg      Config
+	counters [][]int64 // Depth matrices, each Width*Width
+	names    []string  // node ordinal -> identifier
+	ordinals map[string]int
+	// rowIndex[v hash in sketch 0] -> node ordinals, for fast candidate
+	// enumeration in set queries.
+	rowIndex map[uint32][]int
+	items    int64
+}
+
+// New builds an empty TCM summary.
+func New(cfg Config) (*TCM, error) {
+	if cfg.Width <= 0 {
+		return nil, errors.New("tcm: Config.Width must be positive")
+	}
+	if cfg.Depth == 0 {
+		cfg.Depth = 4
+	}
+	if cfg.Depth < 1 {
+		return nil, errors.New("tcm: Config.Depth must be positive")
+	}
+	t := &TCM{
+		cfg:      cfg,
+		counters: make([][]int64, cfg.Depth),
+		ordinals: make(map[string]int),
+		rowIndex: make(map[uint32][]int),
+	}
+	for k := range t.counters {
+		t.counters[k] = make([]int64, cfg.Width*cfg.Width)
+	}
+	return t, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *TCM {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (t *TCM) hash(v string, sketch int) uint32 {
+	return uint32(hashing.HashSeeded(v, t.cfg.Seed+uint64(sketch)*0x9e3779b97f4a7c15) % uint64(t.cfg.Width))
+}
+
+func (t *TCM) register(v string) int {
+	if ord, ok := t.ordinals[v]; ok {
+		return ord
+	}
+	ord := len(t.names)
+	t.ordinals[v] = ord
+	t.names = append(t.names, v)
+	h0 := t.hash(v, 0)
+	t.rowIndex[h0] = append(t.rowIndex[h0], ord)
+	return ord
+}
+
+// Insert ingests one stream item.
+func (t *TCM) Insert(it stream.Item) { t.InsertEdge(it.Src, it.Dst, it.Weight) }
+
+// InsertEdge adds w to edge (src,dst) in every sketch.
+func (t *TCM) InsertEdge(src, dst string, w int64) {
+	t.items++
+	t.register(src)
+	t.register(dst)
+	for k := 0; k < t.cfg.Depth; k++ {
+		t.counters[k][int(t.hash(src, k))*t.cfg.Width+int(t.hash(dst, k))] += w
+	}
+}
+
+// EdgeWeight estimates the weight of (src,dst) as the minimum over
+// sketches. With additive positive weights TCM never underestimates, so
+// a zero minimum means the edge is absent.
+func (t *TCM) EdgeWeight(src, dst string) (int64, bool) {
+	est := t.edgeEstimate(src, dst)
+	return est, est != 0
+}
+
+func (t *TCM) edgeEstimate(src, dst string) int64 {
+	var est int64
+	for k := 0; k < t.cfg.Depth; k++ {
+		c := t.counters[k][int(t.hash(src, k))*t.cfg.Width+int(t.hash(dst, k))]
+		if k == 0 || c < est {
+			est = c
+		}
+	}
+	return est
+}
+
+// Successors returns every registered node u with a nonzero counter on
+// (v,u) in all sketches: the paper's row scan of the adjacency matrix,
+// with the hash table mapping matrix columns back to original IDs, and
+// the intersection over the d sketches for accuracy.
+func (t *TCM) Successors(v string) []string { return t.neighbors(v, true) }
+
+// Precursors is the column-wise analogue of Successors.
+func (t *TCM) Precursors(v string) []string { return t.neighbors(v, false) }
+
+func (t *TCM) neighbors(v string, forward bool) []string {
+	if _, ok := t.ordinals[v]; !ok {
+		return nil
+	}
+	w := t.cfg.Width
+	h0 := int(t.hash(v, 0))
+	var out []string
+	// Scan the sketch-0 row (or column); each nonzero cell yields the
+	// registered nodes hashing there as candidates, which sketches
+	// 1..d-1 then confirm or reject.
+	for c := 0; c < w; c++ {
+		var cnt int64
+		if forward {
+			cnt = t.counters[0][h0*w+c]
+		} else {
+			cnt = t.counters[0][c*w+h0]
+		}
+		if cnt == 0 {
+			continue
+		}
+		for _, ord := range t.rowIndex[uint32(c)] {
+			u := t.names[ord]
+			var est int64
+			if forward {
+				est = t.edgeEstimate(v, u)
+			} else {
+				est = t.edgeEstimate(u, v)
+			}
+			if est != 0 {
+				out = append(out, u)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NodeOutWeight estimates the paper's node query: the sum of the
+// weights of all edges with source v, computed per sketch as a full row
+// sum and minimized across sketches.
+func (t *TCM) NodeOutWeight(v string) int64 {
+	var est int64
+	for k := 0; k < t.cfg.Depth; k++ {
+		row := int(t.hash(v, k)) * t.cfg.Width
+		var sum int64
+		for c := 0; c < t.cfg.Width; c++ {
+			sum += t.counters[k][row+c]
+		}
+		if k == 0 || sum < est {
+			est = sum
+		}
+	}
+	return est
+}
+
+// Nodes returns all registered node identifiers, sorted.
+func (t *TCM) Nodes() []string {
+	out := make([]string, len(t.names))
+	copy(out, t.names)
+	sort.Strings(out)
+	return out
+}
+
+// MemoryBytes is the counter footprint across all sketches.
+func (t *TCM) MemoryBytes() int64 {
+	return int64(t.cfg.Depth) * int64(t.cfg.Width) * int64(t.cfg.Width) * 8
+}
+
+// ItemCount is the number of stream items ingested.
+func (t *TCM) ItemCount() int64 { return t.items }
+
+// WidthForMemory returns the per-sketch matrix width M such that depth
+// matrices of M x M 8-byte counters use at most bytes. This is how the
+// experiments grant TCM its 8x / 256x memory budgets (§VII-C).
+func WidthForMemory(bytes int64, depth int) int {
+	if depth < 1 {
+		depth = 1
+	}
+	w := 1
+	for int64(w+1)*int64(w+1)*int64(depth)*8 <= bytes {
+		w++
+	}
+	return w
+}

@@ -1,0 +1,150 @@
+package tcm
+
+import (
+	"testing"
+
+	"repro/internal/adjlist"
+	"repro/internal/stream"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	if _, err := New(Config{Width: 8, Depth: -1}); err == nil {
+		t.Fatal("negative depth accepted")
+	}
+	s := MustNew(Config{Width: 8})
+	if s.cfg.Depth != 4 {
+		t.Fatalf("default depth = %d, want 4", s.cfg.Depth)
+	}
+}
+
+func TestEdgeWeightNoUnderestimate(t *testing.T) {
+	items := stream.Generate(stream.EmailEuAll().Scaled(0.002))
+	exact := adjlist.New()
+	s := MustNew(Config{Width: 64, Depth: 4})
+	for _, it := range items {
+		s.Insert(it)
+		exact.Insert(it.Src, it.Dst, it.Weight)
+	}
+	for _, it := range items {
+		want, _ := exact.EdgeWeight(it.Src, it.Dst)
+		got, ok := s.EdgeWeight(it.Src, it.Dst)
+		if !ok {
+			t.Fatalf("false negative on (%s,%s)", it.Src, it.Dst)
+		}
+		if got < want {
+			t.Fatalf("CM-style min estimate underestimated: %d < %d", got, want)
+		}
+	}
+}
+
+func TestSuccessorsSuperset(t *testing.T) {
+	items := stream.Generate(stream.CitHepPh().Scaled(0.002))
+	exact := adjlist.New()
+	s := MustNew(Config{Width: 128, Depth: 4})
+	for _, it := range items {
+		s.Insert(it)
+		exact.Insert(it.Src, it.Dst, it.Weight)
+	}
+	nodes := exact.Nodes()
+	if len(nodes) > 150 {
+		nodes = nodes[:150]
+	}
+	for _, v := range nodes {
+		got := map[string]bool{}
+		for _, u := range s.Successors(v) {
+			got[u] = true
+		}
+		for _, u := range exact.Successors(v) {
+			if !got[u] {
+				t.Fatalf("TCM lost successor %s of %s", u, v)
+			}
+		}
+		gotP := map[string]bool{}
+		for _, u := range s.Precursors(v) {
+			gotP[u] = true
+		}
+		for _, u := range exact.Precursors(v) {
+			if !gotP[u] {
+				t.Fatalf("TCM lost precursor %s of %s", u, v)
+			}
+		}
+	}
+}
+
+func TestMoreSketchesNeverHurtEdgeEstimates(t *testing.T) {
+	items := stream.Generate(stream.LkmlReply().Scaled(0.001))
+	one := MustNew(Config{Width: 32, Depth: 1})
+	four := MustNew(Config{Width: 32, Depth: 4})
+	for _, it := range items {
+		one.Insert(it)
+		four.Insert(it)
+	}
+	for _, it := range items[:500] {
+		w1, _ := one.EdgeWeight(it.Src, it.Dst)
+		w4, _ := four.EdgeWeight(it.Src, it.Dst)
+		if w4 > w1 {
+			t.Fatalf("min over more sketches increased estimate: %d > %d", w4, w1)
+		}
+	}
+}
+
+func TestNodeOutWeight(t *testing.T) {
+	s := MustNew(Config{Width: 256, Depth: 4})
+	s.InsertEdge("a", "b", 3)
+	s.InsertEdge("a", "c", 4)
+	s.InsertEdge("x", "y", 100)
+	got := s.NodeOutWeight("a")
+	if got < 7 {
+		t.Fatalf("NodeOutWeight(a) = %d, want >= 7", got)
+	}
+}
+
+func TestUnknownNode(t *testing.T) {
+	s := MustNew(Config{Width: 16})
+	s.InsertEdge("a", "b", 1)
+	if got := s.Successors("nope"); got != nil {
+		t.Fatalf("unknown node successors = %v", got)
+	}
+	if got := s.Precursors("nope"); got != nil {
+		t.Fatalf("unknown node precursors = %v", got)
+	}
+}
+
+func TestNodesAndCounts(t *testing.T) {
+	s := MustNew(Config{Width: 16})
+	s.InsertEdge("b", "a", 1)
+	s.InsertEdge("a", "c", 1)
+	nodes := s.Nodes()
+	if len(nodes) != 3 || nodes[0] != "a" {
+		t.Fatalf("Nodes = %v", nodes)
+	}
+	if s.ItemCount() != 2 {
+		t.Fatalf("ItemCount = %d", s.ItemCount())
+	}
+}
+
+func TestMemoryAndWidthForMemory(t *testing.T) {
+	s := MustNew(Config{Width: 100, Depth: 4})
+	if got := s.MemoryBytes(); got != 4*100*100*8 {
+		t.Fatalf("MemoryBytes = %d", got)
+	}
+	w := WidthForMemory(s.MemoryBytes(), 4)
+	if w != 100 {
+		t.Fatalf("WidthForMemory round trip = %d, want 100", w)
+	}
+	if w := WidthForMemory(8*256, 1); w*w*8 > 8*256 {
+		t.Fatalf("WidthForMemory overshoots: %d", w)
+	}
+}
+
+func TestDeletion(t *testing.T) {
+	s := MustNew(Config{Width: 64})
+	s.InsertEdge("a", "b", 9)
+	s.InsertEdge("a", "b", -4)
+	if w, _ := s.EdgeWeight("a", "b"); w != 5 {
+		t.Fatalf("w = %d after deletion", w)
+	}
+}

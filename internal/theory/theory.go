@@ -1,0 +1,130 @@
+// Package theory implements the closed-form accuracy and buffer-size
+// models of §VI: the edge-collision probability (Eq. 8-12) behind the
+// Fig. 3 surfaces, the per-primitive correct rates, and the left-over
+// probability bound (Eq. 13-18). The experiment harness prints these
+// next to the measured values so theory and practice can be compared
+// directly.
+package theory
+
+import "math"
+
+// EdgeCorrectRate is Eq. 12: the probability that an edge query on edge
+// e is exact, where edges is |E|, adjacent is D (edges sharing an
+// endpoint with e) and m is the node-hash range M.
+//
+//	P = exp(-(|E| + (M-1)·D) / M²)
+func EdgeCorrectRate(edges, adjacent int64, m float64) float64 {
+	if m <= 0 {
+		return 0
+	}
+	return math.Exp(-(float64(edges) + (m-1)*float64(adjacent)) / (m * m))
+}
+
+// SuccessorCorrectRate is the §VI-B rate for a 1-hop successor (or
+// precursor) query on a node v with degree d in a graph of |V| nodes:
+// P^(|V|-d), with P the per-candidate edge correct rate. Following the
+// analysis, each non-successor v' must avoid colliding into an existing
+// edge (v,v').
+func SuccessorCorrectRate(nodes, degree, edges int64, adjacent int64, m float64) float64 {
+	p := EdgeCorrectRate(edges, adjacent, m)
+	exponent := float64(nodes - degree)
+	if exponent < 0 {
+		exponent = 0
+	}
+	return math.Pow(p, exponent)
+}
+
+// NodeCollisionFreeRate is the §IV estimate that a node collides with no
+// other node under a uniform map of |V| nodes into [0,M):
+// (1-1/M)^(|V|-1) ≈ exp(-(|V|-1)/M).
+func NodeCollisionFreeRate(nodes int64, m float64) float64 {
+	if m <= 0 {
+		return 0
+	}
+	return math.Exp(-float64(nodes-1) / m)
+}
+
+// Fig3Point computes one point of the Fig. 3 surfaces: the correct rate
+// of each primitive as a function of the ratio M/|V| and the relevant
+// degree parameter. The paper plots the edge query against d1+d2 (total
+// adjacent edges) and the successor/precursor queries against the
+// queried node's degree.
+type Fig3Point struct {
+	MOverV     float64
+	Degree     int64
+	EdgeQuery  float64
+	SuccessorQ float64
+	PrecursorQ float64
+}
+
+// Fig3Surface evaluates the Fig. 3 model over ratios × degrees for a
+// graph with the given node count and average degree (|E| = avgDeg·|V|).
+func Fig3Surface(nodes int64, avgDeg float64, ratios []float64, degrees []int64) []Fig3Point {
+	edges := int64(avgDeg * float64(nodes))
+	var out []Fig3Point
+	for _, ratio := range ratios {
+		m := ratio * float64(nodes)
+		for _, d := range degrees {
+			p := Fig3Point{
+				MOverV:     ratio,
+				Degree:     d,
+				EdgeQuery:  EdgeCorrectRate(edges, d, m),
+				SuccessorQ: SuccessorCorrectRate(nodes, d, edges, d, m),
+			}
+			p.PrecursorQ = p.SuccessorQ // symmetric under the model
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// LeftOverProbability is Eq. 17-18: the probability that a new edge with
+// D adjacent edges becomes a left-over edge when N edges are already
+// stored in an m×m matrix with l rooms per bucket, r-long address
+// sequences and k candidate buckets.
+//
+//	P = (1 - Pr)^k,
+//	Pr = Σ_{n<l} Σ_{a<=n} C(N-D,a) C(D,n-a) (1/m²)^a (1/(rm))^{n-a}
+//	     · exp(-((N-D-a)/m² + (D-n+a)/(rm)))
+//
+// Binomials are evaluated in log space so paper-scale N keeps working.
+func LeftOverProbability(n, d int64, m, r, l, k int) float64 {
+	if m <= 0 || r <= 0 || l <= 0 || k <= 0 {
+		return 1
+	}
+	if d > n {
+		d = n
+	}
+	m2 := float64(m) * float64(m)
+	rm := float64(r) * float64(m)
+	var pr float64
+	for slots := 0; slots < l; slots++ {
+		for a := 0; a <= slots; a++ {
+			b := slots - a // adjacent edges in the bucket
+			logTerm := logChoose(n-d, int64(a)) + logChoose(d, int64(b))
+			logTerm += float64(a) * math.Log(1/m2)
+			logTerm += float64(b) * math.Log(1/rm)
+			logTerm += -((float64(n-d) - float64(a)) / m2) - ((float64(d) - float64(slots) + float64(a)) / rm)
+			pr += math.Exp(logTerm)
+		}
+	}
+	if pr > 1 {
+		pr = 1
+	}
+	return math.Pow(1-pr, float64(k))
+}
+
+// logChoose is log C(n,k) via the log-gamma function; -Inf when k > n.
+func logChoose(n, k int64) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	if k == 0 || k == n {
+		return 0
+	}
+	lg := func(x int64) float64 {
+		v, _ := math.Lgamma(float64(x) + 1)
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}

@@ -1,0 +1,134 @@
+package theory
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEdgeCorrectRatePaperExample(t *testing.T) {
+	// §VI-C worked example: F=256, m=1000 so M=256000, |E|=5e5, D=200
+	// gives correct rate exp(-0.00078) ≈ 0.9992.
+	got := EdgeCorrectRate(5e5, 200, 256000)
+	if math.Abs(got-0.9992) > 0.0002 {
+		t.Fatalf("EdgeCorrectRate = %.5f, want ≈ 0.9992", got)
+	}
+	// TCM with the same matrix (M = m = 1000) gets ≈ 0.497 per the
+	// paper.
+	tcm := EdgeCorrectRate(5e5, 200, 1000)
+	if math.Abs(tcm-0.497) > 0.02 {
+		t.Fatalf("TCM-style correct rate = %.3f, want ≈ 0.497", tcm)
+	}
+}
+
+func TestEdgeCorrectRateMonotonicity(t *testing.T) {
+	// More hash range is never worse; more adjacent edges never better.
+	base := EdgeCorrectRate(1e6, 100, 1e4)
+	if EdgeCorrectRate(1e6, 100, 1e5) <= base {
+		t.Fatal("larger M did not improve correct rate")
+	}
+	if EdgeCorrectRate(1e6, 10000, 1e4) >= base {
+		t.Fatal("more adjacent edges did not hurt correct rate")
+	}
+	if got := EdgeCorrectRate(1e6, 100, 0); got != 0 {
+		t.Fatalf("degenerate M: %f", got)
+	}
+}
+
+func TestSuccessorCorrectRateShape(t *testing.T) {
+	// The §IV claim behind Fig. 3: at M/|V| <= 1 the successor-query
+	// accuracy collapses toward 0; at M/|V| >= 200 it exceeds ~0.8.
+	const nodes = 100000
+	const avgDeg = 5
+	low := SuccessorCorrectRate(nodes, 10, avgDeg*nodes, 10, float64(nodes))
+	if low > 0.01 {
+		t.Fatalf("at M=|V| successor accuracy should be ~0, got %f", low)
+	}
+	high := SuccessorCorrectRate(nodes, 10, avgDeg*nodes, 10, 200*float64(nodes))
+	if high < 0.8 {
+		t.Fatalf("at M=200|V| successor accuracy should exceed 0.8, got %f", high)
+	}
+}
+
+func TestSuccessorCorrectRateDegreeClamp(t *testing.T) {
+	// degree > nodes must not produce a negative exponent blow-up.
+	got := SuccessorCorrectRate(10, 100, 50, 10, 1e6)
+	if got < 0 || got > 1 {
+		t.Fatalf("rate out of range: %f", got)
+	}
+}
+
+func TestNodeCollisionFreeRate(t *testing.T) {
+	if got := NodeCollisionFreeRate(1, 100); got != 1 {
+		t.Fatalf("single node must never collide: %f", got)
+	}
+	r1 := NodeCollisionFreeRate(1000, 1e6)
+	r2 := NodeCollisionFreeRate(1000, 1e3)
+	if r1 <= r2 {
+		t.Fatal("larger range must reduce collisions")
+	}
+}
+
+func TestFig3Surface(t *testing.T) {
+	pts := Fig3Surface(1e5, 5, []float64{0.5, 1, 10, 100, 200}, []int64{2, 16, 128})
+	if len(pts) != 15 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.EdgeQuery < 0 || p.EdgeQuery > 1 || p.SuccessorQ < 0 || p.SuccessorQ > 1 {
+			t.Fatalf("point out of range: %+v", p)
+		}
+		if p.PrecursorQ != p.SuccessorQ {
+			t.Fatalf("precursor should mirror successor in the model: %+v", p)
+		}
+	}
+	// Accuracy must rise with M/|V| at fixed degree.
+	var prev float64 = -1
+	for _, p := range pts {
+		if p.Degree != 16 {
+			continue
+		}
+		if p.SuccessorQ < prev {
+			t.Fatalf("successor rate not monotone in M/|V|: %+v", p)
+		}
+		prev = p.SuccessorQ
+	}
+}
+
+func TestLeftOverProbabilityPaperExample(t *testing.T) {
+	// §VI-D worked example: N=1e6, D=1e4, m=1000, r=8, l=3, k=8 gives
+	// an upper-bound failure probability of about 0.002.
+	got := LeftOverProbability(1e6, 1e4, 1000, 8, 3, 8)
+	if got > 0.01 || got < 1e-5 {
+		t.Fatalf("LeftOverProbability = %g, want ≈ 0.002", got)
+	}
+}
+
+func TestLeftOverProbabilityShape(t *testing.T) {
+	// More rooms, longer sequences and more candidates all reduce the
+	// left-over probability; load increases it.
+	base := LeftOverProbability(5e5, 1e3, 700, 8, 2, 8)
+	if LeftOverProbability(5e5, 1e3, 700, 8, 3, 8) > base {
+		t.Fatal("extra room increased left-over probability")
+	}
+	if LeftOverProbability(5e5, 1e3, 700, 8, 2, 16) > base {
+		t.Fatal("extra candidates increased left-over probability")
+	}
+	if LeftOverProbability(2e6, 1e3, 700, 8, 2, 8) < base {
+		t.Fatal("more load decreased left-over probability")
+	}
+	if got := LeftOverProbability(1e5, 10, 0, 8, 2, 8); got != 1 {
+		t.Fatalf("degenerate matrix: %f", got)
+	}
+}
+
+func TestLogChoose(t *testing.T) {
+	if got := logChoose(5, 2); math.Abs(got-math.Log(10)) > 1e-9 {
+		t.Fatalf("logChoose(5,2) = %f", got)
+	}
+	if !math.IsInf(logChoose(3, 5), -1) {
+		t.Fatal("logChoose(3,5) should be -Inf")
+	}
+	if logChoose(7, 0) != 0 || logChoose(7, 7) != 0 {
+		t.Fatal("boundary cases wrong")
+	}
+}

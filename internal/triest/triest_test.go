@@ -1,0 +1,132 @@
+package triest
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/adjlist"
+	"repro/internal/stream"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := New(2, 1); err == nil {
+		t.Fatal("tiny capacity accepted")
+	}
+	if _, err := New(100, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactWhenSampleHoldsEverything(t *testing.T) {
+	// With capacity >= stream length TRIEST is exact: xi = 1 and every
+	// triangle is counted.
+	tr := MustNew(1000, 1)
+	edges := [][2]string{
+		{"a", "b"}, {"b", "c"}, {"c", "a"}, // triangle 1
+		{"c", "d"}, {"d", "a"}, // triangle 2 (a,c,d)
+		{"x", "y"},
+	}
+	for _, e := range edges {
+		tr.AddEdge(e[0], e[1])
+	}
+	if got := tr.Estimate(); got != 2 {
+		t.Fatalf("Estimate = %f, want 2", got)
+	}
+	if tr.SampleSize() != len(edges) {
+		t.Fatalf("SampleSize = %d", tr.SampleSize())
+	}
+}
+
+func TestSelfLoopsIgnored(t *testing.T) {
+	tr := MustNew(10, 1)
+	tr.AddEdge("a", "a")
+	if tr.EdgesSeen() != 0 || tr.SampleSize() != 0 {
+		t.Fatal("self loop was counted")
+	}
+}
+
+func TestReservoirBounded(t *testing.T) {
+	tr := MustNew(50, 3)
+	for i := 0; i < 5000; i++ {
+		tr.AddEdge(stream.NodeID(i%200), stream.NodeID((i*7+1)%200))
+	}
+	if tr.SampleSize() > 50 {
+		t.Fatalf("reservoir exceeded capacity: %d", tr.SampleSize())
+	}
+	if tr.EdgesSeen() < 4900 { // minus skipped self loops
+		t.Fatalf("EdgesSeen = %d", tr.EdgesSeen())
+	}
+}
+
+func TestEstimateAccuracyOnRealStream(t *testing.T) {
+	// §VII-I / Fig. 14: TRIEST achieves small relative error when the
+	// reservoir holds a reasonable fraction of the (deduplicated) edges.
+	items := stream.Generate(stream.CitHepPh().Scaled(0.02))
+	exact := adjlist.New()
+	seen := map[[2]string]bool{}
+	var unique [][2]string
+	for _, it := range items {
+		exact.Insert(it.Src, it.Dst, it.Weight)
+		k := [2]string{it.Src, it.Dst}
+		if it.Src > it.Dst {
+			k = [2]string{it.Dst, it.Src}
+		}
+		if !seen[k] {
+			seen[k] = true
+			unique = append(unique, k)
+		}
+	}
+	truth := float64(exact.Triangles())
+	if truth == 0 {
+		t.Skip("no triangles in scaled stream")
+	}
+	// Average a few runs: TRIEST is a randomized estimator.
+	var est float64
+	const runs = 5
+	for r := 0; r < runs; r++ {
+		tr := MustNew(len(unique)/2, int64(r+1))
+		for _, e := range unique {
+			tr.AddEdge(e[0], e[1])
+		}
+		est += tr.Estimate()
+	}
+	est /= runs
+	if rel := math.Abs(est-truth) / truth; rel > 0.30 {
+		t.Fatalf("relative error %.3f too high (est %.0f, truth %.0f)", rel, est, truth)
+	}
+}
+
+func TestEstimateUnbiasedOverRuns(t *testing.T) {
+	// The estimator mean over many seeds must approach the truth.
+	edges := [][2]string{}
+	// A clique of 12 nodes: C(12,3) = 220 triangles.
+	for i := 0; i < 12; i++ {
+		for j := i + 1; j < 12; j++ {
+			edges = append(edges, [2]string{stream.NodeID(i), stream.NodeID(j)})
+		}
+	}
+	var sum float64
+	const runs = 60
+	for r := 0; r < runs; r++ {
+		tr := MustNew(30, int64(r)) // less than half the 66 edges
+		for _, e := range edges {
+			tr.AddEdge(e[0], e[1])
+		}
+		sum += tr.Estimate()
+	}
+	mean := sum / runs
+	if mean < 110 || mean > 330 {
+		t.Fatalf("mean estimate %f far from truth 220", mean)
+	}
+}
+
+func TestMemoryBytesGrowsWithSample(t *testing.T) {
+	tr := MustNew(100, 1)
+	if tr.MemoryBytes() != 0 {
+		t.Fatal("empty estimator reports memory")
+	}
+	tr.AddEdge("a", "b")
+	if tr.MemoryBytes() <= 0 {
+		t.Fatal("memory not accounted")
+	}
+}

@@ -1,0 +1,264 @@
+// Package vf2 implements VF2-style subgraph isomorphism over labeled
+// directed graphs. The paper uses VF2 on top of GSS for the subgraph
+// matching experiment (§VII-I): the target graph is accessed purely
+// through the neighbor/edge-label interface, so the same matcher runs
+// against an exact window store or a sketch-backed view.
+package vf2
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Graph is the target-graph access interface the matcher needs. A
+// label of 0 means "unlabeled".
+type Graph interface {
+	// Nodes enumerates candidate nodes for unanchored pattern nodes.
+	Nodes() []string
+	// Successors returns the 1-hop successors of v.
+	Successors(v string) []string
+	// Precursors returns the 1-hop precursors of v.
+	Precursors(v string) []string
+	// EdgeLabel returns the label of directed edge (src,dst), if any.
+	EdgeLabel(src, dst string) (uint32, bool)
+}
+
+// Edge is a directed, optionally labeled pattern edge between pattern
+// node indices. Label 0 matches any target label.
+type Edge struct {
+	From, To int
+	Label    uint32
+}
+
+// Pattern is a small query graph over N pattern nodes indexed 0..N-1.
+type Pattern struct {
+	N     int
+	Edges []Edge
+}
+
+// Validate checks index ranges and non-emptiness.
+func (p Pattern) Validate() error {
+	if p.N <= 0 {
+		return errors.New("vf2: pattern has no nodes")
+	}
+	for _, e := range p.Edges {
+		if e.From < 0 || e.From >= p.N || e.To < 0 || e.To >= p.N {
+			return fmt.Errorf("vf2: edge %v out of range [0,%d)", e, p.N)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("vf2: self loop on pattern node %d", e.From)
+		}
+	}
+	return nil
+}
+
+// DefaultMaxSteps bounds the backtracking search of FindOne. Hub-heavy
+// targets can make subgraph isomorphism (NP-complete in general)
+// explode; a bounded search returns "not found" instead of hanging,
+// which under the Fig. 15 metric scores as an (honest) miss.
+const DefaultMaxSteps = 2_000_000
+
+// FindOne searches g for an injective embedding of p and returns the
+// assignment pattern-index -> target node. Search order follows pattern
+// connectivity so each node after the first is anchored on an already
+// matched neighbor whenever the pattern is connected. The search is
+// budgeted at DefaultMaxSteps candidate checks.
+func FindOne(g Graph, p Pattern) (map[int]string, bool) {
+	return FindOneBudget(g, p, DefaultMaxSteps)
+}
+
+// FindOneBudget is FindOne with an explicit step budget (<= 0 means
+// unbounded).
+func FindOneBudget(g Graph, p Pattern, maxSteps int) (map[int]string, bool) {
+	assign, status := FindOneStatus(g, p, maxSteps)
+	return assign, status == StatusFound
+}
+
+// Status reports how a budgeted search ended.
+type Status int
+
+const (
+	// StatusFound: an embedding was found.
+	StatusFound Status = iota
+	// StatusNotFound: the search space was exhausted without a match —
+	// a definitive negative.
+	StatusNotFound
+	// StatusBudget: the step budget ran out first — the search is
+	// inconclusive.
+	StatusBudget
+	// StatusInvalid: the pattern failed validation.
+	StatusInvalid
+)
+
+// FindOneStatus is FindOneBudget distinguishing a definitive "no
+// embedding" from an inconclusive budget exhaustion.
+func FindOneStatus(g Graph, p Pattern, maxSteps int) (map[int]string, Status) {
+	if err := p.Validate(); err != nil {
+		return nil, StatusInvalid
+	}
+	st := &state{g: g, p: p, assign: make([]string, p.N), used: make(map[string]int), budget: maxSteps}
+	st.planOrder()
+	if st.match(0) {
+		out := make(map[int]string, p.N)
+		for i, v := range st.assign {
+			out[i] = v
+		}
+		return out, StatusFound
+	}
+	if st.spent {
+		return nil, StatusBudget
+	}
+	return nil, StatusNotFound
+}
+
+type state struct {
+	g      Graph
+	p      Pattern
+	order  []int // pattern nodes in match order
+	assign []string
+	used   map[string]int
+	budget int // remaining candidate checks; <= 0 at start means unbounded
+	spent  bool
+}
+
+// planOrder computes a most-constrained-first ordering: after the
+// highest-degree start node, each position takes the unplaced pattern
+// node with the most edges into the placed prefix, so candidate sets
+// shrink as fast as possible.
+func (s *state) planOrder() {
+	degree := make([]int, s.p.N)
+	for _, e := range s.p.Edges {
+		degree[e.From]++
+		degree[e.To]++
+	}
+	placed := make([]bool, s.p.N)
+	s.order = make([]int, 0, s.p.N)
+	for len(s.order) < s.p.N {
+		next, bestScore := -1, -1
+		for i := 0; i < s.p.N; i++ {
+			if placed[i] {
+				continue
+			}
+			score := 0
+			for _, e := range s.p.Edges {
+				if (e.From == i && placed[e.To]) || (e.To == i && placed[e.From]) {
+					score += s.p.N // edges into the prefix dominate
+				}
+			}
+			score += degree[i]
+			if score > bestScore {
+				next, bestScore = i, score
+			}
+		}
+		placed[next] = true
+		s.order = append(s.order, next)
+	}
+}
+
+// candidatesFor picks the tightest available candidate set for a
+// pattern node: the neighbor set of whichever matched pattern-neighbor
+// has the fewest neighbors in the target (dynamic most-constrained
+// anchoring), then filters it by the anchor edge's label so labeled
+// hubs do not blow up the branching factor. Unanchored nodes (start of
+// a component) fall back to the full node universe.
+func (s *state) candidatesFor(node int) []string {
+	var (
+		best     []string
+		bestEdge Edge
+		forward  bool
+		anchored bool
+	)
+	for _, e := range s.p.Edges {
+		var c []string
+		var fwd bool
+		switch {
+		case e.From == node && s.assignMatched(e.To):
+			c, fwd = s.g.Precursors(s.assign[e.To]), false
+		case e.To == node && s.assignMatched(e.From):
+			c, fwd = s.g.Successors(s.assign[e.From]), true
+		default:
+			continue
+		}
+		if !anchored || len(c) < len(best) {
+			best, bestEdge, forward, anchored = c, e, fwd, true
+		}
+	}
+	if !anchored {
+		return s.g.Nodes()
+	}
+	if bestEdge.Label == 0 {
+		return best
+	}
+	// Keep only neighbors connected by the anchor edge's label.
+	filtered := best[:0:0]
+	for _, cand := range best {
+		var label uint32
+		var ok bool
+		if forward {
+			label, ok = s.g.EdgeLabel(s.assign[bestEdge.From], cand)
+		} else {
+			label, ok = s.g.EdgeLabel(cand, s.assign[bestEdge.To])
+		}
+		if ok && label == bestEdge.Label {
+			filtered = append(filtered, cand)
+		}
+	}
+	return filtered
+}
+
+func (s *state) match(pos int) bool {
+	if pos == len(s.order) {
+		return true
+	}
+	node := s.order[pos]
+	candidates := s.candidatesFor(node)
+	for _, cand := range candidates {
+		if s.spent {
+			return false
+		}
+		if s.budget > 0 {
+			s.budget--
+			if s.budget == 0 {
+				s.spent = true
+				return false
+			}
+		}
+		if _, taken := s.used[cand]; taken {
+			continue
+		}
+		if !s.consistent(node, cand) {
+			continue
+		}
+		s.assign[node] = cand
+		s.used[cand] = node
+		if s.match(pos + 1) {
+			return true
+		}
+		delete(s.used, cand)
+		s.assign[node] = ""
+	}
+	return false
+}
+
+// consistent checks every pattern edge between node and already-matched
+// nodes against the target, including labels.
+func (s *state) consistent(node int, cand string) bool {
+	for _, e := range s.p.Edges {
+		var src, dst string
+		switch {
+		case e.From == node && s.assignMatched(e.To):
+			src, dst = cand, s.assign[e.To]
+		case e.To == node && s.assignMatched(e.From):
+			src, dst = s.assign[e.From], cand
+		default:
+			continue
+		}
+		label, ok := s.g.EdgeLabel(src, dst)
+		if !ok || (e.Label != 0 && label != e.Label) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *state) assignMatched(i int) bool { return s.assign[i] != "" }

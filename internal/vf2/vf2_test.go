@@ -1,0 +1,203 @@
+package vf2
+
+import (
+	"sort"
+	"testing"
+)
+
+// mapGraph is a tiny labeled graph for tests.
+type mapGraph struct {
+	adj map[string]map[string]uint32
+}
+
+func newMapGraph(edges ...[3]string) *mapGraph {
+	g := &mapGraph{adj: map[string]map[string]uint32{}}
+	for _, e := range edges {
+		if g.adj[e[0]] == nil {
+			g.adj[e[0]] = map[string]uint32{}
+		}
+		label := uint32(0)
+		if e[2] != "" {
+			label = uint32(e[2][0])
+		}
+		g.adj[e[0]][e[1]] = label
+		if g.adj[e[1]] == nil {
+			g.adj[e[1]] = map[string]uint32{}
+		}
+	}
+	return g
+}
+
+func (g *mapGraph) Nodes() []string {
+	var out []string
+	for v := range g.adj {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (g *mapGraph) Successors(v string) []string {
+	var out []string
+	for u := range g.adj[v] {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (g *mapGraph) Precursors(v string) []string {
+	var out []string
+	for u, os := range g.adj {
+		if _, ok := os[v]; ok {
+			out = append(out, u)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (g *mapGraph) EdgeLabel(src, dst string) (uint32, bool) {
+	l, ok := g.adj[src][dst]
+	return l, ok
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Pattern{}).Validate(); err == nil {
+		t.Fatal("empty pattern accepted")
+	}
+	if err := (Pattern{N: 2, Edges: []Edge{{From: 0, To: 5}}}).Validate(); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if err := (Pattern{N: 2, Edges: []Edge{{From: 1, To: 1}}}).Validate(); err == nil {
+		t.Fatal("self loop accepted")
+	}
+	if err := (Pattern{N: 3, Edges: []Edge{{From: 0, To: 1}, {From: 1, To: 2}}}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindPath(t *testing.T) {
+	g := newMapGraph([3]string{"a", "b", ""}, [3]string{"b", "c", ""}, [3]string{"c", "d", ""})
+	p := Pattern{N: 3, Edges: []Edge{{From: 0, To: 1}, {From: 1, To: 2}}}
+	assign, ok := FindOne(g, p)
+	if !ok {
+		t.Fatal("path pattern not found")
+	}
+	// Verify the assignment is a real embedding.
+	for _, e := range p.Edges {
+		if _, ok := g.EdgeLabel(assign[e.From], assign[e.To]); !ok {
+			t.Fatalf("assignment %v is not an embedding", assign)
+		}
+	}
+}
+
+func TestFindTriangleDirected(t *testing.T) {
+	g := newMapGraph([3]string{"a", "b", ""}, [3]string{"b", "c", ""}, [3]string{"c", "a", ""},
+		[3]string{"x", "y", ""})
+	tri := Pattern{N: 3, Edges: []Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 0}}}
+	if _, ok := FindOne(g, tri); !ok {
+		t.Fatal("directed triangle not found")
+	}
+	// Remove the closing edge: no triangle.
+	g2 := newMapGraph([3]string{"a", "b", ""}, [3]string{"b", "c", ""})
+	if _, ok := FindOne(g2, tri); ok {
+		t.Fatal("found triangle in a path")
+	}
+}
+
+func TestInjectivity(t *testing.T) {
+	// A 2-cycle a<->b cannot host a directed 3-cycle pattern with
+	// distinct nodes.
+	g := newMapGraph([3]string{"a", "b", ""}, [3]string{"b", "a", ""})
+	tri := Pattern{N: 3, Edges: []Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 0}}}
+	if assign, ok := FindOne(g, tri); ok {
+		t.Fatalf("non-injective match: %v", assign)
+	}
+}
+
+func TestLabelsConstrain(t *testing.T) {
+	g := newMapGraph([3]string{"a", "b", "x"}, [3]string{"b", "c", "y"})
+	pGood := Pattern{N: 3, Edges: []Edge{{From: 0, To: 1, Label: 'x'}, {From: 1, To: 2, Label: 'y'}}}
+	if _, ok := FindOne(g, pGood); !ok {
+		t.Fatal("correctly labeled pattern not found")
+	}
+	pBad := Pattern{N: 3, Edges: []Edge{{From: 0, To: 1, Label: 'y'}, {From: 1, To: 2, Label: 'y'}}}
+	if _, ok := FindOne(g, pBad); ok {
+		t.Fatal("mislabeled pattern matched")
+	}
+	pWild := Pattern{N: 3, Edges: []Edge{{From: 0, To: 1}, {From: 1, To: 2}}}
+	if _, ok := FindOne(g, pWild); !ok {
+		t.Fatal("wildcard labels must match anything")
+	}
+}
+
+func TestBackwardAnchor(t *testing.T) {
+	// Pattern where node 1 is discovered via an incoming edge: 0<-1.
+	g := newMapGraph([3]string{"p", "q", ""})
+	p := Pattern{N: 2, Edges: []Edge{{From: 1, To: 0}}}
+	assign, ok := FindOne(g, p)
+	if !ok || assign[1] != "p" || assign[0] != "q" {
+		t.Fatalf("backward anchor failed: %v ok=%v", assign, ok)
+	}
+}
+
+func TestDisconnectedPattern(t *testing.T) {
+	g := newMapGraph([3]string{"a", "b", ""}, [3]string{"c", "d", ""})
+	p := Pattern{N: 4, Edges: []Edge{{From: 0, To: 1}, {From: 2, To: 3}}}
+	assign, ok := FindOne(g, p)
+	if !ok {
+		t.Fatal("disconnected pattern not found")
+	}
+	seen := map[string]bool{}
+	for _, v := range assign {
+		if seen[v] {
+			t.Fatalf("assignment reuses node: %v", assign)
+		}
+		seen[v] = true
+	}
+}
+
+func TestDiamondNeedsBothEdges(t *testing.T) {
+	// Pattern: 0->1, 0->2, 1->3, 2->3 (diamond). Graph missing 2->3.
+	g := newMapGraph([3]string{"a", "b", ""}, [3]string{"a", "c", ""}, [3]string{"b", "d", ""})
+	diamond := Pattern{N: 4, Edges: []Edge{
+		{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 3}, {From: 2, To: 3}}}
+	if _, ok := FindOne(g, diamond); ok {
+		t.Fatal("diamond matched with a missing edge")
+	}
+	g.adj["c"]["d"] = 0
+	if _, ok := FindOne(g, diamond); !ok {
+		t.Fatal("diamond not found after completing the graph")
+	}
+}
+
+func TestBudgetExhaustionReturnsNotFound(t *testing.T) {
+	// A dense graph with an impossible pattern: unbounded search would
+	// grind; a 1-step budget must bail out immediately without panics.
+	var edges [][3]string
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			if i != j {
+				edges = append(edges, [3]string{string(rune('A' + i)), string(rune('A' + j)), ""})
+			}
+		}
+	}
+	g := newMapGraph(edges...)
+	// Pattern wants a labeled edge that never exists.
+	p := Pattern{N: 4, Edges: []Edge{
+		{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 3}, {From: 3, To: 0, Label: 'z'}}}
+	if _, ok := FindOneBudget(g, p, 50); ok {
+		t.Fatal("impossible pattern matched")
+	}
+	// With no budget the same search still terminates (finite graph)
+	// and still finds nothing.
+	if _, ok := FindOneBudget(g, p, 0); ok {
+		t.Fatal("impossible pattern matched unbounded")
+	}
+	// Sanity: a feasible pattern is found within a generous budget.
+	p2 := Pattern{N: 3, Edges: []Edge{{From: 0, To: 1}, {From: 1, To: 2}}}
+	if _, ok := FindOneBudget(g, p2, 100000); !ok {
+		t.Fatal("feasible pattern not found")
+	}
+}

@@ -1,0 +1,170 @@
+// Package window extends GSS to sliding-window summarization of
+// unbounded streams — an extension beyond the paper (its sketches grow
+// with the whole stream). A Sliding summary keeps g generation sketches
+// covering span/g time units each; expired generations are dropped
+// whole, so the summary always covers between span·(g-1)/g and span
+// time units and memory stays bounded regardless of stream length.
+//
+// Queries merge all live generations: weights add up, neighbor sets
+// union, preserving the false-positive-only semantics of GSS.
+package window
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/gss"
+	"repro/internal/stream"
+)
+
+// Config configures a sliding-window summary.
+type Config struct {
+	// Sketch is the per-generation GSS configuration.
+	Sketch gss.Config
+	// Span is the window length in stream-time units.
+	Span int64
+	// Generations is the rotation granularity g (>= 2). More
+	// generations mean finer expiry at more memory.
+	Generations int
+}
+
+// Sliding is a sliding-window GSS. Not safe for concurrent use.
+type Sliding struct {
+	cfg   Config
+	gens  []generation
+	epoch int64 // current generation index = floor(time/genSpan)
+}
+
+type generation struct {
+	epoch  int64
+	sketch *gss.GSS
+}
+
+// New builds an empty sliding-window summary.
+func New(cfg Config) (*Sliding, error) {
+	if cfg.Span <= 0 {
+		return nil, errors.New("window: Config.Span must be positive")
+	}
+	if cfg.Generations < 2 {
+		return nil, errors.New("window: Config.Generations must be at least 2")
+	}
+	if cfg.Span < int64(cfg.Generations) {
+		return nil, errors.New("window: Span must be at least Generations time units")
+	}
+	if _, err := gss.New(cfg.Sketch); err != nil {
+		return nil, err
+	}
+	return &Sliding{cfg: cfg, epoch: -1}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *Sliding {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *Sliding) genSpan() int64 { return s.cfg.Span / int64(s.cfg.Generations) }
+
+// Insert ingests one item, rotating generations forward to the item's
+// timestamp. Items must arrive in non-decreasing time order; stragglers
+// older than the window are dropped.
+func (s *Sliding) Insert(it stream.Item) {
+	epoch := it.Time / s.genSpan()
+	if epoch > s.epoch {
+		s.epoch = epoch
+		s.expire()
+	}
+	if epoch <= s.epoch-int64(s.cfg.Generations) {
+		return // too old for the window
+	}
+	g := s.generationFor(epoch)
+	g.Insert(it)
+}
+
+func (s *Sliding) generationFor(epoch int64) *gss.GSS {
+	for i := range s.gens {
+		if s.gens[i].epoch == epoch {
+			return s.gens[i].sketch
+		}
+	}
+	sk := gss.MustNew(s.cfg.Sketch)
+	s.gens = append(s.gens, generation{epoch: epoch, sketch: sk})
+	sort.Slice(s.gens, func(i, j int) bool { return s.gens[i].epoch < s.gens[j].epoch })
+	return sk
+}
+
+// expire drops generations that left the window.
+func (s *Sliding) expire() {
+	oldest := s.epoch - int64(s.cfg.Generations) + 1
+	kept := s.gens[:0]
+	for _, g := range s.gens {
+		if g.epoch >= oldest {
+			kept = append(kept, g)
+		}
+	}
+	for i := len(kept); i < len(s.gens); i++ {
+		s.gens[i] = generation{}
+	}
+	s.gens = kept
+}
+
+// EdgeWeight sums the edge's weight over all live generations.
+func (s *Sliding) EdgeWeight(src, dst string) (int64, bool) {
+	var sum int64
+	found := false
+	for _, g := range s.gens {
+		if w, ok := g.sketch.EdgeWeight(src, dst); ok {
+			sum += w
+			found = true
+		}
+	}
+	return sum, found
+}
+
+// Successors unions the 1-hop successors across generations.
+func (s *Sliding) Successors(v string) []string {
+	return s.unionSets(func(g *gss.GSS) []string { return g.Successors(v) })
+}
+
+// Precursors unions the 1-hop precursors across generations.
+func (s *Sliding) Precursors(v string) []string {
+	return s.unionSets(func(g *gss.GSS) []string { return g.Precursors(v) })
+}
+
+// Nodes unions the registered nodes across generations.
+func (s *Sliding) Nodes() []string {
+	return s.unionSets(func(g *gss.GSS) []string { return g.Nodes() })
+}
+
+func (s *Sliding) unionSets(get func(*gss.GSS) []string) []string {
+	seen := map[string]bool{}
+	for _, g := range s.gens {
+		for _, v := range get(g.sketch) {
+			seen[v] = true
+		}
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LiveGenerations reports how many generation sketches are resident.
+func (s *Sliding) LiveGenerations() int { return len(s.gens) }
+
+// MemoryBytes sums the matrix footprints of live generations.
+func (s *Sliding) MemoryBytes() int64 {
+	var sum int64
+	for _, g := range s.gens {
+		sum += g.sketch.MemoryBytes()
+	}
+	return sum
+}

@@ -1,0 +1,130 @@
+package window
+
+import (
+	"testing"
+
+	"repro/internal/gss"
+	"repro/internal/stream"
+)
+
+func cfg() Config {
+	return Config{
+		Sketch:      gss.Config{Width: 32, FingerprintBits: 16, Rooms: 2, SeqLen: 4, Candidates: 4},
+		Span:        100,
+		Generations: 4,
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Sketch: gss.Config{Width: 8}, Span: 0, Generations: 4},
+		{Sketch: gss.Config{Width: 8}, Span: 100, Generations: 1},
+		{Sketch: gss.Config{Width: 8}, Span: 2, Generations: 4},
+		{Sketch: gss.Config{}, Span: 100, Generations: 4}, // invalid sketch
+	}
+	for i, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, c)
+		}
+	}
+	if _, err := New(cfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowAccumulatesWithinSpan(t *testing.T) {
+	s := MustNew(cfg())
+	s.Insert(stream.Item{Src: "a", Dst: "b", Time: 0, Weight: 2})
+	s.Insert(stream.Item{Src: "a", Dst: "b", Time: 50, Weight: 3})
+	if w, ok := s.EdgeWeight("a", "b"); !ok || w != 5 {
+		t.Fatalf("w = %d,%v want 5", w, ok)
+	}
+	if got := s.Successors("a"); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("Successors = %v", got)
+	}
+	if got := s.Precursors("b"); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("Precursors = %v", got)
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	s := MustNew(cfg()) // span 100, 4 generations of 25
+	s.Insert(stream.Item{Src: "old", Dst: "x", Time: 0, Weight: 1})
+	s.Insert(stream.Item{Src: "mid", Dst: "x", Time: 60, Weight: 1})
+	// Advance past the window for the first item: epoch(0)=0 expires
+	// once current epoch >= 4 (time >= 100).
+	s.Insert(stream.Item{Src: "new", Dst: "x", Time: 110, Weight: 1})
+	if _, ok := s.EdgeWeight("old", "x"); ok {
+		t.Fatal("expired edge still visible")
+	}
+	if _, ok := s.EdgeWeight("mid", "x"); !ok {
+		t.Fatal("in-window edge lost")
+	}
+	if _, ok := s.EdgeWeight("new", "x"); !ok {
+		t.Fatal("current edge lost")
+	}
+	if n := s.LiveGenerations(); n > 4 {
+		t.Fatalf("generations unbounded: %d", n)
+	}
+}
+
+func TestStragglersDropped(t *testing.T) {
+	s := MustNew(cfg())
+	s.Insert(stream.Item{Src: "a", Dst: "b", Time: 500, Weight: 1})
+	s.Insert(stream.Item{Src: "late", Dst: "b", Time: 10, Weight: 1}) // far out of window
+	if _, ok := s.EdgeWeight("late", "b"); ok {
+		t.Fatal("straggler older than the window was admitted")
+	}
+}
+
+func TestMemoryBounded(t *testing.T) {
+	s := MustNew(cfg())
+	// Stream far past many windows; memory must stay at <= Generations
+	// sketches.
+	per := gss.MustNew(cfg().Sketch).MemoryBytes()
+	for i := 0; i < 5000; i++ {
+		s.Insert(stream.Item{Src: stream.NodeID(i % 50), Dst: stream.NodeID(i % 37), Time: int64(i), Weight: 1})
+	}
+	if s.LiveGenerations() > 4 {
+		t.Fatalf("%d generations live", s.LiveGenerations())
+	}
+	if s.MemoryBytes() > int64(4)*per {
+		t.Fatalf("memory %d exceeds %d", s.MemoryBytes(), 4*per)
+	}
+}
+
+func TestWindowedQueriesMatchExactWindow(t *testing.T) {
+	// Compare against an exact recomputation over the covered window.
+	s := MustNew(Config{
+		Sketch:      gss.Config{Width: 48, FingerprintBits: 16, Rooms: 2, SeqLen: 4, Candidates: 4},
+		Span:        1000,
+		Generations: 4,
+	})
+	cfgDs := stream.LkmlReply().Scaled(0.002)
+	items := stream.Generate(cfgDs)
+	for _, it := range items {
+		s.Insert(it)
+	}
+	last := items[len(items)-1].Time
+	genSpan := int64(1000 / 4)
+	oldestEpoch := last/genSpan - 4 + 1
+	exact := map[[2]string]int64{}
+	for _, it := range items {
+		if it.Time/genSpan >= oldestEpoch {
+			exact[[2]string{it.Src, it.Dst}] += it.Weight
+		}
+	}
+	for k, want := range exact {
+		got, ok := s.EdgeWeight(k[0], k[1])
+		if !ok {
+			t.Fatalf("in-window edge (%s,%s) lost", k[0], k[1])
+		}
+		if got < want {
+			t.Fatalf("underestimate on (%s,%s): %d < %d", k[0], k[1], got, want)
+		}
+	}
+	if len(s.Nodes()) == 0 {
+		t.Fatal("no nodes reported")
+	}
+}
