@@ -1,4 +1,5 @@
-// Command gss-bench regenerates the paper's tables and figures.
+// Command gss-bench regenerates the paper's tables and figures, and
+// benchmarks the HTTP ingestion pipeline.
 //
 // Usage:
 //
@@ -6,9 +7,15 @@
 //	gss-bench -exp all -scale 0.1       # everything at 10% of paper scale
 //	gss-bench -exp fig12 -datasets cit-HepPh,email-EuAll
 //	gss-bench -list
+//	gss-bench -mode ingest -ingesters 4 # server-ingest throughput
 //
 // -scale 1.0 reproduces paper-size datasets (several GB of working set
 // for the Caida figures; budget accordingly).
+//
+// -mode ingest stands up the real HTTP server per backend and drives
+// it with concurrent ingesters, comparing the per-item single-lock
+// insert path against the batched NDJSON bulk path on the concurrent
+// and sharded backends (items/sec).
 package main
 
 import (
@@ -22,14 +29,37 @@ import (
 
 func main() {
 	var (
+		mode     = flag.String("mode", "paper", "bench mode: paper (experiments) or ingest (server throughput)")
 		exp      = flag.String("exp", "all", "experiment to run (see -list)")
 		scale    = flag.Float64("scale", 0, "dataset scale; 1.0 = paper scale, 0 = fast default")
 		sample   = flag.Int("sample", 0, "max queries per configuration; 0 = default")
 		seed     = flag.Int64("seed", 1, "query sampling seed")
 		datasets = flag.String("datasets", "", "comma-separated dataset filter (paper names)")
 		list     = flag.Bool("list", false, "list experiments and exit")
+
+		ingesters = flag.Int("ingesters", 4, "ingest mode: concurrent client goroutines")
+		items     = flag.Int("items", 200000, "ingest mode: items per bulk measurement")
+		batch     = flag.Int("batch", 1000, "ingest mode: server decode batch size")
+		reqItems  = flag.Int("reqitems", 0, "ingest mode: items per bulk request (default 10*batch)")
+		shards    = flag.Int("shards", 16, "ingest mode: shard count for the sharded backend")
+		width     = flag.Int("width", 512, "ingest mode: sketch matrix width")
 	)
 	flag.Parse()
+
+	switch *mode {
+	case "ingest":
+		opt := ingestOptions{Ingesters: *ingesters, Items: *items, Batch: *batch,
+			ReqItems: *reqItems, Shards: *shards, Width: *width}
+		if err := runIngestBench(opt, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	case "paper":
+	default:
+		fmt.Fprintf(os.Stderr, "gss-bench: unknown -mode %q (want paper or ingest)\n", *mode)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

@@ -2,6 +2,7 @@
 // (see internal/server for the API).
 //
 //	gss-server -addr :8080 -width 2000 -fpbits 16
+//	gss-server -backend sharded -shards 16 -ingest-workers 4
 package main
 
 import (
@@ -9,9 +10,11 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 
 	"repro/internal/gss"
 	"repro/internal/server"
+	"repro/internal/sketch"
 )
 
 func main() {
@@ -21,17 +24,28 @@ func main() {
 		fpbits = flag.Int("fpbits", 16, "fingerprint bits")
 		rooms  = flag.Int("rooms", 2, "rooms per bucket")
 		seqlen = flag.Int("seqlen", 16, "square-hashing sequence length r")
+
+		backend = flag.String("backend", sketch.BackendConcurrent,
+			"sketch backend: "+strings.Join(sketch.Backends(), "|"))
+		shards  = flag.Int("shards", 8, "shard count (sharded backend only)")
+		batch   = flag.Int("batch", 512, "default /ingest decode batch size")
+		queue   = flag.Int("ingest-queue", 64, "async ingest queue capacity (batches)")
+		workers = flag.Int("ingest-workers", 2, "async ingest worker goroutines")
 	)
 	flag.Parse()
 
-	srv, err := server.New(gss.Config{Width: *width, FingerprintBits: *fpbits,
-		Rooms: *rooms, SeqLen: *seqlen, Candidates: *seqlen})
+	srv, err := server.NewWithOptions(
+		gss.Config{Width: *width, FingerprintBits: *fpbits,
+			Rooms: *rooms, SeqLen: *seqlen, Candidates: *seqlen},
+		server.Options{Backend: *backend, Shards: *shards,
+			BatchSize: *batch, QueueDepth: *queue, Workers: *workers})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gss-server:", err)
 		os.Exit(2)
 	}
-	fmt.Printf("gss-server listening on %s (width=%d fp=%dbit rooms=%d r=%d)\n",
-		*addr, *width, *fpbits, *rooms, *seqlen)
+	defer srv.Close()
+	fmt.Printf("gss-server listening on %s (backend=%s width=%d fp=%dbit rooms=%d r=%d batch=%d)\n",
+		*addr, *backend, *width, *fpbits, *rooms, *seqlen, *batch)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		fmt.Fprintln(os.Stderr, "gss-server:", err)
 		os.Exit(1)

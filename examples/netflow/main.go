@@ -1,6 +1,8 @@
 // Netflow: use case 1 of the paper — summarize high-speed network
 // traffic and hunt for malicious behaviour with node and heavy-hitter
-// queries.
+// queries, the way a collector fleet would: flows are shipped to the
+// sketch server's NDJSON bulk-ingest endpoint in batches and the
+// detections run over the HTTP query API.
 //
 // A synthetic packet stream contains normal Zipfian traffic plus two
 // planted anomalies: a port scanner (one source contacting very many
@@ -11,44 +13,88 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
 	"sort"
 
 	"repro/internal/gss"
-	"repro/internal/query"
+	"repro/internal/server"
 	"repro/internal/stream"
 )
 
 func main() {
+	// A sharded sketch server, as a heavy-traffic deployment would run
+	// it. httptest stands in for the network: the flow is byte-for-byte
+	// what a remote collector would send.
+	srv, err := server.NewWithOptions(
+		gss.Config{Width: 256, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8},
+		server.Options{Backend: "sharded", Shards: 4, BatchSize: 1000})
+	if err != nil {
+		fail(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
 	rng := rand.New(rand.NewSource(7))
-	g := gss.MustNew(gss.Config{Width: 256, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8})
 
 	// Background traffic: 40k flows between 2k hosts.
 	background := stream.DatasetConfig{Name: "traffic", Nodes: 2000, Edges: 40000,
 		DegreeSkew: 1.7, WeightSkew: 1.5, MaxWeight: 900, Seed: 7}
-	for _, it := range stream.Generate(background) {
-		g.Insert(packet(it.Src, it.Dst, it.Weight))
-	}
-
-	// Planted anomaly 1: 10.9.9.9 scans 300 distinct hosts (port scan).
+	flows := stream.Generate(background)
+	// Planted anomaly 1: one source scans 300 distinct hosts (port scan).
 	for i := 0; i < 300; i++ {
-		g.Insert(packet("scanner", stream.NodeID(rng.Intn(2000)), 1))
+		flows = append(flows, packet("scanner", stream.NodeID(rng.Intn(2000)), 1))
 	}
 	// Planted anomaly 2: one flow moves a huge byte count.
-	g.Insert(packet("insider", "dropbox-host", 5_000_000))
+	flows = append(flows, packet("insider", "dropbox-host", 5_000_000))
+
+	// Ship everything through the bulk path: NDJSON bodies of 10k flows
+	// each, decoded and inserted server-side in batches of 1000.
+	const reqFlows = 10000
+	for off := 0; off < len(flows); off += reqFlows {
+		end := off + reqFlows
+		if end > len(flows) {
+			end = len(flows)
+		}
+		var body bytes.Buffer
+		if err := stream.EncodeNDJSON(&body, flows[off:end]); err != nil {
+			fail(err)
+		}
+		resp, err := http.Post(ts.URL+"/ingest", "application/x-ndjson", &body)
+		if err != nil {
+			fail(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fail(fmt.Errorf("ingest status %d", resp.StatusCode))
+		}
+	}
 
 	// Detection 1: fan-out. The successor primitive gives each host's
 	// contact cardinality; the scanner shows up next to the natural
 	// traffic hubs, which a baseline of historical fan-outs would
 	// filter.
+	var hosts struct {
+		Nodes []string `json:"nodes"`
+	}
+	getJSON(ts.URL+"/nodes", &hosts)
 	type fanout struct {
 		host string
 		n    int
 	}
 	var tops []fanout
-	for _, h := range g.Nodes() {
-		tops = append(tops, fanout{h, len(g.Successors(h))})
+	for _, h := range hosts.Nodes {
+		var succ struct {
+			Nodes []string `json:"nodes"`
+		}
+		getJSON(ts.URL+"/successors?v="+h, &succ)
+		tops = append(tops, fanout{h, len(succ.Nodes)})
 	}
 	sort.Slice(tops, func(i, j int) bool { return tops[i].n > tops[j].n })
 	fmt.Println("top fan-outs (scanner planted with 300 contacts):")
@@ -58,18 +104,45 @@ func main() {
 
 	// Detection 2: byte-volume heavy hitters via the reversible matrix
 	// scan — no candidate list needed.
-	for _, he := range g.HeavyEdges(1_000_000) {
+	var heavy []struct {
+		Srcs   []string `json:"srcs"`
+		Dsts   []string `json:"dsts"`
+		Weight int64    `json:"weight"`
+	}
+	getJSON(ts.URL+"/heavy?min=1000000", &heavy)
+	for _, he := range heavy {
 		fmt.Printf("heavy flow: %v -> %v moved %d bytes\n", he.Srcs, he.Dsts, he.Weight)
 	}
 
 	// Detection 3: aggregate per-host upload volume (node query).
-	fmt.Printf("insider total upload: %d bytes\n", query.NodeOut(g, "insider"))
+	var out struct {
+		Out int64 `json:"out"`
+	}
+	getJSON(ts.URL+"/nodeout?v=insider", &out)
+	fmt.Printf("insider total upload: %d bytes\n", out.Out)
 
-	s := g.Stats()
+	var s gss.Stats
+	getJSON(ts.URL+"/stats", &s)
 	fmt.Printf("sketch footprint: %d KB for %d flows (buffer %.4f%%)\n",
 		s.MatrixBytes/1024, s.Items, 100*s.BufferPct)
 }
 
 func packet(src, dst string, bytes int64) stream.Item {
 	return stream.Item{Src: src, Dst: dst, Weight: bytes}
+}
+
+func getJSON(url string, out interface{}) {
+	resp, err := http.Get(url)
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "netflow:", err)
+	os.Exit(1)
 }

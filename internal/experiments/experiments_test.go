@@ -163,6 +163,9 @@ func TestFig14Shape(t *testing.T) {
 }
 
 func TestFig15Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subgraph-matching experiment takes ~25s; skipped under -short")
+	}
 	tables := Fig15(Options{Scale: 0.01, Seed: 2})
 	if len(tables) != 1 {
 		t.Fatalf("got %d tables", len(tables))

@@ -1,6 +1,7 @@
 package gss
 
 import (
+	"io"
 	"sync"
 
 	"repro/internal/stream"
@@ -14,6 +15,21 @@ import (
 type Concurrent struct {
 	mu sync.RWMutex
 	g  *GSS
+
+	// Per-call probe scratch for readers. The sketch's own buffers
+	// belong to the writer; readers running in parallel under RLock
+	// each borrow a queryScratch here instead of copying the whole
+	// GSS struct per query. The pool is replaced together with g on
+	// Restore (scratch sizes follow the config), so both are read
+	// under the same lock.
+	scratch *sync.Pool
+}
+
+func newScratchPool(cfg Config) *sync.Pool {
+	return &sync.Pool{New: func() interface{} {
+		sc := newQueryScratch(cfg)
+		return &sc
+	}}
 }
 
 // NewConcurrent builds a thread-safe GSS.
@@ -22,13 +38,20 @@ func NewConcurrent(cfg Config) (*Concurrent, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Concurrent{g: g}, nil
+	return &Concurrent{g: g, scratch: newScratchPool(g.cfg)}, nil
 }
 
 // Insert ingests one stream item.
 func (c *Concurrent) Insert(it stream.Item) {
 	c.mu.Lock()
 	c.g.Insert(it)
+	c.mu.Unlock()
+}
+
+// InsertBatch ingests a batch under one lock acquisition.
+func (c *Concurrent) InsertBatch(items []stream.Item) {
+	c.mu.Lock()
+	c.g.InsertBatch(items)
 	c.mu.Unlock()
 }
 
@@ -43,36 +66,27 @@ func (c *Concurrent) InsertEdge(src, dst string, w int64) {
 func (c *Concurrent) EdgeWeight(src, dst string) (int64, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	// The scratch sequence buffers are per-sketch; clone-free reads
-	// need their own. Query paths allocate nothing else, so a small
-	// stack copy keeps RLock concurrency real.
-	g := *c.g
-	g.rowSeq = make([]uint32, c.g.cfg.SeqLen)
-	g.colSeq = make([]uint32, c.g.cfg.SeqLen)
-	g.sample = make([]uint32, c.g.cfg.Candidates)
-	return g.EdgeWeight(src, dst)
+	sc := c.scratch.Get().(*queryScratch)
+	defer c.scratch.Put(sc)
+	return c.g.edgeWeightWith(c.g.nh.Hash(src), c.g.nh.Hash(dst), sc)
 }
 
 // Successors is the 1-hop successor primitive.
 func (c *Concurrent) Successors(v string) []string {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	g := *c.g
-	g.rowSeq = make([]uint32, c.g.cfg.SeqLen)
-	g.colSeq = make([]uint32, c.g.cfg.SeqLen)
-	g.sample = make([]uint32, c.g.cfg.Candidates)
-	return g.Successors(v)
+	sc := c.scratch.Get().(*queryScratch)
+	defer c.scratch.Put(sc)
+	return c.g.successorsWith(v, sc)
 }
 
 // Precursors is the 1-hop precursor primitive.
 func (c *Concurrent) Precursors(v string) []string {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	g := *c.g
-	g.rowSeq = make([]uint32, c.g.cfg.SeqLen)
-	g.colSeq = make([]uint32, c.g.cfg.SeqLen)
-	g.sample = make([]uint32, c.g.cfg.Candidates)
-	return g.Precursors(v)
+	sc := c.scratch.Get().(*queryScratch)
+	defer c.scratch.Put(sc)
+	return c.g.precursorsWith(v, sc)
 }
 
 // Nodes lists registered node identifiers.
@@ -87,4 +101,34 @@ func (c *Concurrent) Stats() Stats {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.g.Stats()
+}
+
+// HeavyEdges lists sketch edges at or above minWeight. The matrix scan
+// uses no probe scratch, so the read lock alone suffices.
+func (c *Concurrent) HeavyEdges(minWeight int64) []HeavyEdge {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.g.HeavyEdges(minWeight)
+}
+
+// Snapshot serializes the sketch while holding the read lock.
+func (c *Concurrent) Snapshot(w io.Writer) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, err := c.g.WriteTo(w)
+	return err
+}
+
+// Restore replaces the sketch with the snapshot read from r. The old
+// sketch stays in place on error.
+func (c *Concurrent) Restore(r io.Reader) error {
+	g, err := ReadSketch(r)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.g = g
+	c.scratch = newScratchPool(g.cfg)
+	c.mu.Unlock()
+	return nil
 }

@@ -1,6 +1,7 @@
 package gss
 
 import (
+	"bytes"
 	"sync"
 	"testing"
 
@@ -101,4 +102,92 @@ func TestConcurrentParallelReaders(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// TestConcurrentReaderHammer drives many query goroutines against one
+// batch writer. Under `go test -race` this validates that readers use
+// per-call scratch (not the sketch's own probe buffers, and not a
+// whole-struct copy) while the writer mutates the matrix.
+func TestConcurrentReaderHammer(t *testing.T) {
+	conc, err := NewConcurrent(Config{Width: 48, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := stream.Generate(stream.EmailEuAll().Scaled(0.001))
+	// Pre-load half so readers have data from the start.
+	conc.InsertBatch(items[:len(items)/2])
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // one batch writer
+		defer wg.Done()
+		rest := items[len(items)/2:]
+		for off := 0; off < len(rest); off += 50 {
+			end := off + 50
+			if end > len(rest) {
+				end = len(rest)
+			}
+			conc.InsertBatch(rest[off:end])
+		}
+		close(done)
+	}()
+	const readers = 8
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			i := r
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				it := items[i%len(items)]
+				conc.EdgeWeight(it.Src, it.Dst)
+				conc.Successors(it.Src)
+				conc.Precursors(it.Dst)
+				i += readers
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	if got := conc.Stats().Items; got != int64(len(items)) {
+		t.Fatalf("items = %d, want %d", got, len(items))
+	}
+	for _, it := range items {
+		if _, ok := conc.EdgeWeight(it.Src, it.Dst); !ok {
+			t.Fatalf("edge (%s,%s) lost", it.Src, it.Dst)
+		}
+	}
+}
+
+func TestConcurrentSnapshotRestore(t *testing.T) {
+	conc, err := NewConcurrent(Config{Width: 32, SeqLen: 4, Candidates: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc.InsertEdge("a", "b", 7)
+	var buf bytes.Buffer
+	if err := conc.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	conc2, err := NewConcurrent(Config{Width: 32, SeqLen: 4, Candidates: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conc2.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := conc2.EdgeWeight("a", "b"); !ok || w != 7 {
+		t.Fatalf("restored edge = %d,%v", w, ok)
+	}
+	if err := conc2.Restore(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("garbage restore accepted")
+	}
+	if w, ok := conc2.EdgeWeight("a", "b"); !ok || w != 7 {
+		t.Fatalf("state clobbered by failed restore: %d,%v", w, ok)
+	}
 }

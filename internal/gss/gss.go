@@ -25,8 +25,27 @@ type GSS struct {
 	entries int   // occupied rooms in the matrix (distinct sketch edges there)
 	items   int64 // stream items ingested
 
-	// Scratch buffers so Insert does zero allocations in steady state.
+	// Scratch buffers so Insert and single-threaded queries do zero
+	// allocations in steady state. Concurrent wrappers must NOT use
+	// these from reader goroutines; they pass their own queryScratch
+	// to the *With query variants instead.
+	sc queryScratch
+}
+
+// queryScratch holds the per-call buffers a probe sequence needs: the
+// two address sequences and the candidate sample. Readers that share a
+// sketch under a read lock each bring their own scratch so queries
+// stay allocation-free without racing on shared buffers.
+type queryScratch struct {
 	rowSeq, colSeq, sample []uint32
+}
+
+func newQueryScratch(cfg Config) queryScratch {
+	return queryScratch{
+		rowSeq: make([]uint32, cfg.SeqLen),
+		colSeq: make([]uint32, cfg.SeqLen),
+		sample: make([]uint32, cfg.Candidates),
+	}
 }
 
 // New builds an empty GSS for cfg.
@@ -44,9 +63,7 @@ func New(cfg Config) (*GSS, error) {
 		weights: make([]int64, slots),
 		occ:     make([]uint64, (slots+63)/64),
 		buf:     newBuffer(),
-		rowSeq:  make([]uint32, cfg.SeqLen),
-		colSeq:  make([]uint32, cfg.SeqLen),
-		sample:  make([]uint32, cfg.Candidates),
+		sc:      newQueryScratch(cfg),
 	}
 	if !cfg.DisableNodeIndex {
 		g.reg = newRegistry()
@@ -76,6 +93,15 @@ func (g *GSS) Insert(it stream.Item) {
 	g.InsertEdge(it.Src, it.Dst, it.Weight)
 }
 
+// InsertBatch ingests a slice of stream items. On the plain GSS this is
+// a straight loop; synchronized wrappers override it to amortize lock
+// acquisitions over the whole batch.
+func (g *GSS) InsertBatch(items []stream.Item) {
+	for _, it := range items {
+		g.Insert(it)
+	}
+}
+
 // InsertEdge adds w to edge (src,dst) of the streaming graph.
 func (g *GSS) InsertEdge(src, dst string, w int64) {
 	hs := g.nh.Hash(src)
@@ -93,8 +119,8 @@ func (g *GSS) insertHashed(hvS, hvD uint64, w int64) {
 	addrS, fpS := g.nh.Split(hvS)
 	addrD, fpD := g.nh.Split(hvD)
 	m := g.cfg.Width
-	rows := hashing.AddressSequence(addrS, fpS, m, g.rowSeq)
-	cols := hashing.AddressSequence(addrD, fpD, m, g.colSeq)
+	rows := hashing.AddressSequence(addrS, fpS, m, g.sc.rowSeq)
+	cols := hashing.AddressSequence(addrD, fpD, m, g.sc.colSeq)
 	fpPair := fpS<<16 | fpD
 
 	tryBucket := func(i, j int) bool {
@@ -120,7 +146,7 @@ func (g *GSS) insertHashed(hvS, hvD uint64, w int64) {
 		return false
 	}
 
-	if g.probeCandidates(fpS, fpD, tryBucket) {
+	if g.probeCandidates(fpS, fpD, g.sc.sample, tryBucket) {
 		return
 	}
 	// All candidate buckets occupied by other edges: left-over edge.
@@ -131,8 +157,9 @@ func (g *GSS) insertHashed(hvS, hvD uint64, w int64) {
 // this edge — either the k sampled pairs of Eq. 5 or all r*r mapped
 // buckets in row-major order — stopping early when visit returns true.
 // The order is a pure function of the fingerprint pair, which keeps
-// repeat insertions of the same edge finding the same slot.
-func (g *GSS) probeCandidates(fpS, fpD uint32, visit func(i, j int) bool) bool {
+// repeat insertions of the same edge finding the same slot. The sample
+// slice is caller-provided scratch of length cfg.Candidates.
+func (g *GSS) probeCandidates(fpS, fpD uint32, sample []uint32, visit func(i, j int) bool) bool {
 	r := g.cfg.SeqLen
 	if g.cfg.DisableSampling || r == 1 {
 		for i := 0; i < r; i++ {
@@ -145,8 +172,8 @@ func (g *GSS) probeCandidates(fpS, fpD uint32, visit func(i, j int) bool) bool {
 		return false
 	}
 	seed := fpS + fpD // seed(e) = f(s) + f(d), §V-B1
-	hashing.SampleSequence(seed, g.sample)
-	for _, q := range g.sample {
+	hashing.SampleSequence(seed, sample)
+	for _, q := range sample {
 		i, j := hashing.CandidatePair(q, r)
 		if visit(i, j) {
 			return true

@@ -16,18 +16,24 @@ func (g *GSS) EdgeWeight(src, dst string) (int64, bool) {
 }
 
 func (g *GSS) edgeWeightHashed(hvS, hvD uint64) (int64, bool) {
+	return g.edgeWeightWith(hvS, hvD, &g.sc)
+}
+
+// edgeWeightWith is EdgeWeight over pre-hashed endpoints with
+// caller-provided scratch, the form concurrent readers use.
+func (g *GSS) edgeWeightWith(hvS, hvD uint64, sc *queryScratch) (int64, bool) {
 	addrS, fpS := g.nh.Split(hvS)
 	addrD, fpD := g.nh.Split(hvD)
 	m := g.cfg.Width
-	rows := hashing.AddressSequence(addrS, fpS, m, g.rowSeq)
-	cols := hashing.AddressSequence(addrD, fpD, m, g.colSeq)
+	rows := hashing.AddressSequence(addrS, fpS, m, sc.rowSeq)
+	cols := hashing.AddressSequence(addrD, fpD, m, sc.colSeq)
 	fpPair := fpS<<16 | fpD
 
 	var (
 		found   int64
 		matched bool
 	)
-	g.probeCandidates(fpS, fpD, func(i, j int) bool {
+	g.probeCandidates(fpS, fpD, sc.sample, func(i, j int) bool {
 		idxPair := uint8(i)<<4 | uint8(j)
 		base := (int(rows[i])*m + int(cols[j])) * g.cfg.Rooms
 		for p := 0; p < g.cfg.Rooms; p++ {
@@ -65,12 +71,26 @@ func (g *GSS) Precursors(v string) []string {
 	return g.expand(g.PrecursorHashes(g.nh.Hash(v)))
 }
 
+// successorsWith and precursorsWith are the scratch-threaded forms of
+// the set primitives, for readers sharing the sketch under a read lock.
+func (g *GSS) successorsWith(v string, sc *queryScratch) []string {
+	return g.expand(g.successorHashesWith(g.nh.Hash(v), sc))
+}
+
+func (g *GSS) precursorsWith(v string, sc *queryScratch) []string {
+	return g.expand(g.precursorHashesWith(g.nh.Hash(v), sc))
+}
+
 // SuccessorHashes returns the sketch-graph successors of hash value hv,
 // scanning the r mapped rows of the matrix plus the buffer (§V).
 func (g *GSS) SuccessorHashes(hv uint64) []uint64 {
+	return g.successorHashesWith(hv, &g.sc)
+}
+
+func (g *GSS) successorHashesWith(hv uint64, sc *queryScratch) []uint64 {
 	addr, fp := g.nh.Split(hv)
 	m, l, r := g.cfg.Width, g.cfg.Rooms, g.cfg.SeqLen
-	rows := hashing.AddressSequence(addr, fp, m, g.rowSeq)
+	rows := hashing.AddressSequence(addr, fp, m, sc.rowSeq)
 	seen := make(map[uint64]struct{})
 	for i := 0; i < r; i++ {
 		row := rows[i]
@@ -103,9 +123,13 @@ func (g *GSS) SuccessorHashes(hv uint64) []uint64 {
 // PrecursorHashes returns the sketch-graph precursors of hash value hv,
 // scanning the r mapped columns plus the buffer.
 func (g *GSS) PrecursorHashes(hv uint64) []uint64 {
+	return g.precursorHashesWith(hv, &g.sc)
+}
+
+func (g *GSS) precursorHashesWith(hv uint64, sc *queryScratch) []uint64 {
 	addr, fp := g.nh.Split(hv)
 	m, l, r := g.cfg.Width, g.cfg.Rooms, g.cfg.SeqLen
-	cols := hashing.AddressSequence(addr, fp, m, g.colSeq)
+	cols := hashing.AddressSequence(addr, fp, m, sc.colSeq)
 	seen := make(map[uint64]struct{})
 	for j := 0; j < r; j++ {
 		col := cols[j]

@@ -100,6 +100,25 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Snapshot serializes the sketch; it is WriteTo without the byte count,
+// matching the common Sketch surface shared with the wrapper types.
+func (g *GSS) Snapshot(w io.Writer) error {
+	_, err := g.WriteTo(w)
+	return err
+}
+
+// Restore replaces the sketch in place with the snapshot read from r.
+// The sketch is unchanged on error. Like every other GSS method it is
+// not safe for concurrent use.
+func (g *GSS) Restore(r io.Reader) error {
+	ng, err := ReadSketch(r)
+	if err != nil {
+		return err
+	}
+	*g = *ng
+	return nil
+}
+
 // ReadSketch deserializes a sketch snapshot written by WriteTo.
 func ReadSketch(r io.Reader) (*GSS, error) {
 	br := bufio.NewReader(r)

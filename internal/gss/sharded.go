@@ -1,6 +1,10 @@
 package gss
 
 import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
 	"sort"
 	"sync"
 
@@ -17,6 +21,13 @@ import (
 type Sharded struct {
 	shards []shard
 	seed   uint64
+
+	// gate serializes Restore against everything else: normal
+	// operations share it (RLock — no serialization among them, the
+	// per-shard mutexes still carry the real synchronization), while
+	// Restore takes it exclusively so no query or insert can observe
+	// a half-swapped mix of old and new shards.
+	gate sync.RWMutex
 }
 
 type shard struct {
@@ -28,6 +39,12 @@ type shard struct {
 // matrix memory is comparable to one unsharded GSS of cfg (the width is
 // divided by sqrt(n)).
 func NewSharded(cfg Config, n int) (*Sharded, error) {
+	// Validate the caller's config before width scaling, so an invalid
+	// width is an error rather than silently floored to 1 by the
+	// sqrt(n) division.
+	if _, err := cfg.normalized(); err != nil {
+		return nil, err
+	}
 	if n < 1 {
 		n = 1
 	}
@@ -58,16 +75,57 @@ func intSqrtScale(width, n int) int {
 	return lo
 }
 
-func (s *Sharded) shardFor(src, dst string) *shard {
+func (s *Sharded) shardIndex(src, dst string) int {
 	h := hashing.HashSeeded(src, s.seed) ^ hashing.HashSeeded(dst, s.seed+1)
-	return &s.shards[h%uint64(len(s.shards))]
+	return int(h % uint64(len(s.shards)))
+}
+
+func (s *Sharded) shardFor(src, dst string) *shard {
+	return &s.shards[s.shardIndex(src, dst)]
 }
 
 // Insert ingests one item; safe for concurrent use.
 func (s *Sharded) Insert(it stream.Item) { s.InsertEdge(it.Src, it.Dst, it.Weight) }
 
+// InsertBatch ingests a batch of items; safe for concurrent use. The
+// batch is grouped by owning shard first, then each touched shard is
+// locked exactly once for its whole group — under N ingester
+// goroutines the per-item lock traffic of Insert becomes one
+// acquisition per shard per batch, and goroutines working disjoint
+// shard groups proceed in parallel.
+func (s *Sharded) InsertBatch(items []stream.Item) {
+	if len(items) == 0 {
+		return
+	}
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	if len(s.shards) == 1 {
+		sh := &s.shards[0]
+		sh.mu.Lock()
+		sh.g.InsertBatch(items)
+		sh.mu.Unlock()
+		return
+	}
+	groups := make([][]stream.Item, len(s.shards))
+	for _, it := range items {
+		i := s.shardIndex(it.Src, it.Dst)
+		groups[i] = append(groups[i], it)
+	}
+	for i, grp := range groups {
+		if len(grp) == 0 {
+			continue
+		}
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.g.InsertBatch(grp)
+		sh.mu.Unlock()
+	}
+}
+
 // InsertEdge adds w to edge (src,dst); safe for concurrent use.
 func (s *Sharded) InsertEdge(src, dst string, w int64) {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
 	sh := s.shardFor(src, dst)
 	sh.mu.Lock()
 	sh.g.InsertEdge(src, dst, w)
@@ -76,6 +134,8 @@ func (s *Sharded) InsertEdge(src, dst string, w int64) {
 
 // EdgeWeight queries the owning shard.
 func (s *Sharded) EdgeWeight(src, dst string) (int64, bool) {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
 	sh := s.shardFor(src, dst)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -98,6 +158,8 @@ func (s *Sharded) Nodes() []string {
 }
 
 func (s *Sharded) unionAll(get func(*GSS) []string) []string {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
 	seen := map[string]bool{}
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -120,6 +182,8 @@ func (s *Sharded) unionAll(get func(*GSS) []string) []string {
 
 // Stats aggregates shard statistics.
 func (s *Sharded) Stats() Stats {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
 	var agg Stats
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -142,5 +206,87 @@ func (s *Sharded) Stats() Stats {
 	return agg
 }
 
+// HeavyEdges merges the per-shard heavy-edge lists. An original edge
+// lives in exactly one shard, so concatenation never double-counts; the
+// merged list is re-sorted into the same order GSS.HeavyEdges uses.
+func (s *Sharded) HeavyEdges(minWeight int64) []HeavyEdge {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	var out []HeavyEdge
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		out = append(out, sh.g.HeavyEdges(minWeight)...)
+		sh.mu.Unlock()
+	}
+	sortHeavyEdges(out)
+	return out
+}
+
 // ShardCount reports the number of shards.
 func (s *Sharded) ShardCount() int { return len(s.shards) }
+
+// Sharded snapshot format: magic "GSSH", shard count uint32, then each
+// shard's GSS snapshot in shard order. Shard routing is a pure function
+// of (seed, count), so a same-count restore preserves edge placement.
+var shardedMagic = [4]byte{'G', 'S', 'S', 'H'}
+
+// Snapshot serializes all shards, locking one shard at a time.
+func (s *Sharded) Snapshot(w io.Writer) error {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(shardedMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(s.shards))); err != nil {
+		return err
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		_, err := sh.g.WriteTo(bw)
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Restore replaces every shard's sketch with the snapshot read from r.
+// The snapshot's shard count must match this sketch's — routing is
+// keyed by count, so restoring into a differently sharded sketch would
+// silently misroute every future query. No shard is modified on error.
+func (s *Sharded) Restore(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if m != shardedMagic {
+		return fmt.Errorf("%w: not a sharded snapshot", ErrBadSnapshot)
+	}
+	var n uint32
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return fmt.Errorf("%w: truncated shard count", ErrBadSnapshot)
+	}
+	if int(n) != len(s.shards) {
+		return fmt.Errorf("%w: snapshot has %d shards, sketch has %d",
+			ErrBadSnapshot, n, len(s.shards))
+	}
+	gs := make([]*GSS, n)
+	for i := range gs {
+		g, err := ReadSketch(br)
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		gs[i] = g
+	}
+	s.gate.Lock()
+	for i := range s.shards {
+		s.shards[i].g = gs[i]
+	}
+	s.gate.Unlock()
+	return nil
+}

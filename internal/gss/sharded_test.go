@@ -1,6 +1,7 @@
 package gss
 
 import (
+	"bytes"
 	"sync"
 	"testing"
 
@@ -112,5 +113,178 @@ func TestIntSqrtScale(t *testing.T) {
 		if got := intSqrtScale(c.w, c.n); got != c.want {
 			t.Errorf("intSqrtScale(%d,%d) = %d, want %d", c.w, c.n, got, c.want)
 		}
+	}
+}
+
+// TestShardedInsertBatchMatchesItemwise is the batch-split-by-shard
+// correctness check: grouping a batch by shard and inserting each group
+// under one lock must land every item on the same shard, and therefore
+// the same slot, as item-at-a-time insertion — identical edge weights
+// and identical aggregate stats.
+func TestShardedInsertBatchMatchesItemwise(t *testing.T) {
+	items := stream.Generate(stream.EmailEuAll().Scaled(0.002))
+	cfg := Config{Width: 64, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8}
+	itemwise, err := NewSharded(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := NewSharded(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		itemwise.Insert(it)
+	}
+	// Uneven batch sizes exercise the grouping boundaries.
+	for off := 0; off < len(items); {
+		end := off + 1 + off%97
+		if end > len(items) {
+			end = len(items)
+		}
+		batched.InsertBatch(items[off:end])
+		off = end
+	}
+	if a, b := itemwise.Stats(), batched.Stats(); a != b {
+		t.Fatalf("stats diverge:\nitemwise %+v\nbatched  %+v", a, b)
+	}
+	for _, it := range items {
+		wa, oka := itemwise.EdgeWeight(it.Src, it.Dst)
+		wb, okb := batched.EdgeWeight(it.Src, it.Dst)
+		if wa != wb || oka != okb {
+			t.Fatalf("edge (%s,%s): itemwise %d,%v batched %d,%v",
+				it.Src, it.Dst, wa, oka, wb, okb)
+		}
+	}
+}
+
+// TestShardedBatchTotalsMatchSingle checks the sharded batched totals
+// against one unsharded sketch: identical item counts, and per-edge
+// weights that both dominate the exact ground truth.
+func TestShardedBatchTotalsMatchSingle(t *testing.T) {
+	items := stream.Generate(stream.LkmlReply().Scaled(0.002))
+	single := MustNew(Config{Width: 64, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8})
+	sharded, err := NewSharded(Config{Width: 64, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := adjlist.New()
+	single.InsertBatch(items)
+	sharded.InsertBatch(items)
+	for _, it := range items {
+		exact.Insert(it.Src, it.Dst, it.Weight)
+	}
+	if s, sh := single.Stats().Items, sharded.Stats().Items; s != sh || s != int64(len(items)) {
+		t.Fatalf("items: single %d sharded %d want %d", s, sh, len(items))
+	}
+	for _, it := range items {
+		want, _ := exact.EdgeWeight(it.Src, it.Dst)
+		if w, ok := single.EdgeWeight(it.Src, it.Dst); !ok || w < want {
+			t.Fatalf("single edge (%s,%s) = %d,%v want >= %d", it.Src, it.Dst, w, ok, want)
+		}
+		if w, ok := sharded.EdgeWeight(it.Src, it.Dst); !ok || w < want {
+			t.Fatalf("sharded edge (%s,%s) = %d,%v want >= %d", it.Src, it.Dst, w, ok, want)
+		}
+	}
+}
+
+func TestShardedConcurrentInsertBatch(t *testing.T) {
+	items := stream.Generate(stream.LkmlReply().Scaled(0.002))
+	s, err := NewSharded(Config{Width: 48, SeqLen: 4, Candidates: 4}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	var wg sync.WaitGroup
+	per := (len(items) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > len(items) {
+			hi = len(items)
+		}
+		wg.Add(1)
+		go func(chunk []stream.Item) {
+			defer wg.Done()
+			for off := 0; off < len(chunk); off += 100 {
+				end := off + 100
+				if end > len(chunk) {
+					end = len(chunk)
+				}
+				s.InsertBatch(chunk[off:end])
+			}
+		}(items[lo:hi])
+	}
+	wg.Wait()
+	if got := s.Stats().Items; got != int64(len(items)) {
+		t.Fatalf("items = %d, want %d", got, len(items))
+	}
+	for _, it := range items {
+		if _, ok := s.EdgeWeight(it.Src, it.Dst); !ok {
+			t.Fatalf("edge (%s,%s) lost under concurrent batch ingestion", it.Src, it.Dst)
+		}
+	}
+}
+
+func TestShardedSnapshotRestore(t *testing.T) {
+	items := stream.Generate(stream.EmailEuAll().Scaled(0.001))
+	cfg := Config{Width: 48, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8}
+	s, err := NewSharded(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.InsertBatch(items)
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewSharded(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := s.Stats(), restored.Stats(); a != b {
+		t.Fatalf("stats diverge after restore: %+v vs %+v", a, b)
+	}
+	for _, it := range items {
+		wa, oka := s.EdgeWeight(it.Src, it.Dst)
+		wb, okb := restored.EdgeWeight(it.Src, it.Dst)
+		if wa != wb || oka != okb {
+			t.Fatalf("edge (%s,%s) diverges after restore", it.Src, it.Dst)
+		}
+	}
+
+	// Shard-count mismatch must be rejected, not misrouted.
+	wrong, err := NewSharded(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wrong.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("restore into 8 shards from a 4-shard snapshot accepted")
+	}
+	// A single-GSS snapshot is not a sharded snapshot.
+	var single bytes.Buffer
+	if err := MustNew(cfg).Snapshot(&single); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Restore(bytes.NewReader(single.Bytes())); err == nil {
+		t.Fatal("restore from unsharded snapshot accepted")
+	}
+}
+
+func TestShardedHeavyEdges(t *testing.T) {
+	s, err := NewSharded(Config{Width: 32, SeqLen: 4, Candidates: 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.InsertEdge("big", "flow", 500)
+	s.InsertEdge("bigger", "flow", 900)
+	s.InsertEdge("small", "flow", 2)
+	heavy := s.HeavyEdges(100)
+	if len(heavy) != 2 {
+		t.Fatalf("heavy = %d edges, want 2", len(heavy))
+	}
+	if heavy[0].Weight != 900 || heavy[1].Weight != 500 {
+		t.Fatalf("heavy order = %d,%d want 900,500", heavy[0].Weight, heavy[1].Weight)
 	}
 }

@@ -102,6 +102,14 @@ func (g *GSS) HeavyEdges(minWeight int64) []HeavyEdge {
 			out = append(out, g.heavyEdge(k.s, k.d, w))
 		}
 	}
+	sortHeavyEdges(out)
+	return out
+}
+
+// sortHeavyEdges is the canonical heavy-edge order: weight descending,
+// then endpoint hashes for determinism. Sharded merges re-sort with
+// the same function so backends agree.
+func sortHeavyEdges(out []HeavyEdge) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Weight != out[j].Weight {
 			return out[i].Weight > out[j].Weight
@@ -111,7 +119,6 @@ func (g *GSS) HeavyEdges(minWeight int64) []HeavyEdge {
 		}
 		return out[i].DstHash < out[j].DstHash
 	})
-	return out
 }
 
 // decodeSlot recovers the sketch-edge endpoints stored at slot, using

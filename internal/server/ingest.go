@@ -1,0 +1,209 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+// pipeline is the bounded async ingest path: request handlers decode
+// NDJSON into batches and try to enqueue them; a fixed worker pool
+// drains the queue into the sketch. The queue is a plain buffered
+// channel, so "full" is immediate and cheap to detect — that is the
+// backpressure signal handlers turn into HTTP 429, pushing flow
+// control back to producers instead of buffering without bound.
+type pipeline struct {
+	sk    sketch.Sketch
+	queue chan []stream.Item
+	wg    sync.WaitGroup
+
+	enqueuedItems    atomic.Int64
+	enqueuedBatches  atomic.Int64
+	processedItems   atomic.Int64
+	processedBatches atomic.Int64
+	droppedItems     atomic.Int64
+	droppedBatches   atomic.Int64
+
+	closeOnce sync.Once
+}
+
+func newPipeline(sk sketch.Sketch, queueDepth, workers int) *pipeline {
+	p := &pipeline{sk: sk, queue: make(chan []stream.Item, queueDepth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pipeline) worker() {
+	defer p.wg.Done()
+	for batch := range p.queue {
+		p.sk.InsertBatch(batch)
+		p.processedItems.Add(int64(len(batch)))
+		p.processedBatches.Add(1)
+	}
+}
+
+// tryEnqueue hands batch to the worker pool without blocking. A false
+// return means the queue is full; the batch is counted as dropped.
+func (p *pipeline) tryEnqueue(batch []stream.Item) bool {
+	select {
+	case p.queue <- batch:
+		p.enqueuedItems.Add(int64(len(batch)))
+		p.enqueuedBatches.Add(1)
+		return true
+	default:
+		p.droppedItems.Add(int64(len(batch)))
+		p.droppedBatches.Add(1)
+		return false
+	}
+}
+
+// close stops accepting work, drains the queue and waits for workers.
+func (p *pipeline) close() {
+	p.closeOnce.Do(func() {
+		close(p.queue)
+		p.wg.Wait()
+	})
+}
+
+// IngestStats is the /ingest/stats payload: pipeline configuration and
+// counters. PendingItems = EnqueuedItems - ProcessedItems is the items
+// accepted but not yet visible to queries.
+type IngestStats struct {
+	BatchSize     int `json:"batch_size"`
+	Workers       int `json:"workers"`
+	QueueCapacity int `json:"queue_capacity"`
+	QueueDepth    int `json:"queue_depth"` // batches waiting right now
+
+	EnqueuedItems    int64 `json:"enqueued_items"`
+	EnqueuedBatches  int64 `json:"enqueued_batches"`
+	ProcessedItems   int64 `json:"processed_items"`
+	ProcessedBatches int64 `json:"processed_batches"`
+	PendingItems     int64 `json:"pending_items"`
+	DroppedItems     int64 `json:"dropped_items"`
+	DroppedBatches   int64 `json:"dropped_batches"`
+}
+
+func (s *Server) ingestStats() IngestStats {
+	p := s.pipeline()
+	// Load processed before enqueued: workers only ever process what
+	// was already enqueued, so this order (plus the clamp) keeps the
+	// derived pending count non-negative under concurrent updates.
+	proc := p.processedItems.Load()
+	enq := p.enqueuedItems.Load()
+	pending := enq - proc
+	if pending < 0 {
+		pending = 0
+	}
+	return IngestStats{
+		BatchSize:        s.opt.BatchSize,
+		Workers:          s.opt.Workers,
+		QueueCapacity:    cap(p.queue),
+		QueueDepth:       len(p.queue),
+		EnqueuedItems:    enq,
+		EnqueuedBatches:  p.enqueuedBatches.Load(),
+		ProcessedItems:   proc,
+		ProcessedBatches: p.processedBatches.Load(),
+		PendingItems:     pending,
+		DroppedItems:     p.droppedItems.Load(),
+		DroppedBatches:   p.droppedBatches.Load(),
+	}
+}
+
+// maxIngestBatch bounds the per-request ?batch= override.
+const maxIngestBatch = 1 << 16
+
+// handleIngest is the NDJSON bulk-ingest endpoint. The body is decoded
+// in batches of ?batch=N items (default Options.BatchSize), so the
+// request streams: memory use is one batch, not the whole body.
+//
+// Sync mode (default) inserts each batch before reading the next and
+// replies 200 once the whole body is ingested. Async mode (?async=1)
+// enqueues batches to the worker pool and replies 202 as soon as the
+// body is parsed; if the queue fills mid-request the handler replies
+// 429 with counts of what was enqueued versus dropped, and the client
+// should back off and retry the remainder.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	batchSize := s.opt.BatchSize
+	if raw := r.URL.Query().Get("batch"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 || n > maxIngestBatch {
+			httpError(w, http.StatusBadRequest, "batch must be an integer in [1,%d]", maxIngestBatch)
+			return
+		}
+		batchSize = n
+	}
+	async := false
+	switch r.URL.Query().Get("async") {
+	case "", "0", "false":
+	case "1", "true":
+		async = true
+	default:
+		httpError(w, http.StatusBadRequest, "async must be 0 or 1")
+		return
+	}
+
+	dec := stream.NewBatchDecoder(r.Body, batchSize)
+	var items int64
+	var batches int64
+	for {
+		batch := dec.Next()
+		if batch == nil {
+			break
+		}
+		if async {
+			if !s.enqueueOr429(w, batch, items) {
+				return
+			}
+		} else {
+			s.sk.InsertBatch(batch)
+		}
+		items += int64(len(batch))
+		batches++
+	}
+	if err := dec.Err(); err != nil {
+		// Everything before the bad line was already ingested or
+		// enqueued; report how far we got.
+		httpError(w, http.StatusBadRequest, "line %d: %v (%d items accepted)",
+			dec.Line(), err, items)
+		return
+	}
+	if async {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		writeBody(w, map[string]interface{}{"mode": "async", "enqueued": items, "batches": batches})
+		return
+	}
+	writeJSON(w, map[string]interface{}{"mode": "sync", "ingested": items, "batches": batches})
+}
+
+// enqueueOr429 enqueues one batch, replying 429 (and returning false)
+// when the ingest queue is full.
+func (s *Server) enqueueOr429(w http.ResponseWriter, batch []stream.Item, accepted int64) bool {
+	if s.pipeline().tryEnqueue(batch) {
+		return true
+	}
+	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusTooManyRequests)
+	writeBody(w, map[string]interface{}{
+		"error":    "ingest queue full",
+		"enqueued": accepted,
+		"dropped":  int64(len(batch)),
+	})
+	return false
+}
+
+func (s *Server) handleIngestStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.ingestStats())
+}

@@ -4,45 +4,137 @@
 // restore the sketch for fail-over. All handlers are JSON except the
 // binary snapshot endpoints.
 //
-//	POST /insert       {"src":"a","dst":"b","weight":1}  (or an array)
+//	POST /insert        {"src":"a","dst":"b","weight":1}  (or an array)
+//	POST /ingest        NDJSON bulk ingest, one item per line
+//	POST /ingest?async=1  enqueue to the worker pool; 429 when full
+//	GET  /ingest/stats  ingest pipeline counters and queue depth
 //	GET  /edge?src=a&dst=b
 //	GET  /successors?v=a
 //	GET  /precursors?v=a
+//	GET  /nodes
 //	GET  /nodeout?v=a
 //	GET  /reachable?src=a&dst=b
 //	GET  /heavy?min=100
 //	GET  /stats
-//	GET  /snapshot     (binary sketch snapshot)
-//	POST /restore      (binary sketch snapshot)
+//	GET  /snapshot      (binary sketch snapshot)
+//	POST /restore       (binary sketch snapshot)
+//
+// The sketch backend is selected at construction: "single" serializes
+// everything through one global lock, "concurrent" allows parallel
+// reads under a read-write lock, and "sharded" partitions the sketch
+// so ingestion itself runs in parallel. All synchronization lives in
+// the backend (see internal/sketch); handlers just call it.
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
 
 	"repro/internal/gss"
 	"repro/internal/query"
+	"repro/internal/sketch"
 	"repro/internal/stream"
 )
 
-// Server wraps a GSS with an HTTP API. Reads take a shared lock so
-// queries run concurrently; inserts and restore take it exclusively.
-type Server struct {
-	mu sync.RWMutex
-	g  *gss.GSS
+// Options configures the server's backend and ingest pipeline. The
+// zero value means: concurrent backend (parallel reads, like the
+// pre-pipeline server), batch size 512, a 64-batch async queue
+// drained by 2 workers.
+type Options struct {
+	// Backend is the sketch synchronization strategy: "single",
+	// "concurrent" or "sharded" (default "concurrent"; "single"
+	// serializes reads too and exists as the benchmark baseline).
+	Backend string
+	// Shards is the shard count for the sharded backend (default 8).
+	Shards int
+	// BatchSize is the default /ingest decode batch size, overridable
+	// per request with ?batch=N (default 512).
+	BatchSize int
+	// QueueDepth is the async ingest queue capacity in batches
+	// (default 64).
+	QueueDepth int
+	// Workers is the async ingest worker count (default 2).
+	Workers int
 }
 
-// New builds a Server around an empty sketch.
+func (o Options) withDefaults() Options {
+	if o.Backend == "" {
+		o.Backend = sketch.BackendConcurrent
+	}
+	if o.Shards < 1 {
+		o.Shards = 8
+	}
+	if o.BatchSize < 1 {
+		o.BatchSize = 512
+	}
+	if o.QueueDepth < 1 {
+		o.QueueDepth = 64
+	}
+	if o.Workers < 1 {
+		o.Workers = 2
+	}
+	return o
+}
+
+// Server serves a Sketch over HTTP.
+type Server struct {
+	sk  sketch.Sketch
+	opt Options
+
+	pipeOnce sync.Once
+	pipe     *pipeline
+
+	// restoreMu keeps /restore atomic with respect to compound
+	// queries. Single-primitive handlers rely on the backend's own
+	// synchronization, but /reachable and /nodeout chain several
+	// primitives and must not see the sketch swapped mid-chain.
+	restoreMu sync.RWMutex
+}
+
+// New builds a Server around an empty concurrent sketch with default
+// options.
 func New(cfg gss.Config) (*Server, error) {
-	g, err := gss.New(cfg)
+	return NewWithOptions(cfg, Options{})
+}
+
+// NewWithOptions builds a Server with the chosen backend and ingest
+// pipeline configuration.
+func NewWithOptions(cfg gss.Config, opt Options) (*Server, error) {
+	opt = opt.withDefaults()
+	sk, err := sketch.New(opt.Backend, cfg, opt.Shards)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{g: g}, nil
+	return NewFromSketch(sk, opt), nil
 }
+
+// NewFromSketch builds a Server around a caller-provided sketch. The
+// sketch must be safe for concurrent use.
+func NewFromSketch(sk sketch.Sketch, opt Options) *Server {
+	return &Server{sk: sk, opt: opt.withDefaults()}
+}
+
+// pipeline lazily starts the async worker pool on first use, so
+// servers that never see an async ingest (or a stats poll) spawn no
+// goroutines and need no Close.
+func (s *Server) pipeline() *pipeline {
+	s.pipeOnce.Do(func() {
+		s.pipe = newPipeline(s.sk, s.opt.QueueDepth, s.opt.Workers)
+	})
+	return s.pipe
+}
+
+// Sketch returns the backing sketch (for embedding and tests).
+func (s *Server) Sketch() sketch.Sketch { return s.sk }
+
+// Close drains and stops the async ingest workers, if any started. The
+// server must not receive requests afterwards.
+func (s *Server) Close() { s.pipeline().close() }
 
 // Item is the JSON wire form of a stream item.
 type Item struct {
@@ -57,9 +149,12 @@ type Item struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/insert", s.handleInsert)
+	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("/ingest/stats", s.handleIngestStats)
 	mux.HandleFunc("/edge", s.handleEdge)
 	mux.HandleFunc("/successors", s.handleNeighbors(true))
 	mux.HandleFunc("/precursors", s.handleNeighbors(false))
+	mux.HandleFunc("/nodes", s.handleNodes)
 	mux.HandleFunc("/nodeout", s.handleNodeOut)
 	mux.HandleFunc("/reachable", s.handleReachable)
 	mux.HandleFunc("/heavy", s.handleHeavy)
@@ -84,7 +179,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	if delim, ok := tok.(json.Delim); ok && delim == '[' {
 		for dec.More() {
-			var it Item
+			it := Item{Weight: 1} // omitted weight means one observation
 			if err := dec.Decode(&it); err != nil {
 				httpError(w, http.StatusBadRequest, "bad item: %v", err)
 				return
@@ -94,7 +189,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	} else {
 		// Re-decode the single object: simplest is to re-read from the
 		// token stream by hand.
-		var it Item
+		it := Item{Weight: 1}
 		if err := decodeObjectAfterBrace(dec, tok, &it); err != nil {
 			httpError(w, http.StatusBadRequest, "bad item: %v", err)
 			return
@@ -107,12 +202,12 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.mu.Lock()
-	for _, it := range batch {
-		s.g.Insert(stream.Item{Src: it.Src, Dst: it.Dst, Weight: it.Weight,
-			Time: it.Time, Label: it.Label})
+	items := make([]stream.Item, len(batch))
+	for i, it := range batch {
+		items[i] = stream.Item{Src: it.Src, Dst: it.Dst, Weight: it.Weight,
+			Time: it.Time, Label: it.Label}
 	}
-	s.mu.Unlock()
+	s.sk.InsertBatch(items)
 	writeJSON(w, map[string]int{"inserted": len(batch)})
 }
 
@@ -166,9 +261,7 @@ func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "src and dst are required")
 		return
 	}
-	s.mu.RLock()
-	weight, ok := s.g.EdgeWeight(src, dst)
-	s.mu.RUnlock()
+	weight, ok := s.sk.EdgeWeight(src, dst)
 	writeJSON(w, map[string]interface{}{"src": src, "dst": dst, "weight": weight, "found": ok})
 }
 
@@ -179,19 +272,25 @@ func (s *Server) handleNeighbors(successors bool) http.HandlerFunc {
 			httpError(w, http.StatusBadRequest, "v is required")
 			return
 		}
-		s.mu.RLock()
 		var nodes []string
 		if successors {
-			nodes = s.g.Successors(v)
+			nodes = s.sk.Successors(v)
 		} else {
-			nodes = s.g.Precursors(v)
+			nodes = s.sk.Precursors(v)
 		}
-		s.mu.RUnlock()
 		if nodes == nil {
 			nodes = []string{}
 		}
 		writeJSON(w, map[string]interface{}{"v": v, "nodes": nodes})
 	}
+}
+
+func (s *Server) handleNodes(w http.ResponseWriter, r *http.Request) {
+	nodes := s.sk.Nodes()
+	if nodes == nil {
+		nodes = []string{}
+	}
+	writeJSON(w, map[string]interface{}{"nodes": nodes})
 }
 
 func (s *Server) handleNodeOut(w http.ResponseWriter, r *http.Request) {
@@ -200,9 +299,9 @@ func (s *Server) handleNodeOut(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "v is required")
 		return
 	}
-	s.mu.RLock()
-	total := query.NodeOut(s.g, v)
-	s.mu.RUnlock()
+	s.restoreMu.RLock()
+	total := query.NodeOut(s.sk, v)
+	s.restoreMu.RUnlock()
 	writeJSON(w, map[string]interface{}{"v": v, "out": total})
 }
 
@@ -212,9 +311,9 @@ func (s *Server) handleReachable(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "src and dst are required")
 		return
 	}
-	s.mu.RLock()
-	ok := query.Reachable(s.g, src, dst)
-	s.mu.RUnlock()
+	s.restoreMu.RLock()
+	ok := query.Reachable(s.sk, src, dst)
+	s.restoreMu.RUnlock()
 	writeJSON(w, map[string]interface{}{"src": src, "dst": dst, "reachable": ok})
 }
 
@@ -224,9 +323,7 @@ func (s *Server) handleHeavy(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "positive integer min is required")
 		return
 	}
-	s.mu.RLock()
-	heavy := s.g.HeavyEdges(min)
-	s.mu.RUnlock()
+	heavy := s.sk.HeavyEdges(min)
 	type edge struct {
 		Srcs   []string `json:"srcs"`
 		Dsts   []string `json:"dsts"`
@@ -240,17 +337,12 @@ func (s *Server) handleHeavy(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	st := s.g.Stats()
-	s.mu.RUnlock()
-	writeJSON(w, st)
+	writeJSON(w, s.sk.Stats())
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if _, err := s.g.WriteTo(w); err != nil {
+	if err := s.sk.Snapshot(w); err != nil {
 		// Headers are gone; all we can do is drop the connection.
 		return
 	}
@@ -261,19 +353,31 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	g, err := gss.ReadSketch(r.Body)
+	// Buffer the snapshot before taking restoreMu so a slow upload
+	// cannot stall the compound-query handlers sharing the lock.
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading snapshot: %v", err)
+		return
+	}
+	s.restoreMu.Lock()
+	err = s.sk.Restore(bytes.NewReader(data))
+	s.restoreMu.Unlock()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad snapshot: %v", err)
 		return
 	}
-	s.mu.Lock()
-	s.g = g
-	s.mu.Unlock()
 	writeJSON(w, map[string]string{"status": "restored"})
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeBody encodes v after the caller has already written the status
+// code and headers.
+func writeBody(w http.ResponseWriter, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 

@@ -78,6 +78,9 @@ func TestMatchFindsPlantedPattern(t *testing.T) {
 }
 
 func TestRandomWalkPatternIsAlwaysMatchable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive matchability sweep takes ~2s; skipped under -short")
+	}
 	// The defining property of the Fig. 15 query generator: a pattern
 	// extracted from the window must be found in that window by the
 	// exact matcher (SJ-tree's correct rate is 1.0).

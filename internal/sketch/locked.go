@@ -1,0 +1,99 @@
+package sketch
+
+import (
+	"bytes"
+	"io"
+	"sync"
+
+	"repro/internal/gss"
+	"repro/internal/stream"
+)
+
+// Locked adapts any Sketch to concurrent use with a single global
+// mutex: every operation — read or write — is fully serialized. It is
+// the simplest correct deployment and the baseline the batched sharded
+// backend is benchmarked against ("single-lock" in cmd/gss-bench).
+type Locked struct {
+	mu sync.Mutex
+	sk Sketch
+}
+
+// NewLocked wraps sk with one global mutex. sk must not be used
+// directly afterwards.
+func NewLocked(sk Sketch) *Locked { return &Locked{sk: sk} }
+
+// Insert ingests one stream item.
+func (l *Locked) Insert(it stream.Item) {
+	l.mu.Lock()
+	l.sk.Insert(it)
+	l.mu.Unlock()
+}
+
+// InsertBatch ingests a batch under one lock acquisition.
+func (l *Locked) InsertBatch(items []stream.Item) {
+	l.mu.Lock()
+	l.sk.InsertBatch(items)
+	l.mu.Unlock()
+}
+
+// EdgeWeight is the edge query primitive.
+func (l *Locked) EdgeWeight(src, dst string) (int64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sk.EdgeWeight(src, dst)
+}
+
+// Successors is the 1-hop successor query primitive.
+func (l *Locked) Successors(v string) []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sk.Successors(v)
+}
+
+// Precursors is the 1-hop precursor query primitive.
+func (l *Locked) Precursors(v string) []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sk.Precursors(v)
+}
+
+// Nodes enumerates registered node identifiers.
+func (l *Locked) Nodes() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sk.Nodes()
+}
+
+// HeavyEdges lists sketch edges with weight >= minWeight.
+func (l *Locked) HeavyEdges(minWeight int64) []gss.HeavyEdge {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sk.HeavyEdges(minWeight)
+}
+
+// Stats snapshots sketch statistics.
+func (l *Locked) Stats() gss.Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sk.Stats()
+}
+
+// Snapshot serializes the wrapped sketch.
+func (l *Locked) Snapshot(w io.Writer) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sk.Snapshot(w)
+}
+
+// Restore replaces the wrapped sketch's state from a snapshot. The
+// body is buffered before the lock is taken so a slow upload cannot
+// stall every other operation behind the global mutex.
+func (l *Locked) Restore(r io.Reader) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sk.Restore(bytes.NewReader(data))
+}

@@ -1,0 +1,84 @@
+// Package sketch defines the common deployment surface of a graph
+// stream summary: ingestion (single item and batched), the three query
+// primitives of Definition 4, statistics, and snapshot/restore for
+// fail-over. The HTTP server, the benchmark harness, and the examples
+// all program against Sketch, so swapping the synchronization strategy
+// — one global lock, a read-write lock, or hash-partitioned shards —
+// is a flag, not a rewrite. This is the seam later scaling work
+// (windowed sketches, replication, alternative backends) plugs into.
+package sketch
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/gss"
+	"repro/internal/stream"
+)
+
+// Sketch is the full deployment interface. It is a superset of
+// query.Summary, so any Sketch also serves the compound query
+// algorithms (reachability, node aggregates) unchanged.
+type Sketch interface {
+	// Insert ingests one stream item.
+	Insert(it stream.Item)
+	// InsertBatch ingests a slice of items; synchronized backends
+	// amortize lock acquisitions over the batch.
+	InsertBatch(items []stream.Item)
+	// EdgeWeight is the edge query primitive.
+	EdgeWeight(src, dst string) (int64, bool)
+	// Successors is the 1-hop successor query primitive.
+	Successors(v string) []string
+	// Precursors is the 1-hop precursor query primitive.
+	Precursors(v string) []string
+	// Nodes enumerates registered original node identifiers.
+	Nodes() []string
+	// HeavyEdges lists sketch edges with weight >= minWeight.
+	HeavyEdges(minWeight int64) []gss.HeavyEdge
+	// Stats snapshots sketch statistics.
+	Stats() gss.Stats
+	// Snapshot serializes the sketch state to w.
+	Snapshot(w io.Writer) error
+	// Restore replaces the sketch state from a snapshot; the state is
+	// unchanged on error.
+	Restore(r io.Reader) error
+}
+
+// The three gss backends satisfy Sketch.
+var (
+	_ Sketch = (*gss.GSS)(nil)
+	_ Sketch = (*gss.Concurrent)(nil)
+	_ Sketch = (*gss.Sharded)(nil)
+)
+
+// Backend names accepted by New.
+const (
+	BackendSingle     = "single"     // one global mutex, everything serialized
+	BackendConcurrent = "concurrent" // RWMutex: parallel reads, exclusive writes
+	BackendSharded    = "sharded"    // per-shard mutexes, parallel ingestion
+)
+
+// Backends lists the accepted backend names.
+func Backends() []string {
+	return []string{BackendSingle, BackendConcurrent, BackendSharded}
+}
+
+// New builds a thread-safe Sketch for the named backend. shards is
+// only consulted by the sharded backend (values < 1 mean 1).
+func New(backend string, cfg gss.Config, shards int) (Sketch, error) {
+	switch backend {
+	case BackendSingle:
+		g, err := gss.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return NewLocked(g), nil
+	case BackendConcurrent:
+		return gss.NewConcurrent(cfg)
+	case BackendSharded:
+		return gss.NewSharded(cfg, shards)
+	default:
+		return nil, fmt.Errorf("sketch: unknown backend %q (want %s, %s or %s)",
+			backend, BackendSingle, BackendConcurrent, BackendSharded)
+	}
+}

@@ -1,0 +1,133 @@
+package stream
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// NDJSON wire format: one JSON object per line, the same field names
+// the HTTP API uses. "src" and "dst" are required; "weight" defaults
+// to 1 when omitted (an unweighted edge observation); "time" and
+// "label" default to 0. Blank lines are skipped, so files can carry
+// visual spacing and a trailing newline. NDJSON is the bulk-ingest
+// wire form: a producer streams lines, the server decodes them into
+// batches and inserts each batch under amortized locking.
+
+// jsonItem mirrors Item with the wire field names.
+type jsonItem struct {
+	Src    string `json:"src"`
+	Dst    string `json:"dst"`
+	Weight int64  `json:"weight"`
+	Time   int64  `json:"time,omitempty"`
+	Label  uint32 `json:"label,omitempty"`
+}
+
+// maxNDJSONLine bounds one encoded item; longer lines are malformed.
+const maxNDJSONLine = 1 << 20
+
+// BatchDecoder streams an NDJSON item stream in batches, so an
+// arbitrarily long request body is ingested with bounded memory.
+type BatchDecoder struct {
+	sc        *bufio.Scanner
+	batchSize int
+	line      int   // 1-based number of the last line read
+	items     int64 // items decoded so far
+	err       error
+}
+
+// NewBatchDecoder returns a decoder reading NDJSON from r that yields
+// batches of up to batchSize items (values < 1 mean 1).
+func NewBatchDecoder(r io.Reader, batchSize int) *BatchDecoder {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxNDJSONLine)
+	return &BatchDecoder{sc: sc, batchSize: batchSize}
+}
+
+// Next returns the next batch of decoded items. It returns a nil slice
+// once the stream is exhausted; check Err afterwards. Each call
+// allocates a fresh slice, so callers may retain or hand off batches
+// (e.g. to an async worker pool) without copying.
+func (d *BatchDecoder) Next() []Item {
+	if d.err != nil {
+		return nil
+	}
+	var batch []Item
+	for len(batch) < d.batchSize {
+		if !d.sc.Scan() {
+			if err := d.sc.Err(); err != nil {
+				d.err = fmt.Errorf("stream: ndjson line %d: %w", d.line+1, err)
+			}
+			break
+		}
+		d.line++
+		line := bytes.TrimSpace(d.sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		ji := jsonItem{Weight: 1} // omitted weight means one observation
+		if err := json.Unmarshal(line, &ji); err != nil {
+			d.err = fmt.Errorf("stream: ndjson line %d: %w", d.line, err)
+			break
+		}
+		if ji.Src == "" || ji.Dst == "" {
+			d.err = fmt.Errorf("stream: ndjson line %d: src and dst are required", d.line)
+			break
+		}
+		if batch == nil {
+			batch = make([]Item, 0, d.batchSize)
+		}
+		batch = append(batch, Item{Src: ji.Src, Dst: ji.Dst,
+			Weight: ji.Weight, Time: ji.Time, Label: ji.Label})
+	}
+	d.items += int64(len(batch))
+	if len(batch) == 0 {
+		return nil
+	}
+	return batch
+}
+
+// Err reports the first decode error; nil after a clean end of stream.
+// Items decoded before the bad line are still returned by Next, so a
+// caller can report how much of a partially bad upload was ingested.
+func (d *BatchDecoder) Err() error { return d.err }
+
+// Line reports the number of the last NDJSON line read (1-based).
+func (d *BatchDecoder) Line() int { return d.line }
+
+// Items reports how many items have been decoded so far.
+func (d *BatchDecoder) Items() int64 { return d.items }
+
+// EncodeNDJSON writes items to w in the NDJSON wire format.
+func EncodeNDJSON(w io.Writer, items []Item) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the newline
+	for _, it := range items {
+		if err := enc.Encode(jsonItem{Src: it.Src, Dst: it.Dst,
+			Weight: it.Weight, Time: it.Time, Label: it.Label}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeNDJSON reads the whole NDJSON stream from r in batches of
+// batchSize, invoking fn for each batch. It returns the total item
+// count and the first decode or callback error.
+func DecodeNDJSON(r io.Reader, batchSize int, fn func([]Item) error) (int64, error) {
+	d := NewBatchDecoder(r, batchSize)
+	for {
+		batch := d.Next()
+		if batch == nil {
+			return d.Items(), d.Err()
+		}
+		if err := fn(batch); err != nil {
+			return d.Items(), err
+		}
+	}
+}

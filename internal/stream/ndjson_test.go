@@ -1,0 +1,122 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	items := Generate(DatasetConfig{Name: "rt", Nodes: 50, Edges: 500,
+		DegreeSkew: 1.3, WeightSkew: 1.1, MaxWeight: 99, Seed: 3})
+	var buf bytes.Buffer
+	if err := EncodeNDJSON(&buf, items); err != nil {
+		t.Fatal(err)
+	}
+	var got []Item
+	n, err := DecodeNDJSON(&buf, 64, func(batch []Item) error {
+		got = append(got, batch...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(items)) {
+		t.Fatalf("decoded %d items, want %d", n, len(items))
+	}
+	for i := range items {
+		if got[i] != items[i] {
+			t.Fatalf("item %d: %+v != %+v", i, got[i], items[i])
+		}
+	}
+}
+
+func TestNDJSONBatchSizes(t *testing.T) {
+	const total = 10
+	var buf bytes.Buffer
+	var items []Item
+	for i := 0; i < total; i++ {
+		items = append(items, Item{Src: NodeID(i), Dst: NodeID(i + 1), Weight: int64(i)})
+	}
+	if err := EncodeNDJSON(&buf, items); err != nil {
+		t.Fatal(err)
+	}
+	d := NewBatchDecoder(bytes.NewReader(buf.Bytes()), 4)
+	var sizes []int
+	for {
+		b := d.Next()
+		if b == nil {
+			break
+		}
+		sizes = append(sizes, len(b))
+	}
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+	if len(sizes) != 3 || sizes[0] != 4 || sizes[1] != 4 || sizes[2] != 2 {
+		t.Fatalf("batch sizes = %v, want [4 4 2]", sizes)
+	}
+	if d.Items() != total {
+		t.Fatalf("Items() = %d, want %d", d.Items(), total)
+	}
+}
+
+func TestNDJSONDefaultsAndBlankLines(t *testing.T) {
+	in := "{\"src\":\"a\",\"dst\":\"b\"}\n\n  \n{\"src\":\"c\",\"dst\":\"d\",\"weight\":0}\n"
+	d := NewBatchDecoder(strings.NewReader(in), 10)
+	batch := d.Next()
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+	if len(batch) != 2 {
+		t.Fatalf("decoded %d items, want 2", len(batch))
+	}
+	if batch[0].Weight != 1 {
+		t.Fatalf("omitted weight = %d, want default 1", batch[0].Weight)
+	}
+	if batch[1].Weight != 0 {
+		t.Fatalf("explicit zero weight = %d, want 0", batch[1].Weight)
+	}
+}
+
+func TestNDJSONErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+		wantLine string
+	}{
+		{"malformed", "{\"src\":\"a\",\"dst\":\"b\"}\nnot json\n", "line 2"},
+		{"missing dst", "{\"src\":\"a\"}\n", "line 1"},
+		{"missing src", "{\"dst\":\"b\"}\n", "line 1"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var got []Item
+			_, err := DecodeNDJSON(strings.NewReader(c.in), 8, func(b []Item) error {
+				got = append(got, b...)
+				return nil
+			})
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if !strings.Contains(err.Error(), c.wantLine) {
+				t.Fatalf("error %q does not name %s", err, c.wantLine)
+			}
+		})
+	}
+	// Items before the bad line still come through.
+	var got []Item
+	n, err := DecodeNDJSON(strings.NewReader("{\"src\":\"a\",\"dst\":\"b\"}\nbad\n"), 1,
+		func(b []Item) error { got = append(got, b...); return nil })
+	if err == nil || n != 1 || len(got) != 1 {
+		t.Fatalf("partial decode: n=%d got=%d err=%v", n, len(got), err)
+	}
+}
+
+func TestNDJSONOversizedLine(t *testing.T) {
+	long := strings.Repeat("x", maxNDJSONLine+10)
+	in := "{\"src\":\"" + long + "\",\"dst\":\"b\"}\n"
+	_, err := DecodeNDJSON(strings.NewReader(in), 8, func([]Item) error { return nil })
+	if err == nil {
+		t.Fatal("oversized line accepted")
+	}
+}
