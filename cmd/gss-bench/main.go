@@ -8,6 +8,7 @@
 //	gss-bench -exp fig12 -datasets cit-HepPh,email-EuAll
 //	gss-bench -list
 //	gss-bench -mode ingest -ingesters 4 # server-ingest throughput
+//	gss-bench -mode window -span 600    # windowed vs unbounded backends
 //
 // -scale 1.0 reproduces paper-size datasets (several GB of working set
 // for the Caida figures; budget accordingly).
@@ -29,7 +30,7 @@ import (
 
 func main() {
 	var (
-		mode     = flag.String("mode", "paper", "bench mode: paper (experiments) or ingest (server throughput)")
+		mode     = flag.String("mode", "paper", "bench mode: paper (experiments), ingest (server throughput) or window (windowed vs unbounded)")
 		exp      = flag.String("exp", "all", "experiment to run (see -list)")
 		scale    = flag.Float64("scale", 0, "dataset scale; 1.0 = paper scale, 0 = fast default")
 		sample   = flag.Int("sample", 0, "max queries per configuration; 0 = default")
@@ -37,12 +38,16 @@ func main() {
 		datasets = flag.String("datasets", "", "comma-separated dataset filter (paper names)")
 		list     = flag.Bool("list", false, "list experiments and exit")
 
-		ingesters = flag.Int("ingesters", 4, "ingest mode: concurrent client goroutines")
-		items     = flag.Int("items", 200000, "ingest mode: items per bulk measurement")
-		batch     = flag.Int("batch", 1000, "ingest mode: server decode batch size")
-		reqItems  = flag.Int("reqitems", 0, "ingest mode: items per bulk request (default 10*batch)")
-		shards    = flag.Int("shards", 16, "ingest mode: shard count for the sharded backend")
-		width     = flag.Int("width", 512, "ingest mode: sketch matrix width")
+		ingesters = flag.Int("ingesters", 4, "ingest/window mode: concurrent client goroutines")
+		items     = flag.Int("items", 200000, "ingest/window mode: items per bulk measurement")
+		batch     = flag.Int("batch", 1000, "ingest/window mode: server decode batch size")
+		reqItems  = flag.Int("reqitems", 0, "ingest/window mode: items per bulk request (default 10*batch for ingest, 2*batch for window)")
+		shards    = flag.Int("shards", 16, "ingest/window mode: shard count for the sharded backend")
+		width     = flag.Int("width", 512, "ingest/window mode: sketch matrix width")
+
+		span    = flag.Int64("span", 600, "window mode: window length in stream-time units")
+		gens    = flag.Int("generations", 4, "window mode: windowed rotation granularity")
+		windows = flag.Int("windows", 8, "window mode: how many windows the stream spans")
 	)
 	flag.Parse()
 
@@ -55,9 +60,18 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	case "window":
+		opt := windowBenchOptions{Ingesters: *ingesters, Items: *items, Batch: *batch,
+			ReqItems: *reqItems, Shards: *shards, Width: *width,
+			Span: *span, Generations: *gens, Windows: *windows}
+		if err := runWindowBench(opt, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	case "paper":
 	default:
-		fmt.Fprintf(os.Stderr, "gss-bench: unknown -mode %q (want paper or ingest)\n", *mode)
+		fmt.Fprintf(os.Stderr, "gss-bench: unknown -mode %q (want paper, ingest or window)\n", *mode)
 		os.Exit(2)
 	}
 

@@ -3,6 +3,7 @@
 //
 //	gss-server -addr :8080 -width 2000 -fpbits 16
 //	gss-server -backend sharded -shards 16 -ingest-workers 4
+//	gss-server -backend windowed -window-span 3600 -window-generations 4
 package main
 
 import (
@@ -27,7 +28,11 @@ func main() {
 
 		backend = flag.String("backend", sketch.BackendConcurrent,
 			"sketch backend: "+strings.Join(sketch.Backends(), "|"))
-		shards  = flag.Int("shards", 8, "shard count (sharded backend only)")
+		shards = flag.Int("shards", 8, "shard count (sharded backend only)")
+		span   = flag.Int64("window-span", sketch.DefaultWindowSpan,
+			"windowed backend: window length in stream-time units")
+		gens = flag.Int("window-generations", sketch.DefaultWindowGenerations,
+			"windowed backend: generation count (expiry granularity)")
 		batch   = flag.Int("batch", 512, "default /ingest decode batch size")
 		queue   = flag.Int("ingest-queue", 64, "async ingest queue capacity (batches)")
 		workers = flag.Int("ingest-workers", 2, "async ingest worker goroutines")
@@ -38,6 +43,7 @@ func main() {
 		gss.Config{Width: *width, FingerprintBits: *fpbits,
 			Rooms: *rooms, SeqLen: *seqlen, Candidates: *seqlen},
 		server.Options{Backend: *backend, Shards: *shards,
+			WindowSpan: *span, WindowGenerations: *gens,
 			BatchSize: *batch, QueueDepth: *queue, Workers: *workers})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gss-server:", err)

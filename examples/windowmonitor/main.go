@@ -1,49 +1,120 @@
-// Windowmonitor: sliding-window summarization of an unbounded stream —
-// the extension in internal/window. An operations dashboard wants "who
-// talked to whom in the last hour" without ever storing the stream:
-// generation sketches rotate out as time advances, so memory stays
-// bounded while queries always cover the most recent window.
+// Windowmonitor: sliding-window summarization of an unbounded stream,
+// deployed the way an operations dashboard would actually consume it —
+// through the HTTP server's "windowed" backend. Collectors ship
+// timestamped NDJSON to /ingest; the dashboard asks "who talked to
+// whom in the last hour" over the query API; generation sketches
+// rotate out as stream time advances, so memory stays bounded while
+// queries always cover the most recent window.
 //
 //	go run ./examples/windowmonitor
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
 
 	"repro/internal/gss"
+	"repro/internal/server"
 	"repro/internal/stream"
-	"repro/internal/window"
 )
 
 func main() {
 	// One hour of coverage in four 15-minute generations (time is in
-	// seconds here).
-	w := window.MustNew(window.Config{
-		Sketch:      gss.Config{Width: 128, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8},
-		Span:        3600,
-		Generations: 4,
-	})
+	// seconds here), served over HTTP. httptest stands in for the
+	// network: the traffic is byte-for-byte what remote collectors
+	// would send.
+	srv, err := server.NewWithOptions(
+		gss.Config{Width: 128, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8},
+		server.Options{Backend: "windowed", WindowSpan: 3600, WindowGenerations: 4,
+			BatchSize: 1000})
+	if err != nil {
+		fail(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
 
 	// Simulate six hours of traffic: a persistent chatter pair, plus a
-	// burst that happens only in hour two.
+	// burst that happens only in hour two. Shipped in hourly NDJSON
+	// uploads, as a collector flushing its spool would. Timestamps are
+	// based at an arbitrary epoch second — time 0 on the wire means
+	// "no timestamp, stamp on arrival", which is not what a replay
+	// wants for its very first item.
+	const base = int64(1_000_000)
+	var flows []stream.Item
+	flush := func() {
+		var body bytes.Buffer
+		if err := stream.EncodeNDJSON(&body, flows); err != nil {
+			fail(err)
+		}
+		resp, err := http.Post(ts.URL+"/ingest", "application/x-ndjson", &body)
+		if err != nil {
+			fail(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fail(fmt.Errorf("ingest status %d", resp.StatusCode))
+		}
+		flows = flows[:0]
+	}
 	for tick := int64(0); tick < 6*3600; tick += 10 {
-		w.Insert(stream.Item{Src: "app-frontend", Dst: "app-backend", Time: tick, Weight: 1})
+		flows = append(flows, stream.Item{Src: "app-frontend", Dst: "app-backend", Time: base + tick, Weight: 1})
 		if tick >= 3600 && tick < 7200 {
-			w.Insert(stream.Item{Src: "cron-job", Dst: "object-store", Time: tick, Weight: 20})
+			flows = append(flows, stream.Item{Src: "cron-job", Dst: "object-store", Time: base + tick, Weight: 20})
+		}
+		if tick%3600 == 3590 {
+			flush()
 		}
 	}
+	flush()
 
 	// At the end of the run, the burst is hours outside the window and
 	// must be gone; the persistent pair is still visible with roughly
 	// one hour's worth of weight.
-	if _, ok := w.EdgeWeight("cron-job", "object-store"); ok {
+	var edge struct {
+		Weight int64 `json:"weight"`
+		Found  bool  `json:"found"`
+	}
+	getJSON(ts.URL+"/edge?src=cron-job&dst=object-store", &edge)
+	if edge.Found {
 		fmt.Println("burst still visible (unexpected)")
 	} else {
 		fmt.Println("hour-two burst correctly expired from the window")
 	}
-	chat, _ := w.EdgeWeight("app-frontend", "app-backend")
-	fmt.Printf("frontend->backend messages in the last hour: ~%d (one hour is 360 ticks)\n", chat)
-	fmt.Printf("live generations: %d, bounded memory: %d KB\n",
-		w.LiveGenerations(), w.MemoryBytes()/1024)
-	fmt.Printf("current peers of app-frontend: %v\n", w.Successors("app-frontend"))
+	getJSON(ts.URL+"/edge?src=app-frontend&dst=app-backend", &edge)
+	fmt.Printf("frontend->backend messages in the last hour: ~%d (one hour is 360 ticks)\n", edge.Weight)
+
+	var st gss.Stats
+	getJSON(ts.URL+"/stats", &st)
+	fmt.Printf("live generations: %d/4, expired: %d (%d items rotated out), bounded memory: %d KB\n",
+		st.LiveGenerations, st.ExpiredGenerations, st.ExpiredItems, st.MatrixBytes/1024)
+
+	var succ struct {
+		Nodes []string `json:"nodes"`
+	}
+	getJSON(ts.URL+"/successors?v=app-frontend", &succ)
+	fmt.Printf("current peers of app-frontend: %v\n", succ.Nodes)
+}
+
+func getJSON(url string, out interface{}) {
+	resp, err := http.Get(url)
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fail(fmt.Errorf("GET %s: status %d", url, resp.StatusCode))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "windowmonitor:", err)
+	os.Exit(1)
 }

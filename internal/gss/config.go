@@ -68,6 +68,12 @@ type Config struct {
 	DisableNodeIndex bool
 }
 
+// Normalized validates cfg and returns it with defaults filled,
+// without allocating a sketch. Wrappers that hold a config for later
+// sketch construction (windowed generations) validate with it up
+// front instead of building and discarding a probe matrix.
+func (cfg Config) Normalized() (Config, error) { return cfg.normalized() }
+
 // normalized validates cfg and fills defaults.
 func (cfg Config) normalized() (Config, error) {
 	if cfg.Width <= 0 {

@@ -89,8 +89,19 @@ func (g *GSS) setOccupied(slot int)   { g.occ[slot>>6] |= 1 << (uint(slot) & 63)
 
 // Insert ingests one stream item: the edge is mapped into the graph
 // sketch and stored per the augmented edge-updating procedure of §V.
+// This is the primary ingestion entry point and receives the item
+// whole — the plain GSS summarizes the entire stream, so Time and
+// Label do not affect placement here, but wrappers that route by them
+// (the sliding-window backend, future labeled sketches) rely on every
+// layer forwarding the full item rather than just (src, dst, weight).
 func (g *GSS) Insert(it stream.Item) {
-	g.InsertEdge(it.Src, it.Dst, it.Weight)
+	hs := g.nh.Hash(it.Src)
+	hd := g.nh.Hash(it.Dst)
+	if g.reg != nil {
+		g.reg.add(hs, it.Src)
+		g.reg.add(hd, it.Dst)
+	}
+	g.insertHashed(hs, hd, it.Weight)
 }
 
 // InsertBatch ingests a slice of stream items. On the plain GSS this is
@@ -102,15 +113,12 @@ func (g *GSS) InsertBatch(items []stream.Item) {
 	}
 }
 
-// InsertEdge adds w to edge (src,dst) of the streaming graph.
+// InsertEdge adds w to edge (src,dst) of the streaming graph. It is
+// the explicit untimed entry point: callers that have no timestamp
+// (ablation drivers, merge tooling) use it deliberately, everything on
+// the stream path goes through Insert so the item survives whole.
 func (g *GSS) InsertEdge(src, dst string, w int64) {
-	hs := g.nh.Hash(src)
-	hd := g.nh.Hash(dst)
-	if g.reg != nil {
-		g.reg.add(hs, src)
-		g.reg.add(hd, dst)
-	}
-	g.insertHashed(hs, hd, w)
+	g.Insert(stream.Item{Src: src, Dst: dst, Weight: w})
 }
 
 // insertHashed inserts the sketch-graph edge H(s) -> H(d).

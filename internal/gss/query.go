@@ -200,3 +200,18 @@ func (g *GSS) Nodes() []string {
 	}
 	return g.reg.nodes()
 }
+
+// EachNode invokes fn for every registered original identifier, in
+// arbitrary order. Aggregations that only need membership or a count
+// (the windowed backend's cross-generation node statistics) use it to
+// skip the sort and slice Nodes pays for.
+func (g *GSS) EachNode(fn func(id string)) {
+	if g.reg == nil {
+		return
+	}
+	for _, ids := range g.reg.ids {
+		for _, id := range ids {
+			fn(id)
+		}
+	}
+}

@@ -49,7 +49,7 @@ func NewSharded(cfg Config, n int) (*Sharded, error) {
 		n = 1
 	}
 	scaled := cfg
-	scaled.Width = intSqrtScale(cfg.Width, n)
+	scaled.Width = ScaleWidth(cfg.Width, n)
 	s := &Sharded{shards: make([]shard, n), seed: 0x5eed}
 	for i := range s.shards {
 		g, err := New(scaled)
@@ -61,8 +61,12 @@ func NewSharded(cfg Config, n int) (*Sharded, error) {
 	return s, nil
 }
 
-// intSqrtScale divides width by sqrt(n), flooring at 1.
-func intSqrtScale(width, n int) int {
+// ScaleWidth divides width by sqrt(n), flooring at 1: n partition
+// sketches of the scaled width have the combined matrix memory of one
+// sketch of the original width. Both the sharded and the windowed
+// backend use it so a -width flag means the same total budget on every
+// backend.
+func ScaleWidth(width, n int) int {
 	lo, hi := 1, width
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
@@ -84,8 +88,17 @@ func (s *Sharded) shardFor(src, dst string) *shard {
 	return &s.shards[s.shardIndex(src, dst)]
 }
 
-// Insert ingests one item; safe for concurrent use.
-func (s *Sharded) Insert(it stream.Item) { s.InsertEdge(it.Src, it.Dst, it.Weight) }
+// Insert ingests one item; safe for concurrent use. The full item is
+// routed to the owning shard — Time and Label must survive this layer
+// for wrappers that depend on them.
+func (s *Sharded) Insert(it stream.Item) {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	sh := s.shardFor(it.Src, it.Dst)
+	sh.mu.Lock()
+	sh.g.Insert(it)
+	sh.mu.Unlock()
+}
 
 // InsertBatch ingests a batch of items; safe for concurrent use. The
 // batch is grouped by owning shard first, then each touched shard is
@@ -122,14 +135,10 @@ func (s *Sharded) InsertBatch(items []stream.Item) {
 	}
 }
 
-// InsertEdge adds w to edge (src,dst); safe for concurrent use.
+// InsertEdge adds w to edge (src,dst); safe for concurrent use. Like
+// GSS.InsertEdge it is the explicit untimed entry point over Insert.
 func (s *Sharded) InsertEdge(src, dst string, w int64) {
-	s.gate.RLock()
-	defer s.gate.RUnlock()
-	sh := s.shardFor(src, dst)
-	sh.mu.Lock()
-	sh.g.InsertEdge(src, dst, w)
-	sh.mu.Unlock()
+	s.Insert(stream.Item{Src: src, Dst: dst, Weight: w})
 }
 
 // EdgeWeight queries the owning shard.
@@ -219,7 +228,7 @@ func (s *Sharded) HeavyEdges(minWeight int64) []HeavyEdge {
 		out = append(out, sh.g.HeavyEdges(minWeight)...)
 		sh.mu.Unlock()
 	}
-	sortHeavyEdges(out)
+	SortHeavyEdges(out)
 	return out
 }
 

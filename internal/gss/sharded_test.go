@@ -110,8 +110,8 @@ func TestIntSqrtScale(t *testing.T) {
 		{64, 4, 32}, {64, 1, 64}, {100, 2, 70}, {3, 100, 1},
 	}
 	for _, c := range cases {
-		if got := intSqrtScale(c.w, c.n); got != c.want {
-			t.Errorf("intSqrtScale(%d,%d) = %d, want %d", c.w, c.n, got, c.want)
+		if got := ScaleWidth(c.w, c.n); got != c.want {
+			t.Errorf("ScaleWidth(%d,%d) = %d, want %d", c.w, c.n, got, c.want)
 		}
 	}
 }

@@ -15,13 +15,21 @@ type Stats struct {
 	Candidates      int
 	FingerprintBits int
 
-	Items        int64 // stream items ingested
+	Items        int64 // stream items ingested (windowed: still live in the window)
 	MatrixEdges  int   // distinct sketch edges resident in the matrix
 	BufferEdges  int   // distinct left-over sketch edges in the buffer
 	Occupancy    float64
 	BufferPct    float64 // BufferEdges / (MatrixEdges + BufferEdges)
 	MatrixBytes  int64
 	IndexedNodes int // registered original identifiers, 0 if index disabled
+
+	// Sliding-window backends (internal/window) only; zero on the
+	// whole-stream backends.
+	WindowSpan         int64 // window length in stream-time units
+	LiveGenerations    int   // resident generation sketches
+	ExpiredGenerations int64 // generations rotated out since creation
+	ExpiredItems       int64 // items that left the window with them
+	DroppedStragglers  int64 // items older than the window on arrival
 }
 
 // Stats returns a snapshot of the sketch state.
@@ -102,14 +110,15 @@ func (g *GSS) HeavyEdges(minWeight int64) []HeavyEdge {
 			out = append(out, g.heavyEdge(k.s, k.d, w))
 		}
 	}
-	sortHeavyEdges(out)
+	SortHeavyEdges(out)
 	return out
 }
 
-// sortHeavyEdges is the canonical heavy-edge order: weight descending,
-// then endpoint hashes for determinism. Sharded merges re-sort with
-// the same function so backends agree.
-func sortHeavyEdges(out []HeavyEdge) {
+// SortHeavyEdges applies the canonical heavy-edge order: weight
+// descending, then endpoint hashes for determinism. Backends that
+// merge per-partition lists (sharded shards, windowed generations)
+// re-sort with the same function so all backends agree.
+func SortHeavyEdges(out []HeavyEdge) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Weight != out[j].Weight {
 			return out[i].Weight > out[j].Weight

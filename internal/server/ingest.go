@@ -91,7 +91,17 @@ type IngestStats struct {
 }
 
 func (s *Server) ingestStats() IngestStats {
-	p := s.pipeline()
+	st := IngestStats{
+		BatchSize:     s.opt.BatchSize,
+		Workers:       s.opt.Workers,
+		QueueCapacity: s.opt.QueueDepth,
+	}
+	// A stats poll reports on the pool, it must not start one: an idle
+	// server stays at zero goroutines.
+	p := s.startedPipeline()
+	if p == nil {
+		return st
+	}
 	// Load processed before enqueued: workers only ever process what
 	// was already enqueued, so this order (plus the clamp) keeps the
 	// derived pending count non-negative under concurrent updates.
@@ -101,19 +111,15 @@ func (s *Server) ingestStats() IngestStats {
 	if pending < 0 {
 		pending = 0
 	}
-	return IngestStats{
-		BatchSize:        s.opt.BatchSize,
-		Workers:          s.opt.Workers,
-		QueueCapacity:    cap(p.queue),
-		QueueDepth:       len(p.queue),
-		EnqueuedItems:    enq,
-		EnqueuedBatches:  p.enqueuedBatches.Load(),
-		ProcessedItems:   proc,
-		ProcessedBatches: p.processedBatches.Load(),
-		PendingItems:     pending,
-		DroppedItems:     p.droppedItems.Load(),
-		DroppedBatches:   p.droppedBatches.Load(),
-	}
+	st.QueueDepth = len(p.queue)
+	st.EnqueuedItems = enq
+	st.EnqueuedBatches = p.enqueuedBatches.Load()
+	st.ProcessedItems = proc
+	st.ProcessedBatches = p.processedBatches.Load()
+	st.PendingItems = pending
+	st.DroppedItems = p.droppedItems.Load()
+	st.DroppedBatches = p.droppedBatches.Load()
+	return st
 }
 
 // maxIngestBatch bounds the per-request ?batch= override.
@@ -161,6 +167,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		if batch == nil {
 			break
 		}
+		s.stampArrival(batch)
 		if async {
 			if !s.enqueueOr429(w, batch, items) {
 				return

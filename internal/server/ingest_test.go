@@ -158,7 +158,7 @@ func (b *blockingSketch) InsertBatch(items []stream.Item) {
 
 func TestIngestAsyncBackpressure429(t *testing.T) {
 	inner, err := sketch.New(sketch.BackendConcurrent,
-		gss.Config{Width: 32, SeqLen: 4, Candidates: 4}, 1)
+		gss.Config{Width: 32, SeqLen: 4, Candidates: 4}, sketch.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,9 +21,16 @@
 //
 // The sketch backend is selected at construction: "single" serializes
 // everything through one global lock, "concurrent" allows parallel
-// reads under a read-write lock, and "sharded" partitions the sketch
-// so ingestion itself runs in parallel. All synchronization lives in
-// the backend (see internal/sketch); handlers just call it.
+// reads under a read-write lock, "sharded" partitions the sketch so
+// ingestion itself runs in parallel, and "windowed" summarizes only a
+// sliding window of recent stream time in bounded memory. All
+// synchronization lives in the backend (see internal/sketch); handlers
+// just call it.
+//
+// Items that arrive without a timestamp (or with time 0 — the wire
+// form cannot tell them apart) are stamped with the server's arrival
+// clock before insertion, so windowed backends rotate correctly even
+// for producers that never set "time".
 package server
 
 import (
@@ -34,6 +41,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/gss"
 	"repro/internal/query"
@@ -47,11 +55,18 @@ import (
 // drained by 2 workers.
 type Options struct {
 	// Backend is the sketch synchronization strategy: "single",
-	// "concurrent" or "sharded" (default "concurrent"; "single"
-	// serializes reads too and exists as the benchmark baseline).
+	// "concurrent", "sharded" or "windowed" (default "concurrent";
+	// "single" serializes reads too and exists as the benchmark
+	// baseline).
 	Backend string
 	// Shards is the shard count for the sharded backend (default 8).
 	Shards int
+	// WindowSpan is the windowed backend's window length in
+	// stream-time units (default sketch.DefaultWindowSpan).
+	WindowSpan int64
+	// WindowGenerations is the windowed backend's rotation granularity
+	// (default sketch.DefaultWindowGenerations).
+	WindowGenerations int
 	// BatchSize is the default /ingest decode batch size, overridable
 	// per request with ?batch=N (default 512).
 	BatchSize int
@@ -60,6 +75,13 @@ type Options struct {
 	QueueDepth int
 	// Workers is the async ingest worker count (default 2).
 	Workers int
+	// Now reports the current stream time; items that arrive with no
+	// timestamp are stamped with it so windowed backends rotate on
+	// arrival time. Defaults to the Unix-seconds wall clock;
+	// injectable for tests and replays. Handlers call it from
+	// concurrent request goroutines, so an injected clock must be safe
+	// for concurrent use.
+	Now func() int64
 }
 
 func (o Options) withDefaults() Options {
@@ -78,6 +100,9 @@ func (o Options) withDefaults() Options {
 	if o.Workers < 1 {
 		o.Workers = 2
 	}
+	if o.Now == nil {
+		o.Now = func() int64 { return time.Now().Unix() }
+	}
 	return o
 }
 
@@ -86,8 +111,11 @@ type Server struct {
 	sk  sketch.Sketch
 	opt Options
 
-	pipeOnce sync.Once
-	pipe     *pipeline
+	// pipeMu guards the lazily started async worker pool. A sync.Once
+	// would be simpler, but Close must be able to ask "did it ever
+	// start?" without starting it.
+	pipeMu sync.Mutex
+	pipe   *pipeline
 
 	// restoreMu keeps /restore atomic with respect to compound
 	// queries. Single-primitive handlers rely on the backend's own
@@ -106,7 +134,11 @@ func New(cfg gss.Config) (*Server, error) {
 // pipeline configuration.
 func NewWithOptions(cfg gss.Config, opt Options) (*Server, error) {
 	opt = opt.withDefaults()
-	sk, err := sketch.New(opt.Backend, cfg, opt.Shards)
+	sk, err := sketch.New(opt.Backend, cfg, sketch.Options{
+		Shards:            opt.Shards,
+		WindowSpan:        opt.WindowSpan,
+		WindowGenerations: opt.WindowGenerations,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -120,21 +152,37 @@ func NewFromSketch(sk sketch.Sketch, opt Options) *Server {
 }
 
 // pipeline lazily starts the async worker pool on first use, so
-// servers that never see an async ingest (or a stats poll) spawn no
-// goroutines and need no Close.
+// servers that never see an async ingest spawn no goroutines and need
+// no Close.
 func (s *Server) pipeline() *pipeline {
-	s.pipeOnce.Do(func() {
+	s.pipeMu.Lock()
+	defer s.pipeMu.Unlock()
+	if s.pipe == nil {
 		s.pipe = newPipeline(s.sk, s.opt.QueueDepth, s.opt.Workers)
-	})
+	}
+	return s.pipe
+}
+
+// startedPipeline returns the worker pool if one has started, without
+// starting it — Close and the stats endpoint must observe an idle
+// server, not create work in it.
+func (s *Server) startedPipeline() *pipeline {
+	s.pipeMu.Lock()
+	defer s.pipeMu.Unlock()
 	return s.pipe
 }
 
 // Sketch returns the backing sketch (for embedding and tests).
 func (s *Server) Sketch() sketch.Sketch { return s.sk }
 
-// Close drains and stops the async ingest workers, if any started. The
-// server must not receive requests afterwards.
-func (s *Server) Close() { s.pipeline().close() }
+// Close drains and stops the async ingest workers if any started; on a
+// server that never saw an async ingest it is a no-op (and spawns
+// nothing). The server must not receive requests afterwards.
+func (s *Server) Close() {
+	if p := s.startedPipeline(); p != nil {
+		p.close()
+	}
+}
 
 // Item is the JSON wire form of a stream item.
 type Item struct {
@@ -207,8 +255,30 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		items[i] = stream.Item{Src: it.Src, Dst: it.Dst, Weight: it.Weight,
 			Time: it.Time, Label: it.Label}
 	}
+	s.stampArrival(items)
 	s.sk.InsertBatch(items)
 	writeJSON(w, map[string]int{"inserted": len(batch)})
+}
+
+// stampArrival fills in the arrival time on items that carry no
+// timestamp. The JSON wire form cannot distinguish an absent "time"
+// from an explicit 0, so time 0 means "now". Windowed backends need
+// every item timed to rotate generations; whole-stream backends ignore
+// the field. Every ingest path — /insert, sync and async /ingest —
+// stamps before handing items to the sketch, so the async worker pool
+// sees arrival times, not enqueue-drain times.
+func (s *Server) stampArrival(items []stream.Item) {
+	var now int64
+	stamped := false
+	for i := range items {
+		if items[i].Time != 0 {
+			continue
+		}
+		if !stamped {
+			now, stamped = s.opt.Now(), true
+		}
+		items[i].Time = now
+	}
 }
 
 // decodeObjectAfterBrace finishes decoding a JSON object whose opening

@@ -1,0 +1,285 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gss"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+// windowItems synthesizes a time-ordered stream spanning several
+// windows of the given span, with node identifiers scoped per window
+// so an unbounded summary accumulates them forever.
+func windowItems(n int, span int64, windows int) []stream.Item {
+	items := make([]stream.Item, n)
+	total := span * int64(windows)
+	for i := range items {
+		t := 1 + int64(i)*total/int64(n)
+		win := t / span
+		items[i] = stream.Item{
+			Src:    fmt.Sprintf("w%d-s%d", win, i%40),
+			Dst:    fmt.Sprintf("w%d-d%d", win, i%23),
+			Time:   t,
+			Weight: 1,
+		}
+	}
+	return items
+}
+
+// TestWindowedEndToEnd is the acceptance scenario: a windowed server
+// ingests a stream spanning several windows over NDJSON /ingest,
+// queries cover only the live window, and /stats shows bounded
+// residency — while the same stream on the sharded backend grows
+// monotonically with stream length.
+func TestWindowedEndToEnd(t *testing.T) {
+	const span, windows = 100, 6
+	items := windowItems(3000, span, windows)
+	half := len(items) / 2
+
+	_, windowed := newIngestServer(t, Options{Backend: sketch.BackendWindowed,
+		WindowSpan: span, WindowGenerations: 4, BatchSize: 128})
+	_, sharded := newIngestServer(t, Options{Backend: sketch.BackendSharded,
+		Shards: 4, BatchSize: 128})
+
+	ingest := func(ts *httptest.Server, chunk []stream.Item) {
+		t.Helper()
+		resp := post(t, ts.URL+"/ingest", ndjson(t, chunk).String())
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest status %d", resp.StatusCode)
+		}
+	}
+	stats := func(ts *httptest.Server) gss.Stats {
+		t.Helper()
+		var st gss.Stats
+		getJSON(t, ts.URL+"/stats", &st)
+		return st
+	}
+
+	ingest(windowed, items[:half])
+	ingest(sharded, items[:half])
+	wMid, sMid := stats(windowed), stats(sharded)
+	ingest(windowed, items[half:])
+	ingest(sharded, items[half:])
+	wEnd, sEnd := stats(windowed), stats(sharded)
+
+	// Sharded summarizes the whole stream and only grows.
+	if sEnd.Items != int64(len(items)) {
+		t.Fatalf("sharded items = %d, want %d", sEnd.Items, len(items))
+	}
+	if sEnd.IndexedNodes <= sMid.IndexedNodes || sEnd.MatrixEdges+sEnd.BufferEdges <= sMid.MatrixEdges+sMid.BufferEdges {
+		t.Fatalf("sharded did not grow: mid %d nodes / %d edges, end %d / %d",
+			sMid.IndexedNodes, sMid.MatrixEdges+sMid.BufferEdges,
+			sEnd.IndexedNodes, sEnd.MatrixEdges+sEnd.BufferEdges)
+	}
+	// Windowed stays bounded: live generations within the configured
+	// count, expired items accounted for, resident state a fraction of
+	// the sharded one.
+	if wEnd.LiveGenerations < 1 || wEnd.LiveGenerations > 4 {
+		t.Fatalf("windowed LiveGenerations = %d, want 1..4", wEnd.LiveGenerations)
+	}
+	if wEnd.ExpiredGenerations <= wMid.ExpiredGenerations {
+		t.Fatalf("window did not rotate: mid %d expired, end %d",
+			wMid.ExpiredGenerations, wEnd.ExpiredGenerations)
+	}
+	if wEnd.Items+wEnd.ExpiredItems+wEnd.DroppedStragglers != int64(len(items)) {
+		t.Fatalf("windowed item accounting: live %d + expired %d + dropped %d != %d",
+			wEnd.Items, wEnd.ExpiredItems, wEnd.DroppedStragglers, len(items))
+	}
+	if wEnd.IndexedNodes >= sEnd.IndexedNodes {
+		t.Fatalf("windowed nodes %d not bounded below sharded %d", wEnd.IndexedNodes, sEnd.IndexedNodes)
+	}
+
+	// Queries cover only the live window: last-window edges are
+	// visible, first-window edges are gone.
+	var edge struct {
+		Found bool `json:"found"`
+	}
+	last := items[len(items)-1]
+	getJSON(t, fmt.Sprintf("%s/edge?src=%s&dst=%s", windowed.URL, last.Src, last.Dst), &edge)
+	if !edge.Found {
+		t.Fatal("live-window edge not found on windowed backend")
+	}
+	first := items[0]
+	getJSON(t, fmt.Sprintf("%s/edge?src=%s&dst=%s", windowed.URL, first.Src, first.Dst), &edge)
+	if edge.Found {
+		t.Fatal("expired edge still answered by windowed backend")
+	}
+	// Successor sets follow the window too.
+	var succ struct {
+		Nodes []string `json:"nodes"`
+	}
+	getJSON(t, windowed.URL+"/successors?v="+first.Src, &succ)
+	if len(succ.Nodes) != 0 {
+		t.Fatalf("expired node still has successors: %v", succ.Nodes)
+	}
+	// Heavy edges merge only live generations.
+	var heavy []struct {
+		Weight int64 `json:"weight"`
+	}
+	getJSON(t, windowed.URL+"/heavy?min=1", &heavy)
+	var heavySum int64
+	for _, he := range heavy {
+		heavySum += he.Weight
+	}
+	if heavySum != wEnd.Items {
+		t.Fatalf("heavy-edge weights sum to %d, want live items %d", heavySum, wEnd.Items)
+	}
+}
+
+// TestArrivalStamping pins the timestamp-defaulting rule: items that
+// arrive without "time" are stamped from the server clock, so a
+// windowed backend rotates on arrival time; explicit timestamps are
+// left alone.
+func TestArrivalStamping(t *testing.T) {
+	clock := int64(1000)
+	s, err := NewWithOptions(
+		gss.Config{Width: 32, FingerprintBits: 16, Rooms: 2, SeqLen: 4, Candidates: 4},
+		Options{Backend: sketch.BackendWindowed, WindowSpan: 100, WindowGenerations: 4,
+			Now: func() int64 { return clock }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
+
+	// Untimed items through both write endpoints land at clock time.
+	post(t, ts.URL+"/insert", `{"src":"a","dst":"b"}`).Body.Close()
+	post(t, ts.URL+"/ingest", `{"src":"c","dst":"d"}`).Body.Close()
+	// An explicitly timed straggler is NOT re-stamped: it is older
+	// than the window at clock time and must be dropped.
+	post(t, ts.URL+"/ingest", `{"src":"old","dst":"e","time":5}`).Body.Close()
+
+	var edge struct {
+		Found bool `json:"found"`
+	}
+	getJSON(t, ts.URL+"/edge?src=a&dst=b", &edge)
+	if !edge.Found {
+		t.Fatal("untimed /insert item lost")
+	}
+	getJSON(t, ts.URL+"/edge?src=c&dst=d", &edge)
+	if !edge.Found {
+		t.Fatal("untimed /ingest item lost")
+	}
+	getJSON(t, ts.URL+"/edge?src=old&dst=e", &edge)
+	if edge.Found {
+		t.Fatal("explicitly timed straggler was re-stamped to now")
+	}
+
+	// Advance the clock a full window: the stamped items expire.
+	clock += 200
+	post(t, ts.URL+"/insert", `{"src":"fresh","dst":"b"}`).Body.Close()
+	getJSON(t, ts.URL+"/edge?src=a&dst=b", &edge)
+	if edge.Found {
+		t.Fatal("arrival-stamped item did not expire with the clock")
+	}
+	getJSON(t, ts.URL+"/edge?src=fresh&dst=b", &edge)
+	if !edge.Found {
+		t.Fatal("fresh item lost")
+	}
+}
+
+// TestAsyncIngestStampsArrival: the worker pool must see arrival
+// times, not whenever the queue drains.
+func TestAsyncIngestStampsArrival(t *testing.T) {
+	clock := int64(1000)
+	s, err := NewWithOptions(
+		gss.Config{Width: 32, FingerprintBits: 16, Rooms: 2, SeqLen: 4, Candidates: 4},
+		Options{Backend: sketch.BackendWindowed, WindowSpan: 100, WindowGenerations: 4,
+			Workers: 1, Now: func() int64 { return clock }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	resp := post(t, ts.URL+"/ingest?async=1", `{"src":"a","dst":"b"}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async status %d", resp.StatusCode)
+	}
+	s.Close() // drains the queue
+	if w, ok := s.Sketch().EdgeWeight("a", "b"); !ok || w != 1 {
+		t.Fatalf("async item = %d,%v want 1", w, ok)
+	}
+	if st := s.Sketch().Stats(); st.DroppedStragglers != 0 {
+		t.Fatalf("async stamping dropped items: %+v", st)
+	}
+}
+
+// TestCloseIdleServerStartsNothing is the lazy-Close regression test:
+// closing (or stats-polling) a server that never saw an async ingest
+// must not start the worker pool, and an idle server's lifecycle must
+// not leak goroutines.
+func TestCloseIdleServerStartsNothing(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s, err := New(gss.Config{Width: 32, FingerprintBits: 16, Rooms: 2, SeqLen: 4, Candidates: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sync traffic and a stats poll, with no network server in the
+	// way: none of it may start the pool.
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/ingest",
+		strings.NewReader(`{"src":"a","dst":"b"}`)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sync ingest status %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/ingest/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ingest stats status %d", rec.Code)
+	}
+	if s.startedPipeline() != nil {
+		t.Fatal("pipeline started without an async ingest")
+	}
+	s.Close()
+	if s.startedPipeline() != nil {
+		t.Fatal("Close started the pipeline it was supposed to stop")
+	}
+	waitForGoroutines(t, before)
+}
+
+// TestCloseStopsAsyncWorkers: once async ingest starts the pool, Close
+// drains it and the worker goroutines exit.
+func TestCloseStopsAsyncWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s, err := NewWithOptions(
+		gss.Config{Width: 32, FingerprintBits: 16, Rooms: 2, SeqLen: 4, Candidates: 4},
+		Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/ingest?async=1",
+		strings.NewReader(`{"src":"a","dst":"b"}`)))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("async ingest status %d", rec.Code)
+	}
+	if s.startedPipeline() == nil {
+		t.Fatal("async ingest did not start the pipeline")
+	}
+	s.Close()
+	if w, ok := s.Sketch().EdgeWeight("a", "b"); !ok || w != 1 {
+		t.Fatalf("Close lost queued work: %d,%v", w, ok)
+	}
+	waitForGoroutines(t, before)
+}
+
+func waitForGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > want {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not return to %d (now %d)", want, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/gss"
 	"repro/internal/stream"
+	"repro/internal/window"
 )
 
 // Sketch is the full deployment interface. It is a superset of
@@ -44,11 +45,12 @@ type Sketch interface {
 	Restore(r io.Reader) error
 }
 
-// The three gss backends satisfy Sketch.
+// The gss backends and the sliding-window summary satisfy Sketch.
 var (
 	_ Sketch = (*gss.GSS)(nil)
 	_ Sketch = (*gss.Concurrent)(nil)
 	_ Sketch = (*gss.Sharded)(nil)
+	_ Sketch = (*window.Sliding)(nil)
 )
 
 // Backend names accepted by New.
@@ -56,16 +58,38 @@ const (
 	BackendSingle     = "single"     // one global mutex, everything serialized
 	BackendConcurrent = "concurrent" // RWMutex: parallel reads, exclusive writes
 	BackendSharded    = "sharded"    // per-shard mutexes, parallel ingestion
+	BackendWindowed   = "windowed"   // sliding window of generation sketches, bounded memory
 )
 
 // Backends lists the accepted backend names.
 func Backends() []string {
-	return []string{BackendSingle, BackendConcurrent, BackendSharded}
+	return []string{BackendSingle, BackendConcurrent, BackendSharded, BackendWindowed}
 }
 
-// New builds a thread-safe Sketch for the named backend. shards is
-// only consulted by the sharded backend (values < 1 mean 1).
-func New(backend string, cfg gss.Config, shards int) (Sketch, error) {
+// Windowed backend defaults: one hour of second-resolution timestamps
+// in four 15-minute generations.
+const (
+	DefaultWindowSpan        = 3600
+	DefaultWindowGenerations = 4
+)
+
+// Options carries the backend-specific construction parameters beyond
+// the per-sketch gss.Config. Fields a backend does not consult are
+// ignored.
+type Options struct {
+	// Shards is the shard count for the sharded backend
+	// (values < 1 mean 1).
+	Shards int
+	// WindowSpan is the windowed backend's window length in
+	// stream-time units (0 means DefaultWindowSpan).
+	WindowSpan int64
+	// WindowGenerations is the windowed backend's rotation granularity
+	// (0 means DefaultWindowGenerations).
+	WindowGenerations int
+}
+
+// New builds a thread-safe Sketch for the named backend.
+func New(backend string, cfg gss.Config, opt Options) (Sketch, error) {
 	switch backend {
 	case BackendSingle:
 		g, err := gss.New(cfg)
@@ -76,9 +100,35 @@ func New(backend string, cfg gss.Config, shards int) (Sketch, error) {
 	case BackendConcurrent:
 		return gss.NewConcurrent(cfg)
 	case BackendSharded:
-		return gss.NewSharded(cfg, shards)
+		return gss.NewSharded(cfg, opt.Shards)
+	case BackendWindowed:
+		span := opt.WindowSpan
+		if span == 0 {
+			span = DefaultWindowSpan
+		}
+		gens := opt.WindowGenerations
+		if gens == 0 {
+			gens = DefaultWindowGenerations
+		}
+		// cfg.Width is the total matrix budget, like on the sharded
+		// backend: each of the gens generation sketches gets
+		// width/sqrt(gens), so their combined memory matches one
+		// unbounded sketch of cfg. An invalid width passes through
+		// unscaled for window.New to reject.
+		scaled := cfg
+		if cfg.Width > 0 && gens > 0 {
+			scaled.Width = gss.ScaleWidth(cfg.Width, gens)
+		}
+		w, err := window.New(window.Config{Sketch: scaled, Span: span, Generations: gens})
+		if err != nil {
+			return nil, err
+		}
+		// Generation rotation makes every insert a potential structural
+		// change, so the windowed summary gets the global-mutex adapter
+		// rather than a reader-writer split.
+		return NewLocked(w), nil
 	default:
-		return nil, fmt.Errorf("sketch: unknown backend %q (want %s, %s or %s)",
-			backend, BackendSingle, BackendConcurrent, BackendSharded)
+		return nil, fmt.Errorf("sketch: unknown backend %q (want %s, %s, %s or %s)",
+			backend, BackendSingle, BackendConcurrent, BackendSharded, BackendWindowed)
 	}
 }

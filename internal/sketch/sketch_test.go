@@ -11,9 +11,15 @@ import (
 
 var testCfg = gss.Config{Width: 48, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8}
 
+// testOpts gives the windowed backend a span far beyond any generated
+// timestamp, so in the cross-backend conformance tests it covers the
+// whole stream and must agree with the unbounded backends exactly.
+// Windowed-specific expiry behavior is exercised in windowed_test.go.
+var testOpts = Options{Shards: 4, WindowSpan: 1 << 30, WindowGenerations: 4}
+
 func TestFactoryBackends(t *testing.T) {
 	for _, backend := range Backends() {
-		sk, err := New(backend, testCfg, 4)
+		sk, err := New(backend, testCfg, testOpts)
 		if err != nil {
 			t.Fatalf("%s: %v", backend, err)
 		}
@@ -46,10 +52,10 @@ func TestFactoryBackends(t *testing.T) {
 }
 
 func TestFactoryRejectsUnknownBackend(t *testing.T) {
-	if _, err := New("raft", testCfg, 1); err == nil {
+	if _, err := New("raft", testCfg, Options{}); err == nil {
 		t.Fatal("unknown backend accepted")
 	}
-	if _, err := New(BackendSharded, gss.Config{}, 4); err == nil {
+	if _, err := New(BackendSharded, gss.Config{}, testOpts); err == nil {
 		t.Fatal("invalid config accepted")
 	}
 }
@@ -57,7 +63,7 @@ func TestFactoryRejectsUnknownBackend(t *testing.T) {
 // TestSketchAsQuerySummary pins the interface relationship the server
 // relies on: any Sketch serves the compound query algorithms.
 func TestSketchAsQuerySummary(t *testing.T) {
-	sk, err := New(BackendSharded, testCfg, 4)
+	sk, err := New(BackendSharded, testCfg, testOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +84,7 @@ func TestSnapshotRestoreAllBackends(t *testing.T) {
 	items := stream.Generate(stream.DatasetConfig{Name: "snap", Nodes: 100, Edges: 1000,
 		DegreeSkew: 1.4, WeightSkew: 1.2, MaxWeight: 50, Seed: 9})
 	for _, backend := range Backends() {
-		src, err := New(backend, testCfg, 4)
+		src, err := New(backend, testCfg, testOpts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -87,7 +93,7 @@ func TestSnapshotRestoreAllBackends(t *testing.T) {
 		if err := src.Snapshot(&buf); err != nil {
 			t.Fatalf("%s: snapshot: %v", backend, err)
 		}
-		dst, err := New(backend, testCfg, 4)
+		dst, err := New(backend, testCfg, testOpts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -118,7 +124,7 @@ func TestBackendsAgreeOnWeights(t *testing.T) {
 	cfg := gss.Config{Width: 128, FingerprintBits: 16, Rooms: 4, SeqLen: 8, Candidates: 8}
 	sketches := map[string]Sketch{}
 	for _, backend := range Backends() {
-		sk, err := New(backend, cfg, 4)
+		sk, err := New(backend, cfg, testOpts)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,159 @@
+package sketch
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// windowedOpts is a deliberately small window so expiry is exercised:
+// span 100 in 4 generations of 25.
+var windowedOpts = Options{WindowSpan: 100, WindowGenerations: 4}
+
+func TestWindowedBackendExpires(t *testing.T) {
+	sk, err := New(BackendWindowed, testCfg, windowedOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk.Insert(stream.Item{Src: "old", Dst: "x", Time: 1, Weight: 1})
+	sk.Insert(stream.Item{Src: "new", Dst: "x", Time: 150, Weight: 1})
+	if _, ok := sk.EdgeWeight("old", "x"); ok {
+		t.Fatal("expired edge visible through the factory-built backend")
+	}
+	if _, ok := sk.EdgeWeight("new", "x"); !ok {
+		t.Fatal("live edge lost")
+	}
+	st := sk.Stats()
+	if st.LiveGenerations < 1 || st.LiveGenerations > 4 {
+		t.Fatalf("LiveGenerations = %d", st.LiveGenerations)
+	}
+	if st.WindowSpan != 100 || st.ExpiredGenerations == 0 {
+		t.Fatalf("window stats not surfaced: %+v", st)
+	}
+}
+
+func TestWindowedDefaultsApplied(t *testing.T) {
+	sk, err := New(BackendWindowed, testCfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span := sk.Stats().WindowSpan; span != DefaultWindowSpan {
+		t.Fatalf("default span = %d, want %d", span, DefaultWindowSpan)
+	}
+	if _, err := New(BackendWindowed, testCfg, Options{WindowSpan: -5}); err == nil {
+		t.Fatal("negative span accepted")
+	}
+	if _, err := New(BackendWindowed, testCfg, Options{WindowSpan: 100, WindowGenerations: 1}); err == nil {
+		t.Fatal("single generation accepted")
+	}
+}
+
+// TestWindowedSnapshotPreservesExpiry: restoring a windowed snapshot
+// must not resurrect expired data, and the restored epoch cursor keeps
+// rejecting stragglers.
+func TestWindowedSnapshotPreservesExpiry(t *testing.T) {
+	src, err := New(BackendWindowed, testCfg, windowedOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Insert(stream.Item{Src: "expired", Dst: "x", Time: 1, Weight: 1})
+	src.Insert(stream.Item{Src: "live", Dst: "x", Time: 150, Weight: 3})
+
+	var buf bytes.Buffer
+	if err := src.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := New(BackendWindowed, testCfg, windowedOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := src.Stats(), dst.Stats(); a != b {
+		t.Fatalf("stats diverge: %+v vs %+v", a, b)
+	}
+	if _, ok := dst.EdgeWeight("expired", "x"); ok {
+		t.Fatal("restore resurrected expired data")
+	}
+	if w, ok := dst.EdgeWeight("live", "x"); !ok || w != 3 {
+		t.Fatalf("live edge = %d,%v want 3", w, ok)
+	}
+	dst.Insert(stream.Item{Src: "straggler", Dst: "x", Time: 2, Weight: 1})
+	if _, ok := dst.EdgeWeight("straggler", "x"); ok {
+		t.Fatal("restored backend forgot its epoch cursor")
+	}
+	// A windowed snapshot must not restore into a differently shaped
+	// window.
+	other, err := New(BackendWindowed, testCfg, Options{WindowSpan: 200, WindowGenerations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("span-mismatched restore accepted")
+	}
+}
+
+// TestWindowedConcurrentIngestAndQueries hammers the thread-safe
+// windowed backend from parallel writers and readers while the window
+// rotates; run with -race this is the synchronization regression test
+// for the adapter.
+func TestWindowedConcurrentIngestAndQueries(t *testing.T) {
+	sk, err := New(BackendWindowed, testCfg, windowedOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, readers, perWriter = 4, 4, 400
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			batch := make([]stream.Item, 0, 8)
+			for i := 0; i < perWriter; i++ {
+				it := stream.Item{
+					Src:    stream.NodeID(w*100 + i%50),
+					Dst:    stream.NodeID(i % 37),
+					Time:   int64(i), // advances through ~16 epochs
+					Weight: 1,
+				}
+				if i%2 == 0 {
+					sk.Insert(it)
+					continue
+				}
+				batch = append(batch, it)
+				if len(batch) == cap(batch) {
+					sk.InsertBatch(batch)
+					batch = batch[:0]
+				}
+			}
+			sk.InsertBatch(batch)
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				sk.EdgeWeight(stream.NodeID(i%50), stream.NodeID(i%37))
+				if i%25 == 0 {
+					sk.Successors(stream.NodeID(i % 50))
+					sk.HeavyEdges(10)
+					sk.Stats()
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	st := sk.Stats()
+	if st.LiveGenerations > 4 {
+		t.Fatalf("window unbounded under concurrency: %d generations", st.LiveGenerations)
+	}
+	total := st.Items + st.ExpiredItems + st.DroppedStragglers
+	if total != writers*perWriter {
+		t.Fatalf("items lost: live %d + expired %d + dropped %d = %d, want %d",
+			st.Items, st.ExpiredItems, st.DroppedStragglers, total, writers*perWriter)
+	}
+}

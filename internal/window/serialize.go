@@ -1,0 +1,146 @@
+package window
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/gss"
+)
+
+// Windowed snapshot format (versioned, little-endian):
+//
+//	magic    "GSSW"                 4 bytes
+//	version  uint16                 currently 1
+//	window   span int64, generations int32
+//	cursor   started uint8, epoch int64
+//	counters expiredGens, expiredItems, droppedStragglers int64
+//	gens     count uint32, then per generation:
+//	         epoch int64 + one GSS snapshot (gss.WriteTo)
+//
+// The epoch cursor and the expiry counters round-trip so a restored
+// summary keeps rotating exactly where the snapshotted one stopped:
+// data that had expired stays expired, and a straggler that would have
+// been dropped before the snapshot is still dropped after it.
+
+var windowedMagic = [4]byte{'G', 'S', 'S', 'W'}
+
+const snapshotVersion = 1
+
+// ErrBadSnapshot reports a malformed or incompatible windowed snapshot.
+var ErrBadSnapshot = errors.New("window: bad windowed snapshot")
+
+// Snapshot serializes the summary: window configuration, epoch cursor,
+// expiry counters, and every live generation.
+func (s *Sliding) Snapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var err error
+	write := func(v interface{}) {
+		if err == nil {
+			err = binary.Write(bw, binary.LittleEndian, v)
+		}
+	}
+	if _, werr := bw.Write(windowedMagic[:]); werr != nil {
+		return werr
+	}
+	write(uint16(snapshotVersion))
+	write(s.cfg.Span)
+	write(int32(s.cfg.Generations))
+	started := uint8(0)
+	if s.started {
+		started = 1
+	}
+	write(started)
+	write(s.epoch)
+	write(s.expiredGens)
+	write(s.expiredItems)
+	write(s.droppedStragglers)
+	write(uint32(len(s.gens)))
+	for _, g := range s.gens {
+		write(g.epoch)
+		if err == nil {
+			err = g.sketch.Snapshot(bw)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Restore replaces the summary's state from a snapshot. The snapshot's
+// span and generation count must match this summary's configuration —
+// epoch indices are a function of span/generations, so restoring into
+// a differently configured window would silently re-bucket time. The
+// state is unchanged on error.
+func (s *Sliding) Restore(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if magic != windowedMagic {
+		return fmt.Errorf("%w: not a windowed snapshot", ErrBadSnapshot)
+	}
+	read := func(v interface{}) error { return binary.Read(br, binary.LittleEndian, v) }
+	var version uint16
+	if err := read(&version); err != nil || version != snapshotVersion {
+		return fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, version)
+	}
+	var span int64
+	var gens int32
+	if err := read(&span); err != nil {
+		return fmt.Errorf("%w: truncated window config", ErrBadSnapshot)
+	}
+	if err := read(&gens); err != nil {
+		return fmt.Errorf("%w: truncated window config", ErrBadSnapshot)
+	}
+	if span != s.cfg.Span || int(gens) != s.cfg.Generations {
+		return fmt.Errorf("%w: snapshot window %d/%d, summary %d/%d",
+			ErrBadSnapshot, span, gens, s.cfg.Span, s.cfg.Generations)
+	}
+	var started uint8
+	var epoch, expiredGens, expiredItems, droppedStragglers int64
+	for _, v := range []interface{}{&started, &epoch, &expiredGens, &expiredItems, &droppedStragglers} {
+		if err := read(v); err != nil {
+			return fmt.Errorf("%w: truncated cursor", ErrBadSnapshot)
+		}
+	}
+	var count uint32
+	if err := read(&count); err != nil {
+		return fmt.Errorf("%w: truncated generation count", ErrBadSnapshot)
+	}
+	if int(count) > s.cfg.Generations {
+		return fmt.Errorf("%w: %d generations exceed configured %d",
+			ErrBadSnapshot, count, s.cfg.Generations)
+	}
+	restored := make([]generation, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var ge int64
+		if err := read(&ge); err != nil {
+			return fmt.Errorf("%w: truncated generation %d", ErrBadSnapshot, i)
+		}
+		sk, err := gss.ReadSketch(br)
+		if err != nil {
+			return fmt.Errorf("generation %d: %w", i, err)
+		}
+		// Every generation must match this summary's per-generation
+		// config: future generations are built from s.cfg.Sketch, and
+		// Stats aggregates as if all generations share one shape —
+		// mixing widths would corrupt occupancy and the memory budget.
+		if got := sk.Config(); got != s.skCfg {
+			return fmt.Errorf("%w: generation %d config %+v does not match summary %+v",
+				ErrBadSnapshot, i, got, s.skCfg)
+		}
+		restored = append(restored, generation{epoch: ge, sketch: sk})
+	}
+	s.gens = restored
+	s.started = started != 0
+	s.epoch = epoch
+	s.expiredGens = expiredGens
+	s.expiredItems = expiredItems
+	s.droppedStragglers = droppedStragglers
+	return nil
+}

@@ -7,10 +7,17 @@
 //
 // Queries merge all live generations: weights add up, neighbor sets
 // union, preserving the false-positive-only semantics of GSS.
+//
+// Sliding implements the full sketch.Sketch deployment surface
+// (batched ingestion, heavy edges, statistics, snapshot/restore), so
+// it plugs into the HTTP server and benchmark harness as the
+// "windowed" backend. Like the plain GSS it is not safe for
+// concurrent use; the backend factory wraps it in a mutex adapter.
 package window
 
 import (
 	"errors"
+	"math"
 	"sort"
 
 	"repro/internal/gss"
@@ -31,8 +38,19 @@ type Config struct {
 // Sliding is a sliding-window GSS. Not safe for concurrent use.
 type Sliding struct {
 	cfg   Config
+	skCfg gss.Config // normalized per-generation configuration
 	gens  []generation
-	epoch int64 // current generation index = floor(time/genSpan)
+
+	// epoch is the current (newest) generation index,
+	// floorDiv(time, genSpan). It is meaningless until started is set
+	// by the first insert: epoch 0 is a real epoch (as is -1 for
+	// pre-epoch timestamps), so no int64 value can act as a sentinel.
+	epoch   int64
+	started bool
+
+	expiredGens       int64 // generations rotated out since creation
+	expiredItems      int64 // items those generations summarized
+	droppedStragglers int64 // items already older than the window on arrival
 }
 
 type generation struct {
@@ -51,10 +69,11 @@ func New(cfg Config) (*Sliding, error) {
 	if cfg.Span < int64(cfg.Generations) {
 		return nil, errors.New("window: Span must be at least Generations time units")
 	}
-	if _, err := gss.New(cfg.Sketch); err != nil {
+	skCfg, err := cfg.Sketch.Normalized()
+	if err != nil {
 		return nil, err
 	}
-	return &Sliding{cfg: cfg, epoch: -1}, nil
+	return &Sliding{cfg: cfg, skCfg: skCfg}, nil
 }
 
 // MustNew is New but panics on error.
@@ -66,22 +85,68 @@ func MustNew(cfg Config) *Sliding {
 	return s
 }
 
+// Config returns the configuration the summary runs with.
+func (s *Sliding) Config() Config { return s.cfg }
+
 func (s *Sliding) genSpan() int64 { return s.cfg.Span / int64(s.cfg.Generations) }
 
-// Insert ingests one item, rotating generations forward to the item's
-// timestamp. Items must arrive in non-decreasing time order; stragglers
-// older than the window are dropped.
-func (s *Sliding) Insert(it stream.Item) {
-	epoch := it.Time / s.genSpan()
-	if epoch > s.epoch {
+// floorDiv divides rounding toward negative infinity, so pre-epoch
+// (negative) timestamps land in epochs -1, -2, ... instead of
+// collapsing into epoch 0 alongside the adjacent positive times (as
+// Go's truncating division would make them).
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// advance moves the epoch cursor forward to epoch (rotating out
+// generations that leave the window) and reports whether an item in
+// epoch is still inside the window.
+func (s *Sliding) advance(epoch int64) bool {
+	if !s.started {
+		s.started = true
+		s.epoch = epoch
+	} else if epoch > s.epoch {
 		s.epoch = epoch
 		s.expire()
 	}
-	if epoch <= s.epoch-int64(s.cfg.Generations) {
-		return // too old for the window
+	return epoch > s.epoch-int64(s.cfg.Generations)
+}
+
+// Insert ingests one item, rotating generations forward to the item's
+// timestamp. Items must arrive in non-decreasing time order; stragglers
+// older than the window are dropped (and counted in Stats).
+func (s *Sliding) Insert(it stream.Item) {
+	epoch := floorDiv(it.Time, s.genSpan())
+	if !s.advance(epoch) {
+		s.droppedStragglers++
+		return
 	}
-	g := s.generationFor(epoch)
-	g.Insert(it)
+	s.generationFor(epoch).Insert(it)
+}
+
+// InsertBatch ingests a slice of items, grouping consecutive same-epoch
+// runs so rotation and the generation lookup happen once per run
+// instead of once per item — on a time-ordered stream that is one
+// lookup per generation touched by the batch.
+func (s *Sliding) InsertBatch(items []stream.Item) {
+	span := s.genSpan()
+	for i := 0; i < len(items); {
+		epoch := floorDiv(items[i].Time, span)
+		j := i + 1
+		for j < len(items) && floorDiv(items[j].Time, span) == epoch {
+			j++
+		}
+		if s.advance(epoch) {
+			s.generationFor(epoch).InsertBatch(items[i:j])
+		} else {
+			s.droppedStragglers += int64(j - i)
+		}
+		i = j
+	}
 }
 
 func (s *Sliding) generationFor(epoch int64) *gss.GSS {
@@ -90,7 +155,9 @@ func (s *Sliding) generationFor(epoch int64) *gss.GSS {
 			return s.gens[i].sketch
 		}
 	}
-	sk := gss.MustNew(s.cfg.Sketch)
+	// Built from the stored normalized config — the single source of
+	// truth Stats reports and Restore validates against.
+	sk := gss.MustNew(s.skCfg)
 	s.gens = append(s.gens, generation{epoch: epoch, sketch: sk})
 	sort.Slice(s.gens, func(i, j int) bool { return s.gens[i].epoch < s.gens[j].epoch })
 	return sk
@@ -103,6 +170,9 @@ func (s *Sliding) expire() {
 	for _, g := range s.gens {
 		if g.epoch >= oldest {
 			kept = append(kept, g)
+		} else {
+			s.expiredGens++
+			s.expiredItems += g.sketch.Stats().Items
 		}
 	}
 	for i := len(kept); i < len(s.gens); i++ {
@@ -146,6 +216,10 @@ func (s *Sliding) unionSets(get func(*gss.GSS) []string) []string {
 			seen[v] = true
 		}
 	}
+	return sortedKeys(seen)
+}
+
+func sortedKeys(seen map[string]bool) []string {
 	if len(seen) == 0 {
 		return nil
 	}
@@ -155,6 +229,98 @@ func (s *Sliding) unionSets(get func(*gss.GSS) []string) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// HeavyEdges lists sketch edges whose weight summed over the live
+// window reaches minWeight. An edge's window weight is spread over up
+// to Generations sketches, so every generation is scanned unfiltered
+// and the per-edge sums are thresholded afterwards — an edge heavy in
+// total but light in every single generation is still found.
+func (s *Sliding) HeavyEdges(minWeight int64) []gss.HeavyEdge {
+	type key struct{ s, d uint64 }
+	merged := map[key]*gss.HeavyEdge{}
+	for _, g := range s.gens {
+		for _, he := range g.sketch.HeavyEdges(math.MinInt64) {
+			k := key{he.SrcHash, he.DstHash}
+			m, ok := merged[k]
+			if !ok {
+				cp := he
+				merged[k] = &cp
+				continue
+			}
+			m.Weight += he.Weight
+			m.Srcs = unionStrings(m.Srcs, he.Srcs)
+			m.Dsts = unionStrings(m.Dsts, he.Dsts)
+		}
+	}
+	var out []gss.HeavyEdge
+	for _, he := range merged {
+		if he.Weight >= minWeight {
+			out = append(out, *he)
+		}
+	}
+	gss.SortHeavyEdges(out)
+	return out
+}
+
+// unionStrings merges two identifier lists, deduplicated and sorted.
+func unionStrings(a, b []string) []string {
+	if len(b) == 0 {
+		return a
+	}
+	seen := make(map[string]bool, len(a)+len(b))
+	for _, v := range a {
+		seen[v] = true
+	}
+	for _, v := range b {
+		seen[v] = true
+	}
+	return sortedKeys(seen)
+}
+
+// Stats aggregates the live generations' statistics and reports the
+// window counters: live/expired generation counts, items expired with
+// them, and stragglers dropped on arrival. Items counts only what the
+// live window still summarizes.
+func (s *Sliding) Stats() gss.Stats {
+	st := gss.Stats{
+		Width:           s.skCfg.Width,
+		Rooms:           s.skCfg.Rooms,
+		SeqLen:          s.skCfg.SeqLen,
+		Candidates:      s.skCfg.Candidates,
+		FingerprintBits: s.skCfg.FingerprintBits,
+
+		WindowSpan:         s.cfg.Span,
+		LiveGenerations:    len(s.gens),
+		ExpiredGenerations: s.expiredGens,
+		ExpiredItems:       s.expiredItems,
+		DroppedStragglers:  s.droppedStragglers,
+	}
+	for _, g := range s.gens {
+		gs := g.sketch.Stats()
+		st.Items += gs.Items
+		st.MatrixEdges += gs.MatrixEdges
+		st.BufferEdges += gs.BufferEdges
+		st.MatrixBytes += gs.MatrixBytes
+	}
+	// Deduplicated across generations — a node active in every
+	// generation is still one node, and this count must agree with
+	// Nodes(). Only the count is needed, so the unsorted iterator
+	// avoids per-generation sorts on every stats poll. (The
+	// per-generation registries still store a shared node g times;
+	// MatrixBytes deliberately excludes registries, as in plain GSS.)
+	seen := map[string]bool{}
+	for _, g := range s.gens {
+		g.sketch.EachNode(func(id string) { seen[id] = true })
+	}
+	st.IndexedNodes = len(seen)
+	if slots := len(s.gens) * s.skCfg.Width * s.skCfg.Width * s.skCfg.Rooms; slots > 0 {
+		st.Occupancy = float64(st.MatrixEdges) / float64(slots)
+	}
+	if total := st.MatrixEdges + st.BufferEdges; total > 0 {
+		st.BufferPct = float64(st.BufferEdges) / float64(total)
+	}
+	return st
 }
 
 // LiveGenerations reports how many generation sketches are resident.

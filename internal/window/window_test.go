@@ -1,6 +1,7 @@
 package window
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/gss"
@@ -91,6 +92,224 @@ func TestMemoryBounded(t *testing.T) {
 	}
 	if s.MemoryBytes() > int64(4)*per {
 		t.Fatalf("memory %d exceeds %d", s.MemoryBytes(), 4*per)
+	}
+}
+
+// TestEpochFloorDivision pins the negative-timestamp fix: truncating
+// division collapsed epochs -1 and 0, so pre-epoch items survived one
+// rotation longer than they should and adjacent negative/positive
+// times shared a generation.
+func TestEpochFloorDivision(t *testing.T) {
+	// span 100, 4 generations of 25: time -30 is epoch -2, time -1 is
+	// epoch -1, time 1 is epoch 0.
+	s := MustNew(cfg())
+	s.Insert(stream.Item{Src: "preepoch", Dst: "x", Time: -30, Weight: 1})
+	s.Insert(stream.Item{Src: "justbefore", Dst: "x", Time: -1, Weight: 1})
+	s.Insert(stream.Item{Src: "justafter", Dst: "x", Time: 1, Weight: 1})
+	if n := s.LiveGenerations(); n != 3 {
+		t.Fatalf("epochs -2, -1, 0 should be 3 generations, got %d", n)
+	}
+	// Advance to epoch 2 (time 70): window covers epochs -1..2, so
+	// epoch -2 expires — under truncating division -30 mapped to epoch
+	// -1 and would wrongly survive.
+	s.Insert(stream.Item{Src: "now", Dst: "x", Time: 70, Weight: 1})
+	if _, ok := s.EdgeWeight("preepoch", "x"); ok {
+		t.Fatal("epoch -2 item survived a rotation that should expire it")
+	}
+	if _, ok := s.EdgeWeight("justbefore", "x"); !ok {
+		t.Fatal("epoch -1 item expired too early")
+	}
+	// One more epoch (time 99 = epoch 3): now epoch -1 goes too.
+	s.Insert(stream.Item{Src: "later", Dst: "x", Time: 99, Weight: 1})
+	if _, ok := s.EdgeWeight("justbefore", "x"); ok {
+		t.Fatal("epoch -1 item survived past its window")
+	}
+	if _, ok := s.EdgeWeight("justafter", "x"); !ok {
+		t.Fatal("epoch 0 item should still be live at epoch 3")
+	}
+}
+
+// TestFirstItemAtNegativeTime: the epoch cursor used -1 as an empty
+// sentinel, which is a real epoch for negative timestamps.
+func TestFirstItemAtNegativeTime(t *testing.T) {
+	s := MustNew(cfg())
+	s.Insert(stream.Item{Src: "a", Dst: "b", Time: -10, Weight: 2})
+	if w, ok := s.EdgeWeight("a", "b"); !ok || w != 2 {
+		t.Fatalf("first negative-time item lost: w = %d,%v", w, ok)
+	}
+	if n := s.LiveGenerations(); n != 1 {
+		t.Fatalf("generations = %d, want 1", n)
+	}
+	// A deeply negative first item must not be treated as a straggler.
+	s2 := MustNew(cfg())
+	s2.Insert(stream.Item{Src: "deep", Dst: "past", Time: -1000, Weight: 1})
+	if _, ok := s2.EdgeWeight("deep", "past"); !ok {
+		t.Fatal("first item at deep negative time dropped as straggler")
+	}
+	if got := s2.Stats().DroppedStragglers; got != 0 {
+		t.Fatalf("DroppedStragglers = %d, want 0", got)
+	}
+}
+
+// TestStragglerBoundary: an item exactly Span old has left the window
+// (the window is (now-Span, now] in generation granularity); one
+// generation younger is still admitted.
+func TestStragglerBoundary(t *testing.T) {
+	s := MustNew(cfg())                                                 // span 100, genSpan 25
+	s.Insert(stream.Item{Src: "now", Dst: "x", Time: 500, Weight: 1})   // epoch 20
+	s.Insert(stream.Item{Src: "exact", Dst: "x", Time: 400, Weight: 1}) // epoch 16: exactly Span old
+	if _, ok := s.EdgeWeight("exact", "x"); ok {
+		t.Fatal("item exactly Span old was admitted")
+	}
+	s.Insert(stream.Item{Src: "edge", Dst: "x", Time: 425, Weight: 1}) // epoch 17: oldest live
+	if _, ok := s.EdgeWeight("edge", "x"); !ok {
+		t.Fatal("oldest in-window item was dropped")
+	}
+	if got := s.Stats().DroppedStragglers; got != 1 {
+		t.Fatalf("DroppedStragglers = %d, want 1", got)
+	}
+}
+
+func TestInsertBatchGroupsAndRotates(t *testing.T) {
+	s := MustNew(cfg())
+	batch := []stream.Item{
+		{Src: "a", Dst: "b", Time: 0, Weight: 1},
+		{Src: "a", Dst: "b", Time: 10, Weight: 2},    // same epoch 0
+		{Src: "a", Dst: "b", Time: 30, Weight: 4},    // epoch 1
+		{Src: "c", Dst: "d", Time: 120, Weight: 8},   // epoch 4: expires epoch 0
+		{Src: "late", Dst: "d", Time: 10, Weight: 1}, // straggler now
+	}
+	s.InsertBatch(batch)
+	if w, ok := s.EdgeWeight("a", "b"); !ok || w != 4 {
+		t.Fatalf("a->b = %d,%v want 4 (epoch-0 run expired, epoch-1 run live)", w, ok)
+	}
+	if w, ok := s.EdgeWeight("c", "d"); !ok || w != 8 {
+		t.Fatalf("c->d = %d,%v want 8", w, ok)
+	}
+	st := s.Stats()
+	if st.DroppedStragglers != 1 {
+		t.Fatalf("DroppedStragglers = %d, want 1", st.DroppedStragglers)
+	}
+	if st.ExpiredGenerations != 1 || st.ExpiredItems != 2 {
+		t.Fatalf("expired = %d gens / %d items, want 1/2", st.ExpiredGenerations, st.ExpiredItems)
+	}
+
+	// A batch must behave exactly like the same items inserted one by
+	// one.
+	one := MustNew(cfg())
+	for _, it := range batch {
+		one.Insert(it)
+	}
+	if a, b := s.Stats(), one.Stats(); a != b {
+		t.Fatalf("batch and per-item stats diverge: %+v vs %+v", a, b)
+	}
+}
+
+// TestHeavyEdgesMergeAcrossGenerations: an edge can be heavy over the
+// window while light in every single generation.
+func TestHeavyEdgesMergeAcrossGenerations(t *testing.T) {
+	s := MustNew(cfg())
+	for epoch := int64(0); epoch < 4; epoch++ {
+		s.Insert(stream.Item{Src: "spread", Dst: "out", Time: epoch * 25, Weight: 30})
+	}
+	s.Insert(stream.Item{Src: "small", Dst: "fry", Time: 80, Weight: 5})
+	heavy := s.HeavyEdges(100)
+	if len(heavy) != 1 || heavy[0].Weight != 120 {
+		t.Fatalf("heavy = %+v, want one edge of weight 120", heavy)
+	}
+	if len(heavy[0].Srcs) != 1 || heavy[0].Srcs[0] != "spread" {
+		t.Fatalf("heavy srcs = %v", heavy[0].Srcs)
+	}
+	// After rotation drops the first generation, the sum falls under
+	// the threshold.
+	s.Insert(stream.Item{Src: "tick", Dst: "over", Time: 100, Weight: 1})
+	if heavy := s.HeavyEdges(100); len(heavy) != 0 {
+		t.Fatalf("heavy after expiry = %+v, want none", heavy)
+	}
+	if heavy := s.HeavyEdges(90); len(heavy) != 1 || heavy[0].Weight != 90 {
+		t.Fatalf("heavy(90) after expiry = %+v, want weight 90", heavy)
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	s := MustNew(cfg())
+	s.Insert(stream.Item{Src: "a", Dst: "b", Time: 0, Weight: 1})
+	s.Insert(stream.Item{Src: "b", Dst: "c", Time: 30, Weight: 1})
+	st := s.Stats()
+	if st.Items != 2 || st.LiveGenerations != 2 || st.WindowSpan != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MatrixEdges != 2 {
+		t.Fatalf("MatrixEdges = %d, want 2", st.MatrixEdges)
+	}
+	// "b" is live in both generations but is still one node: the count
+	// must agree with Nodes(), not sum per-generation registries.
+	if st.IndexedNodes != 3 || st.IndexedNodes != len(s.Nodes()) {
+		t.Fatalf("IndexedNodes = %d, want 3 (= len(Nodes()))", st.IndexedNodes)
+	}
+	if st.MatrixBytes != 2*gss.MustNew(cfg().Sketch).MemoryBytes() {
+		t.Fatalf("MatrixBytes = %d", st.MatrixBytes)
+	}
+	if st.Occupancy <= 0 {
+		t.Fatal("occupancy not aggregated")
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	s := MustNew(cfg())
+	// Build history: an edge that expires, an edge that stays, a
+	// dropped straggler — all of it must survive the round trip.
+	s.Insert(stream.Item{Src: "old", Dst: "x", Time: 0, Weight: 3})
+	s.Insert(stream.Item{Src: "keep", Dst: "x", Time: 60, Weight: 5})
+	s.Insert(stream.Item{Src: "new", Dst: "x", Time: 110, Weight: 7})
+	s.Insert(stream.Item{Src: "late", Dst: "x", Time: 1, Weight: 1}) // straggler
+
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r := MustNew(cfg())
+	if err := r.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := s.Stats(), r.Stats(); a != b {
+		t.Fatalf("stats diverge after restore: %+v vs %+v", a, b)
+	}
+	// Expired data stays expired.
+	if _, ok := r.EdgeWeight("old", "x"); ok {
+		t.Fatal("expired edge resurrected by restore")
+	}
+	if w, ok := r.EdgeWeight("keep", "x"); !ok || w != 5 {
+		t.Fatalf("keep = %d,%v want 5", w, ok)
+	}
+	// The epoch cursor survived: a straggler for the snapshotted
+	// summary is still a straggler for the restored one.
+	r.Insert(stream.Item{Src: "later", Dst: "x", Time: 2, Weight: 1})
+	if _, ok := r.EdgeWeight("later", "x"); ok {
+		t.Fatal("restored summary forgot its epoch cursor")
+	}
+	if got := r.Stats().DroppedStragglers; got != 2 {
+		t.Fatalf("DroppedStragglers = %d, want 2 (1 restored + 1 new)", got)
+	}
+
+	// Garbage and config-mismatch snapshots are rejected, state intact.
+	if err := r.Restore(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("garbage restore accepted")
+	}
+	other := MustNew(Config{Sketch: cfg().Sketch, Span: 200, Generations: 4})
+	if err := other.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("span-mismatched restore accepted")
+	}
+	// Same window shape but a different per-generation sketch config:
+	// rejected too, or future generations and Stats would mix widths.
+	diffSketch := cfg()
+	diffSketch.Sketch.Width = 64
+	mismatch := MustNew(diffSketch)
+	if err := mismatch.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("sketch-config-mismatched restore accepted")
+	}
+	if w, ok := r.EdgeWeight("keep", "x"); !ok || w != 5 {
+		t.Fatalf("state damaged by failed restore: %d,%v", w, ok)
 	}
 }
 
