@@ -9,6 +9,7 @@
 //	gss-bench -list
 //	gss-bench -mode ingest -ingesters 4 # server-ingest throughput
 //	gss-bench -mode window -span 600    # windowed vs unbounded backends
+//	gss-bench -mode replica             # checkpoint cost + follower staleness
 //
 // -scale 1.0 reproduces paper-size datasets (several GB of working set
 // for the Caida figures; budget accordingly).
@@ -24,13 +25,14 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 )
 
 func main() {
 	var (
-		mode     = flag.String("mode", "paper", "bench mode: paper (experiments), ingest (server throughput) or window (windowed vs unbounded)")
+		mode     = flag.String("mode", "paper", "bench mode: paper (experiments), ingest (server throughput), window (windowed vs unbounded) or replica (checkpointing + follower staleness)")
 		exp      = flag.String("exp", "all", "experiment to run (see -list)")
 		scale    = flag.Float64("scale", 0, "dataset scale; 1.0 = paper scale, 0 = fast default")
 		sample   = flag.Int("sample", 0, "max queries per configuration; 0 = default")
@@ -48,6 +50,11 @@ func main() {
 		span    = flag.Int64("span", 600, "window mode: window length in stream-time units")
 		gens    = flag.Int("generations", 4, "window mode: windowed rotation granularity")
 		windows = flag.Int("windows", 8, "window mode: how many windows the stream spans")
+
+		ckptEvery = flag.Duration("checkpoint-interval", 200*time.Millisecond,
+			"replica mode: primary checkpoint interval")
+		followEvery = flag.Duration("follow-interval", 100*time.Millisecond,
+			"replica mode: follower poll interval")
 	)
 	flag.Parse()
 
@@ -69,9 +76,18 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	case "replica":
+		opt := replicaBenchOptions{Ingesters: *ingesters, Items: *items, Batch: *batch,
+			ReqItems: *reqItems, Shards: *shards, Width: *width,
+			CheckpointEach: *ckptEvery, FollowEach: *followEvery}
+		if err := runReplicaBench(opt, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	case "paper":
 	default:
-		fmt.Fprintf(os.Stderr, "gss-bench: unknown -mode %q (want paper, ingest or window)\n", *mode)
+		fmt.Fprintf(os.Stderr, "gss-bench: unknown -mode %q (want paper, ingest, window or replica)\n", *mode)
 		os.Exit(2)
 	}
 

@@ -4,14 +4,24 @@
 //	gss-server -addr :8080 -width 2000 -fpbits 16
 //	gss-server -backend sharded -shards 16 -ingest-workers 4
 //	gss-server -backend windowed -window-span 3600 -window-generations 4
+//
+// Durable primary and a read replica following it:
+//
+//	gss-server -addr :8080 -checkpoint-dir /var/lib/gss -checkpoint-interval 30s
+//	gss-server -addr :8081 -follow http://primary:8080 -follow-interval 2s
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/gss"
 	"repro/internal/server"
@@ -36,6 +46,16 @@ func main() {
 		batch   = flag.Int("batch", 512, "default /ingest decode batch size")
 		queue   = flag.Int("ingest-queue", 64, "async ingest queue capacity (batches)")
 		workers = flag.Int("ingest-workers", 2, "async ingest worker goroutines")
+
+		ckptDir = flag.String("checkpoint-dir", "",
+			"durable checkpoints: recover from and periodically snapshot into this directory")
+		ckptEvery = flag.Duration("checkpoint-interval", 30*time.Second,
+			"time between periodic checkpoints")
+		ckptKeep = flag.Int("checkpoint-keep", 3, "checkpoints to retain")
+		follow   = flag.String("follow", "",
+			"run as a read replica of the primary at this base URL (writes answer 403)")
+		followEvery = flag.Duration("follow-interval", 2*time.Second,
+			"read replica: snapshot poll interval")
 	)
 	flag.Parse()
 
@@ -44,16 +64,49 @@ func main() {
 			Rooms: *rooms, SeqLen: *seqlen, Candidates: *seqlen},
 		server.Options{Backend: *backend, Shards: *shards,
 			WindowSpan: *span, WindowGenerations: *gens,
-			BatchSize: *batch, QueueDepth: *queue, Workers: *workers})
+			BatchSize: *batch, QueueDepth: *queue, Workers: *workers,
+			CheckpointDir: *ckptDir, CheckpointInterval: *ckptEvery,
+			CheckpointKeep: *ckptKeep,
+			FollowURL:      *follow, FollowInterval: *followEvery})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gss-server:", err)
 		os.Exit(2)
 	}
 	defer srv.Close()
-	fmt.Printf("gss-server listening on %s (backend=%s width=%d fp=%dbit rooms=%d r=%d batch=%d)\n",
-		*addr, *backend, *width, *fpbits, *rooms, *seqlen, *batch)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	role := "primary"
+	if *follow != "" {
+		role = "follower of " + *follow
+	}
+	if *ckptDir != "" {
+		role += ", checkpointing to " + *ckptDir
+	}
+	fmt.Printf("gss-server listening on %s (backend=%s width=%d fp=%dbit rooms=%d r=%d batch=%d; %s)\n",
+		*addr, *backend, *width, *fpbits, *rooms, *seqlen, *batch, role)
+
+	// SIGINT/SIGTERM shut down gracefully: stop accepting requests,
+	// then Close the server — which drains the async ingest queue and
+	// takes the final checkpoint the ops runbook promises. A crash
+	// (SIGKILL, OOM) skips all of this; that is what the periodic
+	// checkpoints are for.
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	drained := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		s := <-sig
+		fmt.Printf("gss-server: %v, shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+		close(drained)
+	}()
+	err = hs.ListenAndServe()
+	if !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "gss-server:", err)
 		os.Exit(1)
 	}
+	// ListenAndServe returns the moment Shutdown is called; wait for
+	// the drain to complete so the deferred Close (final checkpoint)
+	// runs after the last in-flight ingest, not concurrently with it.
+	<-drained
 }

@@ -1,0 +1,210 @@
+// Failover: durable checkpoints plus a read replica, exercised the way
+// an outage actually unfolds. A primary checkpoints to disk while
+// ingesting; a follower polls its snapshot and serves reads. Mid-stream
+// the primary is killed without ceremony — no final checkpoint — and
+// the dashboard keeps getting answers from the follower. The primary
+// then restarts over the same checkpoint directory, recovers its last
+// durable state, and the follower reconverges on it.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"repro/internal/gss"
+	"repro/internal/server"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+var cfg = gss.Config{Width: 128, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8}
+
+func main() {
+	ckptDir, err := os.MkdirTemp("", "gss-failover-")
+	if err != nil {
+		fail(err)
+	}
+	defer os.RemoveAll(ckptDir)
+
+	// The primary listens on a fixed address so the follower's
+	// configuration survives the restart, exactly like a service behind
+	// a stable host:port in production.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	primaryAddr := ln.Addr().String()
+	primaryURL := "http://" + primaryAddr
+
+	// The crashed primary is deliberately never Closed — its in-memory
+	// state must die exactly like a real crash would kill it.
+	_, stopPrimary := startPrimary(ln, ckptDir)
+	fmt.Printf("primary up at %s, checkpointing to %s\n", primaryURL, ckptDir)
+
+	follower, err := server.NewWithOptions(cfg, server.Options{
+		Backend: sketch.BackendSharded, Shards: 4,
+		FollowURL: primaryURL, FollowInterval: 50 * time.Millisecond,
+		Logf: func(string, ...interface{}) {}}) // polls against a dead primary are expected here
+	if err != nil {
+		fail(err)
+	}
+	defer follower.Close()
+	tsF := httptest.NewServer(follower.Handler())
+	defer tsF.Close()
+	fmt.Printf("follower up at %s, polling every 50ms\n\n", tsF.URL)
+
+	// Phase 1: stream flows, a checkpoint lands, follower tracks.
+	items := exampleStream()
+	ingest(primaryURL, items[:6000])
+	checkpoint(primaryURL)
+	ingest(primaryURL, items[6000:8000]) // the tail a crash will eat
+	waitItems(tsF.URL, 8000)
+	fmt.Printf("phase 1: primary has %d items (6000 durable in a checkpoint), follower caught up at %d\n",
+		statsOf(primaryURL).Items, statsOf(tsF.URL).Items)
+
+	// Phase 2: kill the primary. No Close, no final checkpoint — the
+	// 2000 post-checkpoint items die with the process.
+	stopPrimary()
+	fmt.Println("\nphase 2: primary killed mid-stream (no shutdown courtesy)")
+	fmt.Printf("  follower still answers: %d items, heavy edges: %d\n",
+		statsOf(tsF.URL).Items, len(heavyOf(tsF.URL, 100)))
+	if code := tryWrite(tsF.URL); code == http.StatusForbidden {
+		fmt.Println("  follower refuses writes (403): the stream must wait for a primary")
+	} else {
+		fail(fmt.Errorf("follower accepted a write: status %d", code))
+	}
+
+	// Phase 3: restart the primary over the same checkpoint directory
+	// and the same address.
+	ln2, err := net.Listen("tcp", primaryAddr)
+	if err != nil {
+		fail(err)
+	}
+	primary2, stopPrimary2 := startPrimary(ln2, ckptDir)
+	defer stopPrimary2()
+	defer primary2.Close()
+	recovered := statsOf(primaryURL).Items
+	fmt.Printf("\nphase 3: primary restarted from newest checkpoint with %d items "+
+		"(the %d items after the checkpoint were lost with the crash)\n", recovered, 8000-recovered)
+
+	// The follower reconverges on the recovered primary — the primary
+	// is the source of truth, even when the replica was briefly ahead.
+	waitItems(tsF.URL, recovered)
+	fmt.Printf("  follower reconverged at %d items\n", statsOf(tsF.URL).Items)
+
+	// The stream resumes where operations wants it: collectors replay
+	// their unacknowledged tail against the recovered primary.
+	ingest(primaryURL, items[6000:10000])
+	checkpoint(primaryURL)
+	waitItems(tsF.URL, 10000)
+	fmt.Printf("\nphase 4: stream resumed; primary at %d items, follower at %d, both consistent\n",
+		statsOf(primaryURL).Items, statsOf(tsF.URL).Items)
+}
+
+// startPrimary serves a checkpointing sharded primary on ln and
+// returns a stop func that kills the listener WITHOUT closing the
+// server — the crash in this story.
+func startPrimary(ln net.Listener, ckptDir string) (*server.Server, func()) {
+	srv, err := server.NewWithOptions(cfg, server.Options{
+		Backend: sketch.BackendSharded, Shards: 4,
+		CheckpointDir: ckptDir, CheckpointInterval: time.Hour, // durability via explicit /checkpoint below
+		Logf: func(string, ...interface{}) {}})
+	if err != nil {
+		fail(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	return srv, func() { hs.Close() }
+}
+
+// exampleStream is a deterministic flow log with a few heavy talkers.
+func exampleStream() []stream.Item {
+	return stream.Generate(stream.DatasetConfig{Name: "failover", Nodes: 400,
+		Edges: 10000, DegreeSkew: 1.5, WeightSkew: 1.3, MaxWeight: 60, Seed: 17})
+}
+
+func ingest(baseURL string, items []stream.Item) {
+	var body bytes.Buffer
+	if err := stream.EncodeNDJSON(&body, items); err != nil {
+		fail(err)
+	}
+	resp, err := http.Post(baseURL+"/ingest", "application/x-ndjson", &body)
+	if err != nil {
+		fail(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fail(fmt.Errorf("ingest status %d", resp.StatusCode))
+	}
+}
+
+func checkpoint(baseURL string) {
+	resp, err := http.Post(baseURL+"/checkpoint", "", nil)
+	if err != nil {
+		fail(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fail(fmt.Errorf("checkpoint status %d", resp.StatusCode))
+	}
+}
+
+func tryWrite(baseURL string) int {
+	resp, err := http.Post(baseURL+"/insert", "application/json",
+		bytes.NewReader([]byte(`{"src":"x","dst":"y"}`)))
+	if err != nil {
+		fail(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func statsOf(baseURL string) gss.Stats {
+	var st gss.Stats
+	getJSON(baseURL+"/stats", &st)
+	return st
+}
+
+func heavyOf(baseURL string, min int64) []json.RawMessage {
+	var out []json.RawMessage
+	getJSON(fmt.Sprintf("%s/heavy?min=%d", baseURL, min), &out)
+	return out
+}
+
+// waitItems polls until the server reports n live items.
+func waitItems(baseURL string, n int64) {
+	deadline := time.Now().Add(10 * time.Second)
+	for statsOf(baseURL).Items != n {
+		if time.Now().After(deadline) {
+			fail(fmt.Errorf("timed out waiting for %d items (at %d)", n, statsOf(baseURL).Items))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func getJSON(url string, out interface{}) {
+	resp, err := http.Get(url)
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fail(fmt.Errorf("GET %s: status %d", url, resp.StatusCode))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "failover:", err)
+	os.Exit(1)
+}

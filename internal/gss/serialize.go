@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"repro/internal/hashing"
 )
 
 // Binary sketch snapshot format (versioned, little-endian):
@@ -84,6 +86,31 @@ func (g *GSS) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, cw.err
 }
 
+// readExact reads exactly n bytes from r, growing the buffer in
+// bounded chunks so the allocation never runs ahead of the data: a
+// header that promises gigabytes backed by a few bytes of body fails
+// after one chunk instead of reserving the promised size up front.
+func readExact(r io.Reader, n int) ([]byte, error) {
+	const chunk = 1 << 20
+	first := n
+	if first > chunk {
+		first = chunk
+	}
+	buf := make([]byte, 0, first)
+	for len(buf) < n {
+		m := n - len(buf)
+		if m > chunk {
+			m = chunk
+		}
+		off := len(buf)
+		buf = append(buf, make([]byte, m)...)
+		if _, err := io.ReadFull(r, buf[off:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
 type countingWriter struct {
 	w   io.Writer
 	n   int64
@@ -119,7 +146,16 @@ func (g *GSS) Restore(r io.Reader) error {
 	return nil
 }
 
-// ReadSketch deserializes a sketch snapshot written by WriteTo.
+// maxSnapshotWidth bounds the matrix width a snapshot may declare.
+// The header is read before the matrix it describes, so an absurd
+// declared width would otherwise make Restore allocate unbounded
+// memory from a few forged bytes — a torn checkpoint or malicious
+// /restore body must fail cheaply, not OOM the process.
+const maxSnapshotWidth = 1 << 20
+
+// ReadSketch deserializes a sketch snapshot written by WriteTo. It is
+// safe on untrusted input: a malformed snapshot returns ErrBadSnapshot
+// and never allocates much more memory than the input itself provides.
 func ReadSketch(r io.Reader) (*GSS, error) {
 	br := bufio.NewReader(r)
 	var magic [4]byte
@@ -140,6 +176,9 @@ func ReadSketch(r io.Reader) (*GSS, error) {
 			return nil, fmt.Errorf("%w: truncated config", ErrBadSnapshot)
 		}
 	}
+	if raw[0] < 1 || raw[0] > maxSnapshotWidth {
+		return nil, fmt.Errorf("%w: unreasonable width %d", ErrBadSnapshot, raw[0])
+	}
 	cfg := Config{
 		Width: int(raw[0]), FingerprintBits: int(raw[1]), Rooms: int(raw[2]),
 		SeqLen: int(raw[3]), Candidates: int(raw[4]),
@@ -147,9 +186,23 @@ func ReadSketch(r io.Reader) (*GSS, error) {
 		DisableSampling:   raw[5]&2 != 0,
 		DisableNodeIndex:  raw[5]&4 != 0,
 	}
-	g, err := New(cfg)
+	cfg, err := cfg.normalized()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	// The sketch is assembled area by area instead of through New:
+	// every allocation below follows a successful incremental read, so
+	// memory use is bounded by the actual input, not the declared
+	// dimensions.
+	slots := cfg.Width * cfg.Width * cfg.Rooms
+	g := &GSS{
+		cfg: cfg,
+		nh:  hashing.NewNodeHasher(cfg.Width, cfg.FingerprintBits),
+		buf: newBuffer(),
+		sc:  newQueryScratch(cfg),
+	}
+	if !cfg.DisableNodeIndex {
+		g.reg = newRegistry()
 	}
 	var entries int32
 	if err := read(&g.items); err != nil {
@@ -158,14 +211,36 @@ func ReadSketch(r io.Reader) (*GSS, error) {
 	if err := read(&entries); err != nil {
 		return nil, fmt.Errorf("%w: truncated state", ErrBadSnapshot)
 	}
+	if entries < 0 || int(entries) > slots {
+		return nil, fmt.Errorf("%w: %d entries exceed %d slots", ErrBadSnapshot, entries, slots)
+	}
 	g.entries = int(entries)
-	if _, err := io.ReadFull(br, g.idx); err != nil {
+	if g.idx, err = readExact(br, slots); err != nil {
 		return nil, fmt.Errorf("%w: truncated matrix", ErrBadSnapshot)
 	}
-	for _, v := range []interface{}{g.fps, g.weights, g.occ} {
-		if err := read(v); err != nil {
-			return nil, fmt.Errorf("%w: truncated matrix", ErrBadSnapshot)
-		}
+	fpsRaw, err := readExact(br, 4*slots)
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated matrix", ErrBadSnapshot)
+	}
+	g.fps = make([]uint32, slots)
+	for i := range g.fps {
+		g.fps[i] = binary.LittleEndian.Uint32(fpsRaw[4*i:])
+	}
+	wRaw, err := readExact(br, 8*slots)
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated matrix", ErrBadSnapshot)
+	}
+	g.weights = make([]int64, slots)
+	for i := range g.weights {
+		g.weights[i] = int64(binary.LittleEndian.Uint64(wRaw[8*i:]))
+	}
+	occRaw, err := readExact(br, 8*((slots+63)/64))
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated matrix", ErrBadSnapshot)
+	}
+	g.occ = make([]uint64, (slots+63)/64)
+	for i := range g.occ {
+		g.occ[i] = binary.LittleEndian.Uint64(occRaw[8*i:])
 	}
 	var bufCount uint32
 	if err := read(&bufCount); err != nil {

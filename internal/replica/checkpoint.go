@@ -1,0 +1,316 @@
+// Package replica makes a sketch deployment durable and scalable on
+// the read side: a Checkpointer periodically streams the sketch's
+// snapshot to disk so a restarted process resumes from its last
+// checkpoint instead of an empty summary, and a Follower polls a
+// primary's /snapshot endpoint and hot-swaps the bytes into a local
+// read replica. Both components are transport-agnostic — they work in
+// terms of the snapshot/restore funcs the sketch backends already
+// expose — and both run one background goroutine that stops cleanly
+// on Close.
+package replica
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Checkpoint files are checkpoint-<seq>.gss with a fixed-width decimal
+// sequence number, so lexicographic directory order is checkpoint
+// order. Writes go through a temp file + fsync + atomic rename: a
+// crash mid-write leaves at worst a stray temp file, never a torn
+// checkpoint under the real name.
+var checkpointName = regexp.MustCompile(`^checkpoint-(\d{16})\.gss$`)
+
+func checkpointFile(seq int64) string {
+	return fmt.Sprintf("checkpoint-%016d.gss", seq)
+}
+
+// Checkpoint identifies one on-disk checkpoint.
+type Checkpoint struct {
+	Seq  int64
+	Path string
+}
+
+// List returns the checkpoints in dir, oldest first. A missing
+// directory is an empty list, not an error.
+func List(dir string) ([]Checkpoint, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var cks []Checkpoint
+	for _, e := range entries {
+		m := checkpointName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		seq, err := strconv.ParseInt(m[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		cks = append(cks, Checkpoint{Seq: seq, Path: filepath.Join(dir, e.Name())})
+	}
+	sort.Slice(cks, func(i, j int) bool { return cks[i].Seq < cks[j].Seq })
+	return cks, nil
+}
+
+// RecoverNewest restores from the newest valid checkpoint in dir:
+// checkpoints are tried newest first, and one that fails to restore
+// (torn by a crash, bit-rotted, wrong format) is logged and skipped
+// rather than taking the process down — an older consistent state
+// beats no state. It returns the path restored from, or "" when dir
+// holds no usable checkpoint.
+func RecoverNewest(dir string, restore func(io.Reader) error, logf func(string, ...interface{})) (string, error) {
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	cks, err := List(dir)
+	if err != nil {
+		return "", err
+	}
+	for i := len(cks) - 1; i >= 0; i-- {
+		ck := cks[i]
+		f, err := os.Open(ck.Path)
+		if err != nil {
+			logf("replica: skipping checkpoint %s: %v", ck.Path, err)
+			continue
+		}
+		err = restore(f)
+		f.Close()
+		if err != nil {
+			logf("replica: skipping corrupt checkpoint %s: %v", ck.Path, err)
+			continue
+		}
+		return ck.Path, nil
+	}
+	return "", nil
+}
+
+// CheckpointConfig configures a Checkpointer.
+type CheckpointConfig struct {
+	// Dir is the checkpoint directory; it is created if missing.
+	Dir string
+	// Interval between periodic checkpoints (default 30s). Close always
+	// takes one final checkpoint, so a clean shutdown loses nothing.
+	Interval time.Duration
+	// Keep is how many checkpoints to retain (default 3; older ones are
+	// pruned after each successful write).
+	Keep int
+	// Snapshot streams the current sketch state; it must be safe to
+	// call from the checkpoint goroutine (every sketch.Sketch is).
+	Snapshot func(io.Writer) error
+	// Logf receives warnings (failed writes, prune errors); nil
+	// discards them.
+	Logf func(string, ...interface{})
+}
+
+// CheckpointStats counts a Checkpointer's work; served by the HTTP
+// server's /replica/stats.
+type CheckpointStats struct {
+	Written   int64  `json:"written"`
+	Failed    int64  `json:"failed"`
+	Pruned    int64  `json:"pruned"`
+	LastSeq   int64  `json:"last_seq"`
+	LastBytes int64  `json:"last_bytes"`
+	LastUnix  int64  `json:"last_unix"`
+	LastPath  string `json:"last_path"`
+}
+
+// Checkpointer periodically writes snapshots to disk. Start launches
+// the loop; Close stops it after a final checkpoint. CheckpointNow is
+// safe to call concurrently with the loop.
+type Checkpointer struct {
+	cfg CheckpointConfig
+
+	// writeMu serializes checkpoint writes (loop vs CheckpointNow) and
+	// guards nextSeq and stats.
+	writeMu sync.Mutex
+	nextSeq int64
+	stats   CheckpointStats
+
+	startOnce sync.Once
+	closeOnce sync.Once
+	started   atomic.Bool
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewCheckpointer validates cfg, creates the directory, and seeds the
+// sequence counter past any checkpoints already on disk (so a restart
+// never overwrites history). The loop is not started until Start.
+func NewCheckpointer(cfg CheckpointConfig) (*Checkpointer, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("replica: CheckpointConfig.Dir is required")
+	}
+	if cfg.Snapshot == nil {
+		return nil, fmt.Errorf("replica: CheckpointConfig.Snapshot is required")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 30 * time.Second
+	}
+	if cfg.Keep < 1 {
+		cfg.Keep = 3
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...interface{}) {}
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("replica: checkpoint dir: %w", err)
+	}
+	cks, err := List(cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("replica: listing checkpoints: %w", err)
+	}
+	c := &Checkpointer{cfg: cfg, nextSeq: 1,
+		stop: make(chan struct{}), done: make(chan struct{})}
+	if n := len(cks); n > 0 {
+		c.nextSeq = cks[n-1].Seq + 1
+	}
+	return c, nil
+}
+
+// Start launches the periodic checkpoint loop.
+func (c *Checkpointer) Start() {
+	c.startOnce.Do(func() {
+		c.started.Store(true)
+		go c.loop()
+	})
+}
+
+func (c *Checkpointer) loop() {
+	defer close(c.done)
+	t := time.NewTicker(c.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			// Final checkpoint: a clean shutdown persists everything the
+			// sketch absorbed since the last tick.
+			if _, err := c.CheckpointNow(); err != nil {
+				c.cfg.Logf("replica: final checkpoint: %v", err)
+			}
+			return
+		case <-t.C:
+			if _, err := c.CheckpointNow(); err != nil {
+				c.cfg.Logf("replica: checkpoint: %v", err)
+			}
+		}
+	}
+}
+
+// Close stops the loop after one final checkpoint and waits for it to
+// exit. Safe to call more than once; a never-started Checkpointer
+// closes without checkpointing.
+func (c *Checkpointer) Close() {
+	c.closeOnce.Do(func() {
+		if !c.started.Load() {
+			return
+		}
+		close(c.stop)
+		<-c.done
+	})
+}
+
+// CheckpointNow writes one checkpoint synchronously and prunes old
+// ones, returning the path written.
+func (c *Checkpointer) CheckpointNow() (string, error) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	path, n, err := c.writeLocked()
+	if err != nil {
+		c.stats.Failed++
+		return "", err
+	}
+	c.stats.Written++
+	c.stats.LastSeq = c.nextSeq
+	c.stats.LastBytes = n
+	c.stats.LastUnix = time.Now().Unix()
+	c.stats.LastPath = path
+	c.nextSeq++
+	c.pruneLocked()
+	return path, nil
+}
+
+// writeLocked streams one snapshot to a temp file, fsyncs it, and
+// atomically renames it into place. Callers hold writeMu.
+func (c *Checkpointer) writeLocked() (string, int64, error) {
+	tmp, err := os.CreateTemp(c.cfg.Dir, ".checkpoint-*.tmp")
+	if err != nil {
+		return "", 0, err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	cw := &countingWriter{w: tmp}
+	if err := c.cfg.Snapshot(cw); err != nil {
+		return "", 0, fmt.Errorf("snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return "", 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		tmp = nil // already closed; just remove in the deferred cleanup
+		return "", 0, err
+	}
+	final := filepath.Join(c.cfg.Dir, checkpointFile(c.nextSeq))
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return "", 0, err
+	}
+	tmp = nil // renamed away; nothing to clean up
+	// Persist the rename itself (best effort — not all filesystems
+	// support fsync on directories).
+	if d, err := os.Open(c.cfg.Dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return final, cw.n, nil
+}
+
+// pruneLocked removes all but the newest Keep checkpoints. Callers
+// hold writeMu.
+func (c *Checkpointer) pruneLocked() {
+	cks, err := List(c.cfg.Dir)
+	if err != nil {
+		c.cfg.Logf("replica: prune: %v", err)
+		return
+	}
+	for i := 0; i+c.cfg.Keep < len(cks); i++ {
+		if err := os.Remove(cks[i].Path); err != nil {
+			c.cfg.Logf("replica: prune %s: %v", cks[i].Path, err)
+			continue
+		}
+		c.stats.Pruned++
+	}
+}
+
+// Stats snapshots the checkpoint counters.
+func (c *Checkpointer) Stats() CheckpointStats {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return c.stats
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}

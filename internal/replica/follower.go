@@ -1,0 +1,174 @@
+package replica
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FollowerConfig configures a Follower.
+type FollowerConfig struct {
+	// URL is the primary's base URL; the follower polls URL + "/snapshot".
+	URL string
+	// Interval between polls (default 2s). The first poll happens
+	// immediately on Start, so a fresh follower serves current reads
+	// within one interval.
+	Interval time.Duration
+	// Apply installs one fetched snapshot into the local sketch. It is
+	// called from the poll goroutine with the response body; the body
+	// must not be retained after it returns.
+	Apply func(io.Reader) error
+	// Client is the HTTP client to poll with; nil uses a client with a
+	// timeout derived from Interval.
+	Client *http.Client
+	// Logf receives warnings (failed polls); nil discards them.
+	Logf func(string, ...interface{})
+}
+
+// FollowerStats counts a Follower's polls; served by the HTTP server's
+// /replica/stats. Staleness is the time since the last successful
+// apply — the upper bound on how far the replica's reads trail the
+// primary (plus one snapshot in flight).
+type FollowerStats struct {
+	Polls           int64  `json:"polls"`
+	Applied         int64  `json:"applied"`
+	Failed          int64  `json:"failed"`
+	LastAppliedUnix int64  `json:"last_applied_unix,omitempty"`
+	StalenessMs     int64  `json:"staleness_ms"`
+	LastError       string `json:"last_error,omitempty"`
+}
+
+// Follower keeps a local sketch in sync with a primary by polling its
+// snapshot endpoint. Start launches the loop; Close stops it.
+type Follower struct {
+	cfg FollowerConfig
+
+	mu          sync.Mutex
+	polls       int64
+	applied     int64
+	failed      int64
+	lastApplied time.Time
+	lastError   string
+
+	startOnce sync.Once
+	closeOnce sync.Once
+	started   atomic.Bool
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewFollower validates cfg. The loop is not started until Start.
+func NewFollower(cfg FollowerConfig) (*Follower, error) {
+	if cfg.URL == "" {
+		return nil, fmt.Errorf("replica: FollowerConfig.URL is required")
+	}
+	if cfg.Apply == nil {
+		return nil, fmt.Errorf("replica: FollowerConfig.Apply is required")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...interface{}) {}
+	}
+	if cfg.Client == nil {
+		// A poll that outlives several intervals is worse than a failed
+		// one — the next poll would fetch fresher state anyway.
+		timeout := 4 * cfg.Interval
+		if timeout < 10*time.Second {
+			timeout = 10 * time.Second
+		}
+		cfg.Client = &http.Client{Timeout: timeout}
+	}
+	cfg.URL = strings.TrimRight(cfg.URL, "/")
+	return &Follower{cfg: cfg,
+		stop: make(chan struct{}), done: make(chan struct{})}, nil
+}
+
+// Start launches the poll loop, fetching once immediately.
+func (f *Follower) Start() {
+	f.startOnce.Do(func() {
+		f.started.Store(true)
+		go f.loop()
+	})
+}
+
+func (f *Follower) loop() {
+	defer close(f.done)
+	f.pollOnce()
+	t := time.NewTicker(f.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-t.C:
+			f.pollOnce()
+		}
+	}
+}
+
+// Close stops the poll loop and waits for it to exit. Safe to call
+// more than once.
+func (f *Follower) Close() {
+	f.closeOnce.Do(func() {
+		if !f.started.Load() {
+			return
+		}
+		close(f.stop)
+		<-f.done
+	})
+}
+
+func (f *Follower) pollOnce() {
+	err := f.fetchApply()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.polls++
+	if err != nil {
+		f.failed++
+		f.lastError = err.Error()
+		f.cfg.Logf("replica: poll %s: %v", f.cfg.URL, err)
+		return
+	}
+	f.applied++
+	f.lastApplied = time.Now()
+	f.lastError = ""
+}
+
+func (f *Follower) fetchApply() error {
+	resp, err := f.cfg.Client.Get(f.cfg.URL + "/snapshot")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("snapshot status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return f.cfg.Apply(resp.Body)
+}
+
+// Stats snapshots the poll counters.
+func (f *Follower) Stats() FollowerStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := FollowerStats{
+		Polls:     f.polls,
+		Applied:   f.applied,
+		Failed:    f.failed,
+		LastError: f.lastError,
+	}
+	if !f.lastApplied.IsZero() {
+		st.LastAppliedUnix = f.lastApplied.Unix()
+		st.StalenessMs = time.Since(f.lastApplied).Milliseconds()
+	}
+	return st
+}

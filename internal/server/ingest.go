@@ -136,6 +136,9 @@ const maxIngestBatch = 1 << 16
 // 429 with counts of what was enqueued versus dropped, and the client
 // should back off and retry the remainder.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.rejectFollowerWrite(w) {
+		return
+	}
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return

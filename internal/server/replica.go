@@ -1,0 +1,171 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"net/http"
+
+	"repro/internal/replica"
+	"repro/internal/sketch"
+)
+
+// Replication glue: durable checkpoints and read-replica fail-over
+// (see internal/replica for the mechanics).
+//
+// A primary given Options.CheckpointDir recovers from the newest valid
+// checkpoint at startup, then streams periodic snapshots to that
+// directory; a clean Close takes a final checkpoint, so only a crash
+// can lose the tail since the last interval. A server given
+// Options.FollowURL is a read replica: it polls the primary's
+// /snapshot, restores each fetch into a fresh backend off to the side,
+// and atomically swaps it behind the read path — queries are served
+// throughout, and every write endpoint answers 403.
+
+// initReplication wires checkpoint recovery, the checkpoint loop and
+// the follower loop per s.opt. build constructs a fresh empty backend
+// of the server's configuration; the follower restores into such a
+// backend before swapping it in, so a restore in progress never blocks
+// the read path.
+func (s *Server) initReplication(build func() (sketch.Sketch, error)) error {
+	opt := s.opt
+	if opt.FollowURL != "" {
+		hot := sketch.NewHot(s.sk)
+		s.sk = hot
+		s.hot = hot
+	}
+	if opt.CheckpointDir != "" {
+		// Recover before the checkpointer starts: the first periodic
+		// checkpoint must already contain the recovered state, not race
+		// with the restore.
+		used, err := replica.RecoverNewest(opt.CheckpointDir, s.sk.Restore, opt.Logf)
+		if err != nil {
+			return err
+		}
+		if used != "" {
+			opt.Logf("server: recovered sketch from checkpoint %s", used)
+		}
+		ck, err := replica.NewCheckpointer(replica.CheckpointConfig{
+			Dir:      opt.CheckpointDir,
+			Interval: opt.CheckpointInterval,
+			Keep:     opt.CheckpointKeep,
+			Snapshot: s.sk.Snapshot,
+			Logf:     opt.Logf,
+		})
+		if err != nil {
+			return err
+		}
+		s.ckpt = ck
+		ck.Start()
+	}
+	if opt.FollowURL != "" {
+		f, err := replica.NewFollower(replica.FollowerConfig{
+			URL:      opt.FollowURL,
+			Interval: opt.FollowInterval,
+			Apply:    func(r io.Reader) error { return s.applySnapshot(build, r) },
+			Logf:     opt.Logf,
+		})
+		if err != nil {
+			return err
+		}
+		s.fol = f
+		f.Start()
+	}
+	return nil
+}
+
+// applySnapshot installs one fetched snapshot: restore into a fresh
+// backend with no locks held (readers keep hitting the old sketch),
+// then swap pointers under restoreMu so compound queries never see the
+// sketch change mid-chain. The fetched body gets the same size cap as
+// a /restore upload — a misconfigured or hostile primary streaming
+// without end must fail the poll, not OOM the replica.
+func (s *Server) applySnapshot(build func() (sketch.Sketch, error), r io.Reader) error {
+	fresh, err := build()
+	if err != nil {
+		return err
+	}
+	if err := fresh.Restore(io.LimitReader(r, s.opt.MaxRestoreBytes)); err != nil {
+		return err
+	}
+	s.restoreMu.Lock()
+	s.hot.Swap(fresh)
+	s.restoreMu.Unlock()
+	return nil
+}
+
+// follower reports whether this server is a read replica — keyed on
+// the running poll loop, not the FollowURL option, so a NewFromSketch
+// server (where replication options are documented as not wired) never
+// 403s writes it would silently drop.
+func (s *Server) follower() bool { return s.fol != nil }
+
+// rejectFollowerWrite answers 403 on a write endpoint of a read
+// replica and reports whether it did. Followers converge on whatever
+// the primary holds at the next poll, so accepting a local write would
+// silently drop it.
+func (s *Server) rejectFollowerWrite(w http.ResponseWriter) bool {
+	if !s.follower() {
+		return false
+	}
+	httpError(w, http.StatusForbidden,
+		"read-only follower (following %s): send writes to the primary", s.opt.FollowURL)
+	return true
+}
+
+// CheckpointNow forces one durable checkpoint and returns its path.
+// It errors when the server has no checkpoint directory configured.
+func (s *Server) CheckpointNow() (string, error) {
+	if s.ckpt == nil {
+		return "", errors.New("server: no checkpoint directory configured")
+	}
+	return s.ckpt.CheckpointNow()
+}
+
+// ReplicaStats is the /replica/stats payload: the server's replication
+// role plus checkpoint and follower counters when configured.
+type ReplicaStats struct {
+	Role       string                   `json:"role"` // "primary" or "follower"
+	FollowURL  string                   `json:"follow_url,omitempty"`
+	Checkpoint *replica.CheckpointStats `json:"checkpoint,omitempty"`
+	Follower   *replica.FollowerStats   `json:"follower,omitempty"`
+}
+
+func (s *Server) replicaStats() ReplicaStats {
+	st := ReplicaStats{Role: "primary"}
+	if s.follower() {
+		st.Role = "follower"
+		st.FollowURL = s.opt.FollowURL
+	}
+	if s.ckpt != nil {
+		cs := s.ckpt.Stats()
+		st.Checkpoint = &cs
+	}
+	if s.fol != nil {
+		fs := s.fol.Stats()
+		st.Follower = &fs
+	}
+	return st
+}
+
+func (s *Server) handleReplicaStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.replicaStats())
+}
+
+// handleCheckpoint (POST /checkpoint) forces a checkpoint — the ops
+// hook for taking a durable point right before maintenance.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	path, err := s.CheckpointNow()
+	if err != nil {
+		if s.ckpt == nil {
+			httpError(w, http.StatusConflict, "%v", err)
+		} else {
+			httpError(w, http.StatusInternalServerError, "checkpoint: %v", err)
+		}
+		return
+	}
+	writeJSON(w, map[string]string{"path": path})
+}

@@ -18,6 +18,8 @@
 //	GET  /stats
 //	GET  /snapshot      (binary sketch snapshot)
 //	POST /restore       (binary sketch snapshot)
+//	POST /checkpoint    force a durable checkpoint (checkpointing servers)
+//	GET  /replica/stats replication role, checkpoint and follower counters
 //
 // The sketch backend is selected at construction: "single" serializes
 // everything through one global lock, "concurrent" allows parallel
@@ -31,13 +33,22 @@
 // form cannot tell them apart) are stamped with the server's arrival
 // clock before insertion, so windowed backends rotate correctly even
 // for producers that never set "time".
+//
+// Deployments that must survive restarts set Options.CheckpointDir: the
+// server recovers from the newest valid checkpoint at startup and
+// streams periodic snapshots to disk. Deployments that must scale reads
+// set Options.FollowURL: the server becomes a read replica that polls
+// the primary's /snapshot and answers 403 on every write endpoint (see
+// replica.go and internal/replica).
 package server
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"strconv"
 	"sync"
@@ -45,6 +56,7 @@ import (
 
 	"repro/internal/gss"
 	"repro/internal/query"
+	"repro/internal/replica"
 	"repro/internal/sketch"
 	"repro/internal/stream"
 )
@@ -82,6 +94,37 @@ type Options struct {
 	// concurrent request goroutines, so an injected clock must be safe
 	// for concurrent use.
 	Now func() int64
+
+	// CheckpointDir enables durable checkpoints: the server recovers
+	// from the newest valid checkpoint in this directory at startup
+	// (corrupt ones are skipped with a warning) and periodically
+	// snapshots the sketch into it. Empty disables checkpointing.
+	CheckpointDir string
+	// CheckpointInterval is the time between periodic checkpoints
+	// (default 30s). Close always takes one final checkpoint.
+	CheckpointInterval time.Duration
+	// CheckpointKeep is how many checkpoints to retain (default 3).
+	CheckpointKeep int
+
+	// FollowURL makes this server a read replica of the primary at the
+	// given base URL: it polls FollowURL/snapshot, hot-swaps each fetch
+	// behind the read path, and rejects /insert, /ingest and /restore
+	// with 403. A follower may still checkpoint (set CheckpointDir) to
+	// be a warm spare with local durability. Empty means primary.
+	FollowURL string
+	// FollowInterval is the follower's poll interval (default 2s); the
+	// first poll happens immediately, so a fresh follower serves
+	// current reads within one interval.
+	FollowInterval time.Duration
+
+	// MaxRestoreBytes caps the /restore request body so a rogue client
+	// cannot OOM the server (default 1 GiB).
+	MaxRestoreBytes int64
+
+	// Logf receives operational warnings (checkpoint failures, skipped
+	// corrupt checkpoints, failed follower polls). Defaults to
+	// log.Printf; inject to route or silence.
+	Logf func(format string, args ...interface{})
 }
 
 func (o Options) withDefaults() Options {
@@ -103,6 +146,21 @@ func (o Options) withDefaults() Options {
 	if o.Now == nil {
 		o.Now = func() int64 { return time.Now().Unix() }
 	}
+	if o.CheckpointInterval <= 0 {
+		o.CheckpointInterval = 30 * time.Second
+	}
+	if o.CheckpointKeep < 1 {
+		o.CheckpointKeep = 3
+	}
+	if o.FollowInterval <= 0 {
+		o.FollowInterval = 2 * time.Second
+	}
+	if o.MaxRestoreBytes < 1 {
+		o.MaxRestoreBytes = 1 << 30
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
 	return o
 }
 
@@ -117,11 +175,17 @@ type Server struct {
 	pipeMu sync.Mutex
 	pipe   *pipeline
 
-	// restoreMu keeps /restore atomic with respect to compound
-	// queries. Single-primitive handlers rely on the backend's own
-	// synchronization, but /reachable and /nodeout chain several
-	// primitives and must not see the sketch swapped mid-chain.
+	// restoreMu keeps /restore and follower snapshot swaps atomic with
+	// respect to compound queries. Single-primitive handlers rely on
+	// the backend's own synchronization, but /reachable and /nodeout
+	// chain several primitives and must not see the sketch swapped
+	// mid-chain.
 	restoreMu sync.RWMutex
+
+	// Replication (see replica.go); nil unless configured in Options.
+	ckpt *replica.Checkpointer
+	fol  *replica.Follower
+	hot  *sketch.Hot // the swappable read path, set in follower mode
 }
 
 // New builds a Server around an empty concurrent sketch with default
@@ -130,23 +194,34 @@ func New(cfg gss.Config) (*Server, error) {
 	return NewWithOptions(cfg, Options{})
 }
 
-// NewWithOptions builds a Server with the chosen backend and ingest
-// pipeline configuration.
+// NewWithOptions builds a Server with the chosen backend, ingest
+// pipeline and replication configuration. Checkpoint recovery happens
+// here, before the first request can be served.
 func NewWithOptions(cfg gss.Config, opt Options) (*Server, error) {
 	opt = opt.withDefaults()
-	sk, err := sketch.New(opt.Backend, cfg, sketch.Options{
-		Shards:            opt.Shards,
-		WindowSpan:        opt.WindowSpan,
-		WindowGenerations: opt.WindowGenerations,
-	})
+	build := func() (sketch.Sketch, error) {
+		return sketch.New(opt.Backend, cfg, sketch.Options{
+			Shards:            opt.Shards,
+			WindowSpan:        opt.WindowSpan,
+			WindowGenerations: opt.WindowGenerations,
+		})
+	}
+	sk, err := build()
 	if err != nil {
 		return nil, err
 	}
-	return NewFromSketch(sk, opt), nil
+	s := NewFromSketch(sk, opt)
+	if err := s.initReplication(build); err != nil {
+		s.Close() // stop whatever partially started
+		return nil, err
+	}
+	return s, nil
 }
 
 // NewFromSketch builds a Server around a caller-provided sketch. The
-// sketch must be safe for concurrent use.
+// sketch must be safe for concurrent use. Replication options are not
+// wired here — building follower backends needs the sketch
+// configuration, which only NewWithOptions has.
 func NewFromSketch(sk sketch.Sketch, opt Options) *Server {
 	return &Server{sk: sk, opt: opt.withDefaults()}
 }
@@ -175,12 +250,20 @@ func (s *Server) startedPipeline() *pipeline {
 // Sketch returns the backing sketch (for embedding and tests).
 func (s *Server) Sketch() sketch.Sketch { return s.sk }
 
-// Close drains and stops the async ingest workers if any started; on a
-// server that never saw an async ingest it is a no-op (and spawns
-// nothing). The server must not receive requests afterwards.
+// Close drains and stops the async ingest workers if any started, then
+// stops the replication loops: the follower poller, and the
+// checkpointer after one final checkpoint — taken after the ingest
+// queue drained, so a clean shutdown persists every accepted item. The
+// server must not receive requests afterwards.
 func (s *Server) Close() {
 	if p := s.startedPipeline(); p != nil {
 		p.close()
+	}
+	if s.fol != nil {
+		s.fol.Close()
+	}
+	if s.ckpt != nil {
+		s.ckpt.Close()
 	}
 }
 
@@ -209,10 +292,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/restore", s.handleRestore)
+	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("/replica/stats", s.handleReplicaStats)
 	return mux
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if s.rejectFollowerWrite(w) {
+		return
+	}
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
@@ -411,22 +499,41 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/octet-stream")
-	if err := s.sk.Snapshot(w); err != nil {
-		// Headers are gone; all we can do is drop the connection.
+	// Buffer the whole snapshot before touching the ResponseWriter: a
+	// mid-stream Snapshot error after the first write would otherwise
+	// produce a truncated body under a committed 200, and a follower or
+	// checkpoint consumer would ingest a torn snapshot. Buffering also
+	// yields a Content-Length, so clients detect truncated transfers.
+	var buf bytes.Buffer
+	if err := s.sk.Snapshot(&buf); err != nil {
+		httpError(w, http.StatusInternalServerError, "snapshot: %v", err)
 		return
 	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	_, _ = w.Write(buf.Bytes())
 }
 
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	if s.rejectFollowerWrite(w) {
+		return
+	}
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	// Buffer the snapshot before taking restoreMu so a slow upload
-	// cannot stall the compound-query handlers sharing the lock.
-	data, err := io.ReadAll(r.Body)
+	// cannot stall the compound-query handlers sharing the lock. The
+	// body is capped: an unbounded read would hand any client an OOM
+	// lever.
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opt.MaxRestoreBytes))
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"snapshot exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "reading snapshot: %v", err)
 		return
 	}
