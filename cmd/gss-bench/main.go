@@ -8,6 +8,7 @@
 //	gss-bench -exp fig12 -datasets cit-HepPh,email-EuAll
 //	gss-bench -list
 //	gss-bench -mode ingest -ingesters 4 # server-ingest throughput
+//	gss-bench -mode query               # hash-native vs reference queries
 //	gss-bench -mode window -span 600    # windowed vs unbounded backends
 //	gss-bench -mode replica             # checkpoint cost + follower staleness
 //
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	var (
-		mode     = flag.String("mode", "paper", "bench mode: paper (experiments), ingest (server throughput), window (windowed vs unbounded) or replica (checkpointing + follower staleness)")
+		mode     = flag.String("mode", "paper", "bench mode: paper (experiments), ingest (server throughput), query (hash-native vs reference query stack), window (windowed vs unbounded) or replica (checkpointing + follower staleness)")
 		exp      = flag.String("exp", "all", "experiment to run (see -list)")
 		scale    = flag.Float64("scale", 0, "dataset scale; 1.0 = paper scale, 0 = fast default")
 		sample   = flag.Int("sample", 0, "max queries per configuration; 0 = default")
@@ -51,6 +52,9 @@ func main() {
 		gens    = flag.Int("generations", 4, "window mode: windowed rotation granularity")
 		windows = flag.Int("windows", 8, "window mode: how many windows the stream spans")
 
+		nodes     = flag.Int("nodes", 20000, "query mode: node universe of the loaded stream")
+		benchTime = flag.Float64("benchtime", 0.3, "query mode: seconds per measurement")
+
 		ckptEvery = flag.Duration("checkpoint-interval", 200*time.Millisecond,
 			"replica mode: primary checkpoint interval")
 		followEvery = flag.Duration("follow-interval", 100*time.Millisecond,
@@ -59,6 +63,13 @@ func main() {
 	flag.Parse()
 
 	switch *mode {
+	case "query":
+		opt := queryBenchOptions{Items: *items, Nodes: *nodes, Width: *width, MinTime: *benchTime}
+		if err := runQueryBench(opt, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	case "ingest":
 		opt := ingestOptions{Ingesters: *ingesters, Items: *items, Batch: *batch,
 			ReqItems: *reqItems, Shards: *shards, Width: *width}
@@ -87,7 +98,7 @@ func main() {
 		return
 	case "paper":
 	default:
-		fmt.Fprintf(os.Stderr, "gss-bench: unknown -mode %q (want paper, ingest, window or replica)\n", *mode)
+		fmt.Fprintf(os.Stderr, "gss-bench: unknown -mode %q (want paper, ingest, query, window or replica)\n", *mode)
 		os.Exit(2)
 	}
 

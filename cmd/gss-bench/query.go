@@ -1,0 +1,180 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/gss"
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+// Query benchmark: loads one sketch and measures the query stack — the
+// edge primitive, the 1-hop set primitives and BFS-style reachability —
+// on both the hash-native fast path and the retained pre-index
+// reference implementations, so the speedup of the reverse column
+// index, the occupancy-word row walk and the allocation-free traversal
+// plane is quoted from the same loaded sketch.
+type queryBenchOptions struct {
+	Items   int     // stream items to load
+	Nodes   int     // node universe of the synthetic stream
+	Width   int     // sketch matrix width
+	MinTime float64 // seconds each measurement must cover
+}
+
+func (o queryBenchOptions) withDefaults() queryBenchOptions {
+	if o.Items <= 0 {
+		o.Items = 200000
+	}
+	if o.Nodes <= 0 {
+		o.Nodes = 20000
+	}
+	if o.Width <= 0 {
+		o.Width = 512
+	}
+	if o.MinTime <= 0 {
+		o.MinTime = 0.3
+	}
+	return o
+}
+
+// benchRate runs fn in growing rounds until minTime is covered and
+// returns calls per second.
+func benchRate(minTime float64, fn func(i int)) float64 {
+	n, total := 0, time.Duration(0)
+	round := 16
+	for total.Seconds() < minTime {
+		start := time.Now()
+		for i := 0; i < round; i++ {
+			fn(n + i)
+		}
+		total += time.Since(start)
+		n += round
+		if round < 1<<16 {
+			round *= 2
+		}
+	}
+	return float64(n) / total.Seconds()
+}
+
+func runQueryBench(opt queryBenchOptions, w io.Writer) error {
+	opt = opt.withDefaults()
+	items := stream.Generate(stream.DatasetConfig{
+		Name: "querybench", Nodes: opt.Nodes, Edges: opt.Items,
+		DegreeSkew: 1.5, WeightSkew: 1.3, MaxWeight: 100, UniformMix: 0.3, Seed: 7,
+	})
+	g, err := gss.New(gss.Config{Width: opt.Width})
+	if err != nil {
+		return err
+	}
+	g.InsertBatch(items)
+	st := g.Stats()
+	fmt.Fprintf(w, "query bench: %d items, width %d, %d matrix edges, %d buffered, %d indexed nodes\n",
+		st.Items, st.Width, st.MatrixEdges, st.BufferEdges, st.IndexedNodes)
+
+	rng := rand.New(rand.NewSource(11))
+	endpoints := make([]string, 0, 2048)
+	hashes := make([]uint64, 0, 2048)
+	for i := 0; i < 2048; i++ {
+		it := items[rng.Intn(len(items))]
+		v := it.Src
+		if i%2 == 1 {
+			v = it.Dst
+		}
+		endpoints = append(endpoints, v)
+		hashes = append(hashes, g.NodeHash(v))
+	}
+	pick := func(i int) (string, uint64) {
+		j := i % len(endpoints)
+		return endpoints[j], hashes[j]
+	}
+
+	fmt.Fprintf(w, "\n%-28s %14s %14s %9s\n", "workload", "before q/s", "after q/s", "speedup")
+	row := func(name string, before, after float64) {
+		fmt.Fprintf(w, "%-28s %14.0f %14.0f %8.1fx\n", name, before, after, after/before)
+	}
+
+	// Edge primitive: unchanged algorithmically, quoted for the mix.
+	edgeRate := benchRate(opt.MinTime, func(i int) {
+		it := items[i%len(items)]
+		g.EdgeWeight(it.Src, it.Dst)
+	})
+	fmt.Fprintf(w, "%-28s %14s %14.0f %9s\n", "edge weight", "-", edgeRate, "-")
+
+	// 1-hop successors: occupancy-word row walk vs per-slot strided scan.
+	var hbuf []uint64
+	succScan := benchRate(opt.MinTime, func(i int) {
+		_, hv := pick(i)
+		g.SuccessorHashesScan(hv)
+	})
+	succFast := benchRate(opt.MinTime, func(i int) {
+		_, hv := pick(i)
+		hbuf = g.AppendSuccessorHashes(hv, hbuf[:0])
+	})
+	row("1-hop successors (hash)", succScan, succFast)
+
+	// 1-hop precursors: reverse column index vs full-matrix strided scan.
+	precScan := benchRate(opt.MinTime, func(i int) {
+		_, hv := pick(i)
+		g.PrecursorHashesScan(hv)
+	})
+	precFast := benchRate(opt.MinTime, func(i int) {
+		_, hv := pick(i)
+		hbuf = g.AppendPrecursorHashes(hv, hbuf[:0])
+	})
+	row("1-hop precursors (hash)", precScan, precFast)
+
+	// String-boundary 1-hop set queries (expansion + sort included).
+	succStr := benchRate(opt.MinTime, func(i int) {
+		v, _ := pick(i)
+		g.Successors(v)
+	})
+	precStr := benchRate(opt.MinTime, func(i int) {
+		v, _ := pick(i)
+		g.Precursors(v)
+	})
+	fmt.Fprintf(w, "%-28s %14s %14.0f %9s\n", "successors (strings)", "-", succStr, "-")
+	fmt.Fprintf(w, "%-28s %14s %14.0f %9s\n", "precursors (strings)", "-", precStr, "-")
+
+	// Compound traversals: the before-side is the full pre-PR stack —
+	// strided scan primitives under the string-plane reference
+	// algorithms (gss.ScanView) — the after-side the hash-native
+	// traversal over the indexed primitives.
+	ref := gss.ScanView{G: g}
+	reachRef := benchRate(opt.MinTime, func(i int) {
+		v, _ := pick(i)
+		u, _ := pick(i + 7)
+		query.Reachable(ref, v, u)
+	})
+	reachFast := benchRate(opt.MinTime, func(i int) {
+		v, _ := pick(i)
+		u, _ := pick(i + 7)
+		query.Reachable(g, v, u)
+	})
+	row("reachability (BFS)", reachRef, reachFast)
+
+	// 2-hop neighborhood: dense frontier vs string frontier.
+	khopRef := benchRate(opt.MinTime, func(i int) {
+		v, _ := pick(i)
+		query.KHop(ref, v, 2)
+	})
+	khopFast := benchRate(opt.MinTime, func(i int) {
+		v, _ := pick(i)
+		query.KHop(g, v, 2)
+	})
+	row("2-hop neighborhood", khopRef, khopFast)
+
+	// Node aggregate (successors + edge queries per successor).
+	outRef := benchRate(opt.MinTime, func(i int) {
+		v, _ := pick(i)
+		query.NodeOut(ref, v)
+	})
+	outFast := benchRate(opt.MinTime, func(i int) {
+		v, _ := pick(i)
+		query.NodeOut(g, v)
+	})
+	row("node out-weight", outRef, outFast)
+	return nil
+}

@@ -89,6 +89,68 @@ func (c *Concurrent) Precursors(v string) []string {
 	return c.g.precursorsWith(v, sc)
 }
 
+// The hash-native query plane, under the read lock. Each call borrows
+// pooled probe scratch like the string primitives, so parallel readers
+// running BFS frontiers stay allocation-free on the sketch side.
+
+// NodeHash maps an identifier into the sketch's compressed node space.
+// The mapping is a pure function of the configuration, but the sketch
+// pointer itself can be swapped by Restore, so it still takes the lock.
+func (c *Concurrent) NodeHash(v string) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.g.NodeHash(v)
+}
+
+// EdgeWeightHash is the edge primitive over pre-hashed endpoints.
+func (c *Concurrent) EdgeWeightHash(hs, hd uint64) (int64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	sc := c.scratch.Get().(*queryScratch)
+	defer c.scratch.Put(sc)
+	return c.g.edgeWeightWith(hs, hd, sc)
+}
+
+// AppendSuccessorHashes appends the sketch successors of hv to dst.
+func (c *Concurrent) AppendSuccessorHashes(hv uint64, dst []uint64) []uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	sc := c.scratch.Get().(*queryScratch)
+	defer c.scratch.Put(sc)
+	return c.g.appendSuccessorHashesWith(hv, dst, sc)
+}
+
+// AppendPrecursorHashes appends the sketch precursors of hv to dst.
+func (c *Concurrent) AppendPrecursorHashes(hv uint64, dst []uint64) []uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	sc := c.scratch.Get().(*queryScratch)
+	defer c.scratch.Put(sc)
+	return c.g.appendPrecursorHashesWith(hv, dst, sc)
+}
+
+// AppendNodeHashes appends every registered node hash to dst.
+func (c *Concurrent) AppendNodeHashes(dst []uint64) []uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.g.AppendNodeHashes(dst)
+}
+
+// AppendHashIDs appends the identifiers registered under hv to dst.
+func (c *Concurrent) AppendHashIDs(hv uint64, dst []string) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.g.AppendHashIDs(hv, dst)
+}
+
+// SupportsHashQueries reports whether the wrapped sketch backs the
+// hash-native query plane.
+func (c *Concurrent) SupportsHashQueries() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.g.SupportsHashQueries()
+}
+
 // Nodes lists registered node identifiers.
 func (c *Concurrent) Nodes() []string {
 	c.mu.RLock()

@@ -24,6 +24,13 @@ const (
 	maxSeqLen              = 16 // index pairs are packed 4+4 bits
 	maxRooms               = 64
 	maxFingerprintBits     = 16
+	// maxWidth bounds the matrix side length. It matches the snapshot
+	// reader's cap (a wider matrix could not be restored) and keeps
+	// node hashes under 2^36, so reverse-index entries can pack a
+	// fingerprint, a sequence index and a whole source hash into one
+	// word. A width-2^20 matrix already needs terabytes of room area,
+	// so the cap is not a practical limit.
+	maxWidth = 1 << 20
 )
 
 // Config configures a GSS instance. The zero value of the optional
@@ -78,6 +85,9 @@ func (cfg Config) Normalized() (Config, error) { return cfg.normalized() }
 func (cfg Config) normalized() (Config, error) {
 	if cfg.Width <= 0 {
 		return cfg, errors.New("gss: Config.Width must be positive")
+	}
+	if cfg.Width > maxWidth {
+		return cfg, fmt.Errorf("gss: Config.Width must be at most %d, got %d", maxWidth, cfg.Width)
 	}
 	if cfg.FingerprintBits == 0 {
 		cfg.FingerprintBits = DefaultFingerprintBits

@@ -1,6 +1,8 @@
 package gss
 
 import (
+	"math/bits"
+
 	"repro/internal/hashing"
 	"repro/internal/stream"
 )
@@ -20,6 +22,21 @@ type GSS struct {
 	weights []int64
 	occ     []uint64 // occupancy bitset over room slots
 
+	// colIdx is the per-column reverse index: colIdx[c] holds one entry
+	// per occupied room in matrix column c, packed as
+	// f(d)<<48 | id<<44 | H(s). The fingerprint plus destination
+	// sequence index make the filter exact — f(d) and cols[id]==c
+	// recover the destination hash by the same equation the matrix
+	// decode uses — and the embedded source hash is the answer itself,
+	// so a precursor query is a sequential scan of the r mapped
+	// columns' lists that never touches the matrix: O(occupied rooms in
+	// the mapped columns) instead of a full O(m*l) stride per column.
+	// H(s) < 2^36 by the width cap, so one word holds everything. The
+	// index is maintained on insert (rooms are never freed, so
+	// append-only) and rebuilt from the matrix on Restore, which keeps
+	// the snapshot format unchanged and old checkpoints loadable.
+	colIdx [][]uint64
+
 	buf     *buffer
 	reg     *registry
 	entries int   // occupied rooms in the matrix (distinct sketch edges there)
@@ -33,11 +50,13 @@ type GSS struct {
 }
 
 // queryScratch holds the per-call buffers a probe sequence needs: the
-// two address sequences and the candidate sample. Readers that share a
-// sketch under a read lock each bring their own scratch so queries
-// stay allocation-free without racing on shared buffers.
+// two address sequences, the candidate sample, and a reusable hash
+// accumulator for the set primitives. Readers that share a sketch under
+// a read lock each bring their own scratch so queries stay
+// allocation-free without racing on shared buffers.
 type queryScratch struct {
 	rowSeq, colSeq, sample []uint32
+	hashes                 []uint64 // set-primitive accumulator, reused across calls
 }
 
 func newQueryScratch(cfg Config) queryScratch {
@@ -62,6 +81,7 @@ func New(cfg Config) (*GSS, error) {
 		fps:     make([]uint32, slots),
 		weights: make([]int64, slots),
 		occ:     make([]uint64, (slots+63)/64),
+		colIdx:  make([][]uint64, cfg.Width),
 		buf:     newBuffer(),
 		sc:      newQueryScratch(cfg),
 	}
@@ -86,6 +106,47 @@ func (g *GSS) Config() Config { return g.cfg }
 
 func (g *GSS) occupied(slot int) bool { return g.occ[slot>>6]&(1<<(uint(slot)&63)) != 0 }
 func (g *GSS) setOccupied(slot int)   { g.occ[slot>>6] |= 1 << (uint(slot) & 63) }
+
+// colIdxEntry packs one reverse-index entry: destination fingerprint,
+// destination sequence index, and the stored edge's source hash.
+func colIdxEntry(fpD uint32, id int, hvS uint64) uint64 {
+	return uint64(fpD)<<48 | uint64(id)<<44 | hvS
+}
+
+// rebuildColumnIndex derives the reverse column index from the
+// occupancy bitset and matrix areas. Restore uses it so the snapshot
+// format stays index-free and checkpoints written before the index
+// existed load unchanged. A slot's contents fully determine its index
+// entry (the source hash decodes via square-hash reversibility), so the
+// rebuilt index answers identically to one maintained online.
+func (g *GSS) rebuildColumnIndex() {
+	m, l := g.cfg.Width, g.cfg.Rooms
+	g.colIdx = make([][]uint64, m)
+	for w, word := range g.occ {
+		for word != 0 {
+			slot := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if slot >= len(g.idx) { // trailing bits past the matrix
+				break
+			}
+			bucket := slot / l
+			row, col := bucket/m, bucket%m
+			hs, _ := g.decodeSlot(slot, uint32(row), uint32(col))
+			g.colIdx[col] = append(g.colIdx[col],
+				colIdxEntry(g.fps[slot]&0xffff, int(g.idx[slot]&0x0f), hs))
+		}
+	}
+}
+
+// reverseIndexBytes is the payload footprint of the reverse column
+// index: one packed uint64 per occupied room.
+func (g *GSS) reverseIndexBytes() int64 {
+	var n int64
+	for _, list := range g.colIdx {
+		n += int64(len(list)) * 8
+	}
+	return n
+}
 
 // Insert ingests one stream item: the edge is mapped into the graph
 // sketch and stored per the augmented edge-updating procedure of §V.
@@ -142,6 +203,8 @@ func (g *GSS) insertHashed(hvS, hvD uint64, w int64) {
 				g.fps[slot] = fpPair
 				g.weights[slot] = w
 				g.entries++
+				col := cols[j]
+				g.colIdx[col] = append(g.colIdx[col], colIdxEntry(fpD, j, hvS))
 				return true
 			}
 			// Bucket separation: the cheap index-pair comparison gates

@@ -1,6 +1,7 @@
 package gss
 
 import (
+	"math/bits"
 	"sort"
 	"strconv"
 
@@ -63,34 +64,165 @@ func (g *GSS) edgeWeightWith(hvS, hvD uint64, sc *queryScratch) (int64, bool) {
 // sketch. The result is a superset of the true successors (false
 // positives only), sorted for determinism. Returns nil when none found.
 func (g *GSS) Successors(v string) []string {
-	return g.expand(g.SuccessorHashes(g.nh.Hash(v)))
+	return g.successorsWith(v, &g.sc)
 }
 
 // Precursors implements the 1-hop precursor query primitive.
 func (g *GSS) Precursors(v string) []string {
-	return g.expand(g.PrecursorHashes(g.nh.Hash(v)))
+	return g.precursorsWith(v, &g.sc)
 }
 
 // successorsWith and precursorsWith are the scratch-threaded forms of
 // the set primitives, for readers sharing the sketch under a read lock.
+// The hash set is accumulated in scratch; the only sort is the string
+// sort at the public boundary, inside expand.
 func (g *GSS) successorsWith(v string, sc *queryScratch) []string {
-	return g.expand(g.successorHashesWith(g.nh.Hash(v), sc))
+	sc.hashes = g.appendSuccessorHashesWith(g.nh.Hash(v), sc.hashes[:0], sc)
+	return g.expand(sc.hashes)
 }
 
 func (g *GSS) precursorsWith(v string, sc *queryScratch) []string {
-	return g.expand(g.precursorHashesWith(g.nh.Hash(v), sc))
+	sc.hashes = g.appendPrecursorHashesWith(g.nh.Hash(v), sc.hashes[:0], sc)
+	return g.expand(sc.hashes)
 }
 
-// SuccessorHashes returns the sketch-graph successors of hash value hv,
-// scanning the r mapped rows of the matrix plus the buffer (§V).
+// SuccessorHashes returns the sketch-graph successors of hash value hv.
+// The result is freshly allocated and unordered; hot paths use
+// AppendSuccessorHashes to reuse a caller buffer instead.
 func (g *GSS) SuccessorHashes(hv uint64) []uint64 {
-	return g.successorHashesWith(hv, &g.sc)
+	return g.appendSuccessorHashesWith(hv, nil, &g.sc)
 }
 
-func (g *GSS) successorHashesWith(hv uint64, sc *queryScratch) []uint64 {
+// PrecursorHashes returns the sketch-graph precursors of hash value hv,
+// freshly allocated and unordered.
+func (g *GSS) PrecursorHashes(hv uint64) []uint64 {
+	return g.appendPrecursorHashesWith(hv, nil, &g.sc)
+}
+
+// AppendSuccessorHashes appends the sketch-graph successors of hash
+// value hv to dst and returns it. Results are duplicate-free but carry
+// no order guarantee. Like every other GSS method it is not safe for
+// concurrent use; synchronized wrappers expose the same method under
+// their locks.
+func (g *GSS) AppendSuccessorHashes(hv uint64, dst []uint64) []uint64 {
+	return g.appendSuccessorHashesWith(hv, dst, &g.sc)
+}
+
+// AppendPrecursorHashes appends the sketch-graph precursors of hash
+// value hv to dst and returns it; duplicate-free, unordered.
+func (g *GSS) AppendPrecursorHashes(hv uint64, dst []uint64) []uint64 {
+	return g.appendPrecursorHashesWith(hv, dst, &g.sc)
+}
+
+// appendSuccessorHashesWith scans the r mapped rows of the matrix plus
+// the buffer (§V). Occupied slots are found by walking the occupancy
+// bitset a word at a time with TrailingZeros64, so a sparse row costs a
+// handful of word loads instead of m*l per-slot probes.
+//
+// No deduplication is needed: a sketch edge is stored in exactly one
+// room (repeat insertions re-walk the same candidate sequence and stop
+// at the existing room before any empty one), matches are exact on the
+// source hash value, distinct mapped rows recover disjoint edge sets,
+// and the left-over buffer holds only edges the matrix rejected. The
+// only duplicate source is the address sequence itself repeating a row
+// value mod m, which the i-loop skips.
+func (g *GSS) appendSuccessorHashesWith(hv uint64, dst []uint64, sc *queryScratch) []uint64 {
 	addr, fp := g.nh.Split(hv)
 	m, l, r := g.cfg.Width, g.cfg.Rooms, g.cfg.SeqLen
 	rows := hashing.AddressSequence(addr, fp, m, sc.rowSeq)
+rowLoop:
+	for i := 0; i < r; i++ {
+		row := rows[i]
+		for k := 0; k < i; k++ {
+			if rows[k] == row {
+				continue rowLoop // same row, identical matches
+			}
+		}
+		base := int(row) * m * l
+		end := base + m*l
+		firstWord, lastWord := base>>6, (end-1)>>6
+		for w := firstWord; w <= lastWord; w++ {
+			word := g.occ[w]
+			if word == 0 {
+				continue
+			}
+			if w == firstWord {
+				word &= ^uint64(0) << (uint(base) & 63)
+			}
+			if w == lastWord && uint(end)&63 != 0 {
+				word &= uint64(1)<<(uint(end)&63) - 1
+			}
+			for word != 0 {
+				slot := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				if g.fps[slot]>>16 != fp {
+					continue
+				}
+				// rows[is] == row is RecoverAddress(row, fp, is) == addr:
+				// both sides add q_is(fp) to addr mod m, and rows is
+				// already computed for this query — no LCG replay.
+				is := int(g.idx[slot] >> 4)
+				if is >= r || rows[is] != row {
+					continue // same fingerprint, different source node
+				}
+				col := uint32((slot / l) % m)
+				fpD := g.fps[slot] & 0xffff
+				id := int(g.idx[slot] & 0x0f)
+				hd := hashing.RecoverAddress(col, fpD, id, m)
+				dst = append(dst, g.nh.Combine(hd, fpD))
+			}
+		}
+	}
+	return append(dst, g.buf.successors(hv)...)
+}
+
+// appendPrecursorHashesWith walks the reverse column index: the r
+// mapped columns' entry lists plus the buffer. Cost is O(occupied
+// rooms in the mapped columns), not O(m*l) per column, and the walk is
+// a pure sequential scan: the entry's fingerprint plus cols[id] == col
+// (which is RecoverAddress(col, fp, id) == addr restated through the
+// query's own address sequence) identify a stored edge into hv
+// exactly, and the entry carries the pre-decoded source hash, so
+// neither the filter nor a match ever touches the matrix. The same
+// single-storage argument as for successors makes the result
+// duplicate-free once repeated column values are skipped.
+func (g *GSS) appendPrecursorHashesWith(hv uint64, dst []uint64, sc *queryScratch) []uint64 {
+	addr, fp := g.nh.Split(hv)
+	m, r := g.cfg.Width, g.cfg.SeqLen
+	cols := hashing.AddressSequence(addr, fp, m, sc.colSeq)
+	fpTag := uint64(fp) << 48
+	const hashMask = 1<<44 - 1
+colLoop:
+	for j := 0; j < r; j++ {
+		col := cols[j]
+		for k := 0; k < j; k++ {
+			if cols[k] == col {
+				continue colLoop
+			}
+		}
+		for _, e := range g.colIdx[col] {
+			if e&(0xffff<<48) != fpTag {
+				continue
+			}
+			id := int(e>>44) & 0x0f
+			if id >= r || cols[id] != col {
+				continue
+			}
+			dst = append(dst, e&hashMask)
+		}
+	}
+	return append(dst, g.buf.precursors(hv)...)
+}
+
+// SuccessorHashesScan is the pre-index successor scan retained as the
+// reference implementation: a per-slot strided walk of the r mapped
+// rows with map-based deduplication, sorted output. Differential tests
+// pin the accelerated path to it, and gss-bench quotes it as the
+// before-side of the query speedup.
+func (g *GSS) SuccessorHashesScan(hv uint64) []uint64 {
+	addr, fp := g.nh.Split(hv)
+	m, l, r := g.cfg.Width, g.cfg.Rooms, g.cfg.SeqLen
+	rows := hashing.AddressSequence(addr, fp, m, g.sc.rowSeq)
 	seen := make(map[uint64]struct{})
 	for i := 0; i < r; i++ {
 		row := rows[i]
@@ -105,7 +237,7 @@ func (g *GSS) successorHashesWith(hv uint64, sc *queryScratch) []uint64 {
 			}
 			is := int(g.idx[slot] >> 4)
 			if is >= r || hashing.RecoverAddress(row, fpS, is, m) != addr {
-				continue // same fingerprint, different source node
+				continue
 			}
 			col := uint32((slot / l) % m)
 			fpD := g.fps[slot] & 0xffff
@@ -120,16 +252,13 @@ func (g *GSS) successorHashesWith(hv uint64, sc *queryScratch) []uint64 {
 	return hashSet(seen)
 }
 
-// PrecursorHashes returns the sketch-graph precursors of hash value hv,
-// scanning the r mapped columns plus the buffer.
-func (g *GSS) PrecursorHashes(hv uint64) []uint64 {
-	return g.precursorHashesWith(hv, &g.sc)
-}
-
-func (g *GSS) precursorHashesWith(hv uint64, sc *queryScratch) []uint64 {
+// PrecursorHashesScan is the pre-index precursor scan retained as the
+// reference implementation: a full O(m * m * l) strided walk over the r
+// mapped columns. See SuccessorHashesScan.
+func (g *GSS) PrecursorHashesScan(hv uint64) []uint64 {
 	addr, fp := g.nh.Split(hv)
 	m, l, r := g.cfg.Width, g.cfg.Rooms, g.cfg.SeqLen
-	cols := hashing.AddressSequence(addr, fp, m, sc.colSeq)
+	cols := hashing.AddressSequence(addr, fp, m, g.sc.colSeq)
 	seen := make(map[uint64]struct{})
 	for j := 0; j < r; j++ {
 		col := cols[j]
@@ -172,6 +301,49 @@ func hashSet(m map[uint64]struct{}) []uint64 {
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
+
+// The hash-native query plane (query.HashSummary). Compound graph
+// algorithms traverse uint64 hash values with these methods and expand
+// to original identifiers once at the API edge, skipping the per-hop
+// string expansion, map allocation and sorting of the string plane.
+
+// NodeHash maps an original identifier into the sketch's compressed
+// node space [0, M).
+func (g *GSS) NodeHash(v string) uint64 { return g.nh.Hash(v) }
+
+// EdgeWeightHash is the edge query primitive over pre-hashed endpoints.
+func (g *GSS) EdgeWeightHash(hs, hd uint64) (int64, bool) {
+	return g.edgeWeightHashed(hs, hd)
+}
+
+// AppendNodeHashes appends every hash value with at least one
+// registered identifier to dst; duplicate-free, unordered. Returns dst
+// unchanged when the node index is disabled.
+func (g *GSS) AppendNodeHashes(dst []uint64) []uint64 {
+	if g.reg == nil {
+		return dst
+	}
+	for hv := range g.reg.ids {
+		dst = append(dst, hv)
+	}
+	return dst
+}
+
+// AppendHashIDs appends the original identifiers registered under hv to
+// dst. An empty result means the hash is unregistered — recovered from
+// the matrix but never seen as an inserted endpoint (a set-query false
+// positive the string plane silently drops in expand).
+func (g *GSS) AppendHashIDs(hv uint64, dst []string) []string {
+	if g.reg == nil {
+		return dst
+	}
+	return append(dst, g.reg.ids[hv]...)
+}
+
+// SupportsHashQueries reports whether the hash-native query plane is
+// backed: it needs the node index, which ties hash values back to
+// original identifiers exactly the way the string plane's expand does.
+func (g *GSS) SupportsHashQueries() bool { return g.reg != nil }
 
 // expand converts recovered hash values to original node identifiers via
 // the node-index hash table. Without the index, synthetic identifiers of

@@ -1,0 +1,87 @@
+package gss
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// Microbenchmarks for the query primitives: the indexed/occupancy-word
+// paths against the retained pre-index scans, on one loaded sketch.
+// cmd/gss-bench -mode query measures the same comparison at deployment
+// scale; these stay small enough for the CI bench-smoke step.
+
+func benchSketch(b *testing.B) (*GSS, []uint64) {
+	b.Helper()
+	g := MustNew(Config{Width: 128})
+	items := stream.Generate(stream.DatasetConfig{Name: "bench", Nodes: 2000,
+		Edges: 30000, DegreeSkew: 1.5, WeightSkew: 1.3, MaxWeight: 100, Seed: 3})
+	g.InsertBatch(items)
+	hashes := make([]uint64, 512)
+	for i := range hashes {
+		it := items[(i*37)%len(items)]
+		v := it.Src
+		if i%2 == 1 {
+			v = it.Dst
+		}
+		hashes[i] = g.NodeHash(v)
+	}
+	return g, hashes
+}
+
+func BenchmarkAppendPrecursorHashes(b *testing.B) {
+	g, hashes := benchSketch(b)
+	var buf []uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.AppendPrecursorHashes(hashes[i%len(hashes)], buf[:0])
+	}
+}
+
+func BenchmarkPrecursorHashesScan(b *testing.B) {
+	g, hashes := benchSketch(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.PrecursorHashesScan(hashes[i%len(hashes)])
+	}
+}
+
+func BenchmarkAppendSuccessorHashes(b *testing.B) {
+	g, hashes := benchSketch(b)
+	var buf []uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.AppendSuccessorHashes(hashes[i%len(hashes)], buf[:0])
+	}
+}
+
+func BenchmarkSuccessorHashesScan(b *testing.B) {
+	g, hashes := benchSketch(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.SuccessorHashesScan(hashes[i%len(hashes)])
+	}
+}
+
+func BenchmarkSuccessorsStrings(b *testing.B) {
+	g, hashes := benchSketch(b)
+	_ = hashes
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Successors(stream.NodeID(i % 2000))
+	}
+}
+
+func BenchmarkEdgeWeightHash(b *testing.B) {
+	g, hashes := benchSketch(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.EdgeWeightHash(hashes[i%len(hashes)], hashes[(i+1)%len(hashes)])
+	}
+}

@@ -1,0 +1,219 @@
+package gss
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// Differential battery for the accelerated set primitives: the reverse
+// column index walk and the occupancy-word row walk must answer
+// exactly like the retained pre-index scans on every configuration,
+// including after the paths that rebuild or merge the index.
+
+func sortedHashes(hs []uint64) []uint64 {
+	out := append([]uint64{}, hs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func diffSets(t *testing.T, label string, got, want []uint64) {
+	t.Helper()
+	g, w := sortedHashes(got), sortedHashes(want)
+	if len(g) != len(w) {
+		t.Fatalf("%s: %d hashes, scan reference has %d", label, len(g), len(w))
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("%s: sets diverge at %d: %d vs %d", label, i, g[i], w[i])
+		}
+	}
+	// The indexed paths promise duplicate-free results without a map.
+	for i := 1; i < len(g); i++ {
+		if g[i] == g[i-1] {
+			t.Fatalf("%s: duplicate hash %d in indexed result", label, g[i])
+		}
+	}
+}
+
+// checkAgainstScan diffs both set primitives against their scan
+// references for every node the stream touched, plus probes that were
+// never inserted.
+func checkAgainstScan(t *testing.T, label string, g *GSS, items []stream.Item) {
+	t.Helper()
+	nodes := map[string]bool{}
+	for _, it := range items {
+		nodes[it.Src], nodes[it.Dst] = true, true
+	}
+	for i := 0; i < 7; i++ {
+		nodes[fmt.Sprintf("never-inserted-%d", i)] = true
+	}
+	for v := range nodes {
+		hv := g.NodeHash(v)
+		diffSets(t, label+": successors of "+v,
+			g.AppendSuccessorHashes(hv, nil), g.SuccessorHashesScan(hv))
+		diffSets(t, label+": precursors of "+v,
+			g.AppendPrecursorHashes(hv, nil), g.PrecursorHashesScan(hv))
+	}
+}
+
+func reverseIndexConfigs() map[string]Config {
+	return map[string]Config{
+		"default":      {Width: 48},
+		"tiny-matrix":  {Width: 8}, // heavy collisions, buffer spill
+		"one-room":     {Width: 32, Rooms: 1},
+		"no-sampling":  {Width: 32, DisableSampling: true, SeqLen: 4},
+		"basic-sketch": {Width: 32, DisableSquareHash: true},
+		"short-seq":    {Width: 32, SeqLen: 3, Candidates: 5},
+	}
+}
+
+func reverseIndexStream(n int, seed int64) []stream.Item {
+	return stream.Generate(stream.DatasetConfig{Name: "revidx", Nodes: 120, Edges: n,
+		DegreeSkew: 1.4, WeightSkew: 1.3, MaxWeight: 50, Seed: seed})
+}
+
+func TestReverseIndexMatchesScan(t *testing.T) {
+	for name, cfg := range reverseIndexConfigs() {
+		t.Run(name, func(t *testing.T) {
+			g := MustNew(cfg)
+			items := reverseIndexStream(3000, 41)
+			g.InsertBatch(items)
+			if st := g.Stats(); name == "tiny-matrix" && st.BufferEdges == 0 {
+				t.Fatal("tiny matrix did not spill to the buffer; test loses coverage")
+			}
+			checkAgainstScan(t, "ingest", g, items)
+		})
+	}
+}
+
+// TestReverseIndexSurvivesRestore proves the rebuilt index answers
+// identically: the snapshot format carries no index, so Restore must
+// reconstruct it from the matrix alone.
+func TestReverseIndexSurvivesRestore(t *testing.T) {
+	g := MustNew(Config{Width: 24})
+	items := reverseIndexStream(2500, 43)
+	g.InsertBatch(items)
+
+	var snap bytes.Buffer
+	if _, err := g.WriteTo(&snap); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadSketch(bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstScan(t, "restored", restored, items)
+
+	// The restored index must also match the online one's answers.
+	for _, it := range items[:200] {
+		hv := g.NodeHash(it.Dst)
+		diffSets(t, "online vs rebuilt precursors",
+			restored.AppendPrecursorHashes(hv, nil), g.AppendPrecursorHashes(hv, nil))
+	}
+
+	// And the restored sketch keeps maintaining it on further inserts.
+	more := reverseIndexStream(500, 47)
+	restored.InsertBatch(more)
+	checkAgainstScan(t, "restored+ingest", restored, append(items, more...))
+}
+
+// TestReverseIndexSurvivesMerge covers the other index-mutating path:
+// Merge re-inserts decoded edges, which must keep the index aligned.
+func TestReverseIndexSurvivesMerge(t *testing.T) {
+	cfg := Config{Width: 24}
+	a, b := MustNew(cfg), MustNew(cfg)
+	itemsA := reverseIndexStream(1500, 53)
+	itemsB := reverseIndexStream(1500, 59)
+	a.InsertBatch(itemsA)
+	b.InsertBatch(itemsB)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstScan(t, "merged", a, append(itemsA, itemsB...))
+}
+
+// TestScanViewMatchesStringPlane pins the pre-PR reference view to the
+// accelerated string plane: same sketch, same answers, so benchmark
+// before/after numbers measure speed, not semantic drift.
+func TestScanViewMatchesStringPlane(t *testing.T) {
+	g := MustNew(Config{Width: 32})
+	items := reverseIndexStream(2000, 61)
+	g.InsertBatch(items)
+	sv := ScanView{G: g}
+	for _, it := range items[:300] {
+		for _, v := range []string{it.Src, it.Dst} {
+			if got, want := sv.Successors(v), g.Successors(v); !equalStrings(got, want) {
+				t.Fatalf("ScanView successors of %s = %v, string plane %v", v, got, want)
+			}
+			if got, want := sv.Precursors(v), g.Precursors(v); !equalStrings(got, want) {
+				t.Fatalf("ScanView precursors of %s = %v, string plane %v", v, got, want)
+			}
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAppendHashAPIsAppend ensures the Append* primitives append to the
+// caller's buffer instead of clobbering it.
+func TestAppendHashAPIsAppend(t *testing.T) {
+	g := MustNew(Config{Width: 32})
+	g.InsertEdge("a", "b", 1)
+	prefix := []uint64{42}
+	out := g.AppendSuccessorHashes(g.NodeHash("a"), prefix)
+	if len(out) != 2 || out[0] != 42 {
+		t.Fatalf("AppendSuccessorHashes clobbered the prefix: %v", out)
+	}
+	out = g.AppendPrecursorHashes(g.NodeHash("b"), prefix)
+	if len(out) != 2 || out[0] != 42 {
+		t.Fatalf("AppendPrecursorHashes clobbered the prefix: %v", out)
+	}
+	ids := g.AppendHashIDs(g.NodeHash("a"), []string{"x"})
+	if len(ids) != 2 || ids[0] != "x" || ids[1] != "a" {
+		t.Fatalf("AppendHashIDs = %v", ids)
+	}
+}
+
+// TestReverseIndexRandomOps interleaves inserts with query checks so
+// index maintenance is validated mid-stream, not only at the end.
+func TestReverseIndexRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	g := MustNew(Config{Width: 16})
+	var inserted []stream.Item
+	for round := 0; round < 8; round++ {
+		batch := make([]stream.Item, 200)
+		for i := range batch {
+			batch[i] = stream.Item{
+				Src:    stream.NodeID(rng.Intn(80)),
+				Dst:    stream.NodeID(rng.Intn(80)),
+				Weight: int64(rng.Intn(9) + 1),
+			}
+		}
+		g.InsertBatch(batch)
+		inserted = append(inserted, batch...)
+		for i := 0; i < 30; i++ {
+			v := stream.NodeID(rng.Intn(90)) // occasionally never-inserted
+			hv := g.NodeHash(v)
+			diffSets(t, "mid-stream precursors",
+				g.AppendPrecursorHashes(hv, nil), g.PrecursorHashesScan(hv))
+			diffSets(t, "mid-stream successors",
+				g.AppendSuccessorHashes(hv, nil), g.SuccessorHashesScan(hv))
+		}
+	}
+	checkAgainstScan(t, "final", g, inserted)
+}

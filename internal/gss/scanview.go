@@ -1,0 +1,36 @@
+package gss
+
+import "repro/internal/stream"
+
+// ScanView is the sketch's query surface wired to the retained pre-index
+// scan implementations (SuccessorHashesScan / PrecursorHashesScan): a
+// full-stride matrix walk with per-call map deduplication and hash-set
+// sorting, exactly the shape the query stack had before the reverse
+// column index and the occupancy-word row walk existed. It deliberately
+// does not implement the hash-native plane, so compound algorithms run
+// their string-based reference paths over it.
+//
+// Differential tests pin the accelerated primitives to it, and
+// gss-bench -mode query quotes it as the before-side of every speedup.
+// It reads through to the same sketch, so both sides answer from
+// identical state.
+type ScanView struct{ G *GSS }
+
+// Insert ingests one stream item (query.Summary).
+func (s ScanView) Insert(it stream.Item) { s.G.Insert(it) }
+
+// EdgeWeight is the edge query primitive (unchanged by the index).
+func (s ScanView) EdgeWeight(src, dst string) (int64, bool) { return s.G.EdgeWeight(src, dst) }
+
+// Successors answers via the pre-index strided row scan.
+func (s ScanView) Successors(v string) []string {
+	return s.G.expand(s.G.SuccessorHashesScan(s.G.nh.Hash(v)))
+}
+
+// Precursors answers via the pre-index full-matrix column scan.
+func (s ScanView) Precursors(v string) []string {
+	return s.G.expand(s.G.PrecursorHashesScan(s.G.nh.Hash(v)))
+}
+
+// Nodes enumerates registered identifiers.
+func (s ScanView) Nodes() []string { return s.G.Nodes() }

@@ -150,8 +150,9 @@ func (g *GSS) Restore(r io.Reader) error {
 // The header is read before the matrix it describes, so an absurd
 // declared width would otherwise make Restore allocate unbounded
 // memory from a few forged bytes — a torn checkpoint or malicious
-// /restore body must fail cheaply, not OOM the process.
-const maxSnapshotWidth = 1 << 20
+// /restore body must fail cheaply, not OOM the process. It equals the
+// configuration cap, which normalized also enforces.
+const maxSnapshotWidth = maxWidth
 
 // ReadSketch deserializes a sketch snapshot written by WriteTo. It is
 // safe on untrusted input: a malformed snapshot returns ErrBadSnapshot
@@ -242,6 +243,7 @@ func ReadSketch(r io.Reader) (*GSS, error) {
 	for i := range g.occ {
 		g.occ[i] = binary.LittleEndian.Uint64(occRaw[8*i:])
 	}
+	g.rebuildColumnIndex()
 	var bufCount uint32
 	if err := read(&bufCount); err != nil {
 		return nil, fmt.Errorf("%w: truncated buffer", ErrBadSnapshot)

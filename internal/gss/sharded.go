@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"slices"
 	"sort"
 	"sync"
 
@@ -189,6 +190,140 @@ func (s *Sharded) unionAll(get func(*GSS) []string) []string {
 	return out
 }
 
+// The hash-native query plane. Every shard runs the same scaled
+// configuration, so the node-hash space is shared: a hash value means
+// the same node in every shard, and per-shard results concatenate
+// without translation. An original edge lives in exactly one shard, so
+// successor/precursor unions are duplicate-free by construction; only
+// the node registry, which records an endpoint in every shard that
+// stores one of its edges, needs deduplication.
+
+// NodeHash maps an identifier into the shared compressed node space.
+func (s *Sharded) NodeHash(v string) uint64 {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	return s.shards[0].g.NodeHash(v)
+}
+
+// EdgeWeightHash probes each shard for the sketch edge (hs, hd). The
+// string form routes by original identifiers, which hashes cannot
+// recover, so the hash form asks every shard; the owning shard answers
+// and a miss everywhere falls through to not-found.
+func (s *Sharded) EdgeWeightHash(hs, hd uint64) (int64, bool) {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		w, ok := sh.g.EdgeWeightHash(hs, hd)
+		sh.mu.Unlock()
+		if ok {
+			return w, true
+		}
+	}
+	return 0, false
+}
+
+// AppendSuccessorHashes appends the union of the shard-local successor
+// sets of hv to dst.
+func (s *Sharded) AppendSuccessorHashes(hv uint64, dst []uint64) []uint64 {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		dst = sh.g.AppendSuccessorHashes(hv, dst)
+		sh.mu.Unlock()
+	}
+	return dst
+}
+
+// AppendPrecursorHashes appends the union of the shard-local precursor
+// sets of hv to dst.
+func (s *Sharded) AppendPrecursorHashes(hv uint64, dst []uint64) []uint64 {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		dst = sh.g.AppendPrecursorHashes(hv, dst)
+		sh.mu.Unlock()
+	}
+	return dst
+}
+
+// AppendNodeHashes appends the union of the shard registries' hash
+// values to dst, deduplicated in place (sort + compact, no map).
+func (s *Sharded) AppendNodeHashes(dst []uint64) []uint64 {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	mark := len(dst)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		dst = sh.g.AppendNodeHashes(dst)
+		sh.mu.Unlock()
+	}
+	return DedupHashTail(dst, mark)
+}
+
+// AppendHashIDs appends the identifiers registered under hv across all
+// shards, deduplicated (an endpoint registers in every shard holding
+// one of its edges).
+func (s *Sharded) AppendHashIDs(hv uint64, dst []string) []string {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	mark := len(dst)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		dst = sh.g.AppendHashIDs(hv, dst)
+		sh.mu.Unlock()
+	}
+	// The per-hash identifier lists are tiny (collisions are rare by
+	// design), so a quadratic scan beats sorting.
+	out := dst[:mark]
+	for _, id := range dst[mark:] {
+		dup := false
+		for _, have := range out[mark:] {
+			if have == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// SupportsHashQueries reports whether the shards back the hash plane.
+func (s *Sharded) SupportsHashQueries() bool {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	return s.shards[0].g.SupportsHashQueries()
+}
+
+// DedupHashTail sorts dst[mark:] and removes duplicates in place — the
+// union step every multi-partition hash query shares (shard registries
+// here, window generations in internal/window).
+func DedupHashTail(dst []uint64, mark int) []uint64 {
+	tail := dst[mark:]
+	if len(tail) < 2 {
+		return dst
+	}
+	slices.Sort(tail)
+	w := 1
+	for i := 1; i < len(tail); i++ {
+		if tail[i] != tail[i-1] {
+			tail[w] = tail[i]
+			w++
+		}
+	}
+	return dst[:mark+w]
+}
+
 // Stats aggregates shard statistics.
 func (s *Sharded) Stats() Stats {
 	s.gate.RLock()
@@ -208,6 +343,7 @@ func (s *Sharded) Stats() Stats {
 		agg.BufferEdges += st.BufferEdges
 		agg.MatrixBytes += st.MatrixBytes
 		agg.IndexedNodes += st.IndexedNodes
+		agg.ReverseIndexBytes += st.ReverseIndexBytes
 	}
 	if total := agg.MatrixEdges + agg.BufferEdges; total > 0 {
 		agg.BufferPct = float64(agg.BufferEdges) / float64(total)

@@ -23,6 +23,12 @@ type Stats struct {
 	MatrixBytes  int64
 	IndexedNodes int // registered original identifiers, 0 if index disabled
 
+	// ReverseIndexBytes is the footprint of the per-column reverse
+	// index that accelerates precursor queries: 8 bytes per occupied
+	// room. Reported separately from MatrixBytes, which stays the
+	// paper-comparable sketch-proper figure.
+	ReverseIndexBytes int64
+
 	// Sliding-window backends (internal/window) only; zero on the
 	// whole-stream backends.
 	WindowSpan         int64 // window length in stream-time units
@@ -44,6 +50,8 @@ func (g *GSS) Stats() Stats {
 		MatrixEdges:     g.entries,
 		BufferEdges:     g.buf.size(),
 		MatrixBytes:     g.MemoryBytes(),
+
+		ReverseIndexBytes: g.reverseIndexBytes(),
 	}
 	slots := g.cfg.Width * g.cfg.Width * g.cfg.Rooms
 	if slots > 0 {

@@ -11,8 +11,12 @@ import (
 // exist. Each runs identically on GSS, TCM or the exact store.
 
 // KHop returns the set of nodes reachable from v in at most k hops
-// (excluding v itself), sorted.
+// (excluding v itself), sorted. Hash-capable summaries run dense
+// integer frontiers and expand to identifiers once at the end.
 func KHop(s Summary, v string, k int) []string {
+	if h, ok := HashView(s); ok {
+		return kHopHash(h, v, k)
+	}
 	if k <= 0 {
 		return nil
 	}
@@ -40,6 +44,9 @@ func KHop(s Summary, v string, k int) []string {
 // projection of the summarized graph, each sorted, ordered by size
 // descending then lexicographically.
 func WeaklyConnectedComponents(s Summary) [][]string {
+	if h, ok := HashView(s); ok {
+		return wccHash(h)
+	}
 	visited := map[string]bool{}
 	var comps [][]string
 	for _, v := range s.Nodes() {
@@ -78,6 +85,9 @@ func WeaklyConnectedComponents(s Summary) [][]string {
 // rank distribution, so heavy interaction edges carry more rank — the
 // influence analysis of the paper's social-network use case.
 func PageRank(s Summary, damping float64, iters int) map[string]float64 {
+	if h, ok := HashView(s); ok {
+		return pageRankHash(h, damping, iters)
+	}
 	nodes := s.Nodes()
 	n := len(nodes)
 	if n == 0 {
@@ -128,6 +138,9 @@ func PageRank(s Summary, damping float64, iters int) map[string]float64 {
 // to dst (Dijkstra over the primitives; weights must be positive) and
 // its cost. ok is false when dst is unreachable.
 func ShortestPath(s Summary, src, dst string) (path []string, cost int64, ok bool) {
+	if h, okh := HashView(s); okh {
+		return shortestPathHash(h, src, dst)
+	}
 	if src == dst {
 		return []string{src}, 0, true
 	}

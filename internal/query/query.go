@@ -37,8 +37,12 @@ func Build(s Summary, src stream.Source) Summary {
 
 // NodeOut is the paper's node query (§VII-E): the summed weight of all
 // edges with source node v, composed from the successor primitive and
-// edge queries.
+// edge queries. Hash-capable summaries answer without materializing a
+// single string.
 func NodeOut(s Summary, v string) int64 {
+	if h, ok := HashView(s); ok {
+		return nodeOutHash(h, v)
+	}
 	var sum int64
 	for _, u := range s.Successors(v) {
 		if w, ok := s.EdgeWeight(v, u); ok {
@@ -50,6 +54,9 @@ func NodeOut(s Summary, v string) int64 {
 
 // NodeIn is the aggregate over incoming edges of v.
 func NodeIn(s Summary, v string) int64 {
+	if h, ok := HashView(s); ok {
+		return nodeInHash(h, v)
+	}
 	var sum int64
 	for _, u := range s.Precursors(v) {
 		if w, ok := s.EdgeWeight(u, v); ok {
@@ -62,8 +69,13 @@ func NodeIn(s Summary, v string) int64 {
 // Reachable answers the reachability query of §VII-F with a BFS over
 // successor queries. Because summaries have false positives only, a
 // "false" answer is certain while a "true" answer may be spurious —
-// hence the paper's true-negative-recall metric.
+// hence the paper's true-negative-recall metric. Hash-capable
+// summaries run the BFS entirely in hash space (reachableHash); the
+// string BFS below is the reference implementation.
 func Reachable(s Summary, src, dst string) bool {
+	if h, ok := HashView(s); ok {
+		return reachableHash(h, src, dst)
+	}
 	if src == dst {
 		return true
 	}
@@ -127,7 +139,12 @@ func tracePath(parent map[string]string, src, dst string) []string {
 // Triangles estimates the number of triangles in the undirected
 // projection of the summarized graph (§VII-I) by enumerating neighbor
 // sets through the primitives. Each triangle {a,b,c} is counted once.
+// Hash-capable summaries count over sorted hash slices with merge
+// intersections instead of per-node string sets.
 func Triangles(s Summary) int64 {
+	if h, ok := HashView(s); ok {
+		return trianglesHash(h)
+	}
 	nodes := s.Nodes()
 	neigh := make(map[string]map[string]bool, len(nodes))
 	for _, v := range nodes {

@@ -1,0 +1,86 @@
+package query
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/gss"
+	"repro/internal/stream"
+)
+
+// TestHashQueriesParallel hammers the hash-native algorithms from many
+// goroutines over one shared concurrent sketch while a writer keeps
+// inserting. Under -race this proves the pooled traversal scratch and
+// the backend's pooled probe scratch never share state across readers;
+// functionally it proves pooled buffers are fully reset between loans
+// (a stale frontier or visited map would change answers
+// nondeterministically).
+func TestHashQueriesParallel(t *testing.T) {
+	c, err := gss.NewConcurrent(gss.Config{Width: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := stream.Generate(stream.DatasetConfig{Name: "race", Nodes: 80,
+		Edges: 1500, DegreeSkew: 1.5, WeightSkew: 1.3, MaxWeight: 40, Seed: 13})
+	c.InsertBatch(items)
+
+	if _, ok := HashView(c); !ok {
+		t.Fatal("concurrent backend does not expose the hash plane")
+	}
+
+	// Fixed probes with answers recorded up front. The writer below
+	// only re-inserts items already in the sketch: weights grow but the
+	// edge set — and with it every reachability and k-hop answer — is
+	// invariant, so any flip is a scratch-sharing bug, not stream
+	// churn.
+	probes := []string{items[0].Src, items[1].Src, items[2].Dst, items[3].Dst, "ghost"}
+	wantReach := map[[2]string]bool{}
+	wantKHop := map[string]string{}
+	for _, a := range probes {
+		wantKHop[a] = strings.Join(KHop(c, a, 2), ",")
+		for _, b := range probes {
+			wantReach[[2]string{a, b}] = Reachable(c, a, b)
+		}
+	}
+
+	var wg, writerWG sync.WaitGroup
+	stop := make(chan struct{})
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.Insert(items[i%len(items)])
+		}
+	}()
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 60; round++ {
+				a := probes[(g+round)%len(probes)]
+				b := probes[(g+2*round)%len(probes)]
+				if got := Reachable(c, a, b); got != wantReach[[2]string{a, b}] {
+					t.Errorf("Reachable(%s,%s) flipped to %v under concurrency", a, b, got)
+					return
+				}
+				if got := strings.Join(KHop(c, a, 2), ","); got != wantKHop[a] {
+					t.Errorf("KHop(%s) changed under concurrency", a)
+					return
+				}
+				// Weight-dependent answers drift as the writer bumps
+				// weights; these run for race coverage only.
+				NodeOut(c, a)
+				ShortestPath(c, a, b)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	writerWG.Wait()
+}

@@ -163,6 +163,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 
 	dec := stream.NewBatchDecoder(r.Body, batchSize)
+	// The sync path inserts each batch before decoding the next, so the
+	// decoder can recycle one batch slice for the whole request. Async
+	// batches are retained by the worker queue and must stay fresh.
+	if !async {
+		dec.SetReuse(true)
+	}
 	var items int64
 	var batches int64
 	for {

@@ -11,7 +11,7 @@
 //	GET  /edge?src=a&dst=b
 //	GET  /successors?v=a
 //	GET  /precursors?v=a
-//	GET  /nodes
+//	GET  /nodes?limit=100   (limit=0 returns all; default 10000)
 //	GET  /nodeout?v=a
 //	GET  /reachable?src=a&dst=b
 //	GET  /heavy?min=100
@@ -50,6 +50,8 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"slices"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -443,12 +445,63 @@ func (s *Server) handleNeighbors(successors bool) http.HandlerFunc {
 	}
 }
 
+// defaultNodesLimit caps /nodes responses unless the client overrides
+// it: a million-node sketch must not serialize (or sort) its whole node
+// set because a dashboard polled the endpoint.
+const defaultNodesLimit = 10000
+
 func (s *Server) handleNodes(w http.ResponseWriter, r *http.Request) {
-	nodes := s.sk.Nodes()
+	limit := defaultNodesLimit
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "limit must be a non-negative integer (0 = unlimited)")
+			return
+		}
+		limit = n
+	}
+	nodes, total := s.nodesPage(limit)
 	if nodes == nil {
 		nodes = []string{}
 	}
-	writeJSON(w, map[string]interface{}{"nodes": nodes})
+	writeJSON(w, map[string]interface{}{
+		"nodes":     nodes,
+		"total":     total,
+		"truncated": len(nodes) < total,
+	})
+}
+
+// nodesPage returns up to limit node identifiers (0 = all) and the
+// total count. Hash-capable backends enumerate the registry without
+// sorting the full identifier set: the hash list is sorted (cheap
+// integers) so the page cut is deterministic per sketch state, but
+// only the returned page of strings is sorted — a bounded request
+// against a huge sketch costs O(nodes log nodes) integer work plus
+// O(limit log limit) string work, not a full-set string sort. Clients
+// that need the full set pass limit=0.
+func (s *Server) nodesPage(limit int) ([]string, int) {
+	if hq, ok := query.HashView(s.sk); ok {
+		hashes := hq.AppendNodeHashes(nil)
+		slices.Sort(hashes)
+		var nodes []string
+		total := 0
+		for _, hv := range hashes {
+			mark := len(nodes)
+			nodes = hq.AppendHashIDs(hv, nodes)
+			total += len(nodes) - mark
+			if limit > 0 && len(nodes) > limit {
+				nodes = nodes[:limit]
+			}
+		}
+		sort.Strings(nodes)
+		return nodes, total
+	}
+	nodes := s.sk.Nodes()
+	total := len(nodes)
+	if limit > 0 && total > limit {
+		nodes = nodes[:limit]
+	}
+	return nodes, total
 }
 
 func (s *Server) handleNodeOut(w http.ResponseWriter, r *http.Request) {

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/gss"
+	"repro/internal/query"
 	"repro/internal/stream"
 )
 
@@ -71,5 +72,72 @@ func (h *Hot) Snapshot(w io.Writer) error { return h.Current().Snapshot(w) }
 // and Swap it in.
 func (h *Hot) Restore(r io.Reader) error { return h.Current().Restore(r) }
 
-// Hot satisfies the deployment surface it wraps.
-var _ Sketch = (*Hot)(nil)
+// hashView returns the current sketch's hash plane, if it has one.
+// Per-call resolution matches Hot's swap semantics: an operation
+// dispatched to the old sketch finishes against the old sketch.
+func (h *Hot) hashView() (query.HashSummary, bool) {
+	hq, ok := h.Current().(query.HashSummary)
+	return hq, ok
+}
+
+// NodeHash maps an identifier into the current sketch's hash space.
+func (h *Hot) NodeHash(v string) uint64 {
+	if hq, ok := h.hashView(); ok {
+		return hq.NodeHash(v)
+	}
+	return 0
+}
+
+// EdgeWeightHash is the edge primitive over pre-hashed endpoints.
+func (h *Hot) EdgeWeightHash(hs, hd uint64) (int64, bool) {
+	if hq, ok := h.hashView(); ok {
+		return hq.EdgeWeightHash(hs, hd)
+	}
+	return 0, false
+}
+
+// AppendSuccessorHashes appends the sketch successors of hv to dst.
+func (h *Hot) AppendSuccessorHashes(hv uint64, dst []uint64) []uint64 {
+	if hq, ok := h.hashView(); ok {
+		return hq.AppendSuccessorHashes(hv, dst)
+	}
+	return dst
+}
+
+// AppendPrecursorHashes appends the sketch precursors of hv to dst.
+func (h *Hot) AppendPrecursorHashes(hv uint64, dst []uint64) []uint64 {
+	if hq, ok := h.hashView(); ok {
+		return hq.AppendPrecursorHashes(hv, dst)
+	}
+	return dst
+}
+
+// AppendNodeHashes appends every registered node hash to dst.
+func (h *Hot) AppendNodeHashes(dst []uint64) []uint64 {
+	if hq, ok := h.hashView(); ok {
+		return hq.AppendNodeHashes(dst)
+	}
+	return dst
+}
+
+// AppendHashIDs appends the identifiers registered under hv to dst.
+func (h *Hot) AppendHashIDs(hv uint64, dst []string) []string {
+	if hq, ok := h.hashView(); ok {
+		return hq.AppendHashIDs(hv, dst)
+	}
+	return dst
+}
+
+// SupportsHashQueries reports whether the current sketch backs the
+// hash plane.
+func (h *Hot) SupportsHashQueries() bool {
+	hq, ok := h.hashView()
+	return ok && hq.SupportsHashQueries()
+}
+
+// Hot satisfies the deployment surface it wraps, including the
+// hash-native query plane.
+var (
+	_ Sketch            = (*Hot)(nil)
+	_ query.HashSummary = (*Hot)(nil)
+)

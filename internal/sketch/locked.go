@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/gss"
+	"repro/internal/query"
 	"repro/internal/stream"
 )
 
@@ -16,11 +17,22 @@ import (
 type Locked struct {
 	mu sync.Mutex
 	sk Sketch
+
+	// hq is sk's hash-native query plane when it has one; Locked
+	// forwards the plane under the same mutex. nil when sk is not
+	// hash-capable, in which case SupportsHashQueries answers false and
+	// query.HashView routes callers to the string plane instead of the
+	// forwarding methods.
+	hq query.HashSummary
 }
 
 // NewLocked wraps sk with one global mutex. sk must not be used
 // directly afterwards.
-func NewLocked(sk Sketch) *Locked { return &Locked{sk: sk} }
+func NewLocked(sk Sketch) *Locked {
+	l := &Locked{sk: sk}
+	l.hq, _ = sk.(query.HashSummary)
+	return l
+}
 
 // Insert ingests one stream item.
 func (l *Locked) Insert(it stream.Item) {
@@ -55,6 +67,79 @@ func (l *Locked) Precursors(v string) []string {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.sk.Precursors(v)
+}
+
+// The hash-native query plane, forwarded under the mutex. The methods
+// are only reachable through query.HashView, which consults
+// SupportsHashQueries first; on a hash-incapable inner sketch they
+// return their inputs untouched.
+
+// NodeHash maps an identifier into the wrapped sketch's hash space.
+func (l *Locked) NodeHash(v string) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.hq == nil {
+		return 0
+	}
+	return l.hq.NodeHash(v)
+}
+
+// EdgeWeightHash is the edge primitive over pre-hashed endpoints.
+func (l *Locked) EdgeWeightHash(hs, hd uint64) (int64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.hq == nil {
+		return 0, false
+	}
+	return l.hq.EdgeWeightHash(hs, hd)
+}
+
+// AppendSuccessorHashes appends the sketch successors of hv to dst.
+func (l *Locked) AppendSuccessorHashes(hv uint64, dst []uint64) []uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.hq == nil {
+		return dst
+	}
+	return l.hq.AppendSuccessorHashes(hv, dst)
+}
+
+// AppendPrecursorHashes appends the sketch precursors of hv to dst.
+func (l *Locked) AppendPrecursorHashes(hv uint64, dst []uint64) []uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.hq == nil {
+		return dst
+	}
+	return l.hq.AppendPrecursorHashes(hv, dst)
+}
+
+// AppendNodeHashes appends every registered node hash to dst.
+func (l *Locked) AppendNodeHashes(dst []uint64) []uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.hq == nil {
+		return dst
+	}
+	return l.hq.AppendNodeHashes(dst)
+}
+
+// AppendHashIDs appends the identifiers registered under hv to dst.
+func (l *Locked) AppendHashIDs(hv uint64, dst []string) []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.hq == nil {
+		return dst
+	}
+	return l.hq.AppendHashIDs(hv, dst)
+}
+
+// SupportsHashQueries reports whether the wrapped sketch backs the
+// hash plane.
+func (l *Locked) SupportsHashQueries() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.hq != nil && l.hq.SupportsHashQueries()
 }
 
 // Nodes enumerates registered node identifiers.

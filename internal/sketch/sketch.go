@@ -13,6 +13,7 @@ import (
 	"io"
 
 	"repro/internal/gss"
+	"repro/internal/query"
 	"repro/internal/stream"
 	"repro/internal/window"
 )
@@ -45,12 +46,22 @@ type Sketch interface {
 	Restore(r io.Reader) error
 }
 
-// The gss backends and the sliding-window summary satisfy Sketch.
+// The gss backends and the sliding-window summary satisfy Sketch, and
+// every backend New can return also serves the hash-native query plane
+// (query.HashSummary) — the compound-query fast path the server's
+// /reachable and /nodeout handlers ride. Wrappers (Locked, Hot) keep
+// the plane across composition.
 var (
 	_ Sketch = (*gss.GSS)(nil)
 	_ Sketch = (*gss.Concurrent)(nil)
 	_ Sketch = (*gss.Sharded)(nil)
 	_ Sketch = (*window.Sliding)(nil)
+
+	_ query.HashSummary = (*gss.GSS)(nil)
+	_ query.HashSummary = (*gss.Concurrent)(nil)
+	_ query.HashSummary = (*gss.Sharded)(nil)
+	_ query.HashSummary = (*window.Sliding)(nil)
+	_ query.HashSummary = (*Locked)(nil)
 )
 
 // Backend names accepted by New.

@@ -16,14 +16,20 @@ import (
 // wire form: a producer streams lines, the server decodes them into
 // batches and inserts each batch under amortized locking.
 
-// jsonItem mirrors Item with the wire field names.
-type jsonItem struct {
+// wireItem is Item under the wire field names. Its underlying struct is
+// identical to Item's (field names, types and order — only the tags
+// differ), so a *Item converts directly to *wireItem and the decoder
+// unmarshals into the batch slot in place, with no intermediate copy.
+type wireItem struct {
 	Src    string `json:"src"`
 	Dst    string `json:"dst"`
-	Weight int64  `json:"weight"`
 	Time   int64  `json:"time,omitempty"`
+	Weight int64  `json:"weight"`
 	Label  uint32 `json:"label,omitempty"`
 }
+
+// jsonItem mirrors Item with the wire field names (encode side).
+type jsonItem = wireItem
 
 // maxNDJSONLine bounds one encoded item; longer lines are malformed.
 const maxNDJSONLine = 1 << 20
@@ -36,6 +42,9 @@ type BatchDecoder struct {
 	line      int   // 1-based number of the last line read
 	items     int64 // items decoded so far
 	err       error
+
+	reuse bool
+	buf   []Item // batch backing array, recycled when reuse is set
 }
 
 // NewBatchDecoder returns a decoder reading NDJSON from r that yields
@@ -49,15 +58,29 @@ func NewBatchDecoder(r io.Reader, batchSize int) *BatchDecoder {
 	return &BatchDecoder{sc: sc, batchSize: batchSize}
 }
 
+// SetReuse controls batch-slice ownership. When reuse is on, Next
+// recycles one backing array across calls, so the returned batch is
+// only valid until the next Next call — the right mode for callers that
+// fully consume each batch before asking for the next (the server's
+// sync ingest path), where it removes the per-batch slice allocation.
+// Off (the default), every call returns a fresh slice the caller may
+// retain or hand off (e.g. to an async worker pool).
+func (d *BatchDecoder) SetReuse(reuse bool) { d.reuse = reuse }
+
 // Next returns the next batch of decoded items. It returns a nil slice
-// once the stream is exhausted; check Err afterwards. Each call
-// allocates a fresh slice, so callers may retain or hand off batches
-// (e.g. to an async worker pool) without copying.
+// once the stream is exhausted; check Err afterwards. See SetReuse for
+// batch ownership.
 func (d *BatchDecoder) Next() []Item {
 	if d.err != nil {
 		return nil
 	}
 	var batch []Item
+	if d.reuse {
+		if d.buf == nil {
+			d.buf = make([]Item, 0, d.batchSize)
+		}
+		batch = d.buf[:0]
+	}
 	for len(batch) < d.batchSize {
 		if !d.sc.Scan() {
 			if err := d.sc.Err(); err != nil {
@@ -70,22 +93,28 @@ func (d *BatchDecoder) Next() []Item {
 		if len(line) == 0 {
 			continue
 		}
-		ji := jsonItem{Weight: 1} // omitted weight means one observation
-		if err := json.Unmarshal(line, &ji); err != nil {
-			d.err = fmt.Errorf("stream: ndjson line %d: %w", d.line, err)
-			break
-		}
-		if ji.Src == "" || ji.Dst == "" {
-			d.err = fmt.Errorf("stream: ndjson line %d: src and dst are required", d.line)
-			break
-		}
 		if batch == nil {
 			batch = make([]Item, 0, d.batchSize)
 		}
-		batch = append(batch, Item{Src: ji.Src, Dst: ji.Dst,
-			Weight: ji.Weight, Time: ji.Time, Label: ji.Label})
+		// Decode straight into the batch slot: omitted weight means one
+		// observation, and a failed line is truncated back off.
+		batch = append(batch, Item{Weight: 1})
+		slot := (*wireItem)(&batch[len(batch)-1])
+		if err := json.Unmarshal(line, slot); err != nil {
+			batch = batch[:len(batch)-1]
+			d.err = fmt.Errorf("stream: ndjson line %d: %w", d.line, err)
+			break
+		}
+		if slot.Src == "" || slot.Dst == "" {
+			batch = batch[:len(batch)-1]
+			d.err = fmt.Errorf("stream: ndjson line %d: src and dst are required", d.line)
+			break
+		}
 	}
 	d.items += int64(len(batch))
+	if d.reuse {
+		d.buf = batch
+	}
 	if len(batch) == 0 {
 		return nil
 	}

@@ -1,0 +1,100 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Benchmark and semantics coverage for BatchDecoder's allocation diet:
+// in-place decoding (no jsonItem -> Item double copy) and, with
+// SetReuse, one recycled batch slice for a whole stream.
+
+func benchNDJSON(b *testing.B, items int) []byte {
+	b.Helper()
+	src := make([]Item, items)
+	for i := range src {
+		src[i] = Item{Src: NodeID(i % 97), Dst: NodeID(i % 89), Weight: int64(i%7 + 1),
+			Time: int64(i), Label: uint32(i % 3)}
+	}
+	var buf bytes.Buffer
+	if err := EncodeNDJSON(&buf, src); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func benchmarkDecoder(b *testing.B, reuse bool) {
+	data := benchNDJSON(b, 4096)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewBatchDecoder(bytes.NewReader(data), 512)
+		d.SetReuse(reuse)
+		var n int
+		for {
+			batch := d.Next()
+			if batch == nil {
+				break
+			}
+			n += len(batch)
+		}
+		if err := d.Err(); err != nil || n != 4096 {
+			b.Fatalf("decoded %d items, err %v", n, err)
+		}
+	}
+}
+
+func BenchmarkBatchDecoderFresh(b *testing.B) { benchmarkDecoder(b, false) }
+func BenchmarkBatchDecoderReuse(b *testing.B) { benchmarkDecoder(b, true) }
+
+// TestBatchDecoderReuse pins the ownership contract: with reuse on, the
+// same backing array comes back and carries the next batch's items;
+// with reuse off (the async-pipeline mode), retained batches stay
+// intact after further Next calls.
+func TestBatchDecoderReuse(t *testing.T) {
+	const in = "{\"src\":\"a\",\"dst\":\"b\"}\n{\"src\":\"c\",\"dst\":\"d\"}\n{\"src\":\"e\",\"dst\":\"f\"}\n"
+
+	d := NewBatchDecoder(strings.NewReader(in), 1)
+	d.SetReuse(true)
+	first := d.Next()
+	if len(first) != 1 || first[0].Src != "a" {
+		t.Fatalf("first batch = %v", first)
+	}
+	second := d.Next()
+	if len(second) != 1 || second[0].Src != "c" {
+		t.Fatalf("second batch = %v", second)
+	}
+	if &first[0] != &second[0] {
+		t.Fatal("reuse mode did not recycle the batch backing array")
+	}
+	if first[0].Src != "c" {
+		t.Fatalf("recycled slot should hold the new item, has %q", first[0].Src)
+	}
+
+	d = NewBatchDecoder(strings.NewReader(in), 1)
+	retained := d.Next()
+	d.Next()
+	d.Next()
+	if retained[0].Src != "a" {
+		t.Fatalf("fresh mode clobbered a retained batch: %v", retained)
+	}
+}
+
+// TestBatchDecoderReuseErrorTruncates ensures a bad line does not leak
+// a half-decoded item into the recycled batch.
+func TestBatchDecoderReuseErrorTruncates(t *testing.T) {
+	d := NewBatchDecoder(strings.NewReader("{\"src\":\"a\",\"dst\":\"b\"}\n{\"src\":\"\",\"dst\":\"x\"}\n"), 8)
+	d.SetReuse(true)
+	batch := d.Next()
+	if len(batch) != 1 || batch[0].Src != "a" {
+		t.Fatalf("batch before the bad line = %v", batch)
+	}
+	if d.Err() == nil {
+		t.Fatal("missing src accepted")
+	}
+	if d.Items() != 1 {
+		t.Fatalf("Items = %d, want 1", d.Items())
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"repro/internal/gss"
+	"repro/internal/hashing"
 	"repro/internal/stream"
 )
 
@@ -39,6 +40,7 @@ type Config struct {
 type Sliding struct {
 	cfg   Config
 	skCfg gss.Config // normalized per-generation configuration
+	nh    hashing.NodeHasher
 	gens  []generation
 
 	// epoch is the current (newest) generation index,
@@ -73,7 +75,8 @@ func New(cfg Config) (*Sliding, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Sliding{cfg: cfg, skCfg: skCfg}, nil
+	return &Sliding{cfg: cfg, skCfg: skCfg,
+		nh: hashing.NewNodeHasher(skCfg.Width, skCfg.FingerprintBits)}, nil
 }
 
 // MustNew is New but panics on error.
@@ -209,6 +212,89 @@ func (s *Sliding) Nodes() []string {
 	return s.unionSets(func(g *gss.GSS) []string { return g.Nodes() })
 }
 
+// The hash-native query plane (query.HashSummary). Every generation
+// runs the same normalized configuration, so hash values mean the same
+// node in every generation and cross-generation unions need no
+// translation. Unlike the sharded backend, the same edge can live in
+// several generations (one per window slice it was observed in), so
+// set unions deduplicate the appended tail in place.
+
+// NodeHash maps an identifier into the shared compressed node space.
+func (s *Sliding) NodeHash(v string) uint64 { return s.nh.Hash(v) }
+
+// EdgeWeightHash sums the sketch edge's weight over live generations.
+func (s *Sliding) EdgeWeightHash(hs, hd uint64) (int64, bool) {
+	var sum int64
+	found := false
+	for _, g := range s.gens {
+		if w, ok := g.sketch.EdgeWeightHash(hs, hd); ok {
+			sum += w
+			found = true
+		}
+	}
+	return sum, found
+}
+
+// AppendSuccessorHashes appends the union of per-generation successor
+// sets of hv to dst.
+func (s *Sliding) AppendSuccessorHashes(hv uint64, dst []uint64) []uint64 {
+	mark := len(dst)
+	for _, g := range s.gens {
+		dst = g.sketch.AppendSuccessorHashes(hv, dst)
+	}
+	return gss.DedupHashTail(dst, mark)
+}
+
+// AppendPrecursorHashes appends the union of per-generation precursor
+// sets of hv to dst.
+func (s *Sliding) AppendPrecursorHashes(hv uint64, dst []uint64) []uint64 {
+	mark := len(dst)
+	for _, g := range s.gens {
+		dst = g.sketch.AppendPrecursorHashes(hv, dst)
+	}
+	return gss.DedupHashTail(dst, mark)
+}
+
+// AppendNodeHashes appends the union of per-generation registries.
+func (s *Sliding) AppendNodeHashes(dst []uint64) []uint64 {
+	mark := len(dst)
+	for _, g := range s.gens {
+		dst = g.sketch.AppendNodeHashes(dst)
+	}
+	return gss.DedupHashTail(dst, mark)
+}
+
+// AppendHashIDs appends the identifiers registered under hv across
+// generations, deduplicated (a node active in several generations
+// registers in each).
+func (s *Sliding) AppendHashIDs(hv uint64, dst []string) []string {
+	mark := len(dst)
+	for _, g := range s.gens {
+		next := g.sketch.AppendHashIDs(hv, dst)
+		// Drop ids already appended by an earlier generation; per-hash
+		// lists are tiny, so the scan is cheap.
+		out := next[:len(dst)]
+		for _, id := range next[len(dst):] {
+			dup := false
+			for _, have := range out[mark:] {
+				if have == id {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, id)
+			}
+		}
+		dst = out
+	}
+	return dst
+}
+
+// SupportsHashQueries reports whether the generations back the hash
+// plane; the normalized config decides, so an empty window answers too.
+func (s *Sliding) SupportsHashQueries() bool { return !s.skCfg.DisableNodeIndex }
+
 func (s *Sliding) unionSets(get func(*gss.GSS) []string) []string {
 	seen := map[string]bool{}
 	for _, g := range s.gens {
@@ -302,6 +388,7 @@ func (s *Sliding) Stats() gss.Stats {
 		st.MatrixEdges += gs.MatrixEdges
 		st.BufferEdges += gs.BufferEdges
 		st.MatrixBytes += gs.MatrixBytes
+		st.ReverseIndexBytes += gs.ReverseIndexBytes
 	}
 	// Deduplicated across generations — a node active in every
 	// generation is still one node, and this count must agree with
