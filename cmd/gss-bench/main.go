@@ -11,6 +11,7 @@
 //	gss-bench -mode query               # hash-native vs reference queries
 //	gss-bench -mode window -span 600    # windowed vs unbounded backends
 //	gss-bench -mode replica             # checkpoint cost + follower staleness
+//	gss-bench -mode cluster             # routed multi-member scaling (1/2/4 members)
 //
 // -scale 1.0 reproduces paper-size datasets (several GB of working set
 // for the Caida figures; budget accordingly).
@@ -33,7 +34,7 @@ import (
 
 func main() {
 	var (
-		mode     = flag.String("mode", "paper", "bench mode: paper (experiments), ingest (server throughput), query (hash-native vs reference query stack), window (windowed vs unbounded) or replica (checkpointing + follower staleness)")
+		mode     = flag.String("mode", "paper", "bench mode: paper (experiments), ingest (server throughput), query (hash-native vs reference query stack), window (windowed vs unbounded), replica (checkpointing + follower staleness) or cluster (routed multi-member scaling)")
 		exp      = flag.String("exp", "all", "experiment to run (see -list)")
 		scale    = flag.Float64("scale", 0, "dataset scale; 1.0 = paper scale, 0 = fast default")
 		sample   = flag.Int("sample", 0, "max queries per configuration; 0 = default")
@@ -54,6 +55,9 @@ func main() {
 
 		nodes     = flag.Int("nodes", 20000, "query mode: node universe of the loaded stream")
 		benchTime = flag.Float64("benchtime", 0.3, "query mode: seconds per measurement")
+
+		memberCap = flag.Float64("member-cap", 6,
+			"cluster mode: simulated per-member ingest capacity in MB/s (0 = uncapped, shared-CPU ceiling)")
 
 		ckptEvery = flag.Duration("checkpoint-interval", 200*time.Millisecond,
 			"replica mode: primary checkpoint interval")
@@ -96,9 +100,17 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	case "cluster":
+		opt := clusterBenchOptions{Ingesters: *ingesters, Items: *items, Batch: *batch,
+			ReqItems: *reqItems, Width: *width, Nodes: *nodes, MemberCapMBps: *memberCap}
+		if err := runClusterBench(opt, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	case "paper":
 	default:
-		fmt.Fprintf(os.Stderr, "gss-bench: unknown -mode %q (want paper, ingest, query, window or replica)\n", *mode)
+		fmt.Fprintf(os.Stderr, "gss-bench: unknown -mode %q (want paper, ingest, query, window, replica or cluster)\n", *mode)
 		os.Exit(2)
 	}
 

@@ -1,0 +1,99 @@
+// Command gss-router fronts N unmodified gss-server members as one
+// logical Graph Stream Sketch (see internal/cluster for the routing
+// rules: rendezvous-hash partitioning by source node, proxied
+// single-member queries, scatter-gathered global ones, health-probed
+// fail-over to follower replicas).
+//
+//	gss-router -addr :8090 \
+//	    -member http://a:8080,http://b:8080,http://c:8080
+//
+// With a follower replica covering member a:
+//
+//	gss-router -addr :8090 \
+//	    -member http://a:8080,http://b:8080,http://c:8080 \
+//	    -failover http://a:8080=http://a-replica:8081 \
+//	    -probe-interval 2s
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8090", "listen address")
+		members = flag.String("member", "",
+			"comma-separated member base URLs (required), e.g. http://a:8080,http://b:8080")
+		failover = flag.String("failover", "",
+			"comma-separated primary=followerURL pairs; reads for a down primary fail over to its follower")
+		probeEvery = flag.Duration("probe-interval", 2*time.Second,
+			"health probe interval (each member's /healthz)")
+		batch = flag.Int("batch", 512, "/ingest decode batch size")
+	)
+	flag.Parse()
+
+	if *members == "" {
+		fmt.Fprintln(os.Stderr, "gss-router: -member is required")
+		os.Exit(2)
+	}
+	cfg := cluster.Config{
+		Members:       strings.Split(*members, ","),
+		ProbeInterval: *probeEvery,
+		BatchSize:     *batch,
+	}
+	if *failover != "" {
+		cfg.Failover = make(map[string]string)
+		for _, pair := range strings.Split(*failover, ",") {
+			primary, follower, ok := strings.Cut(pair, "=")
+			if !ok {
+				fmt.Fprintf(os.Stderr, "gss-router: bad -failover pair %q (want primary=followerURL)\n", pair)
+				os.Exit(2)
+			}
+			cfg.Failover[primary] = follower
+		}
+	}
+	rt, err := cluster.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gss-router:", err)
+		os.Exit(2)
+	}
+	defer rt.Close()
+	fmt.Printf("gss-router listening on %s (%d members, %d with followers, probe every %s)\n",
+		*addr, len(cfg.Members), len(cfg.Failover), *probeEvery)
+
+	// Same header/idle hardening as gss-server: a slow-header client
+	// must not pin a connection, while /ingest bodies may stream for as
+	// long as they like.
+	hs := &http.Server{Addr: *addr, Handler: rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second, IdleTimeout: 2 * time.Minute}
+	drained := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		s := <-sig
+		fmt.Printf("gss-router: %v, shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+		close(drained)
+	}()
+	err = hs.ListenAndServe()
+	if !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "gss-router:", err)
+		os.Exit(1)
+	}
+	// Wait for in-flight requests to finish before the deferred Close
+	// cancels their member fan-outs.
+	<-drained
+}

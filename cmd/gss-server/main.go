@@ -88,7 +88,13 @@ func main() {
 	// takes the final checkpoint the ops runbook promises. A crash
 	// (SIGKILL, OOM) skips all of this; that is what the periodic
 	// checkpoints are for.
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// ReadHeaderTimeout bounds how long a client may dribble request
+	// headers (unset, a slow-header client pins a connection forever —
+	// Slowloris); no ReadTimeout, because /ingest legitimately streams
+	// arbitrarily long bodies. IdleTimeout reclaims keep-alive
+	// connections producers abandoned.
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second, IdleTimeout: 2 * time.Minute}
 	drained := make(chan struct{})
 	go func() {
 		sig := make(chan os.Signal, 1)

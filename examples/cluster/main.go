@@ -1,0 +1,163 @@
+// Cluster: three unmodified gss-server members behind the rendezvous
+// router, plus a follower replica covering one of them — the smallest
+// deployment that shows partitioned ingest, scatter-gather queries and
+// fail-over working together. A stream is pushed through the router,
+// cluster-wide queries are answered, then member 0 is killed without
+// ceremony: reads for its partition swap to the follower while writes
+// for it answer 429 until a primary returns.
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/gss"
+	"repro/internal/server"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+var cfg = gss.Config{Width: 256, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8}
+
+func main() {
+	silent := func(string, ...interface{}) {}
+
+	// Three partition primaries. In production each is its own
+	// `gss-server -backend sharded` process on its own machine; here
+	// they share a process but not a sketch.
+	var members []*httptest.Server
+	var urls []string
+	for i := 0; i < 3; i++ {
+		srv, err := server.NewWithOptions(cfg, server.Options{
+			Backend: sketch.BackendSharded, Shards: 4, Logf: silent})
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		members = append(members, ts)
+		urls = append(urls, ts.URL)
+	}
+
+	// A follower replica polling member 0 — the partition we will lose.
+	follower, err := server.NewWithOptions(cfg, server.Options{
+		Backend: sketch.BackendSharded, Shards: 4,
+		FollowURL: urls[0], FollowInterval: 50 * time.Millisecond, Logf: silent})
+	if err != nil {
+		fail(err)
+	}
+	defer follower.Close()
+	tsF := httptest.NewServer(follower.Handler())
+	defer tsF.Close()
+
+	rt, err := cluster.New(cluster.Config{
+		Members:       urls,
+		Failover:      map[string]string{urls[0]: tsF.URL},
+		ProbeInterval: 100 * time.Millisecond,
+		Logf:          silent,
+	})
+	if err != nil {
+		fail(err)
+	}
+	defer rt.Close()
+	router := httptest.NewServer(rt.Handler())
+	defer router.Close()
+	fmt.Printf("cluster up: 3 members + 1 follower behind %s\n\n", router.URL)
+
+	// One stream, one endpoint: the router splits it by source node.
+	items := stream.Generate(stream.DatasetConfig{Name: "cluster-demo",
+		Nodes: 500, Edges: 20000, DegreeSkew: 1.6, WeightSkew: 1.3,
+		MaxWeight: 500, Seed: 9})
+	var buf bytes.Buffer
+	if err := stream.EncodeNDJSON(&buf, items); err != nil {
+		fail(err)
+	}
+	resp, err := http.Post(router.URL+"/ingest", "application/x-ndjson", &buf)
+	if err != nil {
+		fail(err)
+	}
+	var ing struct {
+		Ingested int64 `json:"ingested"`
+		Members  int   `json:"members"`
+	}
+	decode(resp, &ing)
+	fmt.Printf("ingested %d items across %d members via one NDJSON upload\n", ing.Ingested, ing.Members)
+
+	var st gss.Stats
+	decode(get(router.URL+"/stats"), &st)
+	fmt.Printf("cluster stats: %d items, %d matrix edges across the ring\n", st.Items, st.MatrixEdges)
+
+	var heavy []struct {
+		Srcs   []string `json:"srcs"`
+		Dsts   []string `json:"dsts"`
+		Weight int64    `json:"weight"`
+	}
+	decode(get(router.URL+"/heavy?min=2000"), &heavy)
+	fmt.Printf("heavy hitters (weight >= 2000): %d sketch edges, merged from all members\n", len(heavy))
+
+	src, dst := items[0].Src, items[len(items)-1].Dst
+	var reach struct {
+		Reachable bool `json:"reachable"`
+	}
+	decode(get(router.URL+"/reachable?src="+src+"&dst="+dst), &reach)
+	fmt.Printf("reachable(%s -> %s) = %v via multi-round frontier fan-out\n\n", src, dst, reach.Reachable)
+
+	// Let the follower converge, then kill member 0 the hard way.
+	time.Sleep(200 * time.Millisecond)
+	members[0].Close()
+	fmt.Println("member 0 killed (no shutdown courtesy)")
+
+	// Reads for its partition fail over transparently.
+	decode(get(router.URL+"/stats"), &st)
+	fmt.Printf("cluster stats still whole: %d items (partition 0 served by the follower)\n", st.Items)
+
+	// Writes for the lost partition get backpressure, not silent loss.
+	ownedBy0 := ""
+	for i := 0; ownedBy0 == ""; i++ {
+		key := fmt.Sprintf("probe-%d", i)
+		if rt.Ring().Owner(key) == 0 {
+			ownedBy0 = key
+		}
+	}
+	body := fmt.Sprintf(`{"src":%q,"dst":"x"}`, ownedBy0)
+	resp, err = http.Post(router.URL+"/insert", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		fail(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("write to the lost partition: HTTP %d with Retry-After=%ss — back off and retry\n",
+		resp.StatusCode, resp.Header.Get("Retry-After"))
+
+	cs := rt.Stats()
+	fmt.Printf("router's view: %d/%d members down, %d reads failed over\n",
+		cs.DownMembers, len(cs.Members), cs.Members[0].FailedOverReads)
+}
+
+func get(url string) *http.Response {
+	resp, err := http.Get(url)
+	if err != nil {
+		fail(err)
+	}
+	return resp
+}
+
+func decode(resp *http.Response, v interface{}) {
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cluster example:", err)
+	os.Exit(1)
+}

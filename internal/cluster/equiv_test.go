@@ -1,0 +1,363 @@
+package cluster
+
+import (
+	"math/rand"
+	"net/http"
+	"reflect"
+	"sort"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/gss"
+	"repro/internal/server"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+// Cluster equivalence suite: the cross-backend conformance convention
+// extended across the process boundary. One seeded random stream is
+// replayed into a 3-member router and into a single-node oracle server,
+// and every query observable is diffed — if the router's partitioning,
+// proxying or scatter-gather merges lose or double-count anything, a
+// diff here names the query that noticed.
+//
+// The sketch configuration is sized so the test stream summarizes
+// exactly (no hash collisions at this scale, which the conformance
+// battery already relies on): any surviving difference is a router bug,
+// not sketch noise.
+
+// equivStream is the seeded random stream both sides replay.
+func equivStream(nodes, edges int, seed int64) []stream.Item {
+	return stream.Generate(stream.DatasetConfig{Name: "cluster-equiv",
+		Nodes: nodes, Edges: edges, DegreeSkew: 1.5, WeightSkew: 1.3,
+		MaxWeight: 200, UniformMix: 0.3, Seed: seed})
+}
+
+// nodesOf collects the distinct endpoints of the stream.
+func nodesOf(items []stream.Item) []string {
+	set := make(map[string]bool)
+	for _, it := range items {
+		set[it.Src], set[it.Dst] = true, true
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+type edgeAnswer struct {
+	Weight int64 `json:"weight"`
+	Found  bool  `json:"found"`
+}
+
+type nodesAnswer struct {
+	Nodes []string `json:"nodes"`
+	Total int      `json:"total"`
+}
+
+// diffLimits sizes one diff pass. Under -short the per-node and
+// reachability checks sample instead of sweeping: a negative
+// /reachable alone walks the whole graph through the router (one
+// member round-trip per frontier node), and CI's -race -short pass
+// must stay inside the repo's minute budget. The full suite keeps the
+// exhaustive sweep.
+type diffLimits struct {
+	nodeSample  int // per-node observables checked (0 = every node)
+	absentPairs int // random /edge probes beyond the stream's edges
+	reachPairs  int // random + guaranteed-positive /reachable probes
+}
+
+func equivLimits() diffLimits {
+	if testing.Short() {
+		return diffLimits{nodeSample: 40, absentPairs: 60, reachPairs: 12}
+	}
+	return diffLimits{nodeSample: 0, absentPairs: 200, reachPairs: 60}
+}
+
+// diffObservables compares the query observables between the router
+// and the oracle for the given stream.
+func diffObservables(t *testing.T, routerURL, oracleURL string, items []stream.Item, seed int64) {
+	t.Helper()
+	lim := equivLimits()
+	nodes := nodesOf(items)
+	rnd := rand.New(rand.NewSource(seed))
+
+	// /stats item counts: the members partition the stream exactly.
+	var rStats, oStats gss.Stats
+	getJSON(t, routerURL+"/stats", &rStats)
+	getJSON(t, oracleURL+"/stats", &oStats)
+	if rStats.Items != oStats.Items {
+		t.Fatalf("stats: router holds %d items, oracle %d", rStats.Items, oStats.Items)
+	}
+
+	// /edge over every stream edge plus absent pairs.
+	type pair struct{ s, d string }
+	seen := make(map[pair]bool)
+	for _, it := range items {
+		seen[pair{it.Src, it.Dst}] = true
+	}
+	checkEdge := func(s, d string) {
+		t.Helper()
+		var re, oe edgeAnswer
+		q := "/edge?src=" + queryEscape(s) + "&dst=" + queryEscape(d)
+		getJSON(t, routerURL+q, &re)
+		getJSON(t, oracleURL+q, &oe)
+		if re != oe {
+			t.Fatalf("edge %s->%s: router %+v, oracle %+v", s, d, re, oe)
+		}
+	}
+	for p := range seen {
+		checkEdge(p.s, p.d)
+	}
+	for i := 0; i < lim.absentPairs; i++ {
+		s, d := nodes[rnd.Intn(len(nodes))], nodes[rnd.Intn(len(nodes))]
+		checkEdge(s, d)
+	}
+
+	// Per-node observables: successor/precursor sets and both
+	// aggregates — every node in the full suite, a seeded sample under
+	// -short.
+	checkNodes := nodes
+	if lim.nodeSample > 0 && len(nodes) > lim.nodeSample {
+		perm := rnd.Perm(len(nodes))[:lim.nodeSample]
+		checkNodes = make([]string, lim.nodeSample)
+		for i, p := range perm {
+			checkNodes[i] = nodes[p]
+		}
+	}
+	for _, v := range checkNodes {
+		var rs, os nodesAnswer
+		q := "/successors?v=" + queryEscape(v)
+		getJSON(t, routerURL+q, &rs)
+		getJSON(t, oracleURL+q, &os)
+		if !reflect.DeepEqual(rs.Nodes, os.Nodes) {
+			t.Fatalf("successors(%s): router %v, oracle %v", v, rs.Nodes, os.Nodes)
+		}
+		q = "/precursors?v=" + queryEscape(v)
+		getJSON(t, routerURL+q, &rs)
+		getJSON(t, oracleURL+q, &os)
+		if !reflect.DeepEqual(rs.Nodes, os.Nodes) {
+			t.Fatalf("precursors(%s): router %v, oracle %v", v, rs.Nodes, os.Nodes)
+		}
+		var rOut, oOut struct {
+			Out int64 `json:"out"`
+		}
+		getJSON(t, routerURL+"/nodeout?v="+queryEscape(v), &rOut)
+		getJSON(t, oracleURL+"/nodeout?v="+queryEscape(v), &oOut)
+		if rOut != oOut {
+			t.Fatalf("nodeout(%s): router %d, oracle %d", v, rOut.Out, oOut.Out)
+		}
+		var rIn, oIn struct {
+			In int64 `json:"in"`
+		}
+		getJSON(t, routerURL+"/nodein?v="+queryEscape(v), &rIn)
+		getJSON(t, oracleURL+"/nodein?v="+queryEscape(v), &oIn)
+		if rIn != oIn {
+			t.Fatalf("nodein(%s): router %d, oracle %d", v, rIn.In, oIn.In)
+		}
+	}
+
+	// /nodes: full union and a truncated page.
+	var rn, on nodesAnswer
+	getJSON(t, routerURL+"/nodes?limit=0", &rn)
+	getJSON(t, oracleURL+"/nodes?limit=0", &on)
+	if rn.Total != on.Total || !reflect.DeepEqual(rn.Nodes, on.Nodes) {
+		t.Fatalf("nodes: router %d total, oracle %d total", rn.Total, on.Total)
+	}
+	getJSON(t, routerURL+"/nodes?limit=7", &rn)
+	if len(rn.Nodes) != 7 || rn.Total != on.Total {
+		t.Fatalf("nodes limit=7: got %d nodes, total %d (want 7, %d)",
+			len(rn.Nodes), rn.Total, on.Total)
+	}
+
+	// /heavy at several thresholds, compared as (src,dst,weight)
+	// multisets: the router's merge is over per-member lists whose
+	// group order may differ from the oracle's single matrix scan.
+	for _, min := range []int64{1, 50, 200} {
+		rh := flattenHeavy(t, routerURL, min)
+		oh := flattenHeavy(t, oracleURL, min)
+		if !reflect.DeepEqual(rh, oh) {
+			t.Fatalf("heavy(min=%d): router %d edges, oracle %d\nrouter: %v\noracle: %v",
+				min, len(rh), len(oh), rh, oh)
+		}
+	}
+
+	// /reachable over random pairs plus guaranteed-positive pairs from
+	// the stream itself.
+	checkReach := func(s, d string) {
+		t.Helper()
+		var rr, or struct {
+			Reachable bool `json:"reachable"`
+		}
+		q := "/reachable?src=" + queryEscape(s) + "&dst=" + queryEscape(d)
+		getJSON(t, routerURL+q, &rr)
+		getJSON(t, oracleURL+q, &or)
+		if rr != or {
+			t.Fatalf("reachable %s->%s: router %v, oracle %v", s, d, rr.Reachable, or.Reachable)
+		}
+	}
+	for i := 0; i < lim.reachPairs; i++ {
+		checkReach(nodes[rnd.Intn(len(nodes))], nodes[rnd.Intn(len(nodes))])
+	}
+	for i := 0; i < lim.reachPairs/3+2; i++ {
+		it := items[rnd.Intn(len(items))]
+		checkReach(it.Src, it.Dst)
+	}
+}
+
+type flatHeavy struct {
+	Src, Dst string
+	Weight   int64
+}
+
+func flattenHeavy(t *testing.T, base string, min int64) []flatHeavy {
+	t.Helper()
+	var page []struct {
+		Srcs   []string `json:"srcs"`
+		Dsts   []string `json:"dsts"`
+		Weight int64    `json:"weight"`
+	}
+	getJSON(t, base+"/heavy?min="+strconv.FormatInt(min, 10), &page)
+	var out []flatHeavy
+	for _, he := range page {
+		for _, s := range he.Srcs {
+			for _, d := range he.Dsts {
+				out = append(out, flatHeavy{s, d, he.Weight})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
+}
+
+// clusterOf builds n members of the given backend, a router over them,
+// and ingests the stream through the router.
+func clusterOf(t *testing.T, n int, opt server.Options, cfg Config, items []stream.Item) ([]*testMember, *Router, string) {
+	t.Helper()
+	members := make([]*testMember, n)
+	urls := make([]string, n)
+	for i := range members {
+		members[i] = startMember(t, opt)
+		urls[i] = members[i].ts.URL
+		t.Cleanup(members[i].stop)
+	}
+	cfg.Members = urls
+	rt, ts := newTestRouter(t, cfg)
+	resp, raw := postBody(t, ts.URL+"/ingest", ndjsonBody(items), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster ingest status %d: %s", resp.StatusCode, raw)
+	}
+	return members, rt, ts.URL
+}
+
+// oracleOf builds the single-node oracle and ingests the stream
+// directly.
+func oracleOf(t *testing.T, opt server.Options, items []stream.Item) string {
+	t.Helper()
+	oracle := startMember(t, opt)
+	t.Cleanup(oracle.stop)
+	resp, raw := postBody(t, oracle.ts.URL+"/ingest", ndjsonBody(items), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("oracle ingest status %d: %s", resp.StatusCode, raw)
+	}
+	return oracle.ts.URL
+}
+
+// TestClusterEquivalence: the headline acceptance test — a 3-member
+// router answers every query exactly like one unpartitioned server.
+func TestClusterEquivalence(t *testing.T) {
+	items := equivStream(250, 1500, 11)
+	opt := server.Options{Backend: sketch.BackendConcurrent}
+	_, _, routerURL := clusterOf(t, 3, opt, Config{}, items)
+	oracleURL := oracleOf(t, opt, items)
+	diffObservables(t, routerURL, oracleURL, items, 101)
+}
+
+// TestClusterEquivalenceSweep runs the same diff across every backend
+// members can be built with — the router treats members as black boxes,
+// so composition with each backend must hold. Slow (4 backends × full
+// observable sweep), hence gated off -short per the repo convention.
+func TestClusterEquivalenceSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-backend cluster equivalence sweep skipped in -short")
+	}
+	items := equivStream(300, 2500, 23)
+	for _, backend := range sketch.Backends() {
+		t.Run(backend, func(t *testing.T) {
+			opt := server.Options{Backend: backend, Shards: 4,
+				// The windowed backend must hold the whole test stream
+				// live: a span beyond the generated timestamps makes the
+				// window equal to the unbounded sketch.
+				WindowSpan: 1 << 40, WindowGenerations: 4}
+			_, _, routerURL := clusterOf(t, 3, opt, Config{}, items)
+			oracleURL := oracleOf(t, opt, items)
+			diffObservables(t, routerURL, oracleURL, items, 307)
+		})
+	}
+}
+
+// TestClusterEquivalenceFailover: equivalence must survive a member
+// being swapped for its follower replica mid-run — the acceptance
+// criterion that proves fail-over serves the partition's full state,
+// not an approximation of it.
+func TestClusterEquivalenceFailover(t *testing.T) {
+	items := equivStream(200, 1200, 31)
+	opt := server.Options{Backend: sketch.BackendConcurrent}
+
+	members := make([]*testMember, 3)
+	urls := make([]string, 3)
+	for i := range members {
+		members[i] = startMember(t, opt)
+		urls[i] = members[i].ts.URL
+		t.Cleanup(members[i].stop)
+	}
+	// The poll interval is deliberately not aggressive: every poll makes
+	// the primary serialize its whole sketch under the write lock, and a
+	// near-continuous snapshot loop would serialize the equivalence
+	// queries behind it (very visibly so under -race).
+	follower := startMember(t, server.Options{Backend: sketch.BackendConcurrent,
+		FollowURL: urls[0], FollowInterval: 300 * time.Millisecond})
+	t.Cleanup(follower.stop)
+
+	rt, ts := newTestRouter(t, Config{Members: urls,
+		Failover:      map[string]string{urls[0]: follower.ts.URL},
+		ProbeInterval: 50 * time.Millisecond})
+	resp, raw := postBody(t, ts.URL+"/ingest", ndjsonBody(items), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster ingest status %d: %s", resp.StatusCode, raw)
+	}
+	oracleURL := oracleOf(t, opt, items)
+
+	// First pass with all primaries up.
+	diffObservables(t, ts.URL, oracleURL, items, 401)
+
+	// Wait for the follower to converge on member 0, then kill the
+	// primary: partition 0's reads swap to the follower mid-run.
+	want := members[0].srv.Sketch().Stats().Items
+	deadline := time.Now().Add(10 * time.Second)
+	for follower.srv.Sketch().Stats().Items != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower stuck at %d items, want %d",
+				follower.srv.Sketch().Stats().Items, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	members[0].stop()
+
+	// Second pass: every observable must still match the oracle.
+	diffObservables(t, ts.URL, oracleURL, items, 467)
+	if rt.Stats().Members[0].FailedOverReads == 0 {
+		t.Fatal("failover pass never touched the follower")
+	}
+}

@@ -1,0 +1,426 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+
+	"repro/internal/stream"
+)
+
+// Write routing. Items partition by source node: the ring owner of
+// it.Src gets the item, so a member holds complete out-edge sets for
+// the nodes it owns. Writes only ever go to primaries — followers
+// answer 403 by design — so when a partition's primary is down the
+// router answers 429 with Retry-After, the same backpressure convention
+// the bounded ingest queue uses: producers back off and retry instead
+// of the router buffering without bound.
+
+func queryEscape(s string) string { return url.QueryEscape(s) }
+
+// wireItem is the JSON wire form of a stream item (the HTTP API's
+// field names; omitted weight means one observation).
+type wireItem struct {
+	Src    string `json:"src"`
+	Dst    string `json:"dst"`
+	Weight int64  `json:"weight"`
+	Time   int64  `json:"time,omitempty"`
+	Label  uint32 `json:"label,omitempty"`
+}
+
+// decodeInsertItems parses an /insert body — a single JSON object or an
+// array of them — into stream items, mirroring internal/server's
+// semantics: src and dst are required, omitted weight defaults to 1.
+func decodeInsertItems(body []byte) ([]stream.Item, error) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, fmt.Errorf("bad JSON: %v", err)
+	}
+	var wires []wireItem
+	if delim, ok := tok.(json.Delim); ok && delim == '[' {
+		for dec.More() {
+			wi := wireItem{Weight: 1}
+			if err := dec.Decode(&wi); err != nil {
+				return nil, fmt.Errorf("bad item: %v", err)
+			}
+			wires = append(wires, wi)
+		}
+	} else if ok && delim == '{' {
+		// Re-decode the whole object: the opening brace was consumed.
+		wi := wireItem{Weight: 1}
+		if err := json.Unmarshal(body, &wi); err != nil {
+			return nil, fmt.Errorf("bad item: %v", err)
+		}
+		wires = append(wires, wi)
+	} else {
+		return nil, fmt.Errorf("expected object or array, got %v", tok)
+	}
+	items := make([]stream.Item, len(wires))
+	for i, wi := range wires {
+		if wi.Src == "" || wi.Dst == "" {
+			return nil, fmt.Errorf("src and dst are required")
+		}
+		items[i] = stream.Item{Src: wi.Src, Dst: wi.Dst, Weight: wi.Weight,
+			Time: wi.Time, Label: wi.Label}
+	}
+	return items, nil
+}
+
+// retryAfter429 writes the 429 a down partition's writes receive,
+// advising the producer to retry after the next probe tick. acceptedKey
+// names the accepted-count field so it matches the endpoint's success
+// shape ("inserted" for /insert, "ingested" for /ingest).
+func (rt *Router) retryAfter429(w http.ResponseWriter, acceptedKey string, accepted, dropped int64, member string) {
+	secs := int(rt.cfg.ProbeInterval.Seconds())
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusTooManyRequests)
+	_ = json.NewEncoder(w).Encode(map[string]interface{}{
+		"error":     fmt.Sprintf("partition down: member %s unreachable (writes need the primary)", member),
+		acceptedKey: accepted,
+		"dropped":   dropped,
+	})
+}
+
+// handleInsert splits the posted item(s) by owner and forwards each
+// group as one member /insert. The split is all-or-nothing: if any
+// target partition is down the whole request answers 429 before a
+// single item lands, so a producer never has to untangle a partially
+// applied small batch.
+func (rt *Router) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<26))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	items, err := decodeInsertItems(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	groups := make(map[*member][]stream.Item)
+	for _, it := range items {
+		m := rt.owner(it.Src)
+		groups[m] = append(groups[m], it)
+	}
+	for m := range groups {
+		if m.down.Load() {
+			// All-or-nothing: nothing was sent, so the whole batch is
+			// the dropped count, not just the down partition's share.
+			rt.retryAfter429(w, "inserted", 0, int64(len(items)), m.primary)
+			return
+		}
+	}
+	ctx, cancel := rt.reqCtx(r)
+	defer cancel()
+	var mu sync.Mutex
+	var inserted int64
+	var downMember string
+	var downDropped int64
+	var hardErr error
+	var wg sync.WaitGroup
+	for m, group := range groups {
+		wg.Add(1)
+		go func(m *member, group []stream.Item) {
+			defer wg.Done()
+			n, err := rt.forwardInsert(ctx, m, group)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if isTransport(err) {
+					m.setErr(err)
+					if !m.down.Swap(true) {
+						rt.cfg.Logf("cluster: member %s down (insert failed): %v", m.primary, err)
+					}
+					downMember, downDropped = m.primary, downDropped+int64(len(group))
+				} else if hardErr == nil {
+					hardErr = err
+				}
+				return
+			}
+			inserted += n
+		}(m, group)
+	}
+	wg.Wait()
+	if hardErr != nil {
+		httpError(w, http.StatusBadGateway, "cluster: %v", hardErr)
+		return
+	}
+	if downMember != "" {
+		rt.retryAfter429(w, "inserted", inserted, downDropped, downMember)
+		return
+	}
+	writeJSON(w, map[string]interface{}{"inserted": inserted, "members": len(groups)})
+}
+
+// transportError wraps failures to reach a member at all, as opposed to
+// a member answering with an error status.
+type transportError struct{ err error }
+
+func (e transportError) Error() string { return e.err.Error() }
+func (e transportError) Unwrap() error { return e.err }
+
+func isTransport(err error) bool {
+	_, ok := err.(transportError)
+	return ok
+}
+
+// forwardInsert posts one owner group to its member as a JSON array.
+func (rt *Router) forwardInsert(ctx context.Context, m *member, group []stream.Item) (int64, error) {
+	wires := make([]wireItem, len(group))
+	for i, it := range group {
+		wires[i] = wireItem{Src: it.Src, Dst: it.Dst, Weight: it.Weight,
+			Time: it.Time, Label: it.Label}
+	}
+	body, err := json.Marshal(wires)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		m.primary+"/insert", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		return 0, transportError{err}
+	}
+	defer resp.Body.Close()
+	var res struct {
+		Inserted int64 `json:"inserted"`
+	}
+	if resp.StatusCode != http.StatusOK {
+		slurp, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return 0, fmt.Errorf("member %s /insert returned %d: %s",
+			m.primary, resp.StatusCode, bytes.TrimSpace(slurp))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return 0, err
+	}
+	return res.Inserted, nil
+}
+
+// maxIngestBatch bounds the per-request ?batch= override (the same cap
+// internal/server enforces).
+const maxIngestBatch = 1 << 16
+
+// memberStream is one open NDJSON /ingest request to a member: raw
+// item lines are written onto a pipe as they are routed, and the
+// member decodes and inserts concurrently — one member round-trip per
+// router request, however many items flow through it.
+type memberStream struct {
+	m    *member
+	pw   *io.PipeWriter
+	bw   *bufio.Writer
+	sent int64 // items written to the pipe
+	done chan ingestReply
+}
+
+// writeLine forwards one validated NDJSON line verbatim.
+func (ms *memberStream) writeLine(raw []byte) error {
+	if _, err := ms.bw.Write(raw); err != nil {
+		return err
+	}
+	return ms.bw.WriteByte('\n')
+}
+
+type ingestReply struct {
+	ingested int64
+	err      error
+}
+
+// openStream starts the member-side /ingest request feeding from a
+// pipe. The response is reported on done once the member replies (or
+// the request fails).
+func (rt *Router) openStream(ctx context.Context, m *member, batchSize int) *memberStream {
+	// The write buffer absorbs roughly one member-side decode batch, so
+	// the router keeps streaming while the member holds its insert lock
+	// instead of stalling the connection on every batch boundary.
+	pr, pw := io.Pipe()
+	ms := &memberStream{m: m, pw: pw, bw: bufio.NewWriterSize(pw, 64<<10),
+		done: make(chan ingestReply, 1)}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		m.primary+"/ingest?batch="+strconv.Itoa(batchSize), pr)
+	if err != nil {
+		// Tear the pipe too: with no request goroutine reading pr, a
+		// later write (or the final flush) would otherwise block the
+		// handler forever.
+		pr.CloseWithError(err)
+		ms.done <- ingestReply{err: err}
+		return ms
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	go func() {
+		resp, err := rt.cfg.Client.Do(req)
+		if err != nil {
+			// Tear the pipe so the encoder side stops blocking; the
+			// router counts this partition's items as unconfirmed.
+			pr.CloseWithError(err)
+			ms.done <- ingestReply{err: transportError{err}}
+			return
+		}
+		defer resp.Body.Close()
+		var res struct {
+			Ingested int64 `json:"ingested"`
+		}
+		if resp.StatusCode != http.StatusOK {
+			slurp, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			pr.CloseWithError(fmt.Errorf("member status %d", resp.StatusCode))
+			ms.done <- ingestReply{err: fmt.Errorf("member %s /ingest returned %d: %s",
+				m.primary, resp.StatusCode, bytes.TrimSpace(slurp))}
+			return
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			ms.done <- ingestReply{err: err}
+			return
+		}
+		ms.done <- ingestReply{ingested: res.Ingested}
+	}()
+	return ms
+}
+
+// handleIngest streams an NDJSON body through the cluster: each line is
+// routed by source-node owner onto one long-lived member /ingest
+// request per partition, forwarded VERBATIM — the router pays only
+// stream.ScanItemLine per item (extract src, prove the member's full
+// decode will accept the line), not a decode plus re-encode, so the
+// per-item router cost stays a fraction of the member's insert cost.
+// Items bound for a down partition are counted dropped and the reply is
+// 429 — mid-stream member failures downgrade the same way, so a
+// producer retries the whole upload after Retry-After; re-inserting the
+// accepted prefix only adds weight the sketch semantics already
+// tolerate (weights are cumulative observations), and exactly-once
+// replay is what checkpoints are for.
+func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	batchSize := rt.cfg.BatchSize
+	if raw := r.URL.Query().Get("batch"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 || n > maxIngestBatch {
+			httpError(w, http.StatusBadRequest, "batch must be an integer in [1,%d]", maxIngestBatch)
+			return
+		}
+		batchSize = n
+	}
+	ctx, cancel := rt.reqCtx(r)
+	defer cancel()
+
+	streams := make(map[*member]*memberStream, len(rt.members))
+	var dropped int64
+	var downMember string
+	var decodeErr error
+	sc := stream.NewLineScanner(r.Body)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		src, _, err := stream.ScanItemLine(raw)
+		if err != nil {
+			decodeErr = err
+			break
+		}
+		m := rt.owner(src)
+		ms := streams[m]
+		if ms == nil {
+			if m.down.Load() {
+				dropped++
+				downMember = m.primary
+				continue
+			}
+			ms = rt.openStream(ctx, m, batchSize)
+			streams[m] = ms
+		}
+		if ms.pw == nil { // stream already failed mid-request
+			dropped++
+			continue
+		}
+		if err := ms.writeLine(raw); err != nil {
+			// The member side tore the pipe: mark the partition down
+			// and stop routing to it; its items count as dropped
+			// because the member never confirmed them.
+			ms.m.setErr(err)
+			if !ms.m.down.Swap(true) {
+				rt.cfg.Logf("cluster: member %s down (ingest failed): %v", ms.m.primary, err)
+			}
+			downMember = ms.m.primary
+			dropped += ms.sent + 1
+			ms.sent = 0
+			ms.pw = nil
+			continue
+		}
+		ms.sent++
+	}
+	if decodeErr == nil {
+		decodeErr = sc.Err()
+	}
+
+	// Flush and close every stream, then collect the member replies.
+	var ingested int64
+	var hardErr error
+	for _, ms := range streams {
+		if ms.pw != nil {
+			if err := ms.bw.Flush(); err == nil {
+				ms.pw.Close()
+			} else {
+				ms.pw.CloseWithError(err)
+			}
+		}
+		reply := <-ms.done
+		switch {
+		case reply.err == nil:
+			ingested += reply.ingested
+			// Unconfirmed tail (pipe torn mid-write): whatever the
+			// member did not acknowledge counts dropped.
+			if ms.pw != nil && reply.ingested < ms.sent {
+				dropped += ms.sent - reply.ingested
+				downMember = ms.m.primary
+			}
+		case isTransport(reply.err):
+			ms.m.setErr(reply.err)
+			if !ms.m.down.Swap(true) {
+				rt.cfg.Logf("cluster: member %s down (ingest failed): %v", ms.m.primary, reply.err)
+			}
+			downMember = ms.m.primary
+			dropped += ms.sent
+		default:
+			if hardErr == nil {
+				hardErr = reply.err
+			}
+		}
+	}
+
+	switch {
+	case hardErr != nil:
+		httpError(w, http.StatusBadGateway, "cluster: %v", hardErr)
+	case decodeErr != nil:
+		httpError(w, http.StatusBadRequest, "line %d: %v (%d items accepted)",
+			lineNo, decodeErr, ingested)
+	case dropped > 0 || downMember != "":
+		rt.retryAfter429(w, "ingested", ingested, dropped, downMember)
+	default:
+		writeJSON(w, map[string]interface{}{
+			"mode": "cluster", "ingested": ingested, "members": len(streams)})
+	}
+}

@@ -1,0 +1,351 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/gss"
+)
+
+// Read routing. Partitioning by source node makes three queries local
+// to one member — /edge, /successors and /nodeout only look at edges
+// leaving one node, and all of those live on the node's owner — so the
+// router proxies them straight through. Everything else aggregates
+// state that is spread across members and is scatter-gathered:
+// /precursors and /nodein (edges INTO a node come from sources owned
+// anywhere), /nodes (a node is registered wherever it appears as either
+// endpoint), /heavy, /stats, and /reachable (a path hops across
+// partitions, so the BFS frontier fans out per round).
+
+// proxyByKey proxies a single-member query to the owner of the named
+// query parameter, passing the member's status and body through
+// unchanged.
+func (rt *Router) proxyByKey(param string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		key := r.URL.Query().Get(param)
+		if key == "" {
+			httpError(w, http.StatusBadRequest, "%s is required", param)
+			return
+		}
+		ctx, cancel := rt.reqCtx(r)
+		defer cancel()
+		pathQuery := r.URL.Path
+		if r.URL.RawQuery != "" {
+			pathQuery += "?" + r.URL.RawQuery
+		}
+		resp, err := rt.memberGet(ctx, rt.owner(key), pathQuery)
+		if err != nil {
+			httpError(w, http.StatusBadGateway, "cluster: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "" {
+			w.Header().Set("Content-Type", ct)
+		}
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+	}
+}
+
+// handlePrecursors unions the per-member precursor sets. Each member
+// holds the edges whose sources it owns, so the sets are disjoint per
+// edge but may repeat nodes; the union dedups and re-sorts into the
+// single-node order.
+func (rt *Router) handlePrecursors(w http.ResponseWriter, r *http.Request) {
+	v := r.URL.Query().Get("v")
+	if v == "" {
+		httpError(w, http.StatusBadRequest, "v is required")
+		return
+	}
+	ctx, cancel := rt.reqCtx(r)
+	defer cancel()
+	var mu sync.Mutex
+	set := make(map[string]bool)
+	err := rt.scatter(func(i int, m *member) error {
+		var page struct {
+			Nodes []string `json:"nodes"`
+		}
+		if err := rt.memberGetJSON(ctx, m, "/precursors?v="+queryEscape(v), &page); err != nil {
+			return err
+		}
+		mu.Lock()
+		for _, u := range page.Nodes {
+			set[u] = true
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "cluster: %v", err)
+		return
+	}
+	nodes := make([]string, 0, len(set))
+	for u := range set {
+		nodes = append(nodes, u)
+	}
+	sort.Strings(nodes)
+	writeJSON(w, map[string]interface{}{"v": v, "nodes": nodes})
+}
+
+// handleNodeIn sums the per-member in-aggregates. An edge (u,v) lives
+// on exactly one member — u's owner — so the per-member sums partition
+// v's incoming weight and plain addition is exact.
+func (rt *Router) handleNodeIn(w http.ResponseWriter, r *http.Request) {
+	v := r.URL.Query().Get("v")
+	if v == "" {
+		httpError(w, http.StatusBadRequest, "v is required")
+		return
+	}
+	ctx, cancel := rt.reqCtx(r)
+	defer cancel()
+	var mu sync.Mutex
+	var total int64
+	err := rt.scatter(func(i int, m *member) error {
+		var res struct {
+			In int64 `json:"in"`
+		}
+		if err := rt.memberGetJSON(ctx, m, "/nodein?v="+queryEscape(v), &res); err != nil {
+			return err
+		}
+		mu.Lock()
+		total += res.In
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "cluster: %v", err)
+		return
+	}
+	writeJSON(w, map[string]interface{}{"v": v, "in": total})
+}
+
+// defaultNodesLimit mirrors internal/server's /nodes cap.
+const defaultNodesLimit = 10000
+
+// handleNodes unions the member node sets. A node registers on every
+// member that saw it as either endpoint, so computing the exact global
+// total needs the full set from each member (limit=0 fan-out) before
+// the limit is applied to the deduplicated union — cluster /nodes costs
+// a full per-member enumeration even when the response page is small.
+func (rt *Router) handleNodes(w http.ResponseWriter, r *http.Request) {
+	limit := defaultNodesLimit
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "limit must be a non-negative integer (0 = unlimited)")
+			return
+		}
+		limit = n
+	}
+	ctx, cancel := rt.reqCtx(r)
+	defer cancel()
+	var mu sync.Mutex
+	set := make(map[string]bool)
+	err := rt.scatter(func(i int, m *member) error {
+		var page struct {
+			Nodes []string `json:"nodes"`
+		}
+		if err := rt.memberGetJSON(ctx, m, "/nodes?limit=0", &page); err != nil {
+			return err
+		}
+		mu.Lock()
+		for _, u := range page.Nodes {
+			set[u] = true
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "cluster: %v", err)
+		return
+	}
+	nodes := make([]string, 0, len(set))
+	for u := range set {
+		nodes = append(nodes, u)
+	}
+	sort.Strings(nodes)
+	total := len(nodes)
+	if limit > 0 && total > limit {
+		nodes = nodes[:limit]
+	}
+	writeJSON(w, map[string]interface{}{
+		"nodes":     nodes,
+		"total":     total,
+		"truncated": len(nodes) < total,
+	})
+}
+
+// handleStats merges the member sketches' statistics field-wise, the
+// same convention the sharded backend uses to aggregate its shards:
+// configuration fields come from member 0, counters add, and the
+// derived buffer ratio is recomputed over the sums.
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := rt.reqCtx(r)
+	defer cancel()
+	stats := make([]gss.Stats, len(rt.members))
+	err := rt.scatter(func(i int, m *member) error {
+		return rt.memberGetJSON(ctx, m, "/stats", &stats[i])
+	})
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "cluster: %v", err)
+		return
+	}
+	agg := stats[0]
+	for _, st := range stats[1:] {
+		agg.Items += st.Items
+		agg.MatrixEdges += st.MatrixEdges
+		agg.BufferEdges += st.BufferEdges
+		agg.MatrixBytes += st.MatrixBytes
+		agg.IndexedNodes += st.IndexedNodes
+		agg.ReverseIndexBytes += st.ReverseIndexBytes
+		agg.LiveGenerations += st.LiveGenerations
+		agg.ExpiredGenerations += st.ExpiredGenerations
+		agg.ExpiredItems += st.ExpiredItems
+		agg.DroppedStragglers += st.DroppedStragglers
+	}
+	if total := agg.MatrixEdges + agg.BufferEdges; total > 0 {
+		agg.BufferPct = float64(agg.BufferEdges) / float64(total)
+	}
+	writeJSON(w, agg)
+}
+
+// heavyEdge is the /heavy wire shape (internal/server's edge type).
+type heavyEdge struct {
+	Srcs   []string `json:"srcs"`
+	Dsts   []string `json:"dsts"`
+	Weight int64    `json:"weight"`
+}
+
+// handleHeavy concatenates the member heavy-edge lists — an original
+// edge lives in exactly one member, so concatenation never
+// double-counts — and re-sorts by weight (descending) with the string
+// endpoints as the tiebreak, since endpoint hashes do not cross the
+// wire.
+func (rt *Router) handleHeavy(w http.ResponseWriter, r *http.Request) {
+	min, err := strconv.ParseInt(r.URL.Query().Get("min"), 10, 64)
+	if err != nil || min <= 0 {
+		httpError(w, http.StatusBadRequest, "positive integer min is required")
+		return
+	}
+	ctx, cancel := rt.reqCtx(r)
+	defer cancel()
+	var mu sync.Mutex
+	merged := make([]heavyEdge, 0)
+	err = rt.scatter(func(i int, m *member) error {
+		var page []heavyEdge
+		if err := rt.memberGetJSON(ctx, m, "/heavy?min="+strconv.FormatInt(min, 10), &page); err != nil {
+			return err
+		}
+		mu.Lock()
+		merged = append(merged, page...)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "cluster: %v", err)
+		return
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Weight != merged[j].Weight {
+			return merged[i].Weight > merged[j].Weight
+		}
+		si, sj := strings.Join(merged[i].Srcs, ","), strings.Join(merged[j].Srcs, ",")
+		if si != sj {
+			return si < sj
+		}
+		return strings.Join(merged[i].Dsts, ",") < strings.Join(merged[j].Dsts, ",")
+	})
+	writeJSON(w, merged)
+}
+
+// reachableFanout bounds how many successor queries one BFS round
+// issues concurrently.
+const reachableFanout = 16
+
+// handleReachable runs the multi-round frontier fan-out: each BFS round
+// groups the frontier by owner — every node's successor set lives
+// wholly on its owner — queries the members in parallel, and the
+// answers form the next frontier. Like the single-node query, "false"
+// is certain while "true" may be a sketch false positive.
+func (rt *Router) handleReachable(w http.ResponseWriter, r *http.Request) {
+	src, dst := r.URL.Query().Get("src"), r.URL.Query().Get("dst")
+	if src == "" || dst == "" {
+		httpError(w, http.StatusBadRequest, "src and dst are required")
+		return
+	}
+	ctx, cancel := rt.reqCtx(r)
+	defer cancel()
+	ok, err := rt.reachable(ctx, src, dst)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "cluster: %v", err)
+		return
+	}
+	writeJSON(w, map[string]interface{}{"src": src, "dst": dst, "reachable": ok})
+}
+
+func (rt *Router) reachable(ctx context.Context, src, dst string) (bool, error) {
+	if src == dst {
+		return true, nil
+	}
+	visited := map[string]bool{src: true}
+	frontier := []string{src}
+	for len(frontier) > 0 {
+		succs, err := rt.successorsOf(ctx, frontier)
+		if err != nil {
+			return false, err
+		}
+		var next []string
+		for _, u := range succs {
+			if u == dst {
+				return true, nil
+			}
+			if !visited[u] {
+				visited[u] = true
+				next = append(next, u)
+			}
+		}
+		frontier = next
+	}
+	return false, nil
+}
+
+// successorsOf fans /successors queries for the frontier nodes across
+// their owners with bounded concurrency and returns the concatenated
+// successor lists (duplicates included; the BFS dedups via visited).
+func (rt *Router) successorsOf(ctx context.Context, frontier []string) ([]string, error) {
+	results := make([][]string, len(frontier))
+	errs := make([]error, len(frontier))
+	sem := make(chan struct{}, reachableFanout)
+	var wg sync.WaitGroup
+	for i, v := range frontier {
+		wg.Add(1)
+		go func(i int, v string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				errs[i] = ctx.Err()
+				return
+			}
+			var page struct {
+				Nodes []string `json:"nodes"`
+			}
+			errs[i] = rt.memberGetJSON(ctx, rt.owner(v), "/successors?v="+queryEscape(v), &page)
+			results[i] = page.Nodes
+		}(i, v)
+	}
+	wg.Wait()
+	var out []string
+	for i := range frontier {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out = append(out, results[i]...)
+	}
+	return out, nil
+}

@@ -1,0 +1,98 @@
+// Package cluster turns N independent gss-server processes into one
+// logical Graph Stream Sketch. The pieces:
+//
+//   - Ring: rendezvous hashing over member base URLs. Items are
+//     partitioned by source node, so every edge (and with it a node's
+//     whole successor set) lives on exactly one member.
+//   - Router: an http.Handler exposing the same API as internal/server.
+//     Writes are split per member; queries that a single partition can
+//     answer are proxied straight through; global ones are
+//     scatter-gathered and merged.
+//   - A health prober that marks members down via their /healthz and
+//     fails reads over to a member's configured follower replica.
+//     Followers answer 403 on writes, so the router instead answers 429
+//     for a down partition's writes — the same backpressure convention
+//     the ingest queue uses: the producer backs off and retries.
+//
+// Members are completely unmodified gss-server instances, so the router
+// composes with every backend (single/concurrent/sharded/windowed) and
+// with checkpointing and replication. What the ring does NOT do is
+// rebalance: membership is fixed at construction, and changing the
+// member list re-maps partitions without migrating the data already
+// summarized — restart ingestion (or replay the stream) after resizing.
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hashing"
+)
+
+// Ring is a rendezvous (highest-random-weight) hash over the member
+// base URLs. Every key gets an independent pseudo-random permutation of
+// the members; the highest-scoring member owns the key. Unlike a mod-N
+// ring, adding or removing one member only re-maps the keys that member
+// owned — the property that will matter once membership changes grow a
+// migration story.
+type Ring struct {
+	members []string
+	seeds   []uint64 // Hash64(member URL), mixed into each key's score
+}
+
+// NewRing builds a ring over the member base URLs (trailing slashes are
+// trimmed, so "http://a:8080/" and "http://a:8080" are the same
+// member). At least one member is required; duplicates are rejected
+// because two members with the same seed would shadow each other.
+func NewRing(members []string) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	r := &Ring{
+		members: make([]string, len(members)),
+		seeds:   make([]uint64, len(members)),
+	}
+	seen := make(map[string]bool, len(members))
+	for i, m := range members {
+		m = strings.TrimRight(strings.TrimSpace(m), "/")
+		if m == "" {
+			return nil, fmt.Errorf("cluster: member %d is empty", i)
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("cluster: duplicate member %q", m)
+		}
+		seen[m] = true
+		r.members[i] = m
+		r.seeds[i] = hashing.Hash64(m)
+	}
+	return r, nil
+}
+
+// Size reports the member count.
+func (r *Ring) Size() int { return len(r.members) }
+
+// Member returns the base URL of member i.
+func (r *Ring) Member(i int) string { return r.members[i] }
+
+// Members returns the normalized member base URLs in ring order.
+func (r *Ring) Members() []string {
+	out := make([]string, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// Owner returns the index of the member that owns key. The score mixes
+// the key hash with each member's seed, so ownership is a deterministic
+// pure function of (key, member set) — every router over the same
+// members routes identically, with no coordination.
+func (r *Ring) Owner(key string) int {
+	kh := hashing.Hash64(key)
+	best, bestScore := 0, uint64(0)
+	for i, seed := range r.seeds {
+		score := hashing.Mix64(kh ^ seed)
+		if i == 0 || score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}

@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"strconv"
+	"testing"
+)
+
+func ringURLs(n int) []string {
+	urls := make([]string, n)
+	for i := range urls {
+		urls[i] = "http://member-" + strconv.Itoa(i) + ":8080"
+	}
+	return urls
+}
+
+func TestNewRingErrors(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Fatal("empty member list accepted")
+	}
+	if _, err := NewRing([]string{"http://a", ""}); err == nil {
+		t.Fatal("empty member URL accepted")
+	}
+	if _, err := NewRing([]string{"http://a:1", "http://a:1/"}); err == nil {
+		t.Fatal("duplicate member (modulo trailing slash) accepted")
+	}
+}
+
+func TestRingNormalizesMembers(t *testing.T) {
+	r, err := NewRing([]string{" http://a:1/ ", "http://b:2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Member(0); got != "http://a:1" {
+		t.Fatalf("member 0 = %q, want trimmed URL", got)
+	}
+}
+
+// TestRingDeterministic: ownership is a pure function of (key, member
+// set) — two rings over the same members route identically.
+func TestRingDeterministic(t *testing.T) {
+	a, _ := NewRing(ringURLs(5))
+	b, _ := NewRing(ringURLs(5))
+	for i := 0; i < 1000; i++ {
+		key := "node-" + strconv.Itoa(i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("rings disagree on %q: %d vs %d", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// TestRingDistribution: rendezvous hashing spreads keys roughly evenly;
+// no member may be starved or hot far beyond its fair share.
+func TestRingDistribution(t *testing.T) {
+	const keys = 20000
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		r, err := NewRing(ringURLs(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, n)
+		for i := 0; i < keys; i++ {
+			counts[r.Owner("node-"+strconv.Itoa(i))]++
+		}
+		fair := keys / n
+		for i, c := range counts {
+			if c < fair/2 || c > fair*2 {
+				t.Fatalf("%d members: member %d owns %d of %d keys (fair share %d)",
+					n, i, c, keys, fair)
+			}
+		}
+	}
+}
+
+// TestRingMinimalDisruption: removing one member only re-maps the keys
+// it owned — every key owned by a surviving member keeps its owner.
+// This is the rendezvous property a future migration story builds on.
+func TestRingMinimalDisruption(t *testing.T) {
+	urls := ringURLs(4)
+	full, _ := NewRing(urls)
+	reduced, _ := NewRing(urls[:3]) // member 3 removed
+	for i := 0; i < 5000; i++ {
+		key := "node-" + strconv.Itoa(i)
+		before := full.Owner(key)
+		if before == 3 {
+			continue // re-mapped by design
+		}
+		if after := reduced.Owner(key); after != before {
+			t.Fatalf("key %q moved from surviving member %d to %d", key, before, after)
+		}
+	}
+}

@@ -1,0 +1,446 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config describes the cluster a Router fronts.
+type Config struct {
+	// Members are the base URLs of the gss-server primaries that
+	// partition the stream. The order is part of cluster identity only
+	// insofar as the URLs are: ownership is a pure function of
+	// (source node, member URL set).
+	Members []string
+	// Failover maps a member base URL to the base URL of its follower
+	// replica (a gss-server started with -follow pointing at the
+	// member). While the member is down, reads for its partition are
+	// served by the follower; writes answer 429 until the member
+	// returns, because followers reject writes.
+	Failover map[string]string
+	// ProbeInterval is how often the health prober polls every member's
+	// /healthz (default 2s). A failed probe — or a failed proxied
+	// request — marks the member down; a successful one marks it up.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health probe (default: ProbeInterval,
+	// capped at 2s).
+	ProbeTimeout time.Duration
+	// BatchSize is the /ingest decode batch size, overridable per
+	// request with ?batch=N (default 512).
+	BatchSize int
+	// Client issues all member requests. Defaults to a dedicated client
+	// with per-host keep-alive sized for fan-outs.
+	Client *http.Client
+	// Logf receives operational warnings (member state transitions,
+	// failed fan-outs). Defaults to log.Printf; inject to route or
+	// silence.
+	Logf func(format string, args ...interface{})
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = c.ProbeInterval
+		if c.ProbeTimeout > 2*time.Second {
+			c.ProbeTimeout = 2 * time.Second
+		}
+	}
+	if c.BatchSize < 1 {
+		c.BatchSize = 512
+	}
+	if c.Client == nil {
+		// A zero-value Transport would wait on raw OS timeouts (minutes)
+		// for a silently dead member; bound the connect and header wait
+		// like http.DefaultTransport does so reads issued between probe
+		// ticks fail over in seconds. No overall request timeout — a
+		// routed /ingest body may legitimately stream for a long time.
+		c.Client = &http.Client{Transport: &http.Transport{
+			DialContext: (&net.Dialer{
+				Timeout:   10 * time.Second,
+				KeepAlive: 30 * time.Second,
+			}).DialContext,
+			TLSHandshakeTimeout:   10 * time.Second,
+			ResponseHeaderTimeout: 30 * time.Second,
+			MaxIdleConns:          64,
+			MaxIdleConnsPerHost:   16,
+		}}
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// member is one partition of the cluster: a primary URL, an optional
+// follower URL, and the router's view of the primary's health.
+type member struct {
+	primary  string
+	follower string // "" when the partition has no replica
+
+	down atomic.Bool // router's view of the primary; false at start
+
+	probes     atomic.Int64
+	probeFails atomic.Int64
+	failovers  atomic.Int64 // reads the follower served
+
+	mu      sync.Mutex
+	lastErr string
+	role    string // from the last successful /healthz probe
+	backend string
+}
+
+func (m *member) setErr(err error) {
+	m.mu.Lock()
+	m.lastErr = err.Error()
+	m.mu.Unlock()
+}
+
+// Router fronts a fixed set of gss-server members with the single-node
+// HTTP API. See the package comment for the routing rules.
+type Router struct {
+	ring    *Ring
+	members []*member
+	cfg     Config
+
+	// ctx is cancelled by Close; every member request and fan-out
+	// goroutine is bound to it, so Close stops in-flight work.
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup // the prober loop
+	once   sync.Once
+}
+
+// New builds a Router over cfg.Members and starts its health prober.
+// Call Close to stop the prober and cancel in-flight fan-outs.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	ring, err := NewRing(cfg.Members)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{ring: ring, cfg: cfg}
+	rt.ctx, rt.cancel = context.WithCancel(context.Background())
+	byURL := make(map[string]*member, ring.Size())
+	for i := 0; i < ring.Size(); i++ {
+		m := &member{primary: ring.Member(i)}
+		rt.members = append(rt.members, m)
+		byURL[m.primary] = m
+	}
+	for primary, follower := range cfg.Failover {
+		m, ok := byURL[strings.TrimRight(strings.TrimSpace(primary), "/")]
+		if !ok {
+			return nil, fmt.Errorf("cluster: failover for %q: not a member", primary)
+		}
+		f := strings.TrimRight(strings.TrimSpace(follower), "/")
+		if f == "" {
+			return nil, fmt.Errorf("cluster: failover for %q: empty follower URL", primary)
+		}
+		m.follower = f
+	}
+	rt.wg.Add(1)
+	go rt.probeLoop()
+	return rt, nil
+}
+
+// Close stops the health prober and cancels every in-flight member
+// request and fan-out. The router must not receive requests afterwards.
+func (rt *Router) Close() {
+	rt.once.Do(func() {
+		rt.cancel()
+		rt.wg.Wait()
+	})
+}
+
+// Ring exposes the partitioning ring (for tests and tooling).
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// owner returns the member owning key's partition.
+func (rt *Router) owner(key string) *member { return rt.members[rt.ring.Owner(key)] }
+
+// reqCtx derives a context that dies with either the request or the
+// router, so Close cancels in-flight fan-outs without waiting for
+// clients to hang up.
+func (rt *Router) reqCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(r.Context())
+	stop := context.AfterFunc(rt.ctx, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// Handler returns the HTTP handler for the cluster-facing API. Every
+// endpoint mirrors internal/server's wire shapes; /cluster/stats is the
+// one addition.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/insert", rt.handleInsert)
+	mux.HandleFunc("/ingest", rt.handleIngest)
+	mux.HandleFunc("/edge", rt.proxyByKey("src"))
+	mux.HandleFunc("/successors", rt.proxyByKey("v"))
+	mux.HandleFunc("/precursors", rt.handlePrecursors)
+	mux.HandleFunc("/nodes", rt.handleNodes)
+	mux.HandleFunc("/nodeout", rt.proxyByKey("v"))
+	mux.HandleFunc("/nodein", rt.handleNodeIn)
+	mux.HandleFunc("/reachable", rt.handleReachable)
+	mux.HandleFunc("/heavy", rt.handleHeavy)
+	mux.HandleFunc("/stats", rt.handleStats)
+	mux.HandleFunc("/healthz", rt.handleHealthz)
+	mux.HandleFunc("/cluster/stats", rt.handleClusterStats)
+	// Snapshots are a per-member affair: each member's sketch is an
+	// independent partition, and a concatenation of snapshots is not a
+	// snapshot. Operators snapshot/restore members directly.
+	perMember := func(w http.ResponseWriter, r *http.Request) {
+		httpError(w, http.StatusNotImplemented,
+			"%s is per-member: call it on a member, not the router", r.URL.Path)
+	}
+	mux.HandleFunc("/snapshot", perMember)
+	mux.HandleFunc("/restore", perMember)
+	mux.HandleFunc("/checkpoint", perMember)
+	mux.HandleFunc("/replica/stats", perMember)
+	return mux
+}
+
+// --- health probing and member request plumbing ---
+
+func (rt *Router) probeLoop() {
+	defer rt.wg.Done()
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	rt.probeAll() // first verdict immediately, not one interval late
+	for {
+		select {
+		case <-rt.ctx.Done():
+			return
+		case <-t.C:
+			rt.probeAll()
+		}
+	}
+}
+
+func (rt *Router) probeAll() {
+	var wg sync.WaitGroup
+	for _, m := range rt.members {
+		wg.Add(1)
+		go func(m *member) {
+			defer wg.Done()
+			rt.probe(m)
+		}(m)
+	}
+	wg.Wait()
+}
+
+func (rt *Router) probe(m *member) {
+	ctx, cancel := context.WithTimeout(rt.ctx, rt.cfg.ProbeTimeout)
+	defer cancel()
+	m.probes.Add(1)
+	hz, err := rt.fetchHealthz(ctx, m.primary)
+	if err != nil {
+		m.probeFails.Add(1)
+		m.setErr(err)
+		if !m.down.Swap(true) {
+			rt.cfg.Logf("cluster: member %s down: %v", m.primary, err)
+		}
+		return
+	}
+	m.mu.Lock()
+	m.role, m.backend = hz.Role, hz.Backend
+	m.mu.Unlock()
+	if m.down.Swap(false) {
+		rt.cfg.Logf("cluster: member %s back up", m.primary)
+	}
+}
+
+// probedHealthz is the slice of a member's /healthz the router records.
+type probedHealthz struct {
+	Status  string `json:"status"`
+	Role    string `json:"role"`
+	Backend string `json:"backend"`
+}
+
+func (rt *Router) fetchHealthz(ctx context.Context, base string) (probedHealthz, error) {
+	var hz probedHealthz
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return hz, err
+	}
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		return hz, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return hz, fmt.Errorf("healthz status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		return hz, fmt.Errorf("healthz body: %w", err)
+	}
+	return hz, nil
+}
+
+// memberGet issues a read against m, failing over to the follower. The
+// primary is tried unless the router already believes it is down; a
+// transport failure marks it down on the spot (the prober will notice
+// recovery) and the follower, when configured, takes the read. The
+// caller owns the response body.
+func (rt *Router) memberGet(ctx context.Context, m *member, pathQuery string) (*http.Response, error) {
+	tryPrimary := !m.down.Load()
+	if tryPrimary {
+		resp, err := rt.get(ctx, m.primary+pathQuery)
+		if err == nil {
+			return resp, nil
+		}
+		if ctx.Err() != nil {
+			return nil, err // cancelled, not a member verdict
+		}
+		m.setErr(err)
+		if !m.down.Swap(true) {
+			rt.cfg.Logf("cluster: member %s down (read failed): %v", m.primary, err)
+		}
+	}
+	if m.follower == "" {
+		if !tryPrimary {
+			// Down with no replica: one optimistic try against the
+			// primary, so a recovered member serves reads before the
+			// next probe tick.
+			resp, err := rt.get(ctx, m.primary+pathQuery)
+			if err == nil {
+				m.down.Store(false)
+				return resp, nil
+			}
+			return nil, fmt.Errorf("member %s down (no follower): %w", m.primary, err)
+		}
+		return nil, fmt.Errorf("member %s unreachable and no follower configured", m.primary)
+	}
+	resp, err := rt.get(ctx, m.follower+pathQuery)
+	if err != nil {
+		return nil, fmt.Errorf("member %s down and follower %s failed: %w", m.primary, m.follower, err)
+	}
+	m.failovers.Add(1)
+	return resp, nil
+}
+
+func (rt *Router) get(ctx context.Context, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return rt.cfg.Client.Do(req)
+}
+
+// memberGetJSON runs memberGet and decodes a 200 JSON body into out.
+func (rt *Router) memberGetJSON(ctx context.Context, m *member, pathQuery string, out interface{}) error {
+	resp, err := rt.memberGet(ctx, m, pathQuery)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("member %s: %s returned %d: %s",
+			m.primary, pathQuery, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// scatter runs fn once per member concurrently and returns the first
+// error. fn must be safe to run in parallel with the others.
+func (rt *Router) scatter(fn func(i int, m *member) error) error {
+	errs := make([]error, len(rt.members))
+	var wg sync.WaitGroup
+	for i, m := range rt.members {
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			errs[i] = fn(i, m)
+		}(i, m)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- router-level observability ---
+
+// MemberStatus is one member's entry in the /cluster/stats payload.
+type MemberStatus struct {
+	URL             string `json:"url"`
+	Follower        string `json:"follower,omitempty"`
+	Healthy         bool   `json:"healthy"`
+	Role            string `json:"role,omitempty"`
+	Backend         string `json:"backend,omitempty"`
+	Probes          int64  `json:"probes"`
+	ProbeFailures   int64  `json:"probe_failures"`
+	FailedOverReads int64  `json:"failed_over_reads"`
+	LastError       string `json:"last_error,omitempty"`
+}
+
+// ClusterStats is the GET /cluster/stats payload: the router's view of
+// every member.
+type ClusterStats struct {
+	Members       []MemberStatus `json:"members"`
+	DownMembers   int            `json:"down_members"`
+	ProbeInterval string         `json:"probe_interval"`
+}
+
+// Stats snapshots the router's member table.
+func (rt *Router) Stats() ClusterStats {
+	st := ClusterStats{ProbeInterval: rt.cfg.ProbeInterval.String()}
+	for _, m := range rt.members {
+		m.mu.Lock()
+		ms := MemberStatus{
+			URL: m.primary, Follower: m.follower,
+			Healthy: !m.down.Load(),
+			Role:    m.role, Backend: m.backend,
+			Probes:          m.probes.Load(),
+			ProbeFailures:   m.probeFails.Load(),
+			FailedOverReads: m.failovers.Load(),
+			LastError:       m.lastErr,
+		}
+		m.mu.Unlock()
+		if !ms.Healthy {
+			st.DownMembers++
+		}
+		st.Members = append(st.Members, ms)
+	}
+	return st
+}
+
+func (rt *Router) handleClusterStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, rt.Stats())
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := rt.Stats()
+	writeJSON(w, map[string]interface{}{
+		"status":  "ok",
+		"role":    "router",
+		"members": len(st.Members),
+		"down":    st.DownMembers,
+	})
+}
+
+// --- shared HTTP helpers (same wire shapes as internal/server) ---
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

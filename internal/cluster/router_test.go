@@ -1,0 +1,519 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gss"
+	"repro/internal/server"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+var testCfg = gss.Config{Width: 256, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8}
+
+func silentLogf(string, ...interface{}) {}
+
+// testMember is one in-process gss-server member.
+type testMember struct {
+	srv *server.Server
+	ts  *httptest.Server
+}
+
+func (m *testMember) stop() {
+	m.ts.Close()
+	m.srv.Close()
+}
+
+func startMember(t *testing.T, opt server.Options) *testMember {
+	t.Helper()
+	opt.Logf = silentLogf
+	srv, err := server.NewWithOptions(testCfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	return &testMember{srv: srv, ts: ts}
+}
+
+func startMembers(t *testing.T, n int, backend string) ([]*testMember, []string) {
+	t.Helper()
+	members := make([]*testMember, n)
+	urls := make([]string, n)
+	for i := range members {
+		members[i] = startMember(t, server.Options{Backend: backend})
+		urls[i] = members[i].ts.URL
+		t.Cleanup(members[i].stop)
+	}
+	return members, urls
+}
+
+func newTestRouter(t *testing.T, cfg Config) (*Router, *httptest.Server) {
+	t.Helper()
+	if cfg.Logf == nil {
+		cfg.Logf = silentLogf
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(func() { ts.Close(); rt.Close() })
+	return rt, ts
+}
+
+func getJSON(t *testing.T, url string, out interface{}) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decoding: %v", url, err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode
+}
+
+func postBody(t *testing.T, url, body string, out interface{}) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("POST %s: decoding %q: %v", url, raw, err)
+		}
+	}
+	return resp, raw
+}
+
+// keysOwnedBy returns distinct node identifiers that the ring maps to
+// member i — test streams are built from these so partition placement
+// is known.
+func keysOwnedBy(ring *Ring, i, n int) []string {
+	var keys []string
+	for k := 0; len(keys) < n; k++ {
+		key := "owned" + strconv.Itoa(i) + "-" + strconv.Itoa(k)
+		if ring.Owner(key) == i {
+			keys = append(keys, key)
+		}
+	}
+	return keys
+}
+
+func ndjsonBody(items []stream.Item) string {
+	var buf bytes.Buffer
+	if err := stream.EncodeNDJSON(&buf, items); err != nil {
+		panic(err)
+	}
+	return buf.String()
+}
+
+// TestRouterPartitionsInserts: /insert splits by source-node owner;
+// every member ends up with exactly its ring share and the router's
+// read API sees everything.
+func TestRouterPartitionsInserts(t *testing.T) {
+	members, urls := startMembers(t, 3, sketch.BackendConcurrent)
+	rt, ts := newTestRouter(t, Config{Members: urls})
+
+	var items []stream.Item
+	perMember := 8
+	for i := range members {
+		for _, src := range keysOwnedBy(rt.Ring(), i, perMember) {
+			items = append(items, stream.Item{Src: src, Dst: "hub", Weight: 2})
+		}
+	}
+	wires := make([]map[string]interface{}, len(items))
+	for i, it := range items {
+		wires[i] = map[string]interface{}{"src": it.Src, "dst": it.Dst, "weight": it.Weight}
+	}
+	body, _ := json.Marshal(wires)
+	var res struct {
+		Inserted int64 `json:"inserted"`
+		Members  int   `json:"members"`
+	}
+	resp, raw := postBody(t, ts.URL+"/insert", string(body), &res)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status %d: %s", resp.StatusCode, raw)
+	}
+	if res.Inserted != int64(len(items)) || res.Members != 3 {
+		t.Fatalf("inserted %d across %d members, want %d across 3", res.Inserted, res.Members, len(items))
+	}
+	for i, m := range members {
+		if got := m.srv.Sketch().Stats().Items; got != int64(perMember) {
+			t.Fatalf("member %d holds %d items, want %d", i, got, perMember)
+		}
+	}
+	for _, it := range items {
+		var er struct {
+			Weight int64 `json:"weight"`
+			Found  bool  `json:"found"`
+		}
+		getJSON(t, ts.URL+"/edge?src="+it.Src+"&dst=hub", &er)
+		if !er.Found || er.Weight != 2 {
+			t.Fatalf("edge %s->hub = (%d,%v), want (2,true)", it.Src, er.Weight, er.Found)
+		}
+	}
+	// hub collected every in-edge: nodein scatters and sums.
+	var in struct {
+		In int64 `json:"in"`
+	}
+	getJSON(t, ts.URL+"/nodein?v=hub", &in)
+	if in.In != int64(2*len(items)) {
+		t.Fatalf("nodein(hub) = %d, want %d", in.In, 2*len(items))
+	}
+}
+
+// TestRouterIngestSplitsStream: one NDJSON body fans out over
+// per-member streaming /ingest requests; totals are exact.
+func TestRouterIngestSplitsStream(t *testing.T) {
+	members, urls := startMembers(t, 3, sketch.BackendSharded)
+	_, ts := newTestRouter(t, Config{Members: urls, BatchSize: 64})
+
+	items := stream.Generate(stream.DatasetConfig{Name: "ingest", Nodes: 200,
+		Edges: 3000, DegreeSkew: 1.5, WeightSkew: 1.2, MaxWeight: 50, Seed: 7})
+	var res struct {
+		Mode     string `json:"mode"`
+		Ingested int64  `json:"ingested"`
+	}
+	resp, raw := postBody(t, ts.URL+"/ingest", ndjsonBody(items), &res)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d: %s", resp.StatusCode, raw)
+	}
+	if res.Ingested != int64(len(items)) {
+		t.Fatalf("ingested %d, want %d", res.Ingested, len(items))
+	}
+	var total int64
+	for _, m := range members {
+		n := m.srv.Sketch().Stats().Items
+		if n == 0 {
+			t.Fatal("a member received no items — partitioning is degenerate")
+		}
+		total += n
+	}
+	if total != int64(len(items)) {
+		t.Fatalf("members hold %d items total, want %d", total, len(items))
+	}
+}
+
+// TestRouterIngestBadLine: a malformed NDJSON line yields 400 with the
+// line number, like the single-node server.
+func TestRouterIngestBadLine(t *testing.T) {
+	_, urls := startMembers(t, 2, sketch.BackendConcurrent)
+	_, ts := newTestRouter(t, Config{Members: urls})
+	body := "{\"src\":\"a\",\"dst\":\"b\"}\nnot json\n"
+	resp, raw := postBody(t, ts.URL+"/ingest", body, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d (%s), want 400", resp.StatusCode, raw)
+	}
+	if !bytes.Contains(raw, []byte("line 2")) {
+		t.Fatalf("error does not name the bad line: %s", raw)
+	}
+}
+
+// TestRouterNodesLimitAcrossMembers: the union is deduplicated and
+// counted before the limit cuts it, so total and truncated are global
+// truths, not per-member ones.
+func TestRouterNodesLimitAcrossMembers(t *testing.T) {
+	_, urls := startMembers(t, 3, sketch.BackendConcurrent)
+	rt, ts := newTestRouter(t, Config{Members: urls})
+
+	// 9 sources spread over the members, all pointing at the shared
+	// "hub" — 10 distinct nodes, with hub registered on every member.
+	var items []stream.Item
+	for i := 0; i < 3; i++ {
+		for _, src := range keysOwnedBy(rt.Ring(), i, 3) {
+			items = append(items, stream.Item{Src: src, Dst: "hub", Weight: 1})
+		}
+	}
+	postBody(t, ts.URL+"/ingest", ndjsonBody(items), nil)
+
+	var page struct {
+		Nodes     []string `json:"nodes"`
+		Total     int      `json:"total"`
+		Truncated bool     `json:"truncated"`
+	}
+	getJSON(t, ts.URL+"/nodes?limit=0", &page)
+	if page.Total != 10 || len(page.Nodes) != 10 || page.Truncated {
+		t.Fatalf("limit=0: %d nodes, total %d, truncated %v; want 10/10/false",
+			len(page.Nodes), page.Total, page.Truncated)
+	}
+	getJSON(t, ts.URL+"/nodes?limit=4", &page)
+	if len(page.Nodes) != 4 || page.Total != 10 || !page.Truncated {
+		t.Fatalf("limit=4: %d nodes, total %d, truncated %v; want 4/10/true",
+			len(page.Nodes), page.Total, page.Truncated)
+	}
+	if !isSorted(page.Nodes) {
+		t.Fatalf("page not sorted: %v", page.Nodes)
+	}
+	if code := getJSON(t, ts.URL+"/nodes?limit=-1", nil); code != http.StatusBadRequest {
+		t.Fatalf("negative limit accepted: %d", code)
+	}
+}
+
+func isSorted(s []string) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] > s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRouterMemberDownMidBatch: a member dying mid-/ingest turns into
+// 429 with exact accounting — what the live partitions confirmed versus
+// what the dead one never acknowledged — and the router marks the
+// member down for subsequent writes.
+func TestRouterMemberDownMidBatch(t *testing.T) {
+	members, urls := startMembers(t, 3, sketch.BackendConcurrent)
+	rt, ts := newTestRouter(t, Config{Members: urls, ProbeInterval: time.Hour})
+
+	// Kill member 1 before the upload; the router has not probed yet
+	// (hour-long interval) so it discovers the death mid-batch.
+	members[1].stop()
+
+	var items []stream.Item
+	for i := 0; i < 3; i++ {
+		for _, src := range keysOwnedBy(rt.Ring(), i, 10) {
+			items = append(items, stream.Item{Src: src, Dst: "sink", Weight: 1})
+		}
+	}
+	var res writeRes
+	resp, raw := postBody(t, ts.URL+"/ingest", ndjsonBody(items), &res)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d (%s), want 429", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if res.Ingested != 20 || res.Dropped != 10 {
+		t.Fatalf("ingested %d dropped %d, want 20/10", res.Ingested, res.Dropped)
+	}
+	st := rt.Stats()
+	if st.DownMembers != 1 || st.Members[1].Healthy {
+		t.Fatalf("router did not mark member 1 down: %+v", st)
+	}
+
+	// Writes for the dead partition now 429 up front, all-or-nothing.
+	deadSrc := keysOwnedBy(rt.Ring(), 1, 1)[0]
+	res = writeRes{}
+	resp, raw = postBody(t, ts.URL+"/insert",
+		fmt.Sprintf(`{"src":%q,"dst":"x"}`, deadSrc), &res)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("insert to down partition: status %d (%s), want 429", resp.StatusCode, raw)
+	}
+	if res.Inserted != 0 || res.Dropped != 1 {
+		t.Fatalf("all-or-nothing violated: %s", raw)
+	}
+
+	// Live partitions keep accepting.
+	liveSrc := keysOwnedBy(rt.Ring(), 0, 1)[0]
+	resp, raw = postBody(t, ts.URL+"/insert",
+		fmt.Sprintf(`{"src":%q,"dst":"x"}`, liveSrc), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert to live partition: status %d (%s)", resp.StatusCode, raw)
+	}
+}
+
+// writeRes covers the write-path response shapes: the 200 bodies
+// ("inserted"/"ingested") and the 429 body (accepted count + dropped).
+type writeRes struct {
+	Error    string `json:"error"`
+	Inserted int64  `json:"inserted"`
+	Ingested int64  `json:"ingested"`
+	Dropped  int64  `json:"dropped"`
+}
+
+// TestRouterReadFailover: a partition whose primary dies keeps serving
+// reads from its follower replica, and writes for it answer 429.
+func TestRouterReadFailover(t *testing.T) {
+	members, urls := startMembers(t, 3, sketch.BackendConcurrent)
+
+	// A real follower replica polling member 0's /snapshot.
+	follower := startMember(t, server.Options{Backend: sketch.BackendConcurrent,
+		FollowURL: members[0].ts.URL, FollowInterval: 20 * time.Millisecond})
+	t.Cleanup(follower.stop)
+
+	rt, ts := newTestRouter(t, Config{
+		Members:       urls,
+		Failover:      map[string]string{urls[0]: follower.ts.URL},
+		ProbeInterval: 25 * time.Millisecond,
+	})
+
+	var items []stream.Item
+	for i := 0; i < 3; i++ {
+		for _, src := range keysOwnedBy(rt.Ring(), i, 6) {
+			items = append(items, stream.Item{Src: src, Dst: "hub", Weight: 3})
+		}
+	}
+	postBody(t, ts.URL+"/ingest", ndjsonBody(items), nil)
+
+	// Wait until the follower has converged on member 0's state.
+	want := members[0].srv.Sketch().Stats().Items
+	deadline := time.Now().Add(5 * time.Second)
+	for follower.srv.Sketch().Stats().Items != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower stuck at %d items, want %d",
+				follower.srv.Sketch().Stats().Items, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	members[0].stop()
+
+	// Reads for partition 0 now come from the follower. The first read
+	// may be the one that discovers the death and fails over.
+	src0 := keysOwnedBy(rt.Ring(), 0, 1)[0]
+	var er struct {
+		Weight int64 `json:"weight"`
+		Found  bool  `json:"found"`
+	}
+	getJSON(t, ts.URL+"/edge?src="+src0+"&dst=hub", &er)
+	if !er.Found || er.Weight != 3 {
+		t.Fatalf("failed-over edge read = (%d,%v), want (3,true)", er.Weight, er.Found)
+	}
+	st := rt.Stats()
+	if st.Members[0].FailedOverReads == 0 {
+		t.Fatalf("follower served no reads: %+v", st.Members[0])
+	}
+
+	// Writes wait for the primary: 429, never a silent 403 swallow.
+	resp, raw := postBody(t, ts.URL+"/insert",
+		fmt.Sprintf(`{"src":%q,"dst":"x"}`, src0), nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("write to failed-over partition: status %d (%s), want 429", resp.StatusCode, raw)
+	}
+
+	// Scatter-gather queries survive the dead member too.
+	var in struct {
+		In int64 `json:"in"`
+	}
+	getJSON(t, ts.URL+"/nodein?v=hub", &in)
+	if in.In != int64(3*len(items)) {
+		t.Fatalf("nodein(hub) after failover = %d, want %d", in.In, 3*len(items))
+	}
+}
+
+// TestRouterHealthzProbeRecordsRoles: the prober parses member /healthz
+// and /cluster/stats exposes role and backend per member.
+func TestRouterHealthzProbeRecordsRoles(t *testing.T) {
+	_, urls := startMembers(t, 2, sketch.BackendSharded)
+	rt, ts := newTestRouter(t, Config{Members: urls, ProbeInterval: 10 * time.Millisecond})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := rt.Stats()
+		if st.Members[0].Backend == sketch.BackendSharded && st.Members[0].Role == "primary" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("probe never recorded member role/backend: %+v", st.Members[0])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var hz struct {
+		Status  string `json:"status"`
+		Role    string `json:"role"`
+		Members int    `json:"members"`
+	}
+	getJSON(t, ts.URL+"/healthz", &hz)
+	if hz.Status != "ok" || hz.Role != "router" || hz.Members != 2 {
+		t.Fatalf("router healthz = %+v", hz)
+	}
+}
+
+// TestRouterSnapshotIsPerMember: state endpoints are explicitly not
+// cluster operations.
+func TestRouterSnapshotIsPerMember(t *testing.T) {
+	_, urls := startMembers(t, 1, sketch.BackendConcurrent)
+	_, ts := newTestRouter(t, Config{Members: urls})
+	for _, path := range []string{"/snapshot", "/restore", "/checkpoint", "/replica/stats"} {
+		if code := getJSON(t, ts.URL+path, nil); code != http.StatusNotImplemented {
+			t.Fatalf("%s returned %d, want 501", path, code)
+		}
+	}
+}
+
+// TestRouterCloseStopsProberAndFanouts: the repo convention for
+// loop-owning packages — everything the router spawned (prober,
+// in-flight fan-out workers) exits on Close, proven by the goroutine
+// count returning to baseline; and an in-flight fan-out blocked on a
+// slow member is cancelled rather than awaited.
+func TestRouterCloseStopsProberAndFanouts(t *testing.T) {
+	before := runtime.NumGoroutine()
+	client := &http.Client{}
+
+	// A fake member whose /successors blocks until the request dies.
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz":
+			w.Write([]byte(`{"status":"ok","role":"primary","backend":"concurrent"}`))
+		case "/successors":
+			<-r.Context().Done()
+		}
+	}))
+
+	rt, err := New(Config{Members: []string{slow.URL},
+		ProbeInterval: 10 * time.Millisecond, Client: client, Logf: silentLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Launch a fan-out that can only finish by cancellation.
+	done := make(chan int, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		rt.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/reachable?src=a&dst=b", nil))
+		done <- rec.Code
+	}()
+	// Give the fan-out time to reach the member.
+	time.Sleep(50 * time.Millisecond)
+
+	rt.Close()
+	select {
+	case code := <-done:
+		if code != http.StatusBadGateway {
+			t.Fatalf("cancelled fan-out returned %d, want 502", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not cancel the in-flight fan-out")
+	}
+	rt.Close() // idempotent
+
+	slow.Close()
+	waitForGoroutines(t, before, client.CloseIdleConnections)
+}
+
+func waitForGoroutines(t *testing.T, want int, settle func()) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > want {
+		if settle != nil {
+			settle()
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not return to %d (now %d)", want, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

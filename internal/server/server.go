@@ -13,6 +13,7 @@
 //	GET  /precursors?v=a
 //	GET  /nodes?limit=100   (limit=0 returns all; default 10000)
 //	GET  /nodeout?v=a
+//	GET  /nodein?v=a
 //	GET  /reachable?src=a&dst=b
 //	GET  /heavy?min=100
 //	GET  /stats
@@ -20,6 +21,7 @@
 //	POST /restore       (binary sketch snapshot)
 //	POST /checkpoint    force a durable checkpoint (checkpointing servers)
 //	GET  /replica/stats replication role, checkpoint and follower counters
+//	GET  /healthz       liveness: role, backend name, uptime
 //
 // The sketch backend is selected at construction: "single" serializes
 // everything through one global lock, "concurrent" allows parallel
@@ -168,8 +170,9 @@ func (o Options) withDefaults() Options {
 
 // Server serves a Sketch over HTTP.
 type Server struct {
-	sk  sketch.Sketch
-	opt Options
+	sk    sketch.Sketch
+	opt   Options
+	start time.Time // construction time; /healthz reports uptime from it
 
 	// pipeMu guards the lazily started async worker pool. A sync.Once
 	// would be simpler, but Close must be able to ask "did it ever
@@ -225,7 +228,7 @@ func NewWithOptions(cfg gss.Config, opt Options) (*Server, error) {
 // wired here — building follower backends needs the sketch
 // configuration, which only NewWithOptions has.
 func NewFromSketch(sk sketch.Sketch, opt Options) *Server {
-	return &Server{sk: sk, opt: opt.withDefaults()}
+	return &Server{sk: sk, opt: opt.withDefaults(), start: time.Now()}
 }
 
 // pipeline lazily starts the async worker pool on first use, so
@@ -289,6 +292,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/precursors", s.handleNeighbors(false))
 	mux.HandleFunc("/nodes", s.handleNodes)
 	mux.HandleFunc("/nodeout", s.handleNodeOut)
+	mux.HandleFunc("/nodein", s.handleNodeIn)
 	mux.HandleFunc("/reachable", s.handleReachable)
 	mux.HandleFunc("/heavy", s.handleHeavy)
 	mux.HandleFunc("/stats", s.handleStats)
@@ -296,7 +300,32 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/restore", s.handleRestore)
 	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("/replica/stats", s.handleReplicaStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
+}
+
+// Healthz is the /healthz payload: a k8s-style liveness answer that also
+// tells a prober (the cluster router, an orchestrator) what it is
+// talking to — a primary or a read-only follower — and which backend is
+// behind it.
+type Healthz struct {
+	Status        string `json:"status"` // always "ok" when the handler answers
+	Role          string `json:"role"`   // "primary" or "follower"
+	Backend       string `json:"backend"`
+	UptimeSeconds int64  `json:"uptime_seconds"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	role := "primary"
+	if s.follower() {
+		role = "follower"
+	}
+	writeJSON(w, Healthz{
+		Status:        "ok",
+		Role:          role,
+		Backend:       s.opt.Backend,
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+	})
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
@@ -514,6 +543,18 @@ func (s *Server) handleNodeOut(w http.ResponseWriter, r *http.Request) {
 	total := query.NodeOut(s.sk, v)
 	s.restoreMu.RUnlock()
 	writeJSON(w, map[string]interface{}{"v": v, "out": total})
+}
+
+func (s *Server) handleNodeIn(w http.ResponseWriter, r *http.Request) {
+	v := r.URL.Query().Get("v")
+	if v == "" {
+		httpError(w, http.StatusBadRequest, "v is required")
+		return
+	}
+	s.restoreMu.RLock()
+	total := query.NodeIn(s.sk, v)
+	s.restoreMu.RUnlock()
+	writeJSON(w, map[string]interface{}{"v": v, "in": total})
 }
 
 func (s *Server) handleReachable(w http.ResponseWriter, r *http.Request) {

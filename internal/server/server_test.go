@@ -249,3 +249,44 @@ func TestConcurrentClients(t *testing.T) {
 		t.Fatalf("items = %d, want 200", st.Items)
 	}
 }
+
+// TestHealthz: liveness endpoint reports role, backend and uptime —
+// the cluster router's prober parses exactly these fields.
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	var hz Healthz
+	getJSON(t, ts.URL+"/healthz", &hz)
+	if hz.Status != "ok" || hz.Role != "primary" {
+		t.Fatalf("healthz = %+v, want status ok role primary", hz)
+	}
+	if hz.Backend == "" {
+		t.Fatalf("healthz missing backend name: %+v", hz)
+	}
+	if hz.UptimeSeconds < 0 {
+		t.Fatalf("negative uptime: %+v", hz)
+	}
+}
+
+// TestNodeIn: the in-aggregate endpoint, symmetric to /nodeout.
+func TestNodeIn(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp := post(t, ts.URL+"/insert",
+		`[{"src":"a","dst":"hub","weight":3},{"src":"b","dst":"hub","weight":4},{"src":"hub","dst":"c","weight":9}]`)
+	resp.Body.Close()
+	var in struct {
+		V  string `json:"v"`
+		In int64  `json:"in"`
+	}
+	getJSON(t, ts.URL+"/nodein?v=hub", &in)
+	if in.In != 7 {
+		t.Fatalf("nodein(hub) = %d, want 7", in.In)
+	}
+	r, err := http.Get(ts.URL + "/nodein")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing v: status %d, want 400", r.StatusCode)
+	}
+}

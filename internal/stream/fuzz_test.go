@@ -140,6 +140,14 @@ func TestGenerateStreamFuzzCorpus(t *testing.T) {
 			[]byte("# c\na\tb\t5\t9\t2\n"),
 			[]byte("a b 1 2 3 extra\n"),
 		},
+		"FuzzScanItemLine": {
+			[]byte(`{"src":"a","dst":"b"}`),
+			[]byte(`{"src":"a","dst":"b","weight":5,"time":9,"label":2}`),
+			[]byte(`{"src":"a","dst":"b","SRC":"z"}`),
+			[]byte(`{"src":"a","dst":"b","weight":01}`),
+			[]byte(`{"src":"a","dst":"b","x":{"y":[true,null,1.5]}}`),
+			[]byte(`{"src":"é","dst":"b"}`),
+		},
 	} {
 		d := filepath.Join("testdata", "fuzz", sub)
 		if err := os.MkdirAll(d, 0o755); err != nil {

@@ -1,0 +1,294 @@
+package stream
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+)
+
+// Routing scan: the cluster router forwards NDJSON lines to partition
+// members verbatim, so the only decode work it fundamentally owes per
+// item is "which source node is this?" plus enough validation that a
+// member will not choke mid-stream on a line the router vouched for.
+// ScanItemLine answers exactly that: a single left-to-right pass over
+// the line that extracts src and dst and structurally validates the
+// rest, falling back to the full reference decode whenever the fast
+// scan cannot PROVE the reference would accept the line with the same
+// endpoints. The fast path is therefore sound by construction — it
+// only ever accepts a subset of what the reference accepts — and the
+// differential fuzz target (FuzzScanItemLine) pins the two together.
+
+// ErrMissingEndpoints mirrors the batch decoder's contract: an item
+// without both endpoints is not routable.
+var ErrMissingEndpoints = errors.New("stream: src and dst are required")
+
+// ScanItemLine extracts the endpoints of one NDJSON item line without
+// materializing the item. It accepts exactly the lines the NDJSON
+// batch decoder accepts (same JSON grammar, same required fields) and
+// returns the same src and dst values.
+func ScanItemLine(line []byte) (src, dst string, err error) {
+	if s, d, ok := scanItemFast(line); ok {
+		return s, d, nil
+	}
+	var wi wireItem
+	if err := json.Unmarshal(line, &wi); err != nil {
+		return "", "", err
+	}
+	if wi.Src == "" || wi.Dst == "" {
+		return "", "", ErrMissingEndpoints
+	}
+	return wi.Src, wi.Dst, nil
+}
+
+// scanItemFast is the no-allocation-but-the-answer pass. It reports
+// ok=false — punting to the reference decoder — on anything it cannot
+// prove: escape sequences or non-ASCII bytes in strings (encoding/json
+// unescapes and replaces invalid UTF-8), numbers that might overflow
+// or are not plain integers where the wire type demands one, duplicate
+// endpoint keys (last occurrence wins, so every occurrence must be
+// provable), deep nesting, or any structural irregularity.
+func scanItemFast(line []byte) (src, dst string, ok bool) {
+	i := skipWS(line, 0)
+	if i >= len(line) || line[i] != '{' {
+		return "", "", false
+	}
+	i++
+	first := true
+	for {
+		i = skipWS(line, i)
+		if i >= len(line) {
+			return "", "", false
+		}
+		if line[i] == '}' {
+			i++
+			break
+		}
+		if !first {
+			if line[i] != ',' {
+				return "", "", false
+			}
+			i = skipWS(line, i+1)
+		}
+		first = false
+		key, j, kOK := scanPlainString(line, i)
+		if !kOK {
+			return "", "", false
+		}
+		i = skipWS(line, j)
+		if i >= len(line) || line[i] != ':' {
+			return "", "", false
+		}
+		i = skipWS(line, i+1)
+		var vOK bool
+		switch {
+		case bytes.Equal(key, srcKey), bytes.Equal(key, dstKey):
+			var val []byte
+			val, j, vOK = scanPlainString(line, i)
+			if !vOK || len(val) == 0 {
+				return "", "", false
+			}
+			if bytes.Equal(key, srcKey) {
+				src = string(val)
+			} else {
+				dst = string(val)
+			}
+		case bytes.Equal(key, weightKey), bytes.Equal(key, timeKey):
+			// int64 wire fields: up to 18 digits cannot overflow.
+			j, vOK = scanPlainInt(line, i, 18, true)
+		case bytes.Equal(key, labelKey):
+			// uint32 wire field: up to 9 digits, no sign.
+			j, vOK = scanPlainInt(line, i, 9, false)
+		default:
+			// encoding/json matches struct fields case-insensitively
+			// (last occurrence wins), so a key like "SRC" would bind to
+			// the src field in the reference decode — only the exact
+			// spellings above are provable here.
+			for _, known := range [...][]byte{srcKey, dstKey, weightKey, timeKey, labelKey} {
+				if bytes.EqualFold(key, known) {
+					return "", "", false
+				}
+			}
+			j, vOK = scanAnyValue(line, i, 0)
+		}
+		if !vOK {
+			return "", "", false
+		}
+		i = j
+	}
+	if skipWS(line, i) != len(line) {
+		return "", "", false
+	}
+	if src == "" || dst == "" {
+		return "", "", false
+	}
+	return src, dst, true
+}
+
+var (
+	srcKey    = []byte("src")
+	dstKey    = []byte("dst")
+	weightKey = []byte("weight")
+	timeKey   = []byte("time")
+	labelKey  = []byte("label")
+)
+
+func skipWS(b []byte, i int) int {
+	for i < len(b) {
+		switch b[i] {
+		case ' ', '\t', '\r', '\n':
+			i++
+		default:
+			return i
+		}
+	}
+	return i
+}
+
+// scanPlainString accepts a JSON string containing only printable
+// ASCII with no escapes — the identifier alphabet the fast path can
+// pass through byte-for-byte. Anything else (escapes, multi-byte
+// UTF-8, control bytes) punts to the reference decoder.
+func scanPlainString(b []byte, i int) (val []byte, next int, ok bool) {
+	if i >= len(b) || b[i] != '"' {
+		return nil, 0, false
+	}
+	start := i + 1
+	for j := start; j < len(b); j++ {
+		c := b[j]
+		if c == '"' {
+			return b[start:j], j + 1, true
+		}
+		if c == '\\' || c < 0x20 || c > 0x7e {
+			return nil, 0, false
+		}
+	}
+	return nil, 0, false
+}
+
+// scanPlainInt accepts a plain JSON integer of at most maxDigits
+// digits (JSON forbids leading zeros and a leading '+'); neg allows a
+// minus sign. Fractions, exponents and longer tokens punt.
+func scanPlainInt(b []byte, i, maxDigits int, neg bool) (next int, ok bool) {
+	if i < len(b) && b[i] == '-' {
+		if !neg {
+			return 0, false
+		}
+		i++
+	}
+	start := i
+	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+		i++
+	}
+	n := i - start
+	if n == 0 || n > maxDigits {
+		return 0, false
+	}
+	if b[start] == '0' && n > 1 {
+		return 0, false
+	}
+	// A following '.', 'e' or 'E' would make this a non-integer.
+	if i < len(b) && (b[i] == '.' || b[i] == 'e' || b[i] == 'E') {
+		return 0, false
+	}
+	return i, true
+}
+
+// maxScanDepth bounds nested unknown values; deeper punts.
+const maxScanDepth = 16
+
+// scanAnyValue validates one JSON value of any kind under the fast
+// path's strict rules (plain strings, integer-or-simple numbers,
+// bounded nesting).
+func scanAnyValue(b []byte, i, depth int) (next int, ok bool) {
+	if depth > maxScanDepth || i >= len(b) {
+		return 0, false
+	}
+	switch b[i] {
+	case '"':
+		_, j, sOK := scanPlainString(b, i)
+		return j, sOK
+	case 't':
+		return scanLiteral(b, i, "true")
+	case 'f':
+		return scanLiteral(b, i, "false")
+	case 'n':
+		return scanLiteral(b, i, "null")
+	case '{':
+		i = skipWS(b, i+1)
+		first := true
+		for {
+			if i >= len(b) {
+				return 0, false
+			}
+			if b[i] == '}' {
+				return i + 1, true
+			}
+			if !first {
+				if b[i] != ',' {
+					return 0, false
+				}
+				i = skipWS(b, i+1)
+			}
+			first = false
+			_, j, kOK := scanPlainString(b, i)
+			if !kOK {
+				return 0, false
+			}
+			i = skipWS(b, j)
+			if i >= len(b) || b[i] != ':' {
+				return 0, false
+			}
+			i = skipWS(b, i+1)
+			j, vOK := scanAnyValue(b, i, depth+1)
+			if !vOK {
+				return 0, false
+			}
+			i = skipWS(b, j)
+		}
+	case '[':
+		i = skipWS(b, i+1)
+		first := true
+		for {
+			if i >= len(b) {
+				return 0, false
+			}
+			if b[i] == ']' {
+				return i + 1, true
+			}
+			if !first {
+				if b[i] != ',' {
+					return 0, false
+				}
+				i = skipWS(b, i+1)
+			}
+			first = false
+			j, vOK := scanAnyValue(b, i, depth+1)
+			if !vOK {
+				return 0, false
+			}
+			i = skipWS(b, j)
+		}
+	default:
+		// A number of any JSON shape; restrict to the integer form the
+		// scanner can prove (floats on unknown keys punt — rare).
+		return scanPlainInt(b, i, 18, true)
+	}
+}
+
+func scanLiteral(b []byte, i int, lit string) (int, bool) {
+	if len(b)-i < len(lit) || string(b[i:i+len(lit)]) != lit {
+		return 0, false
+	}
+	return i + len(lit), true
+}
+
+// NewLineScanner returns a bufio.Scanner over r configured with the
+// NDJSON line limits the batch decoder uses, for callers that route
+// raw lines instead of decoding items.
+func NewLineScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxNDJSONLine)
+	return sc
+}

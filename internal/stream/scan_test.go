@@ -1,0 +1,143 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// refScan is the reference the fast routing scan must agree with: the
+// same wire decode the NDJSON batch decoder performs, plus the
+// required-endpoints rule.
+func refScan(line []byte) (string, string, bool) {
+	var wi wireItem
+	if err := json.Unmarshal(line, &wi); err != nil {
+		return "", "", false
+	}
+	if wi.Src == "" || wi.Dst == "" {
+		return "", "", false
+	}
+	return wi.Src, wi.Dst, true
+}
+
+func TestScanItemLineAgreesWithReference(t *testing.T) {
+	lines := []string{
+		`{"src":"a","dst":"b"}`,
+		`{"src":"a","dst":"b","weight":5,"time":9,"label":2}`,
+		`  {  "src" : "a" , "dst" : "b" }  `,
+		`{"dst":"b","src":"a"}`,
+		`{"src":"a","dst":"b","weight":-3}`,
+		`{"src":"a","dst":"b","extra":{"nested":[1,2,{"x":null}]}}`,
+		`{"src":"a","dst":"b","note":"plain ascii"}`,
+		`{"src":"a","dst":"b","src":"c"}`,                   // duplicate: last wins
+		`{"src":"a","dst":"b","SRC":"z"}`,                   // case-insensitive bind
+		`{"src":"é","dst":"b"}`,                             // escape: slow path
+		`{"src":"é","dst":"b"}`,                             // multi-byte: slow path
+		`{"src":"a","dst":""}`,                              // missing endpoint
+		`{"src":"a"}`,                                       // missing dst
+		`{"src":"a","dst":"b","weight":1.5}`,                // float into int64
+		`{"src":"a","dst":"b","weight":"5"}`,                // string into int64
+		`{"src":"a","dst":"b","label":-1}`,                  // negative into uint32
+		`{"src":"a","dst":"b","label":4294967296}`,          // uint32 overflow
+		`{"src":"a","dst":"b","time":12345678901}`,          // big but valid int64
+		`{"src":"a","dst":"b","weight":01}`,                 // leading zero
+		`{"src":"a","dst":"b"} trailing`,                    // trailing garbage
+		`{"src":"a","dst":"b","extra":1e3}`,                 // exponent on unknown key
+		`["src","dst"]`,                                     // not an object
+		`{"src":"a","dst":"b",}`,                            // trailing comma
+		`{"src":"a" "dst":"b"}`,                             // missing comma
+		`{"src":"a","dst":"b","deep":` + deepJSON(40) + `}`, // beyond scan depth
+		``,
+		`not json`,
+	}
+	for _, line := range lines {
+		b := []byte(line)
+		wantSrc, wantDst, wantOK := refScan(b)
+		gotSrc, gotDst, err := ScanItemLine(b)
+		if wantOK != (err == nil) {
+			t.Errorf("%s: scan err=%v, reference ok=%v", line, err, wantOK)
+			continue
+		}
+		if wantOK && (gotSrc != wantSrc || gotDst != wantDst) {
+			t.Errorf("%s: scan (%q,%q), reference (%q,%q)", line, gotSrc, gotDst, wantSrc, wantDst)
+		}
+	}
+}
+
+func deepJSON(depth int) string {
+	return strings.Repeat(`[`, depth) + `1` + strings.Repeat(`]`, depth)
+}
+
+// TestScanItemLineFastPathCoverage pins that the common wire shapes
+// actually take the fast path — the point of the scanner is that the
+// router does not pay a full decode per item.
+func TestScanItemLineFastPathCoverage(t *testing.T) {
+	fast := [][]byte{
+		[]byte(`{"src":"n12","dst":"n9","weight":3,"time":17}`),
+		[]byte(`{"src":"a","dst":"b"}`),
+		[]byte(`{"src":"a","dst":"b","weight":-1,"label":7}`),
+	}
+	for _, line := range fast {
+		if _, _, ok := scanItemFast(line); !ok {
+			t.Errorf("fast path punted on a canonical line: %s", line)
+		}
+	}
+	slow := [][]byte{
+		[]byte(`{"src":"é","dst":"b"}`),
+		[]byte(`{"src":"a","dst":"b","SRC":"z"}`),
+	}
+	for _, line := range slow {
+		if _, _, ok := scanItemFast(line); ok {
+			t.Errorf("fast path claimed a line it cannot prove: %s", line)
+		}
+	}
+}
+
+// FuzzScanItemLine is the differential target: on every input the
+// routing scan and the reference decode must agree on acceptance and,
+// when accepting, on the endpoints. This is what makes the fast path's
+// "sound by construction" claim checkable.
+func FuzzScanItemLine(f *testing.F) {
+	for _, seed := range ndjsonSeeds {
+		for _, line := range bytes.Split(seed, []byte("\n")) {
+			if len(line) > 0 {
+				f.Add(line)
+			}
+		}
+	}
+	f.Add([]byte(`{"src":"a","dst":"b","SRC":"z"}`))
+	f.Add([]byte(`{"src":"a","dst":"b","weight":01}`))
+	f.Add([]byte(`{"src":"a","dst":"b","x":{"y":[true,null,1.5]}}`))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		wantSrc, wantDst, wantOK := refScan(line)
+		gotSrc, gotDst, err := ScanItemLine(line)
+		if wantOK != (err == nil) {
+			t.Fatalf("scan err=%v, reference ok=%v for %q", err, wantOK, line)
+		}
+		if wantOK && (gotSrc != wantSrc || gotDst != wantDst) {
+			t.Fatalf("scan (%q,%q), reference (%q,%q) for %q", gotSrc, gotDst, wantSrc, wantDst, line)
+		}
+	})
+}
+
+func BenchmarkScanItemLine(b *testing.B) {
+	line := []byte(`{"src":"n123456","dst":"n654321","weight":42,"time":1700000000}`)
+	b.Run("scan", func(b *testing.B) {
+		b.SetBytes(int64(len(line)))
+		for i := 0; i < b.N; i++ {
+			if _, _, err := ScanItemLine(line); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unmarshal", func(b *testing.B) {
+		b.SetBytes(int64(len(line)))
+		for i := 0; i < b.N; i++ {
+			var wi wireItem
+			if err := json.Unmarshal(line, &wi); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
