@@ -206,10 +206,163 @@ func runReplicaBench(opt replicaBenchOptions, w io.Writer) error {
 		fmt.Fprintf(w, "  polls=%d applied=%d failed=%d\n",
 			rs.Follower.Polls, rs.Follower.Applied, rs.Follower.Failed)
 	}
+
+	// Part 3: snapshot-poll vs log-tail transfer cost. Both follower
+	// modes bootstrap from one snapshot; the measurement starts after
+	// that, so the table prices the steady state — what a converged
+	// follower keeps paying per poll interval. The trickle workload (a
+	// few items per interval) is where polling is pathological: the
+	// snapshot body is dominated by the dense matrix arrays, whose
+	// serialized size does not depend on how many items changed — or
+	// whether any did.
+	fmt.Fprintf(w, "\nsnapshot-poll vs log-tail steady-state transfer (poll %s):\n", opt.FollowEach)
+	fmt.Fprintf(w, "%-10s %-9s %10s %14s %12s %14s\n",
+		"workload", "mode", "items", "transferred", "bytes/item", "bytes/poll")
+	type tkey struct {
+		workload string
+		tail     bool
+	}
+	perPoll := make(map[tkey]float64)
+	trickleN := 600
+	if trickleN > len(items) {
+		trickleN = len(items)
+	}
+	trickleBodies, err := requestBodies(items[:trickleN], 20)
+	if err != nil {
+		return err
+	}
+	for _, workload := range []string{"trickle", "firehose"} {
+		for _, tail := range []bool{false, true} {
+			res, err := measureFollowerTransfer(cfg, opt, bodies, trickleBodies, workload == "trickle", tail)
+			if err != nil {
+				return err
+			}
+			mode := "snapshot"
+			if tail {
+				mode = "tail"
+			}
+			perItem := float64(res.bytes)
+			if res.items > 0 {
+				perItem /= float64(res.items)
+			}
+			fmt.Fprintf(w, "%-10s %-9s %10d %14d %12.0f %14.0f\n",
+				workload, mode, res.items, res.bytes, perItem, res.perPoll)
+			perPoll[tkey{workload, tail}] = res.perPoll
+		}
+	}
+	for _, workload := range []string{"trickle", "firehose"} {
+		snap, tl := perPoll[tkey{workload, false}], perPoll[tkey{workload, true}]
+		if tl > 0 {
+			fmt.Fprintf(w, "  %s: log tailing moves %.1fx fewer bytes per poll than snapshot polling\n",
+				workload, snap/tl)
+		}
+	}
+
 	fmt.Fprintln(w, "\nCheckpoints ride the same snapshot path queries use, so the cost is one"+
 		"\nextra reader per interval; follower staleness is bounded by the poll interval"+
-		"\nplus one snapshot transfer.")
+		"\nplus one transfer — a full snapshot when polling, just the item delta when"+
+		"\ntailing the primary's operation log.")
 	return nil
+}
+
+// transferResult is one cell of the part-3 table.
+type transferResult struct {
+	items   int64   // items ingested during the measured window
+	bytes   int64   // snapshot + tailed bytes the follower transferred
+	perPoll float64 // bytes per poll tick
+}
+
+// measureFollowerTransfer stands up a logging primary and one follower
+// (snapshot-polling or log-tailing), lets the follower bootstrap and
+// converge on a seed batch, then measures the transfer counters across
+// the workload: trickle posts one small request per poll interval,
+// firehose drives the full stream at max speed.
+func measureFollowerTransfer(cfg gss.Config, opt replicaBenchOptions, bodies, trickleBodies [][]byte, trickle, tail bool) (transferResult, error) {
+	var res transferResult
+	quiet := func(string, ...interface{}) {}
+	logDir, err := os.MkdirTemp("", "gss-replica-bench-log-")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(logDir)
+	primary, err := server.NewWithOptions(cfg, server.Options{
+		Backend: sketch.BackendSharded, Shards: opt.Shards, BatchSize: opt.Batch,
+		LogDir: logDir, Logf: quiet})
+	if err != nil {
+		return res, err
+	}
+	defer primary.Close()
+	tsP := httptest.NewServer(primary.Handler())
+	defer tsP.Close()
+
+	// Seed batch: the follower's bootstrap snapshot covers this, keeping
+	// the one-time bootstrap cost out of the steady-state numbers.
+	if _, err := driveIngest(tsP.URL, bodies[:1], 1); err != nil {
+		return res, err
+	}
+
+	follower, err := server.NewWithOptions(cfg, server.Options{
+		Backend: sketch.BackendSharded, Shards: opt.Shards,
+		FollowURL: tsP.URL, FollowInterval: opt.FollowEach, FollowTail: tail,
+		Logf: quiet})
+	if err != nil {
+		return res, err
+	}
+	defer follower.Close()
+	tsF := httptest.NewServer(follower.Handler())
+	defer tsF.Close()
+
+	waitConverged := func() error {
+		deadline := time.Now().Add(30 * time.Second)
+		for follower.Sketch().Stats().Items != primary.Sketch().Stats().Items {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("follower never converged: %d vs %d",
+					follower.Sketch().Stats().Items, primary.Sketch().Stats().Items)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return nil
+	}
+	if err := waitConverged(); err != nil {
+		return res, err
+	}
+	base := replicaStatsOf(tsF.URL)
+	baseItems := primary.Sketch().Stats().Items
+
+	if trickle {
+		client := &http.Client{}
+		defer client.CloseIdleConnections()
+		for _, body := range trickleBodies {
+			resp, err := client.Post(tsP.URL+"/ingest", "application/x-ndjson", bytes.NewReader(body))
+			if err != nil {
+				return res, err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return res, fmt.Errorf("trickle ingest status %d", resp.StatusCode)
+			}
+			time.Sleep(opt.FollowEach)
+		}
+	} else {
+		if _, err := driveIngest(tsP.URL, bodies[1:], opt.Ingesters); err != nil {
+			return res, err
+		}
+	}
+	if err := waitConverged(); err != nil {
+		return res, err
+	}
+	after := replicaStatsOf(tsF.URL)
+	if base.Follower == nil || after.Follower == nil {
+		return res, fmt.Errorf("follower stats missing from /replica/stats")
+	}
+	res.items = primary.Sketch().Stats().Items - baseItems
+	res.bytes = (after.Follower.SnapshotBytes + after.Follower.TailedBytes) -
+		(base.Follower.SnapshotBytes + base.Follower.TailedBytes)
+	if polls := after.Follower.Polls - base.Follower.Polls; polls > 0 {
+		res.perPoll = float64(res.bytes) / float64(polls)
+	}
+	return res, nil
 }
 
 func replicaStatsOf(baseURL string) server.ReplicaStats {

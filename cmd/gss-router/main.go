@@ -39,7 +39,11 @@ func main() {
 			"comma-separated primary=followerURL pairs; reads for a down primary fail over to its follower")
 		probeEvery = flag.Duration("probe-interval", 2*time.Second,
 			"health probe interval (each member's /healthz)")
-		batch = flag.Int("batch", 512, "/ingest decode batch size")
+		batch    = flag.Int("batch", 512, "/ingest decode batch size")
+		spillDir = flag.String("spill-dir", "",
+			"durably absorb writes for down partitions into per-member spill logs under this directory, replayed on recovery")
+		spillMax = flag.Int64("spill-max-bytes", 0,
+			"per-member spill log budget (0 = 64MiB default); at the cap writes answer 429 again")
 	)
 	flag.Parse()
 
@@ -51,6 +55,8 @@ func main() {
 		Members:       strings.Split(*members, ","),
 		ProbeInterval: *probeEvery,
 		BatchSize:     *batch,
+		SpillDir:      *spillDir,
+		SpillMaxBytes: *spillMax,
 	}
 	if *failover != "" {
 		cfg.Failover = make(map[string]string)
@@ -69,8 +75,12 @@ func main() {
 		os.Exit(2)
 	}
 	defer rt.Close()
-	fmt.Printf("gss-router listening on %s (%d members, %d with followers, probe every %s)\n",
-		*addr, len(cfg.Members), len(cfg.Failover), *probeEvery)
+	role := ""
+	if *spillDir != "" {
+		role = ", spilling to " + *spillDir
+	}
+	fmt.Printf("gss-router listening on %s (%d members, %d with followers, probe every %s%s)\n",
+		*addr, len(cfg.Members), len(cfg.Failover), *probeEvery, role)
 
 	// Same header/idle hardening as gss-server: a slow-header client
 	// must not pin a connection, while /ingest bodies may stream for as

@@ -5,10 +5,11 @@
 //	gss-server -backend sharded -shards 16 -ingest-workers 4
 //	gss-server -backend windowed -window-span 3600 -window-generations 4
 //
-// Durable primary and a read replica following it:
+// Durable primary (checkpoints + operation log) and a log-tailing read
+// replica following it:
 //
-//	gss-server -addr :8080 -checkpoint-dir /var/lib/gss -checkpoint-interval 30s
-//	gss-server -addr :8081 -follow http://primary:8080 -follow-interval 2s
+//	gss-server -addr :8080 -checkpoint-dir /var/lib/gss -log-dir /var/lib/gss/oplog
+//	gss-server -addr :8081 -follow http://primary:8080 -follow-tail
 package main
 
 import (
@@ -52,10 +53,18 @@ func main() {
 		ckptEvery = flag.Duration("checkpoint-interval", 30*time.Second,
 			"time between periodic checkpoints")
 		ckptKeep = flag.Int("checkpoint-keep", 3, "checkpoints to retain")
-		follow   = flag.String("follow", "",
+		logDir   = flag.String("log-dir", "",
+			"append-only operation log: append every applied batch, replay on recovery, serve GET /log to tailing followers")
+		logSync = flag.Duration("log-sync", 0,
+			"operation log fsync batching window (0 = 50ms default, negative = fsync every append)")
+		logSegBytes = flag.Int64("log-segment-bytes", 0,
+			"operation log segment rotation threshold (0 = 8MiB default)")
+		follow = flag.String("follow", "",
 			"run as a read replica of the primary at this base URL (writes answer 403)")
 		followEvery = flag.Duration("follow-interval", 2*time.Second,
-			"read replica: snapshot poll interval")
+			"read replica: poll interval")
+		followTail = flag.Bool("follow-tail", false,
+			"read replica: tail the primary's operation log instead of re-fetching snapshots")
 	)
 	flag.Parse()
 
@@ -67,7 +76,8 @@ func main() {
 			BatchSize: *batch, QueueDepth: *queue, Workers: *workers,
 			CheckpointDir: *ckptDir, CheckpointInterval: *ckptEvery,
 			CheckpointKeep: *ckptKeep,
-			FollowURL:      *follow, FollowInterval: *followEvery})
+			LogDir:         *logDir, LogSyncEvery: *logSync, LogSegmentBytes: *logSegBytes,
+			FollowURL: *follow, FollowInterval: *followEvery, FollowTail: *followTail})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gss-server:", err)
 		os.Exit(2)
@@ -76,9 +86,15 @@ func main() {
 	role := "primary"
 	if *follow != "" {
 		role = "follower of " + *follow
+		if *followTail {
+			role += " (log-tailing)"
+		}
 	}
 	if *ckptDir != "" {
 		role += ", checkpointing to " + *ckptDir
+	}
+	if *logDir != "" {
+		role += ", logging to " + *logDir
 	}
 	fmt.Printf("gss-server listening on %s (backend=%s width=%d fp=%dbit rooms=%d r=%d batch=%d; %s)\n",
 		*addr, *backend, *width, *fpbits, *rooms, *seqlen, *batch, role)

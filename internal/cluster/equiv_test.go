@@ -307,6 +307,75 @@ func TestClusterEquivalenceSweep(t *testing.T) {
 	}
 }
 
+// TestClusterEquivalenceSpillReplay: equivalence must survive a member
+// being killed in the middle of the ingest workload with its writes
+// absorbed by the router's spill log — the acceptance criterion that
+// proves spill + replay delivers the partition's exact multiset of
+// items, neither losing nor double-counting any.
+//
+// Timeline: first half of the stream flows normally; the durable
+// member (operation log, fsync per append) is crash-killed; the second
+// half is ingested with that partition's items spilling; the member
+// restarts, recovers its own log, and the router replays the spill.
+// The final state must diff clean against an oracle that saw the whole
+// stream uninterrupted.
+func TestClusterEquivalenceSpillReplay(t *testing.T) {
+	items := equivStream(200, 1200, 47)
+	opt := server.Options{Backend: sketch.BackendConcurrent}
+
+	m0 := startMember(t, opt)
+	t.Cleanup(m0.stop)
+	m2 := startMember(t, opt)
+	t.Cleanup(m2.stop)
+	rm := startRestartableMember(t, server.Options{Backend: sketch.BackendConcurrent,
+		LogDir: t.TempDir(), LogSyncEvery: -1})
+
+	rt, ts := newTestRouter(t, Config{
+		Members:       []string{m0.ts.URL, rm.url(), m2.ts.URL},
+		ProbeInterval: 25 * time.Millisecond,
+		SpillDir:      t.TempDir(),
+	})
+	idx := memberIndex(t, rt, rm.url())
+
+	half := len(items) / 2
+	resp, raw := postBody(t, ts.URL+"/ingest", ndjsonBody(items[:half]), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first-half ingest status %d: %s", resp.StatusCode, raw)
+	}
+
+	// Crash the durable member and wait for the prober's verdict, so the
+	// second half spills deterministically instead of racing a torn pipe.
+	rm.kill()
+	waitMember(t, rt, idx, "member down", func(ms MemberStatus) bool { return !ms.Healthy })
+
+	var res writeRes
+	resp, raw = postBody(t, ts.URL+"/ingest", ndjsonBody(items[half:]), &res)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second-half ingest status %d: %s", resp.StatusCode, raw)
+	}
+	if res.Spilled == 0 {
+		t.Fatalf("nothing spilled for the dead partition: %s", raw)
+	}
+	if res.Ingested+res.Spilled != int64(len(items)-half) {
+		t.Fatalf("second half accounting: ingested %d + spilled %d != %d",
+			res.Ingested, res.Spilled, len(items)-half)
+	}
+
+	// Recovery: the member replays its own operation log (first-half
+	// items), then the router's spill replay delivers the second-half
+	// items it absorbed.
+	rm.restart()
+	waitMember(t, rt, idx, "spill drained", func(ms MemberStatus) bool {
+		return ms.Healthy && ms.Spill.PendingItems == 0 && ms.Spill.Replays >= 1
+	})
+	if got := rt.Stats().Members[idx].Spill.ReplayedItems; got != res.Spilled {
+		t.Fatalf("replayed %d items, spilled %d", got, res.Spilled)
+	}
+
+	oracleURL := oracleOf(t, opt, items)
+	diffObservables(t, ts.URL, oracleURL, items, 601)
+}
+
 // TestClusterEquivalenceFailover: equivalence must survive a member
 // being swapped for its follower replica mid-run — the acceptance
 // criterion that proves fail-over serves the partition's full state,

@@ -77,8 +77,11 @@ func decodeInsertItems(body []byte) ([]stream.Item, error) {
 // retryAfter429 writes the 429 a down partition's writes receive,
 // advising the producer to retry after the next probe tick. acceptedKey
 // names the accepted-count field so it matches the endpoint's success
-// shape ("inserted" for /insert, "ingested" for /ingest).
-func (rt *Router) retryAfter429(w http.ResponseWriter, acceptedKey string, accepted, dropped int64, member string) {
+// shape ("inserted" for /insert, "ingested" for /ingest). spilled
+// counts items durably absorbed into a spill log — those are accepted
+// too, and reported separately so a retrying producer knows the
+// dropped count alone is what it still owes.
+func (rt *Router) retryAfter429(w http.ResponseWriter, acceptedKey string, accepted, spilled, dropped int64, member string) {
 	secs := int(rt.cfg.ProbeInterval.Seconds())
 	if secs < 1 {
 		secs = 1
@@ -86,18 +89,25 @@ func (rt *Router) retryAfter429(w http.ResponseWriter, acceptedKey string, accep
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusTooManyRequests)
-	_ = json.NewEncoder(w).Encode(map[string]interface{}{
+	body := map[string]interface{}{
 		"error":     fmt.Sprintf("partition down: member %s unreachable (writes need the primary)", member),
 		acceptedKey: accepted,
 		"dropped":   dropped,
-	})
+	}
+	if spilled > 0 {
+		body["spilled"] = spilled
+	}
+	_ = json.NewEncoder(w).Encode(body)
 }
 
 // handleInsert splits the posted item(s) by owner and forwards each
-// group as one member /insert. The split is all-or-nothing: if any
-// target partition is down the whole request answers 429 before a
-// single item lands, so a producer never has to untangle a partially
-// applied small batch.
+// group as one member /insert. Groups owned by a down partition are
+// absorbed into its spill log when one is configured (counted in the
+// reply as "spilled" — they reach the member when it recovers);
+// without a spill, or with the spill at budget, the split stays
+// all-or-nothing: the whole request answers 429 before a single item
+// lands, so a producer never has to untangle a partially applied
+// small batch.
 func (rt *Router) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
@@ -118,13 +128,28 @@ func (rt *Router) handleInsert(w http.ResponseWriter, r *http.Request) {
 		m := rt.owner(it.Src)
 		groups[m] = append(groups[m], it)
 	}
+	// Known-down partitions are resolved before anything is sent: every
+	// one of them must be spillable (spill configured and under budget)
+	// or the whole batch answers 429 untouched — all-or-nothing.
 	for m := range groups {
-		if m.down.Load() {
-			// All-or-nothing: nothing was sent, so the whole batch is
-			// the dropped count, not just the down partition's share.
-			rt.retryAfter429(w, "inserted", 0, int64(len(items)), m.primary)
+		if m.down.Load() && (m.spill == nil || m.spill.atBudget()) {
+			rt.retryAfter429(w, "inserted", 0, 0, int64(len(items)), m.primary)
 			return
 		}
+	}
+	var spilled int64
+	for m, group := range groups {
+		if !m.down.Load() {
+			continue
+		}
+		if err := m.spill.append(group); err != nil {
+			// The budget was pre-checked, so this is an I/O failure: the
+			// spill can no longer keep its durability promise.
+			httpError(w, http.StatusInternalServerError, "cluster: spilling for %s: %v", m.primary, err)
+			return
+		}
+		spilled += int64(len(group))
+		delete(groups, m)
 	}
 	ctx, cancel := rt.reqCtx(r)
 	defer cancel()
@@ -147,6 +172,12 @@ func (rt *Router) handleInsert(w http.ResponseWriter, r *http.Request) {
 					if !m.down.Swap(true) {
 						rt.cfg.Logf("cluster: member %s down (insert failed): %v", m.primary, err)
 					}
+					// The member died under this very request; the group is
+					// still in hand, so the spill can absorb it.
+					if m.spill != nil && m.spill.append(group) == nil {
+						spilled += int64(len(group))
+						return
+					}
 					downMember, downDropped = m.primary, downDropped+int64(len(group))
 				} else if hardErr == nil {
 					hardErr = err
@@ -162,10 +193,14 @@ func (rt *Router) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if downMember != "" {
-		rt.retryAfter429(w, "inserted", inserted, downDropped, downMember)
+		rt.retryAfter429(w, "inserted", inserted, spilled, downDropped, downMember)
 		return
 	}
-	writeJSON(w, map[string]interface{}{"inserted": inserted, "members": len(groups)})
+	res := map[string]interface{}{"inserted": inserted, "members": len(groups)}
+	if spilled > 0 {
+		res["spilled"] = spilled
+	}
+	writeJSON(w, res)
 }
 
 // transportError wraps failures to reach a member at all, as opposed to
@@ -301,12 +336,15 @@ func (rt *Router) openStream(ctx context.Context, m *member, batchSize int) *mem
 // stream.ScanItemLine per item (extract src, prove the member's full
 // decode will accept the line), not a decode plus re-encode, so the
 // per-item router cost stays a fraction of the member's insert cost.
-// Items bound for a down partition are counted dropped and the reply is
-// 429 — mid-stream member failures downgrade the same way, so a
-// producer retries the whole upload after Retry-After; re-inserting the
-// accepted prefix only adds weight the sketch semantics already
-// tolerate (weights are cumulative observations), and exactly-once
-// replay is what checkpoints are for.
+// Items bound for a down partition are absorbed into its spill log
+// when one is configured (reported as "spilled" — delivered when the
+// member recovers); otherwise they are counted dropped and the reply
+// is 429 — mid-stream member failures downgrade the same way (the
+// already-piped, unconfirmed prefix cannot be reconstructed for
+// spilling), so a producer retries the whole upload after Retry-After;
+// re-inserting the accepted prefix only adds weight the sketch
+// semantics already tolerate (weights are cumulative observations),
+// and exactly-once replay is what checkpoints are for.
 func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
@@ -325,6 +363,15 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	streams := make(map[*member]*memberStream, len(rt.members))
+	// spillBuf batches a down partition's decoded items between spill
+	// appends, so the fsync-per-append spill pays one sync per
+	// batchSize items, not one per line.
+	type spillBuf struct {
+		items []stream.Item
+		full  bool // budget hit: stop buffering, count the rest dropped
+	}
+	spillBufs := make(map[*member]*spillBuf)
+	var spilled int64
 	var dropped int64
 	var downMember string
 	var decodeErr error
@@ -345,6 +392,36 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 		ms := streams[m]
 		if ms == nil {
 			if m.down.Load() {
+				if m.spill != nil {
+					sb := spillBufs[m]
+					if sb == nil {
+						sb = &spillBuf{}
+						spillBufs[m] = sb
+					}
+					if !sb.full {
+						its, err := decodeInsertItems(raw)
+						if err != nil {
+							// ScanItemLine vouched for the line, so this is
+							// a grammar corner the two decoders disagree on;
+							// dropping just it keeps the request honest.
+							dropped++
+							downMember = m.primary
+							continue
+						}
+						sb.items = append(sb.items, its...)
+						if len(sb.items) >= batchSize {
+							if err := m.spill.append(sb.items); err != nil {
+								sb.full = true
+								dropped += int64(len(sb.items))
+								downMember = m.primary
+							} else {
+								spilled += int64(len(sb.items))
+							}
+							sb.items = sb.items[:0]
+						}
+						continue
+					}
+				}
 				dropped++
 				downMember = m.primary
 				continue
@@ -374,6 +451,19 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	if decodeErr == nil {
 		decodeErr = sc.Err()
+	}
+
+	// Flush the partial spill buffers.
+	for m, sb := range spillBufs {
+		if len(sb.items) == 0 {
+			continue
+		}
+		if err := m.spill.append(sb.items); err != nil {
+			dropped += int64(len(sb.items))
+			downMember = m.primary
+		} else {
+			spilled += int64(len(sb.items))
+		}
 	}
 
 	// Flush and close every stream, then collect the member replies.
@@ -418,9 +508,13 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "line %d: %v (%d items accepted)",
 			lineNo, decodeErr, ingested)
 	case dropped > 0 || downMember != "":
-		rt.retryAfter429(w, "ingested", ingested, dropped, downMember)
+		rt.retryAfter429(w, "ingested", ingested, spilled, dropped, downMember)
 	default:
-		writeJSON(w, map[string]interface{}{
-			"mode": "cluster", "ingested": ingested, "members": len(streams)})
+		res := map[string]interface{}{
+			"mode": "cluster", "ingested": ingested, "members": len(streams)}
+		if spilled > 0 {
+			res["spilled"] = spilled
+		}
+		writeJSON(w, res)
 	}
 }

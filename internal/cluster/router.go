@@ -35,8 +35,18 @@ type Config struct {
 	// capped at 2s).
 	ProbeTimeout time.Duration
 	// BatchSize is the /ingest decode batch size, overridable per
-	// request with ?batch=N (default 512).
+	// request with ?batch=N (default 512). Spill replay also forwards
+	// in batches of this size.
 	BatchSize int
+	// SpillDir, when set, makes the router durably absorb writes for
+	// down partitions instead of answering 429: each member gets an
+	// append-only spill log under this directory, fsynced before the
+	// write is acknowledged, and replayed into the member when the
+	// prober sees it healthy again. See spill.go.
+	SpillDir string
+	// SpillMaxBytes bounds one member's spill log (default 64 MiB).
+	// At the cap the router reverts to 429 + Retry-After.
+	SpillMaxBytes int64
 	// Client issues all member requests. Defaults to a dedicated client
 	// with per-host keep-alive sized for fan-outs.
 	Client *http.Client
@@ -87,6 +97,7 @@ func (c Config) withDefaults() Config {
 type member struct {
 	primary  string
 	follower string // "" when the partition has no replica
+	spill    *spill // nil unless Config.SpillDir is set
 
 	down atomic.Bool // router's view of the primary; false at start
 
@@ -134,16 +145,29 @@ func New(cfg Config) (*Router, error) {
 	byURL := make(map[string]*member, ring.Size())
 	for i := 0; i < ring.Size(); i++ {
 		m := &member{primary: ring.Member(i)}
+		if cfg.SpillDir != "" {
+			sp, err := openSpill(cfg.SpillDir, m.primary, cfg.SpillMaxBytes, cfg.Logf)
+			if err != nil {
+				rt.closeSpills()
+				rt.cancel()
+				return nil, err
+			}
+			m.spill = sp
+		}
 		rt.members = append(rt.members, m)
 		byURL[m.primary] = m
 	}
 	for primary, follower := range cfg.Failover {
 		m, ok := byURL[strings.TrimRight(strings.TrimSpace(primary), "/")]
 		if !ok {
+			rt.closeSpills()
+			rt.cancel()
 			return nil, fmt.Errorf("cluster: failover for %q: not a member", primary)
 		}
 		f := strings.TrimRight(strings.TrimSpace(follower), "/")
 		if f == "" {
+			rt.closeSpills()
+			rt.cancel()
 			return nil, fmt.Errorf("cluster: failover for %q: empty follower URL", primary)
 		}
 		m.follower = f
@@ -153,13 +177,23 @@ func New(cfg Config) (*Router, error) {
 	return rt, nil
 }
 
-// Close stops the health prober and cancels every in-flight member
-// request and fan-out. The router must not receive requests afterwards.
+// Close stops the health prober, cancels every in-flight member
+// request, fan-out and spill replay, and closes the spill logs. The
+// router must not receive requests afterwards.
 func (rt *Router) Close() {
 	rt.once.Do(func() {
 		rt.cancel()
 		rt.wg.Wait()
+		rt.closeSpills()
 	})
+}
+
+func (rt *Router) closeSpills() {
+	for _, m := range rt.members {
+		if m.spill != nil {
+			m.spill.close()
+		}
+	}
 }
 
 // Ring exposes the partitioning ring (for tests and tooling).
@@ -257,6 +291,10 @@ func (rt *Router) probe(m *member) {
 	if m.down.Swap(false) {
 		rt.cfg.Logf("cluster: member %s back up", m.primary)
 	}
+	// Every healthy verdict — not just the up transition — checks for
+	// pending spilled writes, so spills that predate this router process
+	// or survived an interrupted replay still drain.
+	rt.maybeReplay(m)
 }
 
 // probedHealthz is the slice of a member's /healthz the router records.
@@ -376,15 +414,16 @@ func (rt *Router) scatter(fn func(i int, m *member) error) error {
 
 // MemberStatus is one member's entry in the /cluster/stats payload.
 type MemberStatus struct {
-	URL             string `json:"url"`
-	Follower        string `json:"follower,omitempty"`
-	Healthy         bool   `json:"healthy"`
-	Role            string `json:"role,omitempty"`
-	Backend         string `json:"backend,omitempty"`
-	Probes          int64  `json:"probes"`
-	ProbeFailures   int64  `json:"probe_failures"`
-	FailedOverReads int64  `json:"failed_over_reads"`
-	LastError       string `json:"last_error,omitempty"`
+	URL             string       `json:"url"`
+	Follower        string       `json:"follower,omitempty"`
+	Healthy         bool         `json:"healthy"`
+	Role            string       `json:"role,omitempty"`
+	Backend         string       `json:"backend,omitempty"`
+	Probes          int64        `json:"probes"`
+	ProbeFailures   int64        `json:"probe_failures"`
+	FailedOverReads int64        `json:"failed_over_reads"`
+	Spill           *SpillStatus `json:"spill,omitempty"`
+	LastError       string       `json:"last_error,omitempty"`
 }
 
 // ClusterStats is the GET /cluster/stats payload: the router's view of
@@ -410,6 +449,9 @@ func (rt *Router) Stats() ClusterStats {
 			LastError:       m.lastErr,
 		}
 		m.mu.Unlock()
+		if m.spill != nil {
+			ms.Spill = m.spill.status()
+		}
 		if !ms.Healthy {
 			st.DownMembers++
 		}

@@ -336,11 +336,13 @@ func TestRouterMemberDownMidBatch(t *testing.T) {
 }
 
 // writeRes covers the write-path response shapes: the 200 bodies
-// ("inserted"/"ingested") and the 429 body (accepted count + dropped).
+// ("inserted"/"ingested") and the 429 body (accepted count + spilled
+// + dropped).
 type writeRes struct {
 	Error    string `json:"error"`
 	Inserted int64  `json:"inserted"`
 	Ingested int64  `json:"ingested"`
+	Spilled  int64  `json:"spilled"`
 	Dropped  int64  `json:"dropped"`
 }
 

@@ -1,0 +1,280 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/sketch"
+)
+
+// restartableMember is a member whose process can be "killed" (listener
+// and connections torn down without flushing server state — crash
+// semantics) and started again on the same address, so the router's
+// view of one URL spans the member's death and recovery.
+type restartableMember struct {
+	t    *testing.T
+	opt  server.Options
+	addr string
+	srv  *server.Server
+	ts   *httptest.Server
+}
+
+func startRestartableMember(t *testing.T, opt server.Options) *restartableMember {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &restartableMember{t: t, opt: opt, addr: l.Addr().String()}
+	m.start(l)
+	return m
+}
+
+func (m *restartableMember) start(l net.Listener) {
+	m.t.Helper()
+	opt := m.opt
+	opt.Logf = silentLogf
+	srv, err := server.NewWithOptions(testCfg, opt)
+	if err != nil {
+		m.t.Fatal(err)
+	}
+	ts := httptest.NewUnstartedServer(srv.Handler())
+	ts.Listener.Close()
+	ts.Listener = l
+	ts.Start()
+	m.srv, m.ts = srv, ts
+	// Server instances pile up across restarts; close the current one
+	// at test end (cleanups run LIFO, so the last restart's instance is
+	// closed first).
+	m.t.Cleanup(func() { srv.Close() })
+}
+
+// kill simulates a crash: connections die mid-flight and nothing is
+// flushed. The server.Server is deliberately not Closed — a crash
+// would not have run its shutdown path either.
+func (m *restartableMember) kill() {
+	m.ts.CloseClientConnections()
+	m.ts.Close()
+}
+
+// restart binds a fresh server to the same address; with a durable
+// Options (LogDir/CheckpointDir) it recovers the pre-kill state.
+func (m *restartableMember) restart() {
+	m.t.Helper()
+	l, err := net.Listen("tcp", m.addr)
+	if err != nil {
+		m.t.Fatal(err)
+	}
+	m.start(l)
+}
+
+func (m *restartableMember) url() string { return "http://" + m.addr }
+
+// memberIndex finds url's row in the router's stats (ring order is not
+// config order).
+func memberIndex(t *testing.T, rt *Router, url string) int {
+	t.Helper()
+	for i, ms := range rt.Stats().Members {
+		if ms.URL == url {
+			return i
+		}
+	}
+	t.Fatalf("member %s not in router stats", url)
+	return -1
+}
+
+// waitMember polls the member's stats row until cond accepts it.
+func waitMember(t *testing.T, rt *Router, idx int, what string, cond func(MemberStatus) bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ms := rt.Stats().Members[idx]
+		if cond(ms) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s: %+v (spill %+v)", what, ms, ms.Spill)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRouterSpillAbsorbsAndReplays: a write to a down partition with a
+// spill configured is acknowledged as "spilled" instead of 429, shows
+// up as pending in /cluster/stats, and is delivered to the member once
+// the prober sees it again.
+func TestRouterSpillAbsorbsAndReplays(t *testing.T) {
+	rm := startRestartableMember(t, server.Options{Backend: sketch.BackendConcurrent})
+	rt, ts := newTestRouter(t, Config{
+		Members:       []string{rm.url()},
+		ProbeInterval: 20 * time.Millisecond,
+		SpillDir:      t.TempDir(),
+	})
+	idx := memberIndex(t, rt, rm.url())
+
+	rm.kill()
+	waitMember(t, rt, idx, "member down", func(ms MemberStatus) bool { return !ms.Healthy })
+
+	// Two inserts while down: both absorbed, none dropped.
+	var res struct {
+		Inserted int64 `json:"inserted"`
+		Spilled  int64 `json:"spilled"`
+	}
+	resp, raw := postBody(t, ts.URL+"/insert", `{"src":"a","dst":"b","weight":5}`, &res)
+	if resp.StatusCode != http.StatusOK || res.Spilled != 1 || res.Inserted != 0 {
+		t.Fatalf("spilled insert: status %d body %s", resp.StatusCode, raw)
+	}
+	resp, raw = postBody(t, ts.URL+"/insert", `[{"src":"c","dst":"d","weight":2},{"src":"e","dst":"f"}]`, &res)
+	if resp.StatusCode != http.StatusOK || res.Spilled != 2 {
+		t.Fatalf("spilled insert: status %d body %s", resp.StatusCode, raw)
+	}
+	st := rt.Stats().Members[idx]
+	if st.Spill == nil || st.Spill.PendingItems != 3 || st.Spill.SpilledItems != 3 {
+		t.Fatalf("spill stats after absorb: %+v", st.Spill)
+	}
+
+	// Recovery: the prober kicks the replay, the spill drains, and the
+	// member (fresh — it crashed with no durable state) holds exactly
+	// the spilled items.
+	rm.restart()
+	waitMember(t, rt, idx, "spill drained", func(ms MemberStatus) bool {
+		return ms.Healthy && ms.Spill.PendingItems == 0 && ms.Spill.Replays >= 1
+	})
+	st = rt.Stats().Members[idx]
+	if st.Spill.ReplayedItems != 3 {
+		t.Fatalf("replayed %d items, want 3: %+v", st.Spill.ReplayedItems, st.Spill)
+	}
+	for _, tc := range []struct {
+		src, dst string
+		weight   int64
+	}{{"a", "b", 5}, {"c", "d", 2}, {"e", "f", 1}} {
+		var er struct {
+			Weight int64 `json:"weight"`
+			Found  bool  `json:"found"`
+		}
+		getJSON(t, rm.url()+"/edge?src="+tc.src+"&dst="+tc.dst, &er)
+		if !er.Found || er.Weight != tc.weight {
+			t.Fatalf("replayed edge %s->%s = (%d,%v), want (%d,true)",
+				tc.src, tc.dst, er.Weight, er.Found, tc.weight)
+		}
+	}
+
+	// Writes flow directly again.
+	res.Inserted, res.Spilled = 0, 0
+	resp, raw = postBody(t, ts.URL+"/insert", `{"src":"g","dst":"h"}`, &res)
+	if resp.StatusCode != http.StatusOK || res.Inserted != 1 || res.Spilled != 0 {
+		t.Fatalf("post-recovery insert: status %d body %s", resp.StatusCode, raw)
+	}
+}
+
+// TestRouterSpillBudget: the spill is bounded — at SpillMaxBytes the
+// router reverts to the 429 + Retry-After contract, all-or-nothing.
+func TestRouterSpillBudget(t *testing.T) {
+	rm := startRestartableMember(t, server.Options{Backend: sketch.BackendConcurrent})
+	rt, ts := newTestRouter(t, Config{
+		Members:       []string{rm.url()},
+		ProbeInterval: 20 * time.Millisecond,
+		SpillDir:      t.TempDir(),
+		// Room for the segment header plus one small record, not two:
+		// the first insert is absorbed, the second refused.
+		SpillMaxBytes: 20,
+	})
+	idx := memberIndex(t, rt, rm.url())
+	rm.kill()
+	waitMember(t, rt, idx, "member down", func(ms MemberStatus) bool { return !ms.Healthy })
+
+	var res writeRes
+	resp, raw := postBody(t, ts.URL+"/insert", `{"src":"a","dst":"b"}`, &res)
+	if resp.StatusCode != http.StatusOK || res.Spilled != 1 {
+		t.Fatalf("first insert should spill: status %d body %s", resp.StatusCode, raw)
+	}
+	res = writeRes{}
+	resp, raw = postBody(t, ts.URL+"/insert", `{"src":"c","dst":"d"}`, &res)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("insert past spill budget: status %d body %s, want 429", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if res.Inserted != 0 || res.Dropped != 1 {
+		t.Fatalf("all-or-nothing violated past budget: %s", raw)
+	}
+
+	// /ingest over budget: spillable lines up to the cap, 429 with exact
+	// accounting for the rest.
+	var lines strings.Builder
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(&lines, "{\"src\":\"n%d\",\"dst\":\"x\"}\n", i)
+	}
+	res = writeRes{}
+	resp, raw = postBody(t, ts.URL+"/ingest", lines.String(), &res)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("ingest past spill budget: status %d body %s, want 429", resp.StatusCode, raw)
+	}
+	if res.Ingested+res.Spilled+res.Dropped != 10 {
+		t.Fatalf("accounting does not add up to 10: %s", raw)
+	}
+	if res.Dropped == 0 {
+		t.Fatalf("budget never refused anything: %s", raw)
+	}
+}
+
+// TestRouterSpillSurvivesRestart: a spill absorbed by one router
+// process is replayed by the next — the durability promise that
+// distinguishes the spill from an in-memory buffer.
+func TestRouterSpillSurvivesRestart(t *testing.T) {
+	rm := startRestartableMember(t, server.Options{Backend: sketch.BackendConcurrent})
+	spillDir := t.TempDir()
+
+	rt1, err := New(Config{Members: []string{rm.url()},
+		ProbeInterval: 20 * time.Millisecond, SpillDir: spillDir, Logf: silentLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(rt1.Handler())
+	idx := memberIndex(t, rt1, rm.url())
+	rm.kill()
+	waitMember(t, rt1, idx, "member down", func(ms MemberStatus) bool { return !ms.Healthy })
+	resp, raw := postBody(t, ts1.URL+"/insert", `{"src":"a","dst":"b","weight":7}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("spilled insert: status %d body %s", resp.StatusCode, raw)
+	}
+	ts1.Close()
+	rt1.Close()
+
+	// The second router process finds the spill on disk; the member is
+	// back, so the first healthy probe drains it.
+	rm.restart()
+	rt2, _ := newTestRouter(t, Config{Members: []string{rm.url()},
+		ProbeInterval: 20 * time.Millisecond, SpillDir: spillDir})
+	waitMember(t, rt2, idx, "inherited spill drained", func(ms MemberStatus) bool {
+		return ms.Healthy && ms.Spill.PendingItems == 0 && ms.Spill.ReplayedItems == 1
+	})
+	var er struct {
+		Weight int64 `json:"weight"`
+		Found  bool  `json:"found"`
+	}
+	getJSON(t, rm.url()+"/edge?src=a&dst=b", &er)
+	if !er.Found || er.Weight != 7 {
+		t.Fatalf("inherited spill edge = (%d,%v), want (7,true)", er.Weight, er.Found)
+	}
+}
+
+// TestSpillDirName: URL flattening keeps host and port readable and
+// never emits path separators.
+func TestSpillDirName(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"http://127.0.0.1:8081", "http___127.0.0.1_8081"},
+		{"http://a.example.com:8080/", "http___a.example.com_8080"},
+	} {
+		if got := spillDirName(tc.in); got != tc.want {
+			t.Fatalf("spillDirName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/hashing"
 )
@@ -62,18 +63,37 @@ func (g *GSS) WriteTo(w io.Writer) (int64, error) {
 	write(g.weights)
 	write(g.occ)
 
+	// Map areas are emitted in sorted key order so identical sketch
+	// state always serializes to identical bytes: followers compare
+	// snapshot hashes to skip re-applying an unchanged primary, which
+	// only works if the encoding is deterministic.
 	write(uint32(len(g.buf.weights)))
-	for k, wgt := range g.buf.weights {
+	bufKeys := make([]edgeKey, 0, len(g.buf.weights))
+	for k := range g.buf.weights {
+		bufKeys = append(bufKeys, k)
+	}
+	sort.Slice(bufKeys, func(i, j int) bool {
+		if bufKeys[i].s != bufKeys[j].s {
+			return bufKeys[i].s < bufKeys[j].s
+		}
+		return bufKeys[i].d < bufKeys[j].d
+	})
+	for _, k := range bufKeys {
 		write(k.s)
 		write(k.d)
-		write(wgt)
+		write(g.buf.weights[k])
 	}
 	if g.reg == nil {
 		write(uint32(0))
 	} else {
 		write(uint32(g.reg.count))
-		for hv, ids := range g.reg.ids {
-			for _, id := range ids {
+		hvs := make([]uint64, 0, len(g.reg.ids))
+		for hv := range g.reg.ids {
+			hvs = append(hvs, hv)
+		}
+		sort.Slice(hvs, func(i, j int) bool { return hvs[i] < hvs[j] })
+		for _, hv := range hvs {
+			for _, id := range g.reg.ids[hv] {
 				write(hv)
 				write(uint32(len(id)))
 				cw.Write([]byte(id))

@@ -72,12 +72,22 @@ func List(dir string) ([]Checkpoint, error) {
 // beats no state. It returns the path restored from, or "" when dir
 // holds no usable checkpoint.
 func RecoverNewest(dir string, restore func(io.Reader) error, logf func(string, ...interface{})) (string, error) {
+	path, _, err := RecoverNewestWithMeta(dir, restore, logf)
+	return path, err
+}
+
+// RecoverNewestWithMeta is RecoverNewest plus the restored checkpoint's
+// meta sidecar (see CheckpointConfig.Meta): nil when the checkpoint
+// predates sidecars or none was configured. The sidecar is renamed into
+// place before its checkpoint, so a visible checkpoint written with
+// Meta always has one.
+func RecoverNewestWithMeta(dir string, restore func(io.Reader) error, logf func(string, ...interface{})) (string, []byte, error) {
 	if logf == nil {
 		logf = func(string, ...interface{}) {}
 	}
 	cks, err := List(dir)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	for i := len(cks) - 1; i >= 0; i-- {
 		ck := cks[i]
@@ -92,9 +102,19 @@ func RecoverNewest(dir string, restore func(io.Reader) error, logf func(string, 
 			logf("replica: skipping corrupt checkpoint %s: %v", ck.Path, err)
 			continue
 		}
-		return ck.Path, nil
+		return ck.Path, ReadMeta(ck.Path), nil
 	}
-	return "", nil
+	return "", nil, nil
+}
+
+// ReadMeta returns the meta sidecar bytes for the checkpoint at path,
+// or nil when there is none.
+func ReadMeta(path string) []byte {
+	data, err := os.ReadFile(path + ".meta")
+	if err != nil {
+		return nil
+	}
+	return data
 }
 
 // CheckpointConfig configures a Checkpointer.
@@ -110,6 +130,17 @@ type CheckpointConfig struct {
 	// Snapshot streams the current sketch state; it must be safe to
 	// call from the checkpoint goroutine (every sketch.Sketch is).
 	Snapshot func(io.Writer) error
+	// Meta, when set, is called after each successful Snapshot (under
+	// the same write lock) and its bytes are persisted in a
+	// "<checkpoint>.meta" sidecar, renamed into place before the
+	// checkpoint itself. The server stores the operation-log sequence
+	// captured with the snapshot here, so recovery knows where log
+	// replay resumes.
+	Meta func() []byte
+	// AfterCheckpoint, when set, runs after each successful checkpoint
+	// and prune — the hook the server uses to retire operation-log
+	// segments no retained checkpoint needs anymore.
+	AfterCheckpoint func()
 	// Logf receives warnings (failed writes, prune errors); nil
 	// discards them.
 	Logf func(string, ...interface{})
@@ -239,6 +270,9 @@ func (c *Checkpointer) CheckpointNow() (string, error) {
 	c.stats.LastPath = path
 	c.nextSeq++
 	c.pruneLocked()
+	if c.cfg.AfterCheckpoint != nil {
+		c.cfg.AfterCheckpoint()
+	}
 	return path, nil
 }
 
@@ -267,6 +301,14 @@ func (c *Checkpointer) writeLocked() (string, int64, error) {
 		return "", 0, err
 	}
 	final := filepath.Join(c.cfg.Dir, checkpointFile(c.nextSeq))
+	if c.cfg.Meta != nil {
+		// The sidecar lands before the checkpoint: a crash between the
+		// two renames leaves an orphan sidecar (harmless, overwritten on
+		// the next attempt), never a checkpoint without its meta.
+		if err := writeFileSync(final+".meta", c.cfg.Meta()); err != nil {
+			return "", 0, fmt.Errorf("meta sidecar: %w", err)
+		}
+	}
 	if err := os.Rename(tmp.Name(), final); err != nil {
 		return "", 0, err
 	}
@@ -293,8 +335,32 @@ func (c *Checkpointer) pruneLocked() {
 			c.cfg.Logf("replica: prune %s: %v", cks[i].Path, err)
 			continue
 		}
+		os.Remove(cks[i].Path + ".meta") // best effort; may not exist
 		c.stats.Pruned++
 	}
+}
+
+// writeFileSync writes data via temp file + fsync + atomic rename, the
+// same durability discipline as the checkpoints themselves.
+func writeFileSync(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".meta-*.tmp")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(name, path)
+	}
+	if err != nil {
+		os.Remove(name)
+	}
+	return err
 }
 
 // Stats snapshots the checkpoint counters.

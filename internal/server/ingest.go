@@ -6,7 +6,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/sketch"
 	"repro/internal/stream"
 )
 
@@ -17,7 +16,7 @@ import (
 // backpressure signal handlers turn into HTTP 429, pushing flow
 // control back to producers instead of buffering without bound.
 type pipeline struct {
-	sk    sketch.Sketch
+	apply func([]stream.Item)
 	queue chan []stream.Item
 	wg    sync.WaitGroup
 
@@ -31,8 +30,8 @@ type pipeline struct {
 	closeOnce sync.Once
 }
 
-func newPipeline(sk sketch.Sketch, queueDepth, workers int) *pipeline {
-	p := &pipeline{sk: sk, queue: make(chan []stream.Item, queueDepth)}
+func newPipeline(apply func([]stream.Item), queueDepth, workers int) *pipeline {
+	p := &pipeline{apply: apply, queue: make(chan []stream.Item, queueDepth)}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go p.worker()
@@ -43,7 +42,7 @@ func newPipeline(sk sketch.Sketch, queueDepth, workers int) *pipeline {
 func (p *pipeline) worker() {
 	defer p.wg.Done()
 	for batch := range p.queue {
-		p.sk.InsertBatch(batch)
+		p.apply(batch)
 		p.processedItems.Add(int64(len(batch)))
 		p.processedBatches.Add(1)
 	}
@@ -182,7 +181,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		} else {
-			s.sk.InsertBatch(batch)
+			s.applyBatch(batch)
 		}
 		items += int64(len(batch))
 		batches++

@@ -17,7 +17,8 @@
 //	GET  /reachable?src=a&dst=b
 //	GET  /heavy?min=100
 //	GET  /stats
-//	GET  /snapshot      (binary sketch snapshot)
+//	GET  /snapshot      (binary sketch snapshot; X-Log-Seq on logging primaries)
+//	GET  /log?from=N    (operation-log records for tailing followers)
 //	POST /restore       (binary sketch snapshot)
 //	POST /checkpoint    force a durable checkpoint (checkpointing servers)
 //	GET  /replica/stats replication role, checkpoint and follower counters
@@ -56,9 +57,11 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/gss"
+	"repro/internal/oplog"
 	"repro/internal/query"
 	"repro/internal/replica"
 	"repro/internal/sketch"
@@ -99,6 +102,22 @@ type Options struct {
 	// for concurrent use.
 	Now func() int64
 
+	// LogDir enables the append-only operation log: every applied
+	// insert/ingest batch is appended (and fsynced per LogSyncEvery)
+	// before the request is acknowledged, startup recovery replays the
+	// log from the newest checkpoint's sequence, and GET /log serves
+	// the records so followers can tail deltas instead of re-fetching
+	// snapshots. Empty disables the log. Mutually exclusive with
+	// FollowURL — a follower replicates, it does not originate a log.
+	LogDir string
+	// LogSegmentBytes is the segment rotation threshold (default 8 MiB).
+	LogSegmentBytes int64
+	// LogSyncEvery is the fsync batching window: an append only forces
+	// fsync when this much time passed since the last one (default
+	// 50ms; <0 syncs every append). Crash loss is bounded by the
+	// window; checkpoints and clean Close always sync.
+	LogSyncEvery time.Duration
+
 	// CheckpointDir enables durable checkpoints: the server recovers
 	// from the newest valid checkpoint in this directory at startup
 	// (corrupt ones are skipped with a warning) and periodically
@@ -120,6 +139,11 @@ type Options struct {
 	// first poll happens immediately, so a fresh follower serves
 	// current reads within one interval.
 	FollowInterval time.Duration
+	// FollowTail makes the follower tail the primary's operation log
+	// (GET /log) instead of re-fetching whole snapshots, falling back
+	// to a snapshot fetch whenever its offset has been retired or the
+	// primary serves no log.
+	FollowTail bool
 
 	// MaxRestoreBytes caps the /restore request body so a rogue client
 	// cannot OOM the server (default 1 GiB).
@@ -187,6 +211,19 @@ type Server struct {
 	// mid-chain.
 	restoreMu sync.RWMutex
 
+	// applyMu is the log/sketch consistency barrier on logging
+	// primaries: appliers hold it shared around append+insert, and the
+	// checkpoint snapshot holds it exclusively while capturing the log
+	// sequence together with the sketch bytes — so replay from a
+	// checkpoint's sequence never double-counts or misses a batch.
+	applyMu sync.RWMutex
+	olog    *oplog.Log
+	// snapSeq is the log sequence captured with the latest checkpoint
+	// snapshot, handed to the checkpointer's meta sidecar.
+	snapSeq atomic.Uint64
+	// replayed counts the log items startup recovery replayed.
+	replayed atomic.Int64
+
 	// Replication (see replica.go); nil unless configured in Options.
 	ckpt *replica.Checkpointer
 	fol  *replica.Follower
@@ -238,9 +275,29 @@ func (s *Server) pipeline() *pipeline {
 	s.pipeMu.Lock()
 	defer s.pipeMu.Unlock()
 	if s.pipe == nil {
-		s.pipe = newPipeline(s.sk, s.opt.QueueDepth, s.opt.Workers)
+		s.pipe = newPipeline(s.applyBatch, s.opt.QueueDepth, s.opt.Workers)
 	}
 	return s.pipe
+}
+
+// applyBatch is the single write path behind every ingest route: on a
+// logging primary the batch is appended to the operation log before it
+// is inserted (and thus before the request is acknowledged), under the
+// shared side of applyMu so checkpoints capture a consistent
+// (snapshot, log sequence) pair. A log append failure is logged and
+// the insert still happens — availability over replayability — but the
+// torn batch was rolled back, so the log stays internally consistent.
+func (s *Server) applyBatch(items []stream.Item) {
+	if s.olog == nil {
+		s.sk.InsertBatch(items)
+		return
+	}
+	s.applyMu.RLock()
+	defer s.applyMu.RUnlock()
+	if _, _, err := s.olog.Append(items); err != nil {
+		s.opt.Logf("server: oplog append: %v", err)
+	}
+	s.sk.InsertBatch(items)
 }
 
 // startedPipeline returns the worker pool if one has started, without
@@ -270,6 +327,13 @@ func (s *Server) Close() {
 	if s.ckpt != nil {
 		s.ckpt.Close()
 	}
+	// After the final checkpoint: everything the log still holds is
+	// covered, and nothing appends anymore.
+	if s.olog != nil {
+		if err := s.olog.Close(); err != nil {
+			s.opt.Logf("server: closing oplog: %v", err)
+		}
+	}
 }
 
 // Item is the JSON wire form of a stream item.
@@ -297,6 +361,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/heavy", s.handleHeavy)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/log", s.handleLog)
 	mux.HandleFunc("/restore", s.handleRestore)
 	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("/replica/stats", s.handleReplicaStats)
@@ -375,7 +440,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 			Time: it.Time, Label: it.Label}
 	}
 	s.stampArrival(items)
-	s.sk.InsertBatch(items)
+	s.applyBatch(items)
 	writeJSON(w, map[string]int{"inserted": len(batch)})
 }
 
@@ -598,13 +663,29 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	// produce a truncated body under a committed 200, and a follower or
 	// checkpoint consumer would ingest a torn snapshot. Buffering also
 	// yields a Content-Length, so clients detect truncated transfers.
+	// On a logging primary, the buffer fills under the apply barrier so
+	// the X-Log-Seq header names exactly the sequence this body covers
+	// — the offset a tailing follower resumes from.
 	var buf bytes.Buffer
-	if err := s.sk.Snapshot(&buf); err != nil {
+	var seq uint64
+	var err error
+	if s.olog != nil {
+		s.applyMu.Lock()
+		seq = s.olog.NextSeq()
+		err = s.sk.Snapshot(&buf)
+		s.applyMu.Unlock()
+	} else {
+		err = s.sk.Snapshot(&buf)
+	}
+	if err != nil {
 		httpError(w, http.StatusInternalServerError, "snapshot: %v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	if s.olog != nil {
+		w.Header().Set("X-Log-Seq", strconv.FormatUint(seq, 10))
+	}
 	_, _ = w.Write(buf.Bytes())
 }
 
@@ -631,14 +712,104 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "reading snapshot: %v", err)
 		return
 	}
-	s.restoreMu.Lock()
-	err = s.sk.Restore(bytes.NewReader(data))
-	s.restoreMu.Unlock()
+	if s.olog != nil {
+		// A restore replaces state wholesale, so the log's history no
+		// longer leads to it: seal and retire everything logged so far
+		// (sequence numbering continues) under the apply barrier, then
+		// checkpoint so crash recovery restarts from the restored state
+		// rather than replaying the pre-restore log.
+		s.applyMu.Lock()
+		s.restoreMu.Lock()
+		err = s.sk.Restore(bytes.NewReader(data))
+		if err == nil {
+			if rerr := s.olog.Rotate(); rerr != nil {
+				s.opt.Logf("server: rotating oplog after restore: %v", rerr)
+			}
+			s.olog.Retain(s.olog.NextSeq())
+		}
+		s.restoreMu.Unlock()
+		s.applyMu.Unlock()
+		if err == nil {
+			if s.ckpt != nil {
+				if _, cerr := s.ckpt.CheckpointNow(); cerr != nil {
+					s.opt.Logf("server: checkpoint after restore: %v", cerr)
+				}
+			} else {
+				s.opt.Logf("server: restored without a checkpoint dir: a crash before the log refills loses the restored state")
+			}
+		}
+	} else {
+		s.restoreMu.Lock()
+		err = s.sk.Restore(bytes.NewReader(data))
+		s.restoreMu.Unlock()
+	}
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad snapshot: %v", err)
 		return
 	}
 	writeJSON(w, map[string]string{"status": "restored"})
+}
+
+// maxLogBatch bounds one /log response; clients page with ?from=.
+const maxLogBatch = 1 << 16
+
+// handleLog (GET /log?from=N&max=M) streams operation-log records
+// [from, from+M) in the GSS1 binary stream format. Response headers:
+// X-Log-From echoes from, X-Log-Next is the sequence after the last
+// returned record (the next ?from to poll), X-Log-End is the log's
+// current end. 410 Gone means from was retired (re-sync from
+// /snapshot, whose X-Log-Seq gives the resume offset); 416 means from
+// is beyond the end; 404 means this server keeps no log.
+func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
+	if s.olog == nil {
+		httpError(w, http.StatusNotFound, "no operation log on this server")
+		return
+	}
+	var from uint64
+	if raw := r.URL.Query().Get("from"); raw != "" {
+		n, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "from must be a non-negative integer")
+			return
+		}
+		from = n
+	}
+	max := 8192
+	if raw := r.URL.Query().Get("max"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 || n > maxLogBatch {
+			httpError(w, http.StatusBadRequest, "max must be an integer in [1,%d]", maxLogBatch)
+			return
+		}
+		max = n
+	}
+	var buf bytes.Buffer
+	sw := stream.NewWriter(&buf)
+	next, err := s.olog.ReadFrom(from, max, sw.WriteItem)
+	switch {
+	case err == oplog.ErrRetired:
+		w.Header().Set("X-Log-Oldest", strconv.FormatUint(s.olog.OldestSeq(), 10))
+		httpError(w, http.StatusGone,
+			"offset %d has been retired (oldest retained: %d); re-sync from /snapshot", from, s.olog.OldestSeq())
+		return
+	case err == oplog.ErrFuture:
+		httpError(w, http.StatusRequestedRangeNotSatisfiable,
+			"offset %d is beyond the log end %d", from, s.olog.NextSeq())
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, "reading log: %v", err)
+		return
+	}
+	if err := sw.Flush(); err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding log: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.Header().Set("X-Log-From", strconv.FormatUint(from, 10))
+	w.Header().Set("X-Log-Next", strconv.FormatUint(next, 10))
+	w.Header().Set("X-Log-End", strconv.FormatUint(s.olog.NextSeq(), 10))
+	_, _ = w.Write(buf.Bytes())
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

@@ -1,0 +1,36 @@
+package sketch
+
+import "repro/internal/stream"
+
+// Replay drains src into sk in batches, the apply path shared by
+// startup log replay (server recovery) and spill-log replay (cluster
+// router). Sketch state is a deterministic function of the item
+// sequence — windowed backends rotate on item times, not wall time —
+// so replaying the items a checkpoint does not cover reproduces the
+// pre-crash state exactly. It returns the number of items applied;
+// callers check src's own error reporting (e.g. oplog.Cursor.Err) for
+// a truncated replay.
+func Replay(sk Sketch, src stream.Source, batchSize int) int64 {
+	if batchSize < 1 {
+		batchSize = 512
+	}
+	batch := make([]stream.Item, 0, batchSize)
+	var n int64
+	for {
+		it, ok := src.Next()
+		if !ok {
+			break
+		}
+		batch = append(batch, it)
+		if len(batch) == batchSize {
+			sk.InsertBatch(batch)
+			n += int64(len(batch))
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		sk.InsertBatch(batch)
+		n += int64(len(batch))
+	}
+	return n
+}

@@ -27,6 +27,79 @@ var magic = [4]byte{'G', 'S', 'S', '1'}
 // expected header.
 var ErrBadMagic = errors.New("stream: bad magic, not a GSS1 stream file")
 
+// maxIDLen bounds the identifier lengths the binary decoders accept; a
+// forged length prefix must not turn into an arbitrary allocation.
+const maxIDLen = 1 << 20
+
+// AppendItem appends the binary record encoding of it to buf and
+// returns the extended slice. The record layout is the GSS1 field
+// sequence without the stream header, so it doubles as the payload
+// format of length-prefixed record logs (internal/oplog).
+func AppendItem(buf []byte, it Item) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(it.Src)))
+	buf = append(buf, it.Src...)
+	buf = binary.AppendUvarint(buf, uint64(len(it.Dst)))
+	buf = append(buf, it.Dst...)
+	buf = binary.AppendVarint(buf, it.Time)
+	buf = binary.AppendVarint(buf, it.Weight)
+	return binary.AppendUvarint(buf, uint64(it.Label))
+}
+
+// DecodeItem decodes one AppendItem record from the front of b,
+// returning the item and the number of bytes consumed. Trailing bytes
+// are left for the caller; a short or malformed prefix is an error.
+func DecodeItem(b []byte) (Item, int, error) {
+	var it Item
+	pos := 0
+	readString := func() (string, error) {
+		n, k := binary.Uvarint(b[pos:])
+		if k <= 0 {
+			return "", fmt.Errorf("stream: truncated record: %w", io.ErrUnexpectedEOF)
+		}
+		if n > maxIDLen {
+			return "", fmt.Errorf("stream: unreasonable string length %d", n)
+		}
+		pos += k
+		if uint64(len(b)-pos) < n {
+			return "", fmt.Errorf("stream: truncated record: %w", io.ErrUnexpectedEOF)
+		}
+		s := string(b[pos : pos+int(n)])
+		pos += int(n)
+		return s, nil
+	}
+	var err error
+	if it.Src, err = readString(); err != nil {
+		return Item{}, 0, err
+	}
+	if it.Dst, err = readString(); err != nil {
+		return Item{}, 0, err
+	}
+	readVarint := func() (int64, error) {
+		v, k := binary.Varint(b[pos:])
+		if k <= 0 {
+			return 0, fmt.Errorf("stream: truncated record: %w", io.ErrUnexpectedEOF)
+		}
+		pos += k
+		return v, nil
+	}
+	if it.Time, err = readVarint(); err != nil {
+		return Item{}, 0, err
+	}
+	if it.Weight, err = readVarint(); err != nil {
+		return Item{}, 0, err
+	}
+	label, k := binary.Uvarint(b[pos:])
+	if k <= 0 {
+		return Item{}, 0, fmt.Errorf("stream: truncated record: %w", io.ErrUnexpectedEOF)
+	}
+	pos += k
+	if label > 1<<32-1 {
+		return Item{}, 0, fmt.Errorf("stream: label %d overflows uint32", label)
+	}
+	it.Label = uint32(label)
+	return it, pos, nil
+}
+
 // Writer encodes items to an io.Writer in the GSS1 binary format.
 type Writer struct {
 	w       *bufio.Writer
@@ -37,7 +110,7 @@ type Writer struct {
 // NewWriter returns a Writer emitting to w. The header is written on the
 // first WriteItem call.
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{w: bufio.NewWriter(w), scratch: make([]byte, binary.MaxVarintLen64)}
+	return &Writer{w: bufio.NewWriter(w), scratch: make([]byte, 0, 64)}
 }
 
 // WriteItem appends one item to the stream file.
@@ -48,19 +121,9 @@ func (sw *Writer) WriteItem(it Item) error {
 		}
 		sw.started = true
 	}
-	if err := sw.writeString(it.Src); err != nil {
-		return err
-	}
-	if err := sw.writeString(it.Dst); err != nil {
-		return err
-	}
-	if err := sw.writeVarint(it.Time); err != nil {
-		return err
-	}
-	if err := sw.writeVarint(it.Weight); err != nil {
-		return err
-	}
-	return sw.writeUvarint(uint64(it.Label))
+	sw.scratch = AppendItem(sw.scratch[:0], it)
+	_, err := sw.w.Write(sw.scratch)
+	return err
 }
 
 // Flush writes any buffered data to the underlying writer. Callers must
@@ -73,26 +136,6 @@ func (sw *Writer) Flush() error {
 		sw.started = true
 	}
 	return sw.w.Flush()
-}
-
-func (sw *Writer) writeString(s string) error {
-	if err := sw.writeUvarint(uint64(len(s))); err != nil {
-		return err
-	}
-	_, err := sw.w.WriteString(s)
-	return err
-}
-
-func (sw *Writer) writeUvarint(v uint64) error {
-	n := binary.PutUvarint(sw.scratch, v)
-	_, err := sw.w.Write(sw.scratch[:n])
-	return err
-}
-
-func (sw *Writer) writeVarint(v int64) error {
-	n := binary.PutVarint(sw.scratch, v)
-	_, err := sw.w.Write(sw.scratch[:n])
-	return err
 }
 
 // Reader decodes a GSS1 stream file. It implements Source; decoding
@@ -176,7 +219,7 @@ func (sr *Reader) readString() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if n > 1<<20 {
+	if n > maxIDLen {
 		return "", fmt.Errorf("stream: unreasonable string length %d", n)
 	}
 	buf := make([]byte, n)
