@@ -19,7 +19,9 @@
 // -mode ingest stands up the real HTTP server per backend and drives
 // it with concurrent ingesters, comparing the per-item single-lock
 // insert path against the batched NDJSON bulk path on the concurrent
-// and sharded backends (items/sec).
+// and sharded backends (items/sec), then the NDJSON bulk plane against
+// the GSB1 binary plane (pre-hashed framed batches) per backend with
+// interleaved rounds.
 package main
 
 import (

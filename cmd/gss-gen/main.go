@@ -1,15 +1,19 @@
 // Command gss-gen writes a synthetic graph-stream dataset to a GSS1
-// binary stream file (see internal/stream's codec).
+// binary stream file (see internal/stream's codec), a GSB1 framed
+// batch file (the pre-hashed /ingest binary body), or a text edge
+// list.
 //
 // Usage:
 //
 //	gss-gen -dataset cit-HepPh -scale 0.1 -out cit.gss
 //	gss-gen -nodes 10000 -edges 100000 -skew 1.8 -out custom.gss
+//	gss-gen -dataset lkml-reply -format gsb1 -out lkml.gsb
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -25,7 +29,7 @@ func main() {
 		skew    = flag.Float64("skew", 1.8, "custom dataset: degree Zipf skew")
 		labels  = flag.Int("labels", 0, "number of distinct edge labels (0 = unlabeled)")
 		seed    = flag.Int64("seed", 1, "generation seed")
-		format  = flag.String("format", "gss1", "output format: gss1 (binary) or text (tab-separated edge list)")
+		format  = flag.String("format", "gss1", "output format: gss1 (binary record stream), gsb1 (framed pre-hashed batches, the /ingest binary body), or text (tab-separated edge list)")
 		out     = flag.String("out", "", "output file (required)")
 	)
 	flag.Parse()
@@ -46,6 +50,8 @@ func main() {
 	switch *format {
 	case "gss1":
 		err = stream.WriteAll(f, stream.NewGenerator(cfg))
+	case "gsb1":
+		err = writeGSB1(f, stream.NewGenerator(cfg))
 	case "text":
 		err = stream.WriteText(f, stream.Generate(cfg))
 	default:
@@ -55,6 +61,33 @@ func main() {
 		fail(err.Error())
 	}
 	fmt.Printf("wrote %s: %d items over %d nodes (%s)\n", *out, cfg.Edges, cfg.Nodes, cfg.Name)
+}
+
+// writeGSB1 streams the dataset as framed pre-hashed batches — the
+// exact body a producer posts to /ingest with Content-Type
+// application/x-gss-batch, each identifier hashed once here and never
+// again downstream. Frames of 4096 items keep memory flat however
+// large the dataset.
+func writeGSB1(w io.Writer, src stream.Source) error {
+	bw := stream.NewBinaryBatchWriter(w)
+	batch := make([]stream.Item, 0, 4096)
+	for {
+		it, ok := src.Next()
+		if !ok {
+			break
+		}
+		batch = append(batch, it)
+		if len(batch) == cap(batch) {
+			if err := bw.WriteItems(batch); err != nil {
+				return err
+			}
+			batch = batch[:0]
+		}
+	}
+	if err := bw.WriteItems(batch); err != nil {
+		return err
+	}
+	return bw.Flush()
 }
 
 func resolveConfig(dataset string, scale float64, nodes, edges int, skew float64, seed int64) (stream.DatasetConfig, error) {

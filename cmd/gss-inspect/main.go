@@ -1,4 +1,5 @@
-// Command gss-inspect loads a GSS1 stream file, builds a Graph Stream
+// Command gss-inspect loads a stream file (GSS1 records, GSB1 framed
+// batches, or a text edge list — autodetected), builds a Graph Stream
 // Sketch over it, and reports stream statistics, sketch occupancy and
 // buffer health — the operational view a capacity planner needs before
 // deploying GSS on a live stream. It can also answer ad-hoc queries.
@@ -43,11 +44,16 @@ func main() {
 	if err != nil {
 		fail(err.Error())
 	}
-	// Autodetect: GSS1 binary streams start with the codec magic;
-	// anything else is treated as a text edge list.
+	// Autodetect: GSS1 record streams and GSB1 framed batch files each
+	// start with their codec magic; anything else is treated as a text
+	// edge list.
 	var items []stream.Item
 	if bytes.HasPrefix(raw, []byte("GSS1")) {
 		items, err = stream.ReadAll(bytes.NewReader(raw))
+	} else if bytes.HasPrefix(raw, []byte("GSB1")) {
+		var hashed []stream.HashedItem
+		hashed, err = stream.ReadAllBinary(bytes.NewReader(raw))
+		items = stream.StripHashed(hashed, nil)
 	} else {
 		items, err = stream.ReadText(bytes.NewReader(raw))
 	}

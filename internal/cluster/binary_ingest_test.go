@@ -1,0 +1,234 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/hashing"
+	"repro/internal/server"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+// gsb1Body encodes items as a GSB1 body, one frame per frameSize items.
+func gsb1Body(t *testing.T, items []stream.Item, frameSize int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	bw := stream.NewBinaryBatchWriter(&buf)
+	for i := 0; i < len(items); i += frameSize {
+		j := i + frameSize
+		if j > len(items) {
+			j = len(items)
+		}
+		if err := bw.WriteItems(items[i:j]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func postBinaryBody(t *testing.T, url string, body []byte, out interface{}) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, stream.ContentTypeBinary, bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("POST %s: decoding %q: %v", url, raw, err)
+		}
+	}
+	return resp, raw
+}
+
+// TestClusterIngestContentTypes pins the router's /ingest content-type
+// table to the member one: known types on both planes keep working,
+// unknown types answer 415 before any member is touched.
+func TestClusterIngestContentTypes(t *testing.T) {
+	members, urls := startMembers(t, 2, sketch.BackendConcurrent)
+	_, ts := newTestRouter(t, Config{Members: urls})
+	items := []stream.Item{{Src: "a", Dst: "b", Weight: 3, Time: 1}}
+
+	resp, raw := postBody(t, ts.URL+"/ingest", ndjsonBody(items), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ndjson status %d: %s", resp.StatusCode, raw)
+	}
+	resp, raw = postBinaryBody(t, ts.URL+"/ingest", gsb1Body(t, items, 16), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("binary status %d: %s", resp.StatusCode, raw)
+	}
+
+	for _, ct := range []string{"application/octet-stream", "text/csv"} {
+		resp, err := http.Post(ts.URL+"/ingest", ct, strings.NewReader("whatever"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnsupportedMediaType {
+			t.Fatalf("Content-Type %q: status %d, want 415", ct, resp.StatusCode)
+		}
+	}
+	var total int64
+	for _, m := range members {
+		total += m.srv.Sketch().Stats().Items
+	}
+	if total != 2 {
+		t.Fatalf("members hold %d items, want 2 (rejected bodies must not land)", total)
+	}
+}
+
+// TestClusterBinaryIngestEquivalence is the cluster half of the plane
+// differential: one stream posted as GSB1 through a 3-member router
+// must answer every query exactly like a single-node oracle that
+// ingested the same stream as NDJSON — partitioning by carried hash,
+// re-framing, and the members' hashed insert path all on trial.
+func TestClusterBinaryIngestEquivalence(t *testing.T) {
+	items := equivStream(250, 1500, 19)
+	opt := server.Options{Backend: sketch.BackendConcurrent}
+
+	_, urls := startMembers(t, 3, sketch.BackendConcurrent)
+	_, ts := newTestRouter(t, Config{Members: urls})
+	var res writeRes
+	resp, raw := postBinaryBody(t, ts.URL+"/ingest", gsb1Body(t, items, 100), &res)
+	if resp.StatusCode != http.StatusOK || res.Ingested != int64(len(items)) {
+		t.Fatalf("binary cluster ingest: status %d, %s", resp.StatusCode, raw)
+	}
+	oracleURL := oracleOf(t, opt, items)
+	diffObservables(t, ts.URL, oracleURL, items, 211)
+}
+
+// TestClusterBinaryRoutesByCarriedHash is the router-level no-re-hash
+// assertion: a record whose carried H(src) belongs to a DIFFERENT
+// identifier than its Src string must land on the carried hash's
+// partition. If the router derived the routing key from the string (a
+// full per-item decode), the record would land on the string's owner.
+func TestClusterBinaryRoutesByCarriedHash(t *testing.T) {
+	members, urls := startMembers(t, 3, sketch.BackendConcurrent)
+	rt, ts := newTestRouter(t, Config{Members: urls})
+	ring := rt.Ring()
+
+	shadowOwner := ring.Owner("shadow")
+	carried := ""
+	for k := 0; carried == ""; k++ {
+		c := "carry-" + strconv.Itoa(k)
+		if ring.Owner(c) != shadowOwner {
+			carried = c
+		}
+	}
+	hs, hd := hashing.Hash64(carried), hashing.Hash64("dst")
+	var buf bytes.Buffer
+	bw := stream.NewBinaryBatchWriter(&buf)
+	if err := bw.WriteBatch([]stream.HashedItem{{
+		Item: stream.Item{Src: "shadow", Dst: "dst", Weight: 5, Time: 1},
+		HSrc: hs, HDst: hd, FPs: stream.PackFingerprints(hs, hd),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	resp, raw := postBinaryBody(t, ts.URL+"/ingest", buf.Bytes(), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if got := members[ring.Owner(carried)].srv.Sketch().Stats().Items; got != 1 {
+		t.Fatalf("carried hash's partition holds %d items, want 1", got)
+	}
+	if got := members[shadowOwner].srv.Sketch().Stats().Items; got != 0 {
+		t.Fatal("record landed on the Src string's partition: the router re-derived the routing key")
+	}
+}
+
+// TestClusterBinarySpillReplay: the binary plane's spill path — a down
+// partition's records are absorbed as already-encoded payload bytes
+// (oplog.AppendEncoded, no decode/re-encode) and replayed on recovery,
+// after which the cluster diffs clean against an uninterrupted NDJSON
+// oracle. The cross-plane oracle also re-proves plane equivalence
+// under the degraded path.
+func TestClusterBinarySpillReplay(t *testing.T) {
+	items := equivStream(150, 900, 53)
+	opt := server.Options{Backend: sketch.BackendConcurrent}
+
+	m0 := startMember(t, opt)
+	t.Cleanup(m0.stop)
+	m2 := startMember(t, opt)
+	t.Cleanup(m2.stop)
+	rm := startRestartableMember(t, server.Options{Backend: sketch.BackendConcurrent,
+		LogDir: t.TempDir(), LogSyncEvery: -1})
+
+	rt, ts := newTestRouter(t, Config{
+		Members:       []string{m0.ts.URL, rm.url(), m2.ts.URL},
+		ProbeInterval: 25 * time.Millisecond,
+		SpillDir:      t.TempDir(),
+	})
+	idx := memberIndex(t, rt, rm.url())
+
+	half := len(items) / 2
+	resp, raw := postBinaryBody(t, ts.URL+"/ingest", gsb1Body(t, items[:half], 64), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first-half ingest status %d: %s", resp.StatusCode, raw)
+	}
+
+	rm.kill()
+	waitMember(t, rt, idx, "member down", func(ms MemberStatus) bool { return !ms.Healthy })
+
+	var res writeRes
+	resp, raw = postBinaryBody(t, ts.URL+"/ingest", gsb1Body(t, items[half:], 64), &res)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second-half ingest status %d: %s", resp.StatusCode, raw)
+	}
+	if res.Spilled == 0 {
+		t.Fatalf("nothing spilled for the dead partition: %s", raw)
+	}
+	if res.Ingested+res.Spilled != int64(len(items)-half) {
+		t.Fatalf("second half accounting: ingested %d + spilled %d != %d",
+			res.Ingested, res.Spilled, len(items)-half)
+	}
+
+	rm.restart()
+	waitMember(t, rt, idx, "spill drained", func(ms MemberStatus) bool {
+		return ms.Healthy && ms.Spill.PendingItems == 0 && ms.Spill.Replays >= 1
+	})
+	if got := rt.Stats().Members[idx].Spill.ReplayedItems; got != res.Spilled {
+		t.Fatalf("replayed %d items, spilled %d", got, res.Spilled)
+	}
+
+	oracleURL := oracleOf(t, opt, items)
+	diffObservables(t, ts.URL, oracleURL, items, 701)
+}
+
+// TestClusterBinaryBadFrame: a corrupted frame mid-body answers 400
+// with the whole frames before it already delivered — frame atomicity
+// holds across the router hop too.
+func TestClusterBinaryBadFrame(t *testing.T) {
+	members, urls := startMembers(t, 2, sketch.BackendConcurrent)
+	_, ts := newTestRouter(t, Config{Members: urls})
+
+	good := gsb1Body(t, []stream.Item{{Src: "x", Dst: "y", Weight: 1, Time: 1}}, 16)
+	body := append(append([]byte{}, good...), 0xFF, 0xFF, 0xFF, 0xFF, 0x0F) // forged frame length
+	resp, raw := postBinaryBody(t, ts.URL+"/ingest", body, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 (%s)", resp.StatusCode, raw)
+	}
+	var total int64
+	for _, m := range members {
+		total += m.srv.Sketch().Stats().Items
+	}
+	if total != 1 {
+		t.Fatalf("members hold %d items, want the 1 from the good frame", total)
+	}
+}

@@ -422,7 +422,7 @@ func TestClusterEquivalenceFailover(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	members[0].stop()
+	members[0].die(t)
 
 	// Second pass: every observable must still match the oracle.
 	diffObservables(t, ts.URL, oracleURL, items, 467)

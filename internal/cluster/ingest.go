@@ -301,38 +301,48 @@ func (rt *Router) openStream(ctx context.Context, m *member, batchSize int) *mem
 		return ms
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
-	go func() {
-		resp, err := rt.cfg.Client.Do(req)
-		if err != nil {
-			// Tear the pipe so the encoder side stops blocking; the
-			// router counts this partition's items as unconfirmed.
-			pr.CloseWithError(err)
-			ms.done <- ingestReply{err: transportError{err}}
-			return
-		}
-		defer resp.Body.Close()
-		var res struct {
-			Ingested int64 `json:"ingested"`
-		}
-		if resp.StatusCode != http.StatusOK {
-			slurp, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-			pr.CloseWithError(fmt.Errorf("member status %d", resp.StatusCode))
-			ms.done <- ingestReply{err: fmt.Errorf("member %s /ingest returned %d: %s",
-				m.primary, resp.StatusCode, bytes.TrimSpace(slurp))}
-			return
-		}
-		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
-			ms.done <- ingestReply{err: err}
-			return
-		}
-		ms.done <- ingestReply{ingested: res.Ingested}
-	}()
+	go rt.postIngest(req, pr, m, ms.done)
 	return ms
 }
 
-// handleIngest streams an NDJSON body through the cluster: each line is
-// routed by source-node owner onto one long-lived member /ingest
-// request per partition, forwarded VERBATIM — the router pays only
+// postIngest issues one member-side /ingest request feeding from pr
+// and reports the member's reply on done — the response half of a
+// member stream, shared by the NDJSON and binary planes.
+func (rt *Router) postIngest(req *http.Request, pr *io.PipeReader, m *member, done chan ingestReply) {
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		// Tear the pipe so the encoder side stops blocking; the
+		// router counts this partition's items as unconfirmed.
+		pr.CloseWithError(err)
+		done <- ingestReply{err: transportError{err}}
+		return
+	}
+	defer resp.Body.Close()
+	var res struct {
+		Ingested int64 `json:"ingested"`
+	}
+	if resp.StatusCode != http.StatusOK {
+		slurp, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		pr.CloseWithError(fmt.Errorf("member status %d", resp.StatusCode))
+		done <- ingestReply{err: fmt.Errorf("member %s /ingest returned %d: %s",
+			m.primary, resp.StatusCode, bytes.TrimSpace(slurp))}
+		return
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		done <- ingestReply{err: err}
+		return
+	}
+	done <- ingestReply{ingested: res.Ingested}
+}
+
+// handleIngest streams a bulk body through the cluster. Content-Type
+// selects the plane exactly as on a member: NDJSON (the default) is
+// handled here, the GSB1 binary type in handleIngestBinary, anything
+// else answers 415.
+//
+// On the NDJSON plane each line is routed by source-node owner onto
+// one long-lived member /ingest request per partition, forwarded
+// VERBATIM — the router pays only
 // stream.ScanItemLine per item (extract src, prove the member's full
 // decode will accept the line), not a decode plus re-encode, so the
 // per-item router cost stays a fraction of the member's insert cost.
@@ -350,6 +360,13 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	binary, ok := stream.IngestPlane(r.Header.Get("Content-Type"))
+	if !ok {
+		httpError(w, http.StatusUnsupportedMediaType,
+			"unsupported Content-Type %q (want application/x-ndjson or %s)",
+			r.Header.Get("Content-Type"), stream.ContentTypeBinary)
+		return
+	}
 	batchSize := rt.cfg.BatchSize
 	if raw := r.URL.Query().Get("batch"); raw != "" {
 		n, err := strconv.Atoi(raw)
@@ -358,6 +375,10 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		batchSize = n
+	}
+	if binary {
+		rt.handleIngestBinary(w, r, batchSize)
+		return
 	}
 	ctx, cancel := rt.reqCtx(r)
 	defer cancel()

@@ -1,0 +1,262 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/stream"
+)
+
+// Binary ingest plane. A GSB1 body is routed at the frame layer: the
+// router reads one frame at a time, walks its records with
+// stream.ScanHashedRecord — which yields the carried H(src) routing
+// key and structurally vouches for the bytes without materializing an
+// identifier string or hashing anything — and re-frames each record
+// VERBATIM onto its owner's member stream. The member's full decoder
+// sees frames indistinguishable from producer-written ones, and the
+// hashes computed once at the producer carry through router, member,
+// shard and matrix untouched. Down partitions spill the records' GSS1
+// payload bytes straight into the spill log (oplog.AppendEncoded — no
+// decode/re-encode); spill replay then delivers them like any other
+// spilled item.
+
+// memberBinStream is one open binary /ingest request to a member:
+// validated records accumulate into an owner-local frame that is
+// emitted every batchSize records, so the member decodes the same
+// batch granularity the NDJSON plane would have given it.
+type memberBinStream struct {
+	m    *member
+	pw   *io.PipeWriter
+	bw   *bufio.Writer
+	hdr  []byte // frame-header scratch
+	body []byte // records of the open frame
+	n    int    // records in the open frame
+	sent int64  // records written to this stream
+	done chan ingestReply
+}
+
+// writeRecord appends one validated record to the open frame, flushing
+// the frame at the batch boundary.
+func (ms *memberBinStream) writeRecord(rec []byte, batchSize int) error {
+	ms.body = append(ms.body, rec...)
+	ms.n++
+	ms.sent++
+	if ms.n >= batchSize {
+		return ms.flushFrame()
+	}
+	return nil
+}
+
+// flushFrame emits the open frame — header plus the verbatim record
+// bytes, identical to a stream.BinaryBatchWriter frame.
+func (ms *memberBinStream) flushFrame() error {
+	if ms.n == 0 {
+		return nil
+	}
+	ms.hdr = stream.AppendFrameHeader(ms.hdr[:0], ms.n, len(ms.body))
+	if _, err := ms.bw.Write(ms.hdr); err != nil {
+		return err
+	}
+	if _, err := ms.bw.Write(ms.body); err != nil {
+		return err
+	}
+	ms.body, ms.n = ms.body[:0], 0
+	return nil
+}
+
+// openBinStream starts the member-side binary /ingest request feeding
+// from a pipe, mirroring openStream on the NDJSON plane.
+func (rt *Router) openBinStream(ctx context.Context, m *member, batchSize int) *memberBinStream {
+	pr, pw := io.Pipe()
+	ms := &memberBinStream{m: m, pw: pw, bw: bufio.NewWriterSize(pw, 64<<10),
+		done: make(chan ingestReply, 1)}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		m.primary+"/ingest?batch="+strconv.Itoa(batchSize), pr)
+	if err != nil {
+		pr.CloseWithError(err)
+		ms.done <- ingestReply{err: err}
+		return ms
+	}
+	req.Header.Set("Content-Type", stream.ContentTypeBinary)
+	magic := stream.BinaryMagic()
+	_, _ = ms.bw.Write(magic[:]) // buffered; a dead pipe surfaces at the first flush
+	go rt.postIngest(req, pr, m, ms.done)
+	return ms
+}
+
+// handleIngestBinary routes a GSB1 body by the carried source hashes.
+// Accounting, spill behavior and the response table mirror the NDJSON
+// plane exactly; the only difference is the unit of work (a validated
+// record instead of a scanned line) and that down-partition records
+// spill their already-encoded payload bytes.
+func (rt *Router) handleIngestBinary(w http.ResponseWriter, r *http.Request, batchSize int) {
+	ctx, cancel := rt.reqCtx(r)
+	defer cancel()
+
+	streams := make(map[*member]*memberBinStream, len(rt.members))
+	// spillBuf batches a down partition's record payloads between spill
+	// appends — one fsync per batchSize records, not one per record.
+	// The payloads are copied out of the reused frame buffer.
+	type spillBuf struct {
+		payloads [][]byte
+		full     bool // budget hit: stop buffering, count the rest dropped
+	}
+	spillBufs := make(map[*member]*spillBuf)
+	var spilled int64
+	var dropped int64
+	var downMember string
+	var decodeErr error
+	fr := stream.NewFrameReader(r.Body)
+	// Every record is either copied onto a member frame or into a spill
+	// buffer before the next frame loads, so the frame buffer can be
+	// recycled for the whole request.
+	fr.SetReuse(true)
+	var ingested int64
+	var hardErr error
+	for decodeErr == nil {
+		records, count := fr.Next()
+		if records == nil {
+			break
+		}
+		pos := 0
+		for i := 0; i < count; i++ {
+			hsrc, n, err := stream.ScanHashedRecord(records[pos:])
+			if err != nil {
+				decodeErr = fmt.Errorf("frame %d record %d: %v", fr.Frames(), i+1, err)
+				break
+			}
+			rec := records[pos : pos+n]
+			pos += n
+			m := rt.members[rt.ring.OwnerHash(hsrc)]
+			ms := streams[m]
+			if ms == nil {
+				if m.down.Load() {
+					if m.spill != nil {
+						sb := spillBufs[m]
+						if sb == nil {
+							sb = &spillBuf{}
+							spillBufs[m] = sb
+						}
+						if !sb.full {
+							sb.payloads = append(sb.payloads,
+								append([]byte(nil), stream.HashedRecordPayload(rec)...))
+							if len(sb.payloads) >= batchSize {
+								if err := m.spill.appendEncoded(sb.payloads); err != nil {
+									sb.full = true
+									dropped += int64(len(sb.payloads))
+									downMember = m.primary
+								} else {
+									spilled += int64(len(sb.payloads))
+								}
+								sb.payloads = sb.payloads[:0]
+							}
+							continue
+						}
+					}
+					dropped++
+					downMember = m.primary
+					continue
+				}
+				ms = rt.openBinStream(ctx, m, batchSize)
+				streams[m] = ms
+			}
+			if ms.pw == nil { // stream already failed mid-request
+				dropped++
+				continue
+			}
+			if err := ms.writeRecord(rec, batchSize); err != nil {
+				// The member side tore the pipe: mark the partition down
+				// and stop routing to it; every record it has not
+				// confirmed counts dropped.
+				ms.m.setErr(err)
+				if !ms.m.down.Swap(true) {
+					rt.cfg.Logf("cluster: member %s down (ingest failed): %v", ms.m.primary, err)
+				}
+				downMember = ms.m.primary
+				dropped += ms.sent
+				ms.sent = 0
+				ms.pw = nil
+				continue
+			}
+		}
+		if decodeErr == nil && pos != len(records) {
+			decodeErr = fmt.Errorf("frame %d holds %d bytes past its %d records",
+				fr.Frames(), len(records)-pos, count)
+		}
+	}
+	if decodeErr == nil {
+		if err := fr.Err(); err != nil {
+			decodeErr = fmt.Errorf("frame %d: %v", fr.Frames()+1, err)
+		}
+	}
+
+	// Flush the partial spill buffers.
+	for m, sb := range spillBufs {
+		if len(sb.payloads) == 0 {
+			continue
+		}
+		if err := m.spill.appendEncoded(sb.payloads); err != nil {
+			dropped += int64(len(sb.payloads))
+			downMember = m.primary
+		} else {
+			spilled += int64(len(sb.payloads))
+		}
+	}
+
+	// Flush and close every stream, then collect the member replies.
+	for _, ms := range streams {
+		if ms.pw != nil {
+			err := ms.flushFrame()
+			if err == nil {
+				err = ms.bw.Flush()
+			}
+			if err == nil {
+				ms.pw.Close()
+			} else {
+				ms.pw.CloseWithError(err)
+			}
+		}
+		reply := <-ms.done
+		switch {
+		case reply.err == nil:
+			ingested += reply.ingested
+			// Unconfirmed tail (pipe torn mid-write): whatever the
+			// member did not acknowledge counts dropped.
+			if ms.pw != nil && reply.ingested < ms.sent {
+				dropped += ms.sent - reply.ingested
+				downMember = ms.m.primary
+			}
+		case isTransport(reply.err):
+			ms.m.setErr(reply.err)
+			if !ms.m.down.Swap(true) {
+				rt.cfg.Logf("cluster: member %s down (ingest failed): %v", ms.m.primary, reply.err)
+			}
+			downMember = ms.m.primary
+			dropped += ms.sent
+		default:
+			if hardErr == nil {
+				hardErr = reply.err
+			}
+		}
+	}
+
+	switch {
+	case hardErr != nil:
+		httpError(w, http.StatusBadGateway, "cluster: %v", hardErr)
+	case decodeErr != nil:
+		httpError(w, http.StatusBadRequest, "%v (%d items accepted)", decodeErr, ingested)
+	case dropped > 0 || downMember != "":
+		rt.retryAfter429(w, "ingested", ingested, spilled, dropped, downMember)
+	default:
+		res := map[string]interface{}{
+			"mode": "cluster", "ingested": ingested, "members": len(streams)}
+		if spilled > 0 {
+			res["spilled"] = spilled
+		}
+		writeJSON(w, res)
+	}
+}

@@ -86,7 +86,17 @@ func (r *Ring) Members() []string {
 // pure function of (key, member set) — every router over the same
 // members routes identically, with no coordination.
 func (r *Ring) Owner(key string) int {
-	kh := hashing.Hash64(key)
+	return r.OwnerHash(hashing.Hash64(key))
+}
+
+// OwnerHash is Owner for a key already reduced to its hashing.Hash64 —
+// the binary ingest plane's routing entry point. GSB1 records carry
+// H(src) in their fixed prefix, so the router scores members straight
+// off the wire bytes without materializing (or re-hashing) the
+// identifier. Owner(key) == OwnerHash(hashing.Hash64(key)) by
+// construction, which is what keeps the two ingest planes partitioning
+// a stream identically.
+func (r *Ring) OwnerHash(kh uint64) int {
 	best, bestScore := 0, uint64(0)
 	for i, seed := range r.seeds {
 		score := hashing.Mix64(kh ^ seed)

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -32,6 +33,42 @@ type testMember struct {
 func (m *testMember) stop() {
 	m.ts.Close()
 	m.srv.Close()
+}
+
+// die stops the member mid-test and then holds its port. A test that
+// kills a member while a router keeps probing the address must not
+// simply free the port: test servers all draw from the host's
+// ephemeral range, so another test — or another test *process* in a
+// parallel package run — can bind it, and the prober (or a polling
+// follower) would then see a healthy-looking foreign gss-server where
+// a dead member should be. Holding the port keeps "down" meaning down.
+func (m *testMember) die(t *testing.T) {
+	t.Helper()
+	addr := m.ts.Listener.Addr().String()
+	m.stop()
+	holdPort(t, addr)
+}
+
+// holdPort binds addr with a listener that accepts and immediately
+// drops connections — connection-reset to every caller — until the
+// test ends.
+func holdPort(t *testing.T, addr string) net.Listener {
+	t.Helper()
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("re-binding dead member address %s: %v", addr, err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	return l
 }
 
 func startMember(t *testing.T, opt server.Options) *testMember {
@@ -290,7 +327,7 @@ func TestRouterMemberDownMidBatch(t *testing.T) {
 
 	// Kill member 1 before the upload; the router has not probed yet
 	// (hour-long interval) so it discovers the death mid-batch.
-	members[1].stop()
+	members[1].die(t)
 
 	var items []stream.Item
 	for i := 0; i < 3; i++ {
@@ -381,7 +418,7 @@ func TestRouterReadFailover(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 
-	members[0].stop()
+	members[0].die(t)
 
 	// Reads for partition 0 now come from the follower. The first read
 	// may be the one that discovers the death and fails over.

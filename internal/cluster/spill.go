@@ -108,6 +108,27 @@ func (sp *spill) append(items []stream.Item) error {
 	return nil
 }
 
+// appendEncoded absorbs one batch of already-encoded GSS1 payloads —
+// the binary ingest plane's spill path: a down partition's records go
+// from the wire to the spill log without a decode/re-encode round
+// trip, and come back out of oplog.ReadFrom as the same items the
+// NDJSON path would have spilled. Budget semantics match append.
+func (sp *spill) appendEncoded(payloads [][]byte) error {
+	if len(payloads) == 0 {
+		return nil
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.log.Stats().SizeBytes >= sp.max {
+		return errSpillFull
+	}
+	if _, _, err := sp.log.AppendEncoded(payloads); err != nil {
+		return err
+	}
+	sp.spilledItems.Add(int64(len(payloads)))
+	return nil
+}
+
 // atBudget reports whether the log is at its byte budget, meaning an
 // append right now would be refused. Advisory: a concurrent append can
 // land between this check and the caller's, which only means one more

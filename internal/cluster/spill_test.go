@@ -18,11 +18,12 @@ import (
 // semantics) and started again on the same address, so the router's
 // view of one URL spans the member's death and recovery.
 type restartableMember struct {
-	t    *testing.T
-	opt  server.Options
-	addr string
-	srv  *server.Server
-	ts   *httptest.Server
+	t      *testing.T
+	opt    server.Options
+	addr   string
+	srv    *server.Server
+	ts     *httptest.Server
+	holder net.Listener // holds addr while killed (see testMember.die)
 }
 
 func startRestartableMember(t *testing.T, opt server.Options) *restartableMember {
@@ -61,12 +62,20 @@ func (m *restartableMember) start(l net.Listener) {
 func (m *restartableMember) kill() {
 	m.ts.CloseClientConnections()
 	m.ts.Close()
+	// Hold the freed address until restart so no other test (or test
+	// process) can bind it and impersonate the dead member to the
+	// router's prober.
+	m.holder = holdPort(m.t, m.addr)
 }
 
 // restart binds a fresh server to the same address; with a durable
 // Options (LogDir/CheckpointDir) it recovers the pre-kill state.
 func (m *restartableMember) restart() {
 	m.t.Helper()
+	if m.holder != nil {
+		m.holder.Close()
+		m.holder = nil
+	}
 	l, err := net.Listen("tcp", m.addr)
 	if err != nil {
 		m.t.Fatal(err)

@@ -55,6 +55,14 @@ func (c *Concurrent) InsertBatch(items []stream.Item) {
 	c.mu.Unlock()
 }
 
+// InsertHashedBatch ingests a pre-hashed batch under one lock
+// acquisition; the batch may be reordered in place.
+func (c *Concurrent) InsertHashedBatch(items []stream.HashedItem) {
+	c.mu.Lock()
+	c.g.InsertHashedBatch(items)
+	c.mu.Unlock()
+}
+
 // InsertEdge adds w to edge (src,dst).
 func (c *Concurrent) InsertEdge(src, dst string, w int64) {
 	c.mu.Lock()

@@ -80,8 +80,20 @@ func ScaleWidth(width, n int) int {
 	return lo
 }
 
+// shardIndex routes an edge by its endpoint pair. It is defined in
+// terms of shardIndexHashed so the string and carried-hash planes
+// cannot drift: HashSeeded(v, seed) == Mix64(Hash64(v) ^ Mix64(seed)),
+// and HashedItem carries exactly Hash64(v). The function (and with it
+// snapshot compatibility — restore routing is keyed by shard count
+// plus this function) is unchanged from the pre-hashed-plane layout.
 func (s *Sharded) shardIndex(src, dst string) int {
-	h := hashing.HashSeeded(src, s.seed) ^ hashing.HashSeeded(dst, s.seed+1)
+	return s.shardIndexHashed(hashing.Hash64(src), hashing.Hash64(dst))
+}
+
+// shardIndexHashed is shardIndex over carried full-width hashes — no
+// identifier re-hash.
+func (s *Sharded) shardIndexHashed(h64s, h64d uint64) int {
+	h := hashing.Mix64(h64s^hashing.Mix64(s.seed)) ^ hashing.Mix64(h64d^hashing.Mix64(s.seed+1))
 	return int(h % uint64(len(s.shards)))
 }
 
@@ -132,6 +144,41 @@ func (s *Sharded) InsertBatch(items []stream.Item) {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		sh.g.InsertBatch(grp)
+		sh.mu.Unlock()
+	}
+}
+
+// InsertHashedBatch ingests a pre-hashed batch; safe for concurrent
+// use. Partitioning uses the carried hashes (shardIndexHashed), then
+// each shard group takes that shard's lock once — the same grouping
+// InsertBatch computes from strings, so the two planes place every
+// edge identically. Groups may be reordered in place by the per-shard
+// region sort.
+func (s *Sharded) InsertHashedBatch(items []stream.HashedItem) {
+	if len(items) == 0 {
+		return
+	}
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	if len(s.shards) == 1 {
+		sh := &s.shards[0]
+		sh.mu.Lock()
+		sh.g.InsertHashedBatch(items)
+		sh.mu.Unlock()
+		return
+	}
+	groups := make([][]stream.HashedItem, len(s.shards))
+	for i := range items {
+		g := s.shardIndexHashed(items[i].HSrc, items[i].HDst)
+		groups[g] = append(groups[g], items[i])
+	}
+	for i, grp := range groups {
+		if len(grp) == 0 {
+			continue
+		}
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.g.InsertHashedBatch(grp)
 		sh.mu.Unlock()
 	}
 }

@@ -356,11 +356,33 @@ func (l *Log) activeSeg() *segment { return l.segs[len(l.segs)-1] }
 // whole batch lands in one write; the fsync policy decides whether the
 // call also syncs (see Options.SyncEvery).
 func (l *Log) Append(items []stream.Item) (first, next uint64, err error) {
-	if len(items) == 0 {
+	return l.appendPayloads(len(items), func(i int, buf []byte) []byte {
+		return stream.AppendItem(buf, items[i])
+	})
+}
+
+// AppendEncoded writes one record per already-encoded item payload —
+// the bytes a stream.AppendItem call would have produced, as carried
+// verbatim inside binary ingest frames. It is byte-identical on disk
+// to Append on the decoded items, minus the decode and re-encode: the
+// record header (length + CRC) is computed here, so a corrupted
+// payload is caught by the same integrity machinery either way.
+func (l *Log) AppendEncoded(payloads [][]byte) (first, next uint64, err error) {
+	return l.appendPayloads(len(payloads), func(i int, buf []byte) []byte {
+		return append(buf, payloads[i]...)
+	})
+}
+
+// appendPayloads is the shared append core: payload appends record i's
+// payload bytes to buf. Record headers, sparse-index marks, the single
+// write syscall, rollback, sync policy and rotation are identical for
+// both entry points.
+func (l *Log) appendPayloads(n int, payload func(i int, buf []byte) []byte) (first, next uint64, err error) {
+	if n == 0 {
 		l.mu.Lock()
 		defer l.mu.Unlock()
-		n := l.nextSeqLocked()
-		return n, n, nil
+		seq := l.nextSeqLocked()
+		return seq, seq, nil
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -376,17 +398,17 @@ func (l *Log) Append(items []stream.Item) (first, next uint64, err error) {
 	}
 	var marks []recMark
 	off := seg.size
-	for i, it := range items {
+	for i := 0; i < n; i++ {
 		if (seg.count+uint64(i))%indexEvery == 0 {
 			marks = append(marks, recMark{off})
 		}
 		hdrAt := len(buf)
 		buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
-		buf = stream.AppendItem(buf, it)
-		payload := buf[hdrAt+recHeaderLen:]
-		binary.LittleEndian.PutUint32(buf[hdrAt:], uint32(len(payload)))
-		binary.LittleEndian.PutUint32(buf[hdrAt+4:], crc32.ChecksumIEEE(payload))
-		off += int64(recHeaderLen + len(payload))
+		buf = payload(i, buf)
+		p := buf[hdrAt+recHeaderLen:]
+		binary.LittleEndian.PutUint32(buf[hdrAt:], uint32(len(p)))
+		binary.LittleEndian.PutUint32(buf[hdrAt+4:], crc32.ChecksumIEEE(p))
+		off += int64(recHeaderLen + len(p))
 	}
 	l.scratch = buf[:0]
 	if _, err := l.active.Write(buf); err != nil {
@@ -401,8 +423,8 @@ func (l *Log) Append(items []stream.Item) (first, next uint64, err error) {
 		seg.offsets = append(seg.offsets, m.off)
 	}
 	seg.size = off
-	seg.count += uint64(len(items))
-	l.stats.AppendedItems += int64(len(items))
+	seg.count += uint64(n)
+	l.stats.AppendedItems += int64(n)
 	l.stats.AppendedBytes += int64(len(buf))
 
 	if l.opt.SyncEvery <= 0 || time.Since(l.lastSync) >= l.opt.SyncEvery {

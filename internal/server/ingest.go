@@ -9,15 +9,32 @@ import (
 	"repro/internal/stream"
 )
 
+// ingestJob is one batch on its way to the sketch, on either ingest
+// plane. String-plane jobs carry items; binary-plane jobs carry the
+// pre-hashed batch plus (when no arrival stamping rewrote the times)
+// the encoded payload views the operation log can append verbatim.
+type ingestJob struct {
+	items    []stream.Item
+	hashed   []stream.HashedItem
+	payloads [][]byte
+}
+
+func (j ingestJob) len() int {
+	if j.hashed != nil {
+		return len(j.hashed)
+	}
+	return len(j.items)
+}
+
 // pipeline is the bounded async ingest path: request handlers decode
-// NDJSON into batches and try to enqueue them; a fixed worker pool
+// the body into batches and try to enqueue them; a fixed worker pool
 // drains the queue into the sketch. The queue is a plain buffered
 // channel, so "full" is immediate and cheap to detect — that is the
 // backpressure signal handlers turn into HTTP 429, pushing flow
 // control back to producers instead of buffering without bound.
 type pipeline struct {
-	apply func([]stream.Item)
-	queue chan []stream.Item
+	apply func(ingestJob)
+	queue chan ingestJob
 	wg    sync.WaitGroup
 
 	enqueuedItems    atomic.Int64
@@ -30,8 +47,8 @@ type pipeline struct {
 	closeOnce sync.Once
 }
 
-func newPipeline(apply func([]stream.Item), queueDepth, workers int) *pipeline {
-	p := &pipeline{apply: apply, queue: make(chan []stream.Item, queueDepth)}
+func newPipeline(apply func(ingestJob), queueDepth, workers int) *pipeline {
+	p := &pipeline{apply: apply, queue: make(chan ingestJob, queueDepth)}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go p.worker()
@@ -41,23 +58,23 @@ func newPipeline(apply func([]stream.Item), queueDepth, workers int) *pipeline {
 
 func (p *pipeline) worker() {
 	defer p.wg.Done()
-	for batch := range p.queue {
-		p.apply(batch)
-		p.processedItems.Add(int64(len(batch)))
+	for job := range p.queue {
+		p.apply(job)
+		p.processedItems.Add(int64(job.len()))
 		p.processedBatches.Add(1)
 	}
 }
 
-// tryEnqueue hands batch to the worker pool without blocking. A false
-// return means the queue is full; the batch is counted as dropped.
-func (p *pipeline) tryEnqueue(batch []stream.Item) bool {
+// tryEnqueue hands a job to the worker pool without blocking. A false
+// return means the queue is full; the job is counted as dropped.
+func (p *pipeline) tryEnqueue(job ingestJob) bool {
 	select {
-	case p.queue <- batch:
-		p.enqueuedItems.Add(int64(len(batch)))
+	case p.queue <- job:
+		p.enqueuedItems.Add(int64(job.len()))
 		p.enqueuedBatches.Add(1)
 		return true
 	default:
-		p.droppedItems.Add(int64(len(batch)))
+		p.droppedItems.Add(int64(job.len()))
 		p.droppedBatches.Add(1)
 		return false
 	}
@@ -124,9 +141,12 @@ func (s *Server) ingestStats() IngestStats {
 // maxIngestBatch bounds the per-request ?batch= override.
 const maxIngestBatch = 1 << 16
 
-// handleIngest is the NDJSON bulk-ingest endpoint. The body is decoded
-// in batches of ?batch=N items (default Options.BatchSize), so the
-// request streams: memory use is one batch, not the whole body.
+// handleIngest is the bulk-ingest endpoint. Content-Type selects the
+// plane: NDJSON (default) is decoded in batches of ?batch=N items
+// (default Options.BatchSize) so the request streams; the binary
+// content type (application/x-gss-batch) carries framed pre-hashed
+// batches that skip identifier re-hashing entirely. Unknown content
+// types answer 415.
 //
 // Sync mode (default) inserts each batch before reading the next and
 // replies 200 once the whole body is ingested. Async mode (?async=1)
@@ -140,6 +160,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	binary, ok := stream.IngestPlane(r.Header.Get("Content-Type"))
+	if !ok {
+		httpError(w, http.StatusUnsupportedMediaType,
+			"unsupported Content-Type %q (want application/x-ndjson or %s)",
+			r.Header.Get("Content-Type"), stream.ContentTypeBinary)
 		return
 	}
 	batchSize := s.opt.BatchSize
@@ -160,6 +187,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "async must be 0 or 1")
 		return
 	}
+	if binary {
+		s.ingestBinary(w, r, async)
+		return
+	}
 
 	dec := stream.NewBatchDecoder(r.Body, batchSize)
 	// The sync path inserts each batch before decoding the next, so the
@@ -177,7 +208,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		s.stampArrival(batch)
 		if async {
-			if !s.enqueueOr429(w, batch, items) {
+			if !s.enqueueOr429(w, ingestJob{items: batch}, items) {
 				return
 			}
 		} else {
@@ -202,10 +233,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]interface{}{"mode": "sync", "ingested": items, "batches": batches})
 }
 
-// enqueueOr429 enqueues one batch, replying 429 (and returning false)
+// enqueueOr429 enqueues one job, replying 429 (and returning false)
 // when the ingest queue is full.
-func (s *Server) enqueueOr429(w http.ResponseWriter, batch []stream.Item, accepted int64) bool {
-	if s.pipeline().tryEnqueue(batch) {
+func (s *Server) enqueueOr429(w http.ResponseWriter, job ingestJob, accepted int64) bool {
+	if s.pipeline().tryEnqueue(job) {
 		return true
 	}
 	w.Header().Set("Retry-After", "1")
@@ -214,9 +245,62 @@ func (s *Server) enqueueOr429(w http.ResponseWriter, batch []stream.Item, accept
 	writeBody(w, map[string]interface{}{
 		"error":    "ingest queue full",
 		"enqueued": accepted,
-		"dropped":  int64(len(batch)),
+		"dropped":  int64(job.len()),
 	})
 	return false
+}
+
+// ingestBinary drains a GSB1 body frame by frame. Each frame arrives
+// pre-hashed, so the sketch never touches the identifier strings
+// again, and on logging primaries the untouched frames' payload bytes
+// go to the operation log verbatim — no decode, no re-encode. Only a
+// frame whose items needed arrival stamping loses that shortcut: its
+// encoded times went stale, so the log takes the re-encoding path.
+func (s *Server) ingestBinary(w http.ResponseWriter, r *http.Request, async bool) {
+	dec := stream.NewBinaryBatchDecoder(r.Body)
+	// Mirror the NDJSON reuse discipline: the sync path recycles one
+	// frame buffer; async jobs are retained by the queue.
+	if !async {
+		dec.SetReuse(true)
+	}
+	var items int64
+	var batches int64
+	for {
+		batch := dec.Next()
+		if batch == nil {
+			break
+		}
+		payloads := dec.Payloads()
+		if s.stampArrivalHashed(batch) {
+			// The payload views still encode Time 0; dropping them makes
+			// the applier re-encode the stamped items for the log.
+			payloads = nil
+		}
+		job := ingestJob{hashed: batch, payloads: payloads}
+		if async {
+			if !s.enqueueOr429(w, job, items) {
+				return
+			}
+		} else {
+			s.applyHashedBatch(job)
+		}
+		items += int64(len(batch))
+		batches++
+	}
+	if err := dec.Err(); err != nil {
+		// Whole frames before the bad one were already ingested or
+		// enqueued; a bad frame is rejected atomically.
+		httpError(w, http.StatusBadRequest, "frame %d: %v (%d items accepted)",
+			dec.Frames()+1, err, items)
+		return
+	}
+	if async {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		writeBody(w, map[string]interface{}{"mode": "async", "enqueued": items, "batches": batches})
+		return
+	}
+	writeJSON(w, map[string]interface{}{"mode": "sync", "ingested": items, "batches": batches})
 }
 
 func (s *Server) handleIngestStats(w http.ResponseWriter, r *http.Request) {

@@ -275,7 +275,7 @@ func (s *Server) pipeline() *pipeline {
 	s.pipeMu.Lock()
 	defer s.pipeMu.Unlock()
 	if s.pipe == nil {
-		s.pipe = newPipeline(s.applyBatch, s.opt.QueueDepth, s.opt.Workers)
+		s.pipe = newPipeline(s.applyJob, s.opt.QueueDepth, s.opt.Workers)
 	}
 	return s.pipe
 }
@@ -298,6 +298,41 @@ func (s *Server) applyBatch(items []stream.Item) {
 		s.opt.Logf("server: oplog append: %v", err)
 	}
 	s.sk.InsertBatch(items)
+}
+
+// applyJob dispatches a pipeline job to its plane's applier.
+func (s *Server) applyJob(job ingestJob) {
+	if job.hashed != nil {
+		s.applyHashedBatch(job)
+		return
+	}
+	s.applyBatch(job.items)
+}
+
+// applyHashedBatch is applyBatch for the binary plane. When the job
+// still carries its wire payload views, the log append is a straight
+// byte copy (oplog.AppendEncoded); a stamped batch lost that shortcut
+// and re-encodes. Either way the log holds identical bytes to what the
+// string plane would have written, so replay and follower tailing see
+// one log format. The append happens before the insert because the
+// sketch may reorder the hashed batch in place.
+func (s *Server) applyHashedBatch(job ingestJob) {
+	if s.olog == nil {
+		sketch.InsertHashedBatch(s.sk, job.hashed)
+		return
+	}
+	s.applyMu.RLock()
+	defer s.applyMu.RUnlock()
+	if job.payloads != nil {
+		if _, _, err := s.olog.AppendEncoded(job.payloads); err != nil {
+			s.opt.Logf("server: oplog append: %v", err)
+		}
+	} else {
+		if _, _, err := s.olog.Append(stream.StripHashed(job.hashed, nil)); err != nil {
+			s.opt.Logf("server: oplog append: %v", err)
+		}
+	}
+	sketch.InsertHashedBatch(s.sk, job.hashed)
 }
 
 // startedPipeline returns the worker pool if one has started, without
@@ -463,6 +498,25 @@ func (s *Server) stampArrival(items []stream.Item) {
 		}
 		items[i].Time = now
 	}
+}
+
+// stampArrivalHashed is stampArrival for pre-hashed batches (the
+// hashes do not cover the timestamp, so stamping is safe). It reports
+// whether anything was stamped — the signal that the batch's wire
+// payload bytes went stale for logging.
+func (s *Server) stampArrivalHashed(items []stream.HashedItem) bool {
+	var now int64
+	stamped := false
+	for i := range items {
+		if items[i].Time != 0 {
+			continue
+		}
+		if !stamped {
+			now, stamped = s.opt.Now(), true
+		}
+		items[i].Time = now
+	}
+	return stamped
 }
 
 // decodeObjectAfterBrace finishes decoding a JSON object whose opening

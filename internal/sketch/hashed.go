@@ -1,0 +1,49 @@
+package sketch
+
+import (
+	"repro/internal/gss"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// HashedInserter is the optional binary ingest plane of a Sketch:
+// batches whose items already carry (H(src), H(dst), fingerprints)
+// from the edge, so the backend places edges without touching the
+// identifier strings again. It is deliberately NOT part of Sketch —
+// backends (and test fakes) that don't care keep compiling, and
+// callers route through the package-level InsertHashedBatch, which
+// falls back to stripping the hashes.
+//
+// Implementations may reorder the batch in place (region packing), so
+// callers must not rely on item order after the call.
+type HashedInserter interface {
+	InsertHashedBatch(items []stream.HashedItem)
+}
+
+// InsertHashedBatch ingests a pre-hashed batch into sk on the fast
+// plane when sk implements HashedInserter, and otherwise strips the
+// carried hashes and takes the ordinary string path. Both planes
+// produce identical sketches — the gss insert core hashes once at the
+// edge or not at all — so the fallback is a compatibility seam, not a
+// semantic fork.
+func InsertHashedBatch(sk Sketch, items []stream.HashedItem) {
+	if len(items) == 0 {
+		return
+	}
+	if hi, ok := sk.(HashedInserter); ok {
+		hi.InsertHashedBatch(items)
+		return
+	}
+	sk.InsertBatch(stream.StripHashed(items, nil))
+}
+
+// Every backend New can return carries the binary plane, and the
+// wrappers preserve it across composition.
+var (
+	_ HashedInserter = (*gss.GSS)(nil)
+	_ HashedInserter = (*gss.Concurrent)(nil)
+	_ HashedInserter = (*gss.Sharded)(nil)
+	_ HashedInserter = (*window.Sliding)(nil)
+	_ HashedInserter = (*Locked)(nil)
+	_ HashedInserter = (*Hot)(nil)
+)

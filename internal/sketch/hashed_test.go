@@ -1,0 +1,140 @@
+package sketch
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gss"
+	"repro/internal/stream"
+)
+
+// runHashedScript mirrors runScript on the binary plane: the same
+// warmup items and the same batch boundaries, but every batch is
+// pre-hashed at the "edge" before it reaches the backend. The
+// conformance battery then diffs every observable against the
+// string-plane baseline — the cross-backend pin that the two ingest
+// planes are the same sketch.
+func runHashedScript(sk Sketch, items []stream.Item) {
+	// Warmup stays per-item but rides the binary plane too, one
+	// single-item batch each, exercising the len==1 fast paths.
+	for _, it := range items[:50] {
+		InsertHashedBatch(sk, stream.HashItems([]stream.Item{it}, nil))
+	}
+	// Uneven chunk sizes so batch boundaries never line up with any
+	// internal grouping (shard groups, window epoch runs).
+	rng := rand.New(rand.NewSource(7))
+	rest := items[50:]
+	for i := 0; i < len(rest); {
+		j := i + 1 + rng.Intn(200)
+		if j > len(rest) {
+			j = len(rest)
+		}
+		InsertHashedBatch(sk, stream.HashItems(rest[i:j], nil))
+		i = j
+	}
+}
+
+// TestHashedConformance runs every backend through the pre-hashed
+// ingest script and diffs all observables against the string-plane
+// single-backend baseline, then checks snapshot/restore after hashed
+// inserts and that a restored sketch keeps accepting hashed batches.
+func TestHashedConformance(t *testing.T) {
+	items := conformanceStream()
+	baselineSk, err := New(BackendSingle, conformanceCfg, testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runScript(baselineSk, items)
+	baseline := observe(baselineSk, items)
+	if baseline.Items != int64(len(items)) || len(baseline.Edges) == 0 {
+		t.Fatalf("weak baseline: %d items, %d edges", baseline.Items, len(baseline.Edges))
+	}
+
+	for _, backend := range Backends() {
+		t.Run(backend, func(t *testing.T) {
+			sk, err := New(backend, conformanceCfg, testOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := sk.(HashedInserter); !ok {
+				t.Fatalf("backend %q lost the binary ingest plane", backend)
+			}
+			runHashedScript(sk, items)
+			diffObservations(t, "hashed ingest", observe(sk, items), baseline)
+
+			// Snapshot after hashed inserts, restore into a fresh
+			// instance, and keep ingesting on the binary plane.
+			var snap bytes.Buffer
+			if err := sk.Snapshot(&snap); err != nil {
+				t.Fatalf("snapshot: %v", err)
+			}
+			restored, err := New(backend, conformanceCfg, testOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := restored.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			diffObservations(t, "restore", observe(restored, items), baseline)
+			post := stream.Item{Src: "post-restore", Dst: "hashed-write",
+				Weight: 5, Time: items[len(items)-1].Time}
+			InsertHashedBatch(restored, stream.HashItems([]stream.Item{post}, nil))
+			if w, ok := restored.EdgeWeight(post.Src, post.Dst); !ok || w != 5 {
+				t.Fatalf("post-restore hashed insert = %d,%v", w, ok)
+			}
+		})
+	}
+}
+
+// TestInsertHashedBatchFallback pins the package-level adapter on a
+// backend without the binary plane: the hashes are stripped and the
+// string path produces the same sketch.
+func TestInsertHashedBatchFallback(t *testing.T) {
+	items := conformanceStream()[:500]
+	ref, err := New(BackendSingle, conformanceCfg, testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.InsertBatch(items)
+	plain := &stringOnlySketch{inner: mustNewSketch(t)}
+	InsertHashedBatch(plain, stream.HashItems(items, nil))
+	diffObservations(t, "fallback", observe(plain, items), observe(ref, items))
+	if plain.batches == 0 {
+		t.Fatal("fallback never reached InsertBatch")
+	}
+}
+
+func mustNewSketch(t *testing.T) Sketch {
+	t.Helper()
+	sk, err := New(BackendSingle, conformanceCfg, testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sk
+}
+
+// stringOnlySketch hides the binary plane of an inner Sketch — the
+// stand-in for a future backend that only implements the Sketch
+// interface.
+type stringOnlySketch struct {
+	inner   Sketch
+	batches int
+}
+
+func (s *stringOnlySketch) Insert(it stream.Item) { s.inner.Insert(it) }
+func (s *stringOnlySketch) InsertBatch(items []stream.Item) {
+	s.batches++
+	s.inner.InsertBatch(items)
+}
+func (s *stringOnlySketch) EdgeWeight(src, dst string) (int64, bool) {
+	return s.inner.EdgeWeight(src, dst)
+}
+func (s *stringOnlySketch) Successors(v string) []string         { return s.inner.Successors(v) }
+func (s *stringOnlySketch) Precursors(v string) []string         { return s.inner.Precursors(v) }
+func (s *stringOnlySketch) Nodes() []string                      { return s.inner.Nodes() }
+func (s *stringOnlySketch) HeavyEdges(min int64) []gss.HeavyEdge { return s.inner.HeavyEdges(min) }
+func (s *stringOnlySketch) Stats() gss.Stats                     { return s.inner.Stats() }
+func (s *stringOnlySketch) Snapshot(w io.Writer) error           { return s.inner.Snapshot(w) }
+func (s *stringOnlySketch) Restore(r io.Reader) error            { return s.inner.Restore(r) }

@@ -45,6 +45,13 @@ func (h *Hot) Insert(it stream.Item) { h.Current().Insert(it) }
 // InsertBatch ingests a slice of items.
 func (h *Hot) InsertBatch(items []stream.Item) { h.Current().InsertBatch(items) }
 
+// InsertHashedBatch ingests a pre-hashed batch against the current
+// sketch, falling back to the string plane when it has no binary one.
+// Per-call dispatch matches Hot's swap semantics.
+func (h *Hot) InsertHashedBatch(items []stream.HashedItem) {
+	InsertHashedBatch(h.Current(), items)
+}
+
 // EdgeWeight is the edge query primitive.
 func (h *Hot) EdgeWeight(src, dst string) (int64, bool) { return h.Current().EdgeWeight(src, dst) }
 

@@ -24,6 +24,11 @@ type Locked struct {
 	// query.HashView routes callers to the string plane instead of the
 	// forwarding methods.
 	hq query.HashSummary
+
+	// hi is sk's pre-hashed ingest plane when it has one; resolved once
+	// at construction like hq so the hot path pays no per-batch type
+	// assertion.
+	hi HashedInserter
 }
 
 // NewLocked wraps sk with one global mutex. sk must not be used
@@ -31,6 +36,7 @@ type Locked struct {
 func NewLocked(sk Sketch) *Locked {
 	l := &Locked{sk: sk}
 	l.hq, _ = sk.(query.HashSummary)
+	l.hi, _ = sk.(HashedInserter)
 	return l
 }
 
@@ -46,6 +52,19 @@ func (l *Locked) InsertBatch(items []stream.Item) {
 	l.mu.Lock()
 	l.sk.InsertBatch(items)
 	l.mu.Unlock()
+}
+
+// InsertHashedBatch ingests a pre-hashed batch under one lock
+// acquisition, stripping the hashes when the inner sketch has no
+// binary plane. The batch may be reordered in place.
+func (l *Locked) InsertHashedBatch(items []stream.HashedItem) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.hi != nil {
+		l.hi.InsertHashedBatch(items)
+		return
+	}
+	l.sk.InsertBatch(stream.StripHashed(items, nil))
 }
 
 // EdgeWeight is the edge query primitive.

@@ -1,0 +1,96 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Benchmarks for the GSB1 binary plane, the regression baseline behind
+// the NDJSON-vs-binary ratios quoted in the README: the server's full
+// frame+record decode (BinaryBatchDecoder) and the router's
+// routing-only walk (FrameReader + ScanHashedRecord), which never
+// materializes an item. CI's bench smoke compiles and runs both once.
+
+func benchGSB1(b *testing.B, items, frameSize int) []byte {
+	b.Helper()
+	src := make([]Item, items)
+	for i := range src {
+		src[i] = Item{Src: NodeID(i % 97), Dst: NodeID(i % 89), Weight: int64(i%7 + 1),
+			Time: int64(i), Label: uint32(i % 3)}
+	}
+	var buf bytes.Buffer
+	bw := NewBinaryBatchWriter(&buf)
+	for off := 0; off < len(src); off += frameSize {
+		end := off + frameSize
+		if end > len(src) {
+			end = len(src)
+		}
+		if err := bw.WriteItems(src[off:end]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func benchmarkBinaryDecoder(b *testing.B, reuse bool) {
+	data := benchGSB1(b, 4096, 512)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewBinaryBatchDecoder(bytes.NewReader(data))
+		d.SetReuse(reuse)
+		var n int
+		for {
+			batch := d.Next()
+			if batch == nil {
+				break
+			}
+			n += len(batch)
+		}
+		if err := d.Err(); err != nil || n != 4096 {
+			b.Fatalf("decoded %d items, err %v", n, err)
+		}
+	}
+}
+
+func BenchmarkBinaryBatchDecodeFresh(b *testing.B) { benchmarkBinaryDecoder(b, false) }
+func BenchmarkBinaryBatchDecodeReuse(b *testing.B) { benchmarkBinaryDecoder(b, true) }
+
+// BenchmarkBinaryRoutingScan is the router's half of the plane: walk
+// frames, read each record's carried H(src) and its length, and touch
+// nothing else — the binary analogue of BenchmarkScanItemLine.
+func BenchmarkBinaryRoutingScan(b *testing.B) {
+	data := benchGSB1(b, 4096, 512)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr := NewFrameReader(bytes.NewReader(data))
+		fr.SetReuse(true)
+		var n int
+		var sink uint64
+		for {
+			records, count := fr.Next()
+			if records == nil {
+				break
+			}
+			pos := 0
+			for j := 0; j < count; j++ {
+				hsrc, rn, err := ScanHashedRecord(records[pos:])
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink ^= hsrc
+				pos += rn
+			}
+			n += count
+		}
+		if err := fr.Err(); err != nil || n != 4096 {
+			b.Fatalf("scanned %d records, err %v (sink %d)", n, err, sink)
+		}
+	}
+}

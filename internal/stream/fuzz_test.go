@@ -125,16 +125,19 @@ func FuzzReadText(f *testing.F) {
 // convention: committed seeds under testdata/fuzz replay on every go
 // test run; GSS_GEN_CORPUS=1 regenerates them.
 func TestGenerateStreamFuzzCorpus(t *testing.T) {
-	dir := filepath.Join("testdata", "fuzz", "FuzzNDJSONDecode")
 	if os.Getenv("GSS_GEN_CORPUS") == "" {
-		entries, err := os.ReadDir(dir)
-		if err != nil || len(entries) == 0 {
-			t.Fatalf("committed fuzz corpus missing (%v); regenerate with GSS_GEN_CORPUS=1", err)
+		for _, sub := range []string{"FuzzNDJSONDecode", "FuzzBinaryBatchDecode"} {
+			dir := filepath.Join("testdata", "fuzz", sub)
+			entries, err := os.ReadDir(dir)
+			if err != nil || len(entries) == 0 {
+				t.Fatalf("committed %s fuzz corpus missing (%v); regenerate with GSS_GEN_CORPUS=1", sub, err)
+			}
 		}
 		return
 	}
 	for sub, seeds := range map[string][][]byte{
-		"FuzzNDJSONDecode": ndjsonSeeds,
+		"FuzzBinaryBatchDecode": binaryFuzzSeeds(),
+		"FuzzNDJSONDecode":      ndjsonSeeds,
 		"FuzzReadText": {
 			[]byte("a b\n"),
 			[]byte("# c\na\tb\t5\t9\t2\n"),

@@ -1,0 +1,57 @@
+package stream
+
+import "repro/internal/hashing"
+
+// HashedItem is a stream item carrying its endpoint hashes, computed
+// once at the edge of the system. HSrc and HDst are the full 64-bit
+// hashing.Hash64 values of Src and Dst — deliberately NOT reduced into
+// any sketch's node space, because the node-space modulus M differs per
+// backend (sharded and windowed backends scale the matrix width).
+// Every consumer derives its local node hash with a single modulo;
+// since every fingerprint range F = 2^fpBits divides every M, the
+// fingerprints derived from HSrc%M equal HSrc's own low fingerprint
+// bits, so one wire representation serves every backend without
+// re-hashing the identifier strings.
+type HashedItem struct {
+	Item
+	HSrc uint64 // hashing.Hash64(Src)
+	HDst uint64 // hashing.Hash64(Dst)
+	FPs  uint32 // PackFingerprints(HSrc, HDst)
+}
+
+// PackFingerprints packs the width-stable 16-bit fingerprint halves of
+// the two endpoint hashes: f16(src)<<16 | f16(dst). A backend with
+// fpBits-bit fingerprints recovers its own pair by masking each half
+// with 2^fpBits-1 (fingerprint ranges are powers of two ≤ 2^16, so the
+// low 16 bits of the full hash contain every backend's fingerprint).
+// The binary wire format also uses the packed pair as a cheap
+// integrity check on the carried hashes.
+func PackFingerprints(hsrc, hdst uint64) uint32 {
+	return uint32(hsrc&0xffff)<<16 | uint32(hdst&0xffff)
+}
+
+// HashItem computes the edge hashes of it once and returns the item in
+// carried-hash form.
+func HashItem(it Item) HashedItem {
+	hs := hashing.Hash64(it.Src)
+	hd := hashing.Hash64(it.Dst)
+	return HashedItem{Item: it, HSrc: hs, HDst: hd, FPs: PackFingerprints(hs, hd)}
+}
+
+// HashItems appends the hashed form of every item to dst and returns
+// the extended slice; pass dst[:0] to reuse a scratch buffer.
+func HashItems(items []Item, dst []HashedItem) []HashedItem {
+	for _, it := range items {
+		dst = append(dst, HashItem(it))
+	}
+	return dst
+}
+
+// StripHashed appends the plain items of a hashed batch to dst — the
+// adapter direction for sinks that only speak []Item.
+func StripHashed(items []HashedItem, dst []Item) []Item {
+	for i := range items {
+		dst = append(dst, items[i].Item)
+	}
+	return dst
+}

@@ -152,6 +152,30 @@ func (s *Sliding) InsertBatch(items []stream.Item) {
 	}
 }
 
+// InsertHashedBatch ingests a pre-hashed batch, the binary ingest
+// plane's entry point: the same consecutive same-epoch run grouping as
+// InsertBatch, with each run forwarded to its live generation's hashed
+// path — the carried hashes reduce into the generation's node space
+// there, so nothing in the windowed layer re-hashes an identifier.
+// Runs may be reordered in place by the generation's region sort
+// (run boundaries are computed first, so grouping is unaffected).
+func (s *Sliding) InsertHashedBatch(items []stream.HashedItem) {
+	span := s.genSpan()
+	for i := 0; i < len(items); {
+		epoch := floorDiv(items[i].Time, span)
+		j := i + 1
+		for j < len(items) && floorDiv(items[j].Time, span) == epoch {
+			j++
+		}
+		if s.advance(epoch) {
+			s.generationFor(epoch).InsertHashedBatch(items[i:j])
+		} else {
+			s.droppedStragglers += int64(j - i)
+		}
+		i = j
+	}
+}
+
 func (s *Sliding) generationFor(epoch int64) *gss.GSS {
 	for i := range s.gens {
 		if s.gens[i].epoch == epoch {

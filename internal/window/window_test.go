@@ -347,3 +347,56 @@ func TestWindowedQueriesMatchExactWindow(t *testing.T) {
 		t.Fatal("no nodes reported")
 	}
 }
+
+// TestInsertHashedBatchMatchesInsertBatch pins the pre-hashed ingest
+// plane to the string one on the window: same epoch-run grouping, same
+// generation rotation, same straggler drops, and — with a roomy sketch
+// config where answers are exact — identical query results. (Room
+// placement inside a generation may differ because the hashed plane
+// region-packs, so the comparison is observational, not byte-level.)
+func TestInsertHashedBatchMatchesInsertBatch(t *testing.T) {
+	roomy := Config{
+		Sketch:      gss.Config{Width: 128, FingerprintBits: 16, Rooms: 4, SeqLen: 8, Candidates: 8},
+		Span:        100,
+		Generations: 4,
+	}
+	cfgDs := stream.LkmlReply().Scaled(0.002)
+	items := stream.Generate(cfgDs)
+	// Inject a straggler so both planes exercise the drop path.
+	items = append(items, stream.Item{Src: "late", Dst: "x", Time: items[0].Time - 10_000, Weight: 1})
+	ref, hashed := MustNew(roomy), MustNew(roomy)
+	for i := 0; i < len(items); i += 61 {
+		j := i + 61
+		if j > len(items) {
+			j = len(items)
+		}
+		ref.InsertBatch(items[i:j])
+		hashed.InsertHashedBatch(stream.HashItems(items[i:j], nil))
+	}
+	if a, b := ref.LiveGenerations(), hashed.LiveGenerations(); a != b {
+		t.Fatalf("generation counts diverged: %d vs %d", a, b)
+	}
+	if a, b := ref.Stats().Items, hashed.Stats().Items; a != b {
+		t.Fatalf("item counts diverged: %d vs %d", a, b)
+	}
+	seen := map[[2]string]bool{}
+	for _, it := range items {
+		k := [2]string{it.Src, it.Dst}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		wa, oka := ref.EdgeWeight(it.Src, it.Dst)
+		wb, okb := hashed.EdgeWeight(it.Src, it.Dst)
+		if oka != okb || wa != wb {
+			t.Fatalf("edge %v: string plane (%d,%v), hashed plane (%d,%v)", k, wa, oka, wb, okb)
+		}
+	}
+	if ref.Stats().DroppedStragglers != hashed.Stats().DroppedStragglers {
+		t.Fatalf("straggler accounting diverged: %d vs %d",
+			ref.Stats().DroppedStragglers, hashed.Stats().DroppedStragglers)
+	}
+	if ref.Stats().DroppedStragglers == 0 {
+		t.Fatal("test did not exercise the straggler path")
+	}
+}
