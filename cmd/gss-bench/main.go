@@ -12,6 +12,7 @@
 //	gss-bench -mode window -span 600    # windowed vs unbounded backends
 //	gss-bench -mode replica             # checkpoint cost + follower staleness
 //	gss-bench -mode cluster             # routed multi-member scaling (1/2/4 members)
+//	gss-bench -mode migrate             # membership change under live ingest
 //
 // -scale 1.0 reproduces paper-size datasets (several GB of working set
 // for the Caida figures; budget accordingly).
@@ -36,7 +37,7 @@ import (
 
 func main() {
 	var (
-		mode     = flag.String("mode", "paper", "bench mode: paper (experiments), ingest (server throughput), query (hash-native vs reference query stack), window (windowed vs unbounded), replica (checkpointing + follower staleness) or cluster (routed multi-member scaling)")
+		mode     = flag.String("mode", "paper", "bench mode: paper (experiments), ingest (server throughput), query (hash-native vs reference query stack), window (windowed vs unbounded), replica (checkpointing + follower staleness), cluster (routed multi-member scaling) or migrate (membership change under live ingest)")
 		exp      = flag.String("exp", "all", "experiment to run (see -list)")
 		scale    = flag.Float64("scale", 0, "dataset scale; 1.0 = paper scale, 0 = fast default")
 		sample   = flag.Int("sample", 0, "max queries per configuration; 0 = default")
@@ -110,9 +111,17 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	case "migrate":
+		opt := migrateBenchOptions{Ingesters: *ingesters, Items: *items, Batch: *batch,
+			ReqItems: *reqItems, Width: *width, Nodes: *nodes}
+		if err := runMigrateBench(opt, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	case "paper":
 	default:
-		fmt.Fprintf(os.Stderr, "gss-bench: unknown -mode %q (want paper, ingest, query, window, replica or cluster)\n", *mode)
+		fmt.Fprintf(os.Stderr, "gss-bench: unknown -mode %q (want paper, ingest, query, window, replica, cluster or migrate)\n", *mode)
 		os.Exit(2)
 	}
 

@@ -44,6 +44,10 @@ func main() {
 			"durably absorb writes for down partitions into per-member spill logs under this directory, replayed on recovery")
 		spillMax = flag.Int64("spill-max-bytes", 0,
 			"per-member spill log budget (0 = 64MiB default); at the cap writes answer 429 again")
+		allowMembership = flag.Bool("allow-membership-changes", false,
+			"enable the live-migration admin endpoints (POST /cluster/members adds a member, POST /cluster/drain removes one)")
+		stateDir = flag.String("state-dir", "",
+			"persist cluster state here: the committed member list (overrides -member after a membership change) and the journal that lets a restart roll an interrupted migration back or forward")
 	)
 	flag.Parse()
 
@@ -52,11 +56,13 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := cluster.Config{
-		Members:       strings.Split(*members, ","),
-		ProbeInterval: *probeEvery,
-		BatchSize:     *batch,
-		SpillDir:      *spillDir,
-		SpillMaxBytes: *spillMax,
+		Members:                strings.Split(*members, ","),
+		ProbeInterval:          *probeEvery,
+		BatchSize:              *batch,
+		SpillDir:               *spillDir,
+		SpillMaxBytes:          *spillMax,
+		AllowMembershipChanges: *allowMembership,
+		StateDir:               *stateDir,
 	}
 	if *failover != "" {
 		cfg.Failover = make(map[string]string)
@@ -78,6 +84,9 @@ func main() {
 	role := ""
 	if *spillDir != "" {
 		role = ", spilling to " + *spillDir
+	}
+	if *allowMembership {
+		role += ", membership changes enabled"
 	}
 	fmt.Printf("gss-router listening on %s (%d members, %d with followers, probe every %s%s)\n",
 		*addr, len(cfg.Members), len(cfg.Failover), *probeEvery, role)

@@ -1,10 +1,13 @@
 package cluster
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strconv"
 	"testing"
+
+	"repro/internal/stream"
 )
 
 // The router's /insert body decoder parses attacker-reachable bytes
@@ -62,26 +65,104 @@ func TestDecodeInsertDefaults(t *testing.T) {
 	}
 }
 
+// The migrator's partition-transfer decode path reads the GSS1 body a
+// losing member exported — bytes that crossed the network — through
+// stream.NewReader and routes each item by its source node. The fuzz
+// contract: any byte string yields items then a clean stop or an error,
+// never a panic, and every decoded item routes.
+
+// encodeTransfer renders items the way /partition/export does.
+func encodeTransfer(items ...stream.Item) []byte {
+	var buf bytes.Buffer
+	w := stream.NewWriter(&buf)
+	for _, it := range items {
+		if err := w.WriteItem(it); err != nil {
+			panic(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func partitionTransferSeeds() [][]byte {
+	full := encodeTransfer(
+		stream.Item{Src: "a", Dst: "b", Weight: 3, Time: 9, Label: 1},
+		stream.Item{Src: "owned0-1", Dst: "hub", Weight: 1},
+		stream.Item{Src: "", Dst: "", Weight: -7, Time: -1},
+	)
+	return [][]byte{
+		nil,                // empty transfer body
+		encodeTransfer(),   // header-only (an empty partition)
+		full,               // well-formed multi-item body
+		full[:len(full)-1], // truncated inside the last record
+		full[:len(full)/2], // truncated mid-stream
+		append(append([]byte(nil), full...), 0xff, 0x81), // trailing garbage
+		[]byte("GSS1"),           // bare magic
+		[]byte("GSS2junk"),       // wrong magic
+		{0x00, 0x01, 0x02, 0x03}, // binary noise
+		append([]byte("GSS1"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01), // huge length prefix
+		append([]byte("GSS1"), 0x05), // fuzzer-found: cut right after a length prefix
+	}
+}
+
+func FuzzPartitionTransfer(f *testing.F) {
+	for _, seed := range partitionTransferSeeds() {
+		f.Add(seed)
+	}
+	ring, err := NewRing([]string{"http://a", "http://b", "http://c"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sr := stream.NewReader(bytes.NewReader(data))
+		n := 0
+		for {
+			it, ok := sr.Next()
+			if !ok {
+				break
+			}
+			// Routing is total: whatever decodes must map to a member.
+			if idx := ring.Owner(it.Src); idx < 0 || idx >= ring.Size() {
+				t.Fatalf("decoded item routed outside the ring: %d", idx)
+			}
+			n++
+		}
+		// A clean empty decode of a GSS1 body longer than the bare header
+		// would mean bytes were silently swallowed.
+		if sr.Err() == nil && n == 0 && len(data) > 4 && bytes.HasPrefix(data, []byte("GSS1")) {
+			t.Fatalf("reader silently swallowed %d bytes after the header", len(data)-4)
+		}
+	})
+}
+
 // TestGenerateClusterFuzzCorpus mirrors the repo corpus convention:
 // committed seeds under testdata/fuzz replay on every go test run;
 // GSS_GEN_CORPUS=1 regenerates them.
 func TestGenerateClusterFuzzCorpus(t *testing.T) {
-	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeInsert")
-	if os.Getenv("GSS_GEN_CORPUS") == "" {
-		entries, err := os.ReadDir(dir)
-		if err != nil || len(entries) == 0 {
-			t.Fatalf("committed fuzz corpus missing (%v); regenerate with GSS_GEN_CORPUS=1", err)
+	corpora := map[string][][]byte{
+		"FuzzDecodeInsert":      insertSeeds,
+		"FuzzPartitionTransfer": partitionTransferSeeds(),
+	}
+	for name, seeds := range corpora {
+		dir := filepath.Join("testdata", "fuzz", name)
+		if os.Getenv("GSS_GEN_CORPUS") == "" {
+			entries, err := os.ReadDir(dir)
+			if err != nil || len(entries) == 0 {
+				t.Fatalf("committed fuzz corpus for %s missing (%v); regenerate with GSS_GEN_CORPUS=1", name, err)
+			}
+			continue
 		}
-		return
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		t.Fatal(err)
-	}
-	for i, seed := range insertSeeds {
-		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(seed)) + ")\n"
-		name := filepath.Join(dir, "seed-"+strconv.Itoa(i))
-		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
 			t.Fatal(err)
+		}
+		for i, seed := range seeds {
+			body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(seed)) + ")\n"
+			file := filepath.Join(dir, "seed-"+strconv.Itoa(i))
+			if err := os.WriteFile(file, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 }

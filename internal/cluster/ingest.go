@@ -123,9 +123,15 @@ func (rt *Router) handleInsert(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// The whole request runs under the topology read fence: one snapshot
+	// routes every item, and a migration's handoff/cutover (which take
+	// the write side) cannot interleave with a half-forwarded batch.
+	rt.topoMu.RLock()
+	defer rt.topoMu.RUnlock()
+	t := rt.topology()
 	groups := make(map[*member][]stream.Item)
 	for _, it := range items {
-		m := rt.owner(it.Src)
+		m := t.owner(it.Src)
 		groups[m] = append(groups[m], it)
 	}
 	// Known-down partitions are resolved before anything is sent: every
@@ -151,6 +157,24 @@ func (rt *Router) handleInsert(w http.ResponseWriter, r *http.Request) {
 		spilled += int64(len(group))
 		delete(groups, m)
 	}
+	// During a handoff window every forwarded item whose owner changes
+	// under the next ring is ALSO delivered to its future owner, grouped
+	// by (current owner, future owner) so the migration can attribute the
+	// double-write to the right loser's drop budget. Pre-spilled items
+	// are deliberately NOT shadowed: they reach their (post-change) owner
+	// exactly once via the re-routed spill replay.
+	var shadowGroups map[shadowKey][]stream.Item
+	if t.next != nil {
+		shadowGroups = make(map[shadowKey][]stream.Item)
+		for m, group := range groups {
+			for _, it := range group {
+				if g := t.shadowOwner(it.Src); g != nil {
+					k := shadowKey{loser: m, gainer: g}
+					shadowGroups[k] = append(shadowGroups[k], it)
+				}
+			}
+		}
+	}
 	ctx, cancel := rt.reqCtx(r)
 	defer cancel()
 	var mu sync.Mutex
@@ -173,8 +197,12 @@ func (rt *Router) handleInsert(w http.ResponseWriter, r *http.Request) {
 						rt.cfg.Logf("cluster: member %s down (insert failed): %v", m.primary, err)
 					}
 					// The member died under this very request; the group is
-					// still in hand, so the spill can absorb it.
-					if m.spill != nil && m.spill.append(group) == nil {
+					// still in hand, so the spill can absorb it. Not during a
+					// handoff window, though: the group's shadow copy may land
+					// at the gainer, and a later replay would deliver it a
+					// second time — counting it dropped fails the migration
+					// instead (see below), which rolls back cleanly.
+					if t.next == nil && m.spill != nil && m.spill.append(group) == nil {
 						spilled += int64(len(group))
 						return
 					}
@@ -188,6 +216,26 @@ func (rt *Router) handleInsert(w http.ResponseWriter, r *http.Request) {
 		}(m, group)
 	}
 	wg.Wait()
+	// Deliver the handoff double-writes. The shadow confirmations finish
+	// before this handler releases the read fence, so the migration's
+	// ledger is complete the instant the cutover takes the write side.
+	// Shadow failures fail the MIGRATION (it rolls back), never the
+	// client request — the serving owner already confirmed the items.
+	for k, group := range shadowGroups {
+		n, err := rt.forwardInsert(ctx, k.gainer, group)
+		if n > 0 {
+			t.mig.noteShadow(k.loser, k.gainer, n)
+		}
+		if err != nil {
+			t.mig.fail(fmt.Errorf("handoff double-write to %s: %w", k.gainer.primary, err))
+		} else if n != int64(len(group)) {
+			t.mig.fail(fmt.Errorf("handoff double-write: %s confirmed %d of %d items",
+				k.gainer.primary, n, len(group)))
+		}
+	}
+	if t.next != nil && (downDropped > 0 || hardErr != nil) {
+		t.mig.fail(fmt.Errorf("cluster: writes lost during handoff (member %s)", downMember))
+	}
 	if hardErr != nil {
 		httpError(w, http.StatusBadGateway, "cluster: %v", hardErr)
 		return
@@ -383,7 +431,25 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := rt.reqCtx(r)
 	defer cancel()
 
-	streams := make(map[*member]*memberStream, len(rt.members))
+	// One topology snapshot routes the whole upload, under the read
+	// fence so a handoff/cutover never interleaves with it (the fence
+	// also guarantees the shadow confirmations below are on the
+	// migration's ledger before cutover can proceed).
+	rt.topoMu.RLock()
+	defer rt.topoMu.RUnlock()
+	t := rt.topology()
+
+	streams := make(map[*member]*memberStream, len(t.members))
+	// Handoff double-writes ride dedicated per-gainer streams (never the
+	// gainer's primary stream, whose confirmation count must stay
+	// attributable to primary traffic), with per-(loser,gainer) counts
+	// for the drop accounting.
+	var shadowStreams map[*member]*memberStream
+	var shadowSent map[shadowKey]int64
+	if t.next != nil {
+		shadowStreams = make(map[*member]*memberStream)
+		shadowSent = make(map[shadowKey]int64)
+	}
 	// spillBuf batches a down partition's decoded items between spill
 	// appends, so the fsync-per-append spill pays one sync per
 	// batchSize items, not one per line.
@@ -409,7 +475,7 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 			decodeErr = err
 			break
 		}
-		m := rt.owner(src)
+		m := t.owner(src)
 		ms := streams[m]
 		if ms == nil {
 			if m.down.Load() {
@@ -469,6 +535,23 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		ms.sent++
+		if g := t.shadowOwner(src); g != nil {
+			ss := shadowStreams[g]
+			if ss == nil {
+				ss = rt.openStream(ctx, g, batchSize)
+				shadowStreams[g] = ss
+			}
+			if ss.pw == nil {
+				continue // shadow stream already failed; the migration is failing
+			}
+			if err := ss.writeLine(raw); err != nil {
+				t.mig.fail(fmt.Errorf("handoff double-write to %s: %w", g.primary, err))
+				ss.pw = nil
+				continue
+			}
+			ss.sent++
+			shadowSent[shadowKey{loser: m, gainer: g}]++
+		}
 	}
 	if decodeErr == nil {
 		decodeErr = sc.Err()
@@ -520,6 +603,36 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 				hardErr = reply.err
 			}
 		}
+	}
+
+	// Settle the handoff double-writes. Anything but a full confirmation
+	// fails the MIGRATION (the serving owners already confirmed the
+	// primary copies, so the client response is unaffected).
+	for g, ss := range shadowStreams {
+		if ss.pw != nil {
+			if err := ss.bw.Flush(); err == nil {
+				ss.pw.Close()
+			} else {
+				ss.pw.CloseWithError(err)
+			}
+		}
+		reply := <-ss.done
+		if reply.err != nil || ss.pw == nil || reply.ingested != ss.sent {
+			err := reply.err
+			if err == nil {
+				err = fmt.Errorf("confirmed %d of %d items", reply.ingested, ss.sent)
+			}
+			t.mig.fail(fmt.Errorf("handoff double-write to %s: %w", g.primary, err))
+			continue
+		}
+		for k, n := range shadowSent {
+			if k.gainer == g {
+				t.mig.noteShadow(k.loser, k.gainer, n)
+			}
+		}
+	}
+	if t.next != nil && (dropped > 0 || hardErr != nil) {
+		t.mig.fail(fmt.Errorf("cluster: writes lost during handoff (member %s)", downMember))
 	}
 
 	switch {

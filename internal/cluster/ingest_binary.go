@@ -97,7 +97,20 @@ func (rt *Router) handleIngestBinary(w http.ResponseWriter, r *http.Request, bat
 	ctx, cancel := rt.reqCtx(r)
 	defer cancel()
 
-	streams := make(map[*member]*memberBinStream, len(rt.members))
+	// Same topology discipline as the NDJSON plane: one snapshot under
+	// the read fence routes the whole upload, and handoff double-writes
+	// ride dedicated per-gainer streams (see handleIngest).
+	rt.topoMu.RLock()
+	defer rt.topoMu.RUnlock()
+	t := rt.topology()
+
+	streams := make(map[*member]*memberBinStream, len(t.members))
+	var shadowStreams map[*member]*memberBinStream
+	var shadowSent map[shadowKey]int64
+	if t.next != nil {
+		shadowStreams = make(map[*member]*memberBinStream)
+		shadowSent = make(map[shadowKey]int64)
+	}
 	// spillBuf batches a down partition's record payloads between spill
 	// appends — one fsync per batchSize records, not one per record.
 	// The payloads are copied out of the reused frame buffer.
@@ -131,7 +144,7 @@ func (rt *Router) handleIngestBinary(w http.ResponseWriter, r *http.Request, bat
 			}
 			rec := records[pos : pos+n]
 			pos += n
-			m := rt.members[rt.ring.OwnerHash(hsrc)]
+			m := t.ownerHash(hsrc)
 			ms := streams[m]
 			if ms == nil {
 				if m.down.Load() {
@@ -181,6 +194,22 @@ func (rt *Router) handleIngestBinary(w http.ResponseWriter, r *http.Request, bat
 				ms.sent = 0
 				ms.pw = nil
 				continue
+			}
+			if g := t.shadowOwnerHash(hsrc); g != nil {
+				ss := shadowStreams[g]
+				if ss == nil {
+					ss = rt.openBinStream(ctx, g, batchSize)
+					shadowStreams[g] = ss
+				}
+				if ss.pw == nil {
+					continue // shadow stream already failed; the migration is failing
+				}
+				if err := ss.writeRecord(rec, batchSize); err != nil {
+					t.mig.fail(fmt.Errorf("handoff double-write to %s: %w", g.primary, err))
+					ss.pw = nil
+					continue
+				}
+				shadowSent[shadowKey{loser: m, gainer: g}]++
 			}
 		}
 		if decodeErr == nil && pos != len(records) {
@@ -242,6 +271,39 @@ func (rt *Router) handleIngestBinary(w http.ResponseWriter, r *http.Request, bat
 				hardErr = reply.err
 			}
 		}
+	}
+
+	// Settle the handoff double-writes (migration-fatal on anything but
+	// full confirmation; the client response is unaffected).
+	for g, ss := range shadowStreams {
+		if ss.pw != nil {
+			err := ss.flushFrame()
+			if err == nil {
+				err = ss.bw.Flush()
+			}
+			if err == nil {
+				ss.pw.Close()
+			} else {
+				ss.pw.CloseWithError(err)
+			}
+		}
+		reply := <-ss.done
+		if reply.err != nil || ss.pw == nil || reply.ingested != ss.sent {
+			err := reply.err
+			if err == nil {
+				err = fmt.Errorf("confirmed %d of %d items", reply.ingested, ss.sent)
+			}
+			t.mig.fail(fmt.Errorf("handoff double-write to %s: %w", g.primary, err))
+			continue
+		}
+		for k, n := range shadowSent {
+			if k.gainer == g {
+				t.mig.noteShadow(k.loser, k.gainer, n)
+			}
+		}
+	}
+	if t.next != nil && (dropped > 0 || hardErr != nil) {
+		t.mig.fail(fmt.Errorf("cluster: writes lost during handoff (member %s)", downMember))
 	}
 
 	switch {

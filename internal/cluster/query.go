@@ -66,7 +66,7 @@ func (rt *Router) handlePrecursors(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	var mu sync.Mutex
 	set := make(map[string]bool)
-	err := rt.scatter(func(i int, m *member) error {
+	err := rt.scatter(rt.topology().members, func(i int, m *member) error {
 		var page struct {
 			Nodes []string `json:"nodes"`
 		}
@@ -105,7 +105,7 @@ func (rt *Router) handleNodeIn(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	var mu sync.Mutex
 	var total int64
-	err := rt.scatter(func(i int, m *member) error {
+	err := rt.scatter(rt.topology().members, func(i int, m *member) error {
 		var res struct {
 			In int64 `json:"in"`
 		}
@@ -146,7 +146,7 @@ func (rt *Router) handleNodes(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	var mu sync.Mutex
 	set := make(map[string]bool)
-	err := rt.scatter(func(i int, m *member) error {
+	err := rt.scatter(rt.topology().members, func(i int, m *member) error {
 		var page struct {
 			Nodes []string `json:"nodes"`
 		}
@@ -187,8 +187,9 @@ func (rt *Router) handleNodes(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := rt.reqCtx(r)
 	defer cancel()
-	stats := make([]gss.Stats, len(rt.members))
-	err := rt.scatter(func(i int, m *member) error {
+	members := rt.topology().members
+	stats := make([]gss.Stats, len(members))
+	err := rt.scatter(members, func(i int, m *member) error {
 		return rt.memberGetJSON(ctx, m, "/stats", &stats[i])
 	})
 	if err != nil {
@@ -236,7 +237,7 @@ func (rt *Router) handleHeavy(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	var mu sync.Mutex
 	merged := make([]heavyEdge, 0)
-	err = rt.scatter(func(i int, m *member) error {
+	err = rt.scatter(rt.topology().members, func(i int, m *member) error {
 		var page []heavyEdge
 		if err := rt.memberGetJSON(ctx, m, "/heavy?min="+strconv.FormatInt(min, 10), &page); err != nil {
 			return err

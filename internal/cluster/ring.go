@@ -16,10 +16,11 @@
 //
 // Members are completely unmodified gss-server instances, so the router
 // composes with every backend (single/concurrent/sharded/windowed) and
-// with checkpointing and replication. What the ring does NOT do is
-// rebalance: membership is fixed at construction, and changing the
-// member list re-maps partitions without migrating the data already
-// summarized — restart ingestion (or replay the stream) after resizing.
+// with checkpointing and replication. Membership is no longer fixed:
+// with Config.AllowMembershipChanges the router live-migrates the
+// re-mapped partitions on POST /cluster/members (add) and
+// POST /cluster/drain (remove) — see migrate.go for the copy /
+// catch-up / double-write handoff / cutover protocol.
 package cluster
 
 import (
@@ -54,7 +55,7 @@ func NewRing(members []string) (*Ring, error) {
 	}
 	seen := make(map[string]bool, len(members))
 	for i, m := range members {
-		m = strings.TrimRight(strings.TrimSpace(m), "/")
+		m = NormalizeMember(m)
 		if m == "" {
 			return nil, fmt.Errorf("cluster: member %d is empty", i)
 		}
@@ -66,6 +67,16 @@ func NewRing(members []string) (*Ring, error) {
 		r.seeds[i] = hashing.Hash64(m)
 	}
 	return r, nil
+}
+
+// NormalizeMember canonicalizes a member base URL the way the ring
+// does: surrounding whitespace and trailing slashes are dropped. Every
+// piece of the system that derives rendezvous seeds from member URLs
+// (the ring, the migrator's moving-key predicate, the server-side
+// partition filter) must normalize identically, or the same key would
+// appear to have two owners.
+func NormalizeMember(m string) string {
+	return strings.TrimRight(strings.TrimSpace(m), "/")
 }
 
 // Size reports the member count.
@@ -97,12 +108,17 @@ func (r *Ring) Owner(key string) int {
 // construction, which is what keeps the two ingest planes partitioning
 // a stream identically.
 func (r *Ring) OwnerHash(kh uint64) int {
-	best, bestScore := 0, uint64(0)
-	for i, seed := range r.seeds {
-		score := hashing.Mix64(kh ^ seed)
-		if i == 0 || score > bestScore {
-			best, bestScore = i, score
+	return hashing.Rendezvous(r.seeds, kh)
+}
+
+// Index returns the position of the (normalized) member URL in the
+// ring, or -1 when it is not a member.
+func (r *Ring) Index(url string) int {
+	url = NormalizeMember(url)
+	for i, m := range r.members {
+		if m == url {
+			return i
 		}
 	}
-	return best
+	return -1
 }

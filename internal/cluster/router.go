@@ -47,6 +47,18 @@ type Config struct {
 	// SpillMaxBytes bounds one member's spill log (default 64 MiB).
 	// At the cap the router reverts to 429 + Retry-After.
 	SpillMaxBytes int64
+	// AllowMembershipChanges enables the live-migration admin endpoints
+	// (POST /cluster/members to add a member, POST /cluster/drain to
+	// remove one). Off by default: membership changes rewire write
+	// routing, so they must be an explicit operator decision.
+	AllowMembershipChanges bool
+	// StateDir, when set, persists the router's cluster state: the
+	// current member list (members.json — it overrides Config.Members on
+	// restart once a membership change has committed) and the journal of
+	// an in-flight migration (migration.json), which a restarting router
+	// uses to roll the change back or forward. Without it, membership
+	// changes still work but do not survive a router restart.
+	StateDir string
 	// Client issues all member requests. Defaults to a dedicated client
 	// with per-host keep-alive sized for fan-outs.
 	Client *http.Client
@@ -117,49 +129,80 @@ func (m *member) setErr(err error) {
 	m.mu.Unlock()
 }
 
-// Router fronts a fixed set of gss-server members with the single-node
-// HTTP API. See the package comment for the routing rules.
+// Router fronts a set of gss-server members with the single-node HTTP
+// API. See the package comment for the routing rules. Membership is
+// versioned: the current layout lives in an immutable topology behind
+// an atomic pointer (see topology.go) and changes only through the
+// migration protocol in migrate.go.
 type Router struct {
-	ring    *Ring
-	members []*member
-	cfg     Config
+	cfg Config
+
+	// topo is the current member layout. Readers load it once per
+	// request; only the migrator stores it, under topoMu.
+	topo atomic.Pointer[topology]
+	// topoMu is the write fence: write handlers hold it for reading for
+	// the whole request, the migrator takes it for writing to swap the
+	// topology — so a swap observes no in-flight write and an in-flight
+	// write observes one consistent topology.
+	topoMu sync.RWMutex
+
+	// known tracks every member struct ever created (keyed by primary
+	// URL), so a drained member's spill still closes and an added member
+	// reuses its struct across migrations. Guarded by knownMu.
+	knownMu sync.Mutex
+	known   map[string]*member
+
+	// mig is the in-flight migration, at most one at a time; lastMig is
+	// the completed/failed record /cluster/stats reports. Guarded by
+	// migMu.
+	migMu   sync.Mutex
+	mig     *migration
+	lastMig *MigrationStatus
 
 	// ctx is cancelled by Close; every member request and fan-out
 	// goroutine is bound to it, so Close stops in-flight work.
 	ctx    context.Context
 	cancel context.CancelFunc
-	wg     sync.WaitGroup // the prober loop
+	wg     sync.WaitGroup // the prober loop, spill replays, migrations
 	once   sync.Once
 }
 
 // New builds a Router over cfg.Members and starts its health prober.
-// Call Close to stop the prober and cancel in-flight fan-outs.
+// With Config.StateDir set, a member list committed by an earlier
+// membership change overrides cfg.Members, and an interrupted
+// migration's journal is recovered (rolled back or forward) in the
+// background. Call Close to stop the prober and cancel in-flight
+// fan-outs.
 func New(cfg Config) (*Router, error) {
 	cfg = cfg.withDefaults()
-	ring, err := NewRing(cfg.Members)
+	rt := &Router{cfg: cfg, known: make(map[string]*member)}
+	rt.ctx, rt.cancel = context.WithCancel(context.Background())
+	members := cfg.Members
+	version := int64(1)
+	if saved, err := rt.loadMembers(); err != nil {
+		rt.cancel()
+		return nil, err
+	} else if saved != nil {
+		members, version = saved.Members, saved.RingVersion
+	}
+	ring, err := NewRing(members)
 	if err != nil {
+		rt.cancel()
 		return nil, err
 	}
-	rt := &Router{ring: ring, cfg: cfg}
-	rt.ctx, rt.cancel = context.WithCancel(context.Background())
-	byURL := make(map[string]*member, ring.Size())
+	mlist := make([]*member, ring.Size())
 	for i := 0; i < ring.Size(); i++ {
-		m := &member{primary: ring.Member(i)}
-		if cfg.SpillDir != "" {
-			sp, err := openSpill(cfg.SpillDir, m.primary, cfg.SpillMaxBytes, cfg.Logf)
-			if err != nil {
-				rt.closeSpills()
-				rt.cancel()
-				return nil, err
-			}
-			m.spill = sp
+		mlist[i], err = rt.memberFor(ring.Member(i))
+		if err != nil {
+			rt.closeSpills()
+			rt.cancel()
+			return nil, err
 		}
-		rt.members = append(rt.members, m)
-		byURL[m.primary] = m
 	}
+	rt.topo.Store(&topology{version: version, ring: ring, members: mlist, all: mlist})
 	for primary, follower := range cfg.Failover {
-		m, ok := byURL[strings.TrimRight(strings.TrimSpace(primary), "/")]
-		if !ok {
+		m := rt.lookupMember(strings.TrimRight(strings.TrimSpace(primary), "/"))
+		if m == nil {
 			rt.closeSpills()
 			rt.cancel()
 			return nil, fmt.Errorf("cluster: failover for %q: not a member", primary)
@@ -172,9 +215,43 @@ func New(cfg Config) (*Router, error) {
 		}
 		m.follower = f
 	}
+	if err := rt.recoverMigration(); err != nil {
+		rt.closeSpills()
+		rt.cancel()
+		return nil, err
+	}
 	rt.wg.Add(1)
 	go rt.probeLoop()
 	return rt, nil
+}
+
+// memberFor returns the member struct for a (normalized) primary URL,
+// creating it — with its spill log, when spilling is configured — on
+// first sight.
+func (rt *Router) memberFor(primary string) (*member, error) {
+	rt.knownMu.Lock()
+	defer rt.knownMu.Unlock()
+	if m, ok := rt.known[primary]; ok {
+		return m, nil
+	}
+	m := &member{primary: primary}
+	if rt.cfg.SpillDir != "" {
+		sp, err := openSpill(rt.cfg.SpillDir, primary, rt.cfg.SpillMaxBytes, rt.cfg.Logf)
+		if err != nil {
+			return nil, err
+		}
+		m.spill = sp
+	}
+	rt.known[primary] = m
+	return m, nil
+}
+
+// lookupMember returns the member struct for a normalized primary URL,
+// or nil if the router has never seen it.
+func (rt *Router) lookupMember(primary string) *member {
+	rt.knownMu.Lock()
+	defer rt.knownMu.Unlock()
+	return rt.known[primary]
 }
 
 // Close stops the health prober, cancels every in-flight member
@@ -189,18 +266,23 @@ func (rt *Router) Close() {
 }
 
 func (rt *Router) closeSpills() {
-	for _, m := range rt.members {
+	rt.knownMu.Lock()
+	defer rt.knownMu.Unlock()
+	for _, m := range rt.known {
 		if m.spill != nil {
 			m.spill.close()
 		}
 	}
 }
 
-// Ring exposes the partitioning ring (for tests and tooling).
-func (rt *Router) Ring() *Ring { return rt.ring }
+// Ring exposes the current partitioning ring (for tests and tooling).
+func (rt *Router) Ring() *Ring { return rt.topology().ring }
 
-// owner returns the member owning key's partition.
-func (rt *Router) owner(key string) *member { return rt.members[rt.ring.Owner(key)] }
+// owner returns the member serving key's partition in the current
+// topology. Read paths use it directly; write paths route through a
+// topology snapshot instead, because they must pair each primary write
+// with its handoff shadow write from the SAME topology version.
+func (rt *Router) owner(key string) *member { return rt.topology().owner(key) }
 
 // reqCtx derives a context that dies with either the request or the
 // router, so Close cancels in-flight fan-outs without waiting for
@@ -229,6 +311,8 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("/stats", rt.handleStats)
 	mux.HandleFunc("/healthz", rt.handleHealthz)
 	mux.HandleFunc("/cluster/stats", rt.handleClusterStats)
+	mux.HandleFunc("/cluster/members", rt.handleMemberAdd)
+	mux.HandleFunc("/cluster/drain", rt.handleMemberDrain)
 	// Snapshots are a per-member affair: each member's sketch is an
 	// independent partition, and a concatenation of snapshots is not a
 	// snapshot. Operators snapshot/restore members directly.
@@ -262,7 +346,7 @@ func (rt *Router) probeLoop() {
 
 func (rt *Router) probeAll() {
 	var wg sync.WaitGroup
-	for _, m := range rt.members {
+	for _, m := range rt.topology().all {
 		wg.Add(1)
 		go func(m *member) {
 			defer wg.Done()
@@ -390,11 +474,13 @@ func (rt *Router) memberGetJSON(ctx context.Context, m *member, pathQuery string
 }
 
 // scatter runs fn once per member concurrently and returns the first
-// error. fn must be safe to run in parallel with the others.
-func (rt *Router) scatter(fn func(i int, m *member) error) error {
-	errs := make([]error, len(rt.members))
+// error. The member slice comes from one topology snapshot so a
+// concurrent cutover cannot split a fan-out across two layouts. fn must
+// be safe to run in parallel with the others.
+func (rt *Router) scatter(members []*member, fn func(i int, m *member) error) error {
+	errs := make([]error, len(members))
 	var wg sync.WaitGroup
-	for i, m := range rt.members {
+	for i, m := range members {
 		wg.Add(1)
 		go func(i int, m *member) {
 			defer wg.Done()
@@ -424,20 +510,51 @@ type MemberStatus struct {
 	FailedOverReads int64        `json:"failed_over_reads"`
 	Spill           *SpillStatus `json:"spill,omitempty"`
 	LastError       string       `json:"last_error,omitempty"`
+	// Migration marks the member's role in an in-flight migration:
+	// "source" (losing keys), "destination" (gaining keys), or "" when
+	// it is not involved.
+	Migration string `json:"migration,omitempty"`
 }
 
 // ClusterStats is the GET /cluster/stats payload: the router's view of
-// every member.
+// every member, plus the versioned ring and any migration in flight.
+// The whole payload derives from ONE topology snapshot, so a poll
+// during a membership change sees either the old layout or the new one
+// — never a half-applied ring.
 type ClusterStats struct {
 	Members       []MemberStatus `json:"members"`
 	DownMembers   int            `json:"down_members"`
 	ProbeInterval string         `json:"probe_interval"`
+	// RingVersion increments atomically at each migration cutover.
+	RingVersion int64 `json:"ring_version"`
+	// Ring lists the serving layout's member URLs in ring order.
+	Ring []string `json:"ring"`
+	// Migration is the in-flight membership change, if any.
+	Migration *MigrationStatus `json:"migration,omitempty"`
+	// LastMigration records the most recently finished (or failed)
+	// membership change since this router started.
+	LastMigration *MigrationStatus `json:"last_migration,omitempty"`
 }
 
 // Stats snapshots the router's member table.
 func (rt *Router) Stats() ClusterStats {
-	st := ClusterStats{ProbeInterval: rt.cfg.ProbeInterval.String()}
-	for _, m := range rt.members {
+	t := rt.topology()
+	st := ClusterStats{
+		ProbeInterval: rt.cfg.ProbeInterval.String(),
+		RingVersion:   t.version,
+		Ring:          t.ring.Members(),
+	}
+	rt.migMu.Lock()
+	mig, last := rt.mig, rt.lastMig
+	rt.migMu.Unlock()
+	var migStatus *MigrationStatus
+	if mig != nil {
+		s := mig.status()
+		migStatus = &s
+		st.Migration = migStatus
+	}
+	st.LastMigration = last
+	for _, m := range t.all {
 		m.mu.Lock()
 		ms := MemberStatus{
 			URL: m.primary, Follower: m.follower,
@@ -451,6 +568,9 @@ func (rt *Router) Stats() ClusterStats {
 		m.mu.Unlock()
 		if m.spill != nil {
 			ms.Spill = m.spill.status()
+		}
+		if mig != nil {
+			ms.Migration = mig.roleOf(m)
 		}
 		if !ms.Healthy {
 			st.DownMembers++

@@ -153,9 +153,13 @@ func (sp *spill) close() { _ = sp.log.Close() }
 // prober on every healthy verdict — not just down→up transitions — so
 // a spill populated before the router restarted, or left over from a
 // replay the member interrupted by going down again, still drains.
+// While a membership change is in flight replay stays paused (the
+// migration preflight refuses to start over a pending spill, and a
+// replay racing the copy phase would corrupt the drop accounting);
+// the next probe tick after the change finishes resumes it.
 func (rt *Router) maybeReplay(m *member) {
 	sp := m.spill
-	if sp == nil || sp.pendingItems() == 0 {
+	if sp == nil || sp.pendingItems() == 0 || rt.migrating() {
 		return
 	}
 	if !sp.replaying.CompareAndSwap(false, true) {
@@ -169,11 +173,14 @@ func (rt *Router) maybeReplay(m *member) {
 	}()
 }
 
-// replaySpill drains m's spill log into the member in sequence order,
-// one /insert batch at a time, and retires the log once it is empty.
-// Any failure just returns: the member either went down again (the
-// prober will notice and re-kick the replay on recovery) or the router
-// is closing.
+// replaySpill drains m's spill log in sequence order, one batch at a
+// time, and retires the log once it is empty. Each batch is routed by
+// the CURRENT topology, not blindly at m: a membership change that
+// completed while the spill sat pending may have moved some of the
+// spilled keys to another member, and commutative inserts make the
+// re-routed delivery equivalent. Any failure just returns: the target
+// either went down (the prober will notice and re-kick the replay on
+// recovery) or the router is closing.
 func (rt *Router) replaySpill(m *member) {
 	sp := m.spill
 	var drained int64
@@ -210,14 +217,21 @@ func (rt *Router) replaySpill(m *member) {
 			}
 			return
 		}
-		if _, err := rt.forwardInsert(rt.ctx, m, batch); err != nil {
-			if isTransport(err) && rt.ctx.Err() == nil {
-				m.setErr(err)
-				if !m.down.Swap(true) {
-					rt.cfg.Logf("cluster: member %s down (spill replay failed): %v", m.primary, err)
+		t := rt.topology()
+		groups := make(map[*member][]stream.Item)
+		for _, it := range batch {
+			groups[t.owner(it.Src)] = append(groups[t.owner(it.Src)], it)
+		}
+		for target, group := range groups {
+			if _, err := rt.forwardInsert(rt.ctx, target, group); err != nil {
+				if isTransport(err) && rt.ctx.Err() == nil {
+					target.setErr(err)
+					if !target.down.Swap(true) {
+						rt.cfg.Logf("cluster: member %s down (spill replay failed): %v", target.primary, err)
+					}
 				}
+				return
 			}
-			return
 		}
 		sp.mu.Lock()
 		sp.pos = next

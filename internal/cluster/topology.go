@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"repro/internal/hashing"
+)
+
+// topology is one immutable version of the cluster's member layout. The
+// router holds the current one behind an atomic pointer: readers load
+// it once per request and see a fully-applied ring no matter how the
+// load interleaves with a membership change, and the migrator installs
+// a new version with a single pointer swap under the write fence
+// (Router.topoMu) — there is no observable half-applied state.
+//
+// During a migration's handoff window the topology carries TWO rings:
+// ring (the serving layout — reads and primary writes) and next (the
+// post-change layout). A write whose owner differs between the two is
+// double-routed: the serving owner keeps it queryable, the future owner
+// absorbs it so the final drop accounting stays exact. See migrate.go.
+type topology struct {
+	// version increments on every cutover; /cluster/stats reports it so
+	// operators (and the coherence regression test) can watch the ring
+	// advance atomically.
+	version int64
+
+	// ring is the serving layout; members is aligned with it.
+	ring    *Ring
+	members []*member
+
+	// next is non-nil only during a handoff window: the layout being
+	// migrated to, with nextMembers aligned. mig carries the migration's
+	// shadow-write accounting while next is set.
+	next        *Ring
+	nextMembers []*member
+	mig         *migration
+
+	// all is every member this topology knows — the serving set plus any
+	// joining member — and is what the prober and /cluster/stats walk.
+	all []*member
+}
+
+// owner returns the serving owner of key.
+func (t *topology) owner(key string) *member {
+	return t.members[t.ring.Owner(key)]
+}
+
+// ownerHash is owner for a pre-hashed key (the binary ingest plane).
+func (t *topology) ownerHash(kh uint64) *member {
+	return t.members[t.ring.OwnerHash(kh)]
+}
+
+// shadowOwner returns the member that must ALSO receive a write for key
+// during a handoff window, or nil when the write is single-homed (no
+// handoff, or the key does not move).
+func (t *topology) shadowOwner(key string) *member {
+	if t.next == nil {
+		return nil
+	}
+	return t.shadowOwnerHash(hashing.Hash64(key))
+}
+
+// shadowOwnerHash is shadowOwner for a pre-hashed key.
+func (t *topology) shadowOwnerHash(kh uint64) *member {
+	if t.next == nil {
+		return nil
+	}
+	g := t.nextMembers[t.next.OwnerHash(kh)]
+	if g == t.members[t.ring.OwnerHash(kh)] {
+		return nil
+	}
+	return g
+}
+
+// shadowKey groups handoff double-writes by (serving owner, future
+// owner): the loser attributes the shadow items to its drop budget, the
+// gainer to its rollback budget.
+type shadowKey struct {
+	loser, gainer *member
+}
+
+// topology returns the current immutable member layout.
+func (rt *Router) topology() *topology {
+	return rt.topo.Load()
+}
+
+// unionMembers appends the members of b not already in a.
+func unionMembers(a, b []*member) []*member {
+	out := append([]*member(nil), a...)
+	for _, m := range b {
+		found := false
+		for _, o := range out {
+			if o == m {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,317 @@
+package gss
+
+import (
+	"errors"
+
+	"repro/internal/stream"
+)
+
+// Partition operations back the cluster tier's live migration: when a
+// member joins or drains, the keys the rendezvous ring re-maps must
+// move. The sketch cannot ship raw matrix regions — members may run
+// different backends and configurations — so a partition moves in item
+// space: ExportPartition re-materializes every sketch edge whose
+// source node satisfies the caller's predicate as an ordinary stream
+// item (square hashing is reversible, and the node registry recovers
+// the original identifiers), and DropPartition rebuilds the sketch
+// without those edges once the new owner has absorbed them. Both sides
+// of the move use the public ingest path, which is what makes the
+// transfer backend- and config-agnostic.
+//
+// The recovery is exact up to the sketch's own collision semantics: a
+// hash value whose registered identifiers disagree on the predicate
+// ("mixed") cannot be split, so its edges stay put and are counted in
+// the report; likewise edges with no registered identifier (only
+// possible with the node index disabled, which errors out entirely).
+
+// ErrNoNodeIndex is returned by the partition operations when the
+// sketch was built with DisableNodeIndex: without the <H(v), v>
+// registry there is no way to re-materialize original identifiers.
+var ErrNoNodeIndex = errors.New("gss: partition operations require the node index")
+
+// PartitionReport summarizes one partition export or drop.
+type PartitionReport struct {
+	// Edges is the number of distinct sketch edges the predicate
+	// matched (exported, or dropped).
+	Edges int64
+	// Items is the stream-item count DropPartition removed from
+	// Stats().Items (the caller-provided budget, clamped to the items
+	// present). Zero on export.
+	Items int64
+	// Mixed counts sketch edges left in place because identifiers
+	// colliding on the source hash value disagreed on the predicate.
+	Mixed int64
+	// Unattributed counts sketch edges left in place because an
+	// endpoint hash had no registered identifier.
+	Unattributed int64
+}
+
+// Add folds another report into r (multi-shard and multi-generation
+// backends aggregate per-sketch reports with it).
+func (r *PartitionReport) Add(o PartitionReport) {
+	r.Edges += o.Edges
+	r.Items += o.Items
+	r.Mixed += o.Mixed
+	r.Unattributed += o.Unattributed
+}
+
+// Per-hash-value predicate classes.
+const (
+	classUnattributed = iota // no registered identifier
+	classStay
+	classMove
+	classMixed
+)
+
+// partitionOracle memoizes the moving predicate per hash value: the
+// predicate is evaluated once per distinct node, not once per edge.
+type partitionOracle struct {
+	reg    *registry
+	moving func(id string) bool
+	cache  map[uint64]uint8
+}
+
+func newPartitionOracle(reg *registry, moving func(id string) bool) *partitionOracle {
+	return &partitionOracle{reg: reg, moving: moving, cache: make(map[uint64]uint8)}
+}
+
+func (po *partitionOracle) class(hv uint64) uint8 {
+	if c, ok := po.cache[hv]; ok {
+		return c
+	}
+	ids := po.reg.lookup(hv)
+	var c uint8 = classUnattributed
+	if len(ids) > 0 {
+		c = classStay
+		if po.moving(ids[0]) {
+			c = classMove
+		}
+		for _, id := range ids[1:] {
+			if po.moving(id) != (c == classMove) {
+				c = classMixed
+				break
+			}
+		}
+	}
+	po.cache[hv] = c
+	return c
+}
+
+// ExportPartition streams every sketch edge whose source node moves
+// under the predicate to emit, as plain items carrying the first
+// registered identifier of each endpoint and the edge's aggregated
+// weight. The sketch is not modified. Emission order is unspecified;
+// inserts are commutative, so the receiving sketch is unaffected.
+// Items are emitted with Time zero; time-aware wrappers (the sliding
+// window) stamp their own notion of stream time.
+func (g *GSS) ExportPartition(moving func(id string) bool, emit func(stream.Item) error) (PartitionReport, error) {
+	if g.reg == nil {
+		return PartitionReport{}, ErrNoNodeIndex
+	}
+	po := newPartitionOracle(g.reg, moving)
+	var rep PartitionReport
+	export := func(hs, hd uint64, w int64) error {
+		switch po.class(hs) {
+		case classMove:
+			dsts := g.reg.lookup(hd)
+			if len(dsts) == 0 {
+				rep.Unattributed++
+				return nil
+			}
+			rep.Edges++
+			return emit(stream.Item{Src: g.reg.lookup(hs)[0], Dst: dsts[0], Weight: w})
+		case classMixed:
+			rep.Mixed++
+		case classUnattributed:
+			rep.Unattributed++
+		}
+		return nil
+	}
+	m, l := g.cfg.Width, g.cfg.Rooms
+	for slot := 0; slot < len(g.weights); slot++ {
+		if !g.occupied(slot) {
+			continue
+		}
+		bucket := slot / l
+		row, col := uint32(bucket/m), uint32(bucket%m)
+		hs, hd := g.decodeSlot(slot, row, col)
+		if err := export(hs, hd, g.weights[slot]); err != nil {
+			return rep, err
+		}
+	}
+	for k, w := range g.buf.weights {
+		if err := export(k.s, k.d, w); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// DropPartition removes every sketch edge whose source node moves
+// under the predicate, following the Merge pattern in reverse: a fresh
+// sketch is rebuilt from the staying edges (each occupied room decodes
+// back to its endpoints and re-inserts through the normal path) and
+// swapped in wholesale. items is the stream-item count to subtract
+// from Stats().Items — the caller knows how many items the departed
+// partition absorbed (the migrator counts what the new owner
+// confirmed); it is clamped to the items present. The node registry is
+// kept whole, moved identifiers included: a moved node can still
+// appear as the destination of a staying edge, and cluster-wide node
+// enumeration unions member answers, so stale entries cost memory but
+// never correctness.
+func (g *GSS) DropPartition(moving func(id string) bool, items int64) (PartitionReport, error) {
+	if g.reg == nil {
+		return PartitionReport{}, ErrNoNodeIndex
+	}
+	fresh, err := New(g.cfg)
+	if err != nil {
+		return PartitionReport{}, err
+	}
+	po := newPartitionOracle(g.reg, moving)
+	var rep PartitionReport
+	keep := func(hs, hd uint64) bool {
+		switch po.class(hs) {
+		case classMove:
+			if len(g.reg.lookup(hd)) == 0 {
+				rep.Unattributed++
+				return true
+			}
+			rep.Edges++
+			return false
+		case classMixed:
+			rep.Mixed++
+		case classUnattributed:
+			rep.Unattributed++
+		}
+		return true
+	}
+	m, l := g.cfg.Width, g.cfg.Rooms
+	for slot := 0; slot < len(g.weights); slot++ {
+		if !g.occupied(slot) {
+			continue
+		}
+		bucket := slot / l
+		row, col := uint32(bucket/m), uint32(bucket%m)
+		hs, hd := g.decodeSlot(slot, row, col)
+		if keep(hs, hd) {
+			fresh.insertHashed(hs, hd, g.weights[slot])
+			fresh.items-- // moving edges, not counting items
+		}
+	}
+	for k, w := range g.buf.weights {
+		if keep(k.s, k.d) {
+			fresh.insertHashed(k.s, k.d, w)
+			fresh.items--
+		}
+	}
+	if items < 0 {
+		items = 0
+	}
+	if items > g.items {
+		items = g.items
+	}
+	fresh.items = g.items - items
+	rep.Items = items
+	fresh.reg = g.reg
+	*g = *fresh
+	return rep, nil
+}
+
+// AbsorbItems adds n to the stream-item counter without touching the
+// matrix. It is the receiving side of a drain's counter rebase: the
+// export aggregates a departing member's items into one weighted item
+// per edge, so the gainers' counters under-count by exactly (fenced
+// item count − exported edges). The migrator delivers that delta here
+// after cutover so the cluster-total Stats().Items stays exact.
+// Non-positive n is a no-op.
+func (g *GSS) AbsorbItems(n int64) error {
+	if n > 0 {
+		g.items += n
+	}
+	return nil
+}
+
+// ExportPartition on the concurrent backend runs under the read lock:
+// the export only decodes, so parallel queries stay unblocked (the
+// deployment above serializes it against writes with its own barrier).
+func (c *Concurrent) ExportPartition(moving func(id string) bool, emit func(stream.Item) error) (PartitionReport, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.g.ExportPartition(moving, emit)
+}
+
+// DropPartition on the concurrent backend takes the write lock for the
+// rebuild-and-swap.
+func (c *Concurrent) DropPartition(moving func(id string) bool, items int64) (PartitionReport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.g.DropPartition(moving, items)
+}
+
+// AbsorbItems on the concurrent backend takes the write lock (it
+// mutates the counter).
+func (c *Concurrent) AbsorbItems(n int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.g.AbsorbItems(n)
+}
+
+// ExportPartition on the sharded backend exports shard by shard under
+// each shard's mutex; emit sees one shard at a time.
+func (s *Sharded) ExportPartition(moving func(id string) bool, emit func(stream.Item) error) (PartitionReport, error) {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	var rep PartitionReport
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		r, err := sh.g.ExportPartition(moving, emit)
+		sh.mu.Unlock()
+		rep.Add(r)
+		if err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// DropPartition on the sharded backend drops shard by shard. The item
+// budget is split greedily: each shard absorbs as much of the
+// remainder as it holds. Only the aggregate Stats().Items is
+// observable, so any split summing to the budget is equivalent — and
+// the shards together always hold at least the budget, because the
+// departed partition's items all live in some shard.
+func (s *Sharded) DropPartition(moving func(id string) bool, items int64) (PartitionReport, error) {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	var rep PartitionReport
+	remaining := items
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		take := remaining
+		if have := sh.g.items; take > have {
+			take = have
+		}
+		r, err := sh.g.DropPartition(moving, take)
+		sh.mu.Unlock()
+		remaining -= r.Items
+		rep.Add(r)
+		if err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// AbsorbItems on the sharded backend credits shard 0: only the
+// aggregate Stats().Items is observable, so any single shard carrying
+// the rebased count is equivalent.
+func (s *Sharded) AbsorbItems(n int64) error {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	sh := &s.shards[0]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.g.AbsorbItems(n)
+}

@@ -50,6 +50,24 @@ func HashSeeded(s string, seed uint64) uint64 {
 	return Mix64(Hash64(s) ^ Mix64(seed))
 }
 
+// Rendezvous scores the key hash kh against every seed and returns the
+// index of the highest-random-weight winner (rendezvous hashing). It is
+// the single ownership function shared by the cluster ring and the
+// server-side partition filter: both sides derive seeds the same way
+// (Hash64 of the normalized member URL), so "which member owns this
+// key" evaluates identically everywhere without coordination. Returns 0
+// when seeds is empty.
+func Rendezvous(seeds []uint64, kh uint64) int {
+	best, bestScore := 0, uint64(0)
+	for i, seed := range seeds {
+		score := Mix64(kh ^ seed)
+		if i == 0 || score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
 // NodeHasher maps node identifiers to the compressed node space [0, M)
 // with M = Width * FSize, and splits each hash value H(v) into the matrix
 // address h(v) = H(v) / F and the fingerprint f(v) = H(v) % F.

@@ -397,6 +397,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/log", s.handleLog)
+	mux.HandleFunc("/partition/export", s.handlePartitionExport)
+	mux.HandleFunc("/partition/drop", s.handlePartitionDrop)
+	mux.HandleFunc("/partition/absorb", s.handlePartitionAbsorb)
 	mux.HandleFunc("/restore", s.handleRestore)
 	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("/replica/stats", s.handleReplicaStats)

@@ -29,6 +29,10 @@ type Locked struct {
 	// at construction like hq so the hot path pays no per-batch type
 	// assertion.
 	hi HashedInserter
+
+	// pm is sk's partition-migration surface when it has one, forwarded
+	// under the same mutex (see partition.go).
+	pm PartitionMigrator
 }
 
 // NewLocked wraps sk with one global mutex. sk must not be used
@@ -37,6 +41,7 @@ func NewLocked(sk Sketch) *Locked {
 	l := &Locked{sk: sk}
 	l.hq, _ = sk.(query.HashSummary)
 	l.hi, _ = sk.(HashedInserter)
+	l.pm, _ = sk.(PartitionMigrator)
 	return l
 }
 

@@ -217,13 +217,20 @@ func truncated(err error) error {
 func (sr *Reader) readString() (string, error) {
 	n, err := binary.ReadUvarint(sr.r)
 	if err != nil {
-		return "", err
+		return "", err // EOF before any byte: a clean record boundary
 	}
 	if n > maxIDLen {
 		return "", fmt.Errorf("stream: unreasonable string length %d", n)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(sr.r, buf); err != nil {
+		if err == io.EOF {
+			// The length prefix promised bytes that never arrived. ReadFull
+			// only maps EOF to ErrUnexpectedEOF after a partial read; a
+			// zero-byte read must be promoted too, or a body cut right
+			// after the prefix would pass as a clean end of stream.
+			err = io.ErrUnexpectedEOF
+		}
 		return "", err
 	}
 	return string(buf), nil

@@ -198,6 +198,17 @@ func TestCodecTruncated(t *testing.T) {
 	}
 }
 
+// TestCodecTruncatedAfterLengthPrefix pins a fuzzer-found case: a body
+// cut immediately after a record's string-length prefix (zero content
+// bytes follow the promise) must surface as a truncation error, not
+// decode as a clean empty stream.
+func TestCodecTruncatedAfterLengthPrefix(t *testing.T) {
+	got, err := ReadAll(bytes.NewReader([]byte("GSS1\x05")))
+	if err == nil {
+		t.Fatalf("length-prefix-only stream decoded cleanly: %v items", got)
+	}
+}
+
 func BenchmarkGenerate(b *testing.B) {
 	cfg := EmailEuAll().Scaled(0.05)
 	b.ReportAllocs()

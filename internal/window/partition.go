@@ -1,0 +1,74 @@
+package window
+
+import (
+	"errors"
+
+	"repro/internal/gss"
+	"repro/internal/stream"
+)
+
+// Partition operations over the sliding window: each live generation
+// exports and drops independently (they are plain GSS sketches), and
+// the windowed layer re-stamps stream time so the items land in the
+// same generation at the new owner. See internal/gss/partition.go for
+// the contract.
+
+// ExportPartition streams every live moving sketch edge, stamped with
+// its generation's epoch start so a windowed receiver with the same
+// span/generations files it identically. Expired generations are gone
+// and cannot be exported — migration moves the live window only, the
+// same bound the window itself guarantees.
+func (s *Sliding) ExportPartition(moving func(id string) bool, emit func(stream.Item) error) (gss.PartitionReport, error) {
+	var rep gss.PartitionReport
+	span := s.genSpan()
+	for _, g := range s.gens {
+		t := g.epoch * span
+		r, err := g.sketch.ExportPartition(moving, func(it stream.Item) error {
+			it.Time = t
+			return emit(it)
+		})
+		rep.Add(r)
+		if err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// DropPartition drops the moving edges from every live generation. The
+// item budget is split greedily across generations; only the
+// aggregated Stats().Items is observable, so any split summing to the
+// budget is equivalent.
+func (s *Sliding) DropPartition(moving func(id string) bool, items int64) (gss.PartitionReport, error) {
+	var rep gss.PartitionReport
+	remaining := items
+	for _, g := range s.gens {
+		take := remaining
+		if have := g.sketch.Stats().Items; take > have {
+			take = have
+		}
+		r, err := g.sketch.DropPartition(moving, take)
+		remaining -= r.Items
+		rep.Add(r)
+		if err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// AbsorbItems credits the newest live generation's item counter (any
+// generation is equivalent for the aggregated Stats().Items; the newest
+// is the last to expire, matching the intuition that a rebased counter
+// describes recently transferred state). With no live generation there
+// is nothing to hang the counter on, and the caller must retry after
+// the transferred items have landed.
+func (s *Sliding) AbsorbItems(n int64) error {
+	if n <= 0 {
+		return nil
+	}
+	if len(s.gens) == 0 {
+		return errors.New("window: no live generation to absorb items into")
+	}
+	return s.gens[len(s.gens)-1].sketch.AbsorbItems(n)
+}
