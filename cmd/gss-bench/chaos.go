@@ -1,0 +1,357 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/faultproxy"
+	"repro/internal/gss"
+	"repro/internal/server"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+// Chaos mode: what degraded reads buy under member failures. Three
+// members sit behind seedable fault proxies; one fixed fault schedule
+// (member outages, connection resets, injected 5xxs, latency) is
+// replayed TWICE over the same scatter-read workload — once with
+// strict reads, once with ?partial=1 — and the two phases report
+// availability and tail latency side by side. The schedule is
+// identical down to the millisecond in both phases, so the delta is
+// the partial-read contract, not luck.
+type chaosBenchOptions struct {
+	Seed    int64         // fault-schedule and query-sampling seed
+	Readers int           // concurrent read goroutines
+	Items   int           // preloaded stream size
+	Nodes   int           // node universe of the preloaded stream
+	Width   int           // member sketch matrix width
+	Phase   time.Duration // measured length of each phase
+}
+
+// chaosEvent is one scheduled fault action.
+type chaosEvent struct {
+	at     time.Duration
+	member int
+	act    int
+}
+
+const (
+	chaosActDown = iota
+	chaosActUp
+	chaosActUp2 // ups outnumber downs so outages stay windows, not a state
+	chaosActReset
+	chaosActStatus
+	chaosActLatency
+	chaosActClear
+)
+
+// chaosBenchSchedule precomputes the fault timeline so both phases
+// replay the exact same failures at the exact same offsets. At most
+// members-1 proxies are ever down at once: with the whole fleet gone
+// both modes answer 502 alike, which measures nothing — the scenario
+// degraded reads exist for is "some members survive".
+func chaosBenchSchedule(seed int64, span time.Duration, members int) []chaosEvent {
+	rng := rand.New(rand.NewSource(seed))
+	var evs []chaosEvent
+	down := make([]bool, members)
+	nDown := 0
+	for at := time.Duration(0); ; {
+		at += time.Duration(40+rng.Intn(140)) * time.Millisecond
+		// Leave the tail of the phase event-free so in-flight deadlines
+		// settle inside the measurement.
+		if at >= span-300*time.Millisecond {
+			return evs
+		}
+		ev := chaosEvent{at: at, member: rng.Intn(members), act: rng.Intn(7)}
+		switch ev.act {
+		case chaosActDown:
+			if !down[ev.member] {
+				if nDown == members-1 {
+					ev.act = chaosActUp
+				} else {
+					down[ev.member] = true
+					nDown++
+				}
+			}
+		case chaosActUp, chaosActUp2:
+			if down[ev.member] {
+				down[ev.member] = false
+				nDown--
+			}
+		}
+		evs = append(evs, ev)
+	}
+}
+
+func (ev chaosEvent) apply(p *faultproxy.Proxy) {
+	switch ev.act {
+	case chaosActDown:
+		p.SetDown(true)
+	case chaosActUp, chaosActUp2:
+		p.SetDown(false)
+	case chaosActReset:
+		p.Set(faultproxy.Fault{Prob: 0.35, Reset: true})
+	case chaosActStatus:
+		p.Set(faultproxy.Fault{Prob: 0.5, Status: 503})
+	case chaosActLatency:
+		p.Set(faultproxy.Fault{Prob: 0.6, Latency: 60 * time.Millisecond})
+	case chaosActClear:
+		p.Set()
+	}
+}
+
+// chaosPhaseResult is one phase's tally.
+type chaosPhaseResult struct {
+	name      string
+	requests  int64
+	ok        int64
+	degraded  int64 // 200s answered from a subset of members
+	latencies []time.Duration
+}
+
+func (r *chaosPhaseResult) availability() float64 {
+	if r.requests == 0 {
+		return 0
+	}
+	return 100 * float64(r.ok) / float64(r.requests)
+}
+
+func (r *chaosPhaseResult) percentile(p float64) time.Duration {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	sort.Slice(r.latencies, func(i, j int) bool { return r.latencies[i] < r.latencies[j] })
+	i := int(p * float64(len(r.latencies)-1))
+	return r.latencies[i]
+}
+
+func runChaosBench(opt chaosBenchOptions, w io.Writer) error {
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	if opt.Readers < 1 {
+		opt.Readers = 4
+	}
+	if opt.Items < 1 {
+		opt.Items = 50000
+	}
+	if opt.Nodes < 1 {
+		opt.Nodes = 2000
+	}
+	if opt.Width < 1 {
+		opt.Width = 512
+	}
+	if opt.Phase <= 0 {
+		opt.Phase = 8 * time.Second
+	}
+	silent := func(string, ...interface{}) {}
+	cfg := gss.Config{Width: opt.Width, FingerprintBits: 16, Rooms: 2, SeqLen: 8, Candidates: 8}
+
+	const nMembers = 3
+	proxies := make([]*faultproxy.Proxy, nMembers)
+	memberURLs := make([]string, nMembers)
+	for i := 0; i < nMembers; i++ {
+		srv, err := server.NewWithOptions(cfg, server.Options{
+			Backend: sketch.BackendConcurrent, Logf: silent})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		backend := httptest.NewServer(srv.Handler())
+		defer backend.Close()
+		p, err := faultproxy.New(backend.URL, faultproxy.Options{Seed: opt.Seed, Logf: silent})
+		if err != nil {
+			return err
+		}
+		defer p.Close()
+		proxies[i] = p
+		memberURLs[i] = p.URL()
+	}
+	rt, err := cluster.New(cluster.Config{
+		Members:       memberURLs,
+		ProbeInterval: 50 * time.Millisecond,
+		// Down proxies abort probes instantly, so a generous timeout does
+		// not slow failure detection — it only keeps a CPU-saturated but
+		// alive member (the preload pegs all three) from being declared
+		// dead by a 50ms default budget.
+		ProbeTimeout: 2 * time.Second,
+		ReadTimeout:  2 * time.Second,
+		// Five attempts per member: injected 5xxs answer instantly, so
+		// retries are cheap and a member only counts failed when its
+		// fault dice land five in a row.
+		ReadRetries:       4,
+		RetryBackoff:      10 * time.Millisecond,
+		AllowPartialReads: true,
+		Logf:              silent,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	// Preload against the healthy cluster, then freeze the dataset: the
+	// phases are read-only so both replays query identical state.
+	items := stream.Generate(stream.DatasetConfig{Name: "chaos-bench",
+		Nodes: opt.Nodes, Edges: opt.Items, DegreeSkew: 1.3, WeightSkew: 1.2,
+		MaxWeight: 500, UniformMix: 0.5, Seed: opt.Seed})
+	if err := chaosPreload(front.URL, items); err != nil {
+		return err
+	}
+	nodes := make([]string, 0, opt.Nodes)
+	seen := make(map[string]bool)
+	for _, it := range items {
+		if !seen[it.Src] {
+			seen[it.Src] = true
+			nodes = append(nodes, it.Src)
+		}
+	}
+
+	schedule := chaosBenchSchedule(opt.Seed, opt.Phase, nMembers)
+	fmt.Fprintf(w, "chaos reads: %d members, %d readers, %d preloaded items, %s per phase, %d fault events (seed %d)\n",
+		nMembers, opt.Readers, len(items), opt.Phase, len(schedule), opt.Seed)
+	fmt.Fprintf(w, "identical fault schedule replayed for strict reads and ?partial=1 reads\n\n")
+
+	results := make([]*chaosPhaseResult, 0, 2)
+	for _, partial := range []bool{false, true} {
+		name := "strict"
+		if partial {
+			name = "partial"
+		}
+		res, err := chaosBenchPhase(name, front.URL, rt, proxies, schedule, nodes, opt, partial)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+	}
+
+	fmt.Fprintf(w, "%-8s %9s %9s %9s %7s %13s %9s %9s\n",
+		"phase", "requests", "ok", "degraded", "failed", "availability", "p50", "p99")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-8s %9d %9d %9d %7d %12.2f%% %9s %9s\n",
+			r.name, r.requests, r.ok, r.degraded, r.requests-r.ok, r.availability(),
+			r.percentile(0.50).Round(10*time.Microsecond),
+			r.percentile(0.99).Round(10*time.Microsecond))
+	}
+	fmt.Fprintf(w, "\ndegraded = answers served from the surviving members, flagged partial.\n")
+	fmt.Fprintf(w, "strict fails any scatter read that touches a faulted member; partial\n")
+	fmt.Fprintf(w, "turns those failures into flagged subset answers — that gap is the\n")
+	fmt.Fprintf(w, "whole difference between the rows.\n")
+	return nil
+}
+
+// chaosPreload pushes the dataset through the router in one request.
+func chaosPreload(frontURL string, items []stream.Item) error {
+	pr, pw := io.Pipe()
+	go func() { pw.CloseWithError(stream.EncodeNDJSON(pw, items)) }()
+	resp, err := http.Post(frontURL+"/ingest", "application/x-ndjson", pr)
+	if err != nil {
+		return fmt.Errorf("preload: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("preload: status %d: %s", resp.StatusCode, raw)
+	}
+	return nil
+}
+
+// chaosBenchPhase heals the cluster, then replays the schedule while
+// the readers hammer the scatter endpoints.
+func chaosBenchPhase(name, frontURL string, rt *cluster.Router, proxies []*faultproxy.Proxy,
+	schedule []chaosEvent, nodes []string, opt chaosBenchOptions, partial bool) (*chaosPhaseResult, error) {
+	// Fresh start: every proxy up and fault-free, and the router has
+	// noticed.
+	for _, p := range proxies {
+		p.Clear()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for rt.Stats().DownMembers != 0 {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("%s phase: cluster never healed between phases", name)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	res := &chaosPhaseResult{name: name}
+	var mu sync.Mutex
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < opt.Readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 5 * time.Second}
+			rng := rand.New(rand.NewSource(opt.Seed + int64(g)*7919))
+			var reqs, ok, degraded int64
+			var lats []time.Duration
+			for {
+				select {
+				case <-stop:
+					mu.Lock()
+					res.requests += reqs
+					res.ok += ok
+					res.degraded += degraded
+					res.latencies = append(res.latencies, lats...)
+					mu.Unlock()
+					return
+				default:
+				}
+				v := url.QueryEscape(nodes[rng.Intn(len(nodes))])
+				q := [...]string{
+					"/nodes?limit=20", "/nodein?v=" + v, "/precursors?v=" + v,
+					"/stats", "/heavy?min=2"}[rng.Intn(5)]
+				sep := "?"
+				for _, c := range q {
+					if c == '?' {
+						sep = "&"
+					}
+				}
+				if partial {
+					q += sep + "partial=1"
+				}
+				start := time.Now()
+				resp, err := client.Get(frontURL + q)
+				reqs++
+				if err != nil {
+					continue
+				}
+				io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+				resp.Body.Close()
+				lats = append(lats, time.Since(start))
+				if resp.StatusCode == http.StatusOK {
+					ok++
+					if resp.Header.Get("X-Gss-Partial") == "true" {
+						degraded++
+					}
+				}
+			}
+		}(g)
+	}
+
+	start := time.Now()
+	for _, ev := range schedule {
+		if until := time.Until(start.Add(ev.at)); until > 0 {
+			time.Sleep(until)
+		}
+		ev.apply(proxies[ev.member])
+	}
+	if until := time.Until(start.Add(opt.Phase)); until > 0 {
+		time.Sleep(until)
+	}
+	close(stop)
+	wg.Wait()
+	for _, p := range proxies {
+		p.Clear()
+	}
+	return res, nil
+}

@@ -13,6 +13,7 @@
 //	gss-bench -mode replica             # checkpoint cost + follower staleness
 //	gss-bench -mode cluster             # routed multi-member scaling (1/2/4 members)
 //	gss-bench -mode migrate             # membership change under live ingest
+//	gss-bench -mode chaos               # strict vs partial read availability under faults
 //
 // -scale 1.0 reproduces paper-size datasets (several GB of working set
 // for the Caida figures; budget accordingly).
@@ -37,7 +38,7 @@ import (
 
 func main() {
 	var (
-		mode     = flag.String("mode", "paper", "bench mode: paper (experiments), ingest (server throughput), query (hash-native vs reference query stack), window (windowed vs unbounded), replica (checkpointing + follower staleness), cluster (routed multi-member scaling) or migrate (membership change under live ingest)")
+		mode     = flag.String("mode", "paper", "bench mode: paper (experiments), ingest (server throughput), query (hash-native vs reference query stack), window (windowed vs unbounded), replica (checkpointing + follower staleness), cluster (routed multi-member scaling), migrate (membership change under live ingest) or chaos (degraded-read availability under an injected fault schedule)")
 		exp      = flag.String("exp", "all", "experiment to run (see -list)")
 		scale    = flag.Float64("scale", 0, "dataset scale; 1.0 = paper scale, 0 = fast default")
 		sample   = flag.Int("sample", 0, "max queries per configuration; 0 = default")
@@ -61,6 +62,9 @@ func main() {
 
 		memberCap = flag.Float64("member-cap", 6,
 			"cluster mode: simulated per-member ingest capacity in MB/s (0 = uncapped, shared-CPU ceiling)")
+
+		chaosPhase = flag.Duration("chaos-phase", 8*time.Second,
+			"chaos mode: measured length of each read phase (strict, then partial)")
 
 		ckptEvery = flag.Duration("checkpoint-interval", 200*time.Millisecond,
 			"replica mode: primary checkpoint interval")
@@ -119,9 +123,17 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	case "chaos":
+		opt := chaosBenchOptions{Seed: *seed, Readers: *ingesters, Items: *items,
+			Nodes: *nodes, Width: *width, Phase: *chaosPhase}
+		if err := runChaosBench(opt, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	case "paper":
 	default:
-		fmt.Fprintf(os.Stderr, "gss-bench: unknown -mode %q (want paper, ingest, query, window, replica, cluster or migrate)\n", *mode)
+		fmt.Fprintf(os.Stderr, "gss-bench: unknown -mode %q (want paper, ingest, query, window, replica, cluster, migrate or chaos)\n", *mode)
 		os.Exit(2)
 	}
 

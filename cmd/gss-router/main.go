@@ -48,6 +48,14 @@ func main() {
 			"enable the live-migration admin endpoints (POST /cluster/members adds a member, POST /cluster/drain removes one)")
 		stateDir = flag.String("state-dir", "",
 			"persist cluster state here: the committed member list (overrides -member after a membership change) and the journal that lets a restart roll an interrupted migration back or forward")
+		readTimeout = flag.Duration("read-timeout", 15*time.Second,
+			"per-request deadline budget for read queries, fan-out included (0 disables; a request may narrow it with ?timeout_ms=)")
+		readRetries = flag.Int("read-retries", 2,
+			"extra attempts for an idempotent member read across primary and follower (-1 disables retries)")
+		allowPartial = flag.Bool("allow-partial-reads", false,
+			"let ?partial=1 requests accept a scatter-gather merge over the surviving members, flagged with partial/missing_members markers")
+		maxRespBytes = flag.Int64("max-member-response-bytes", 0,
+			"cap on one member's response body during scatter-gather decodes (0 = 64MiB default)")
 	)
 	flag.Parse()
 
@@ -63,6 +71,15 @@ func main() {
 		SpillMaxBytes:          *spillMax,
 		AllowMembershipChanges: *allowMembership,
 		StateDir:               *stateDir,
+		ReadTimeout:            *readTimeout,
+		ReadRetries:            *readRetries,
+		MaxResponseBytes:       *maxRespBytes,
+		AllowPartialReads:      *allowPartial,
+	}
+	if *readRetries <= 0 {
+		// Config treats 0 as "use the default"; the flag's 0 and -1 both
+		// mean "no retries".
+		cfg.ReadRetries = -1
 	}
 	if *failover != "" {
 		cfg.Failover = make(map[string]string)
@@ -87,6 +104,9 @@ func main() {
 	}
 	if *allowMembership {
 		role += ", membership changes enabled"
+	}
+	if *allowPartial {
+		role += ", partial reads enabled"
 	}
 	fmt.Printf("gss-router listening on %s (%d members, %d with followers, probe every %s%s)\n",
 		*addr, len(cfg.Members), len(cfg.Failover), *probeEvery, role)

@@ -1,0 +1,499 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultproxy"
+	"repro/internal/server"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+// Chaos battery: a seeded randomized fault schedule runs against a live
+// 3-member cluster while a writer streams items through the router and
+// strict/partial readers hammer every read endpoint. Three invariants
+// are asserted throughout, and one at the end:
+//
+//   - strict reads NEVER leak partial data: no X-Gss-Partial header, no
+//     partial/missing_members/certain fields, on any 200;
+//   - partial reads are always flagged consistently: the header is
+//     present, the body markers agree with it, and a degraded response
+//     names the members it is missing;
+//   - deadline-bounded reads return within their budget;
+//   - after the faults heal, the router's observables diff EXACTLY
+//     against a single-node oracle fed the confirmed writes.
+//
+// The fault schedule is deterministic per seed. Set GSS_CHAOS_SEED to
+// replay a failing nightly run; the seed is logged on every run.
+
+// chaosSeed resolves the battery's seed: GSS_CHAOS_SEED if set, a fixed
+// default otherwise. Always logged so a failure names its replay.
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	seed := int64(20260808)
+	if raw := os.Getenv("GSS_CHAOS_SEED"); raw != "" {
+		n, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			t.Fatalf("GSS_CHAOS_SEED=%q: %v", raw, err)
+		}
+		seed = n
+	}
+	t.Logf("chaos seed %d (set GSS_CHAOS_SEED=%d to reproduce)", seed, seed)
+	return seed
+}
+
+// chaosStream generates the live write load. Same shape discipline as
+// equivStream: sized so the test sketch summarizes exactly and any
+// post-heal diff is a router bug, not sketch noise.
+func chaosStream(nodes, edges int, seed int64) []stream.Item {
+	return stream.Generate(stream.DatasetConfig{Name: "chaos",
+		Nodes: nodes, Edges: edges, DegreeSkew: 1.4, WeightSkew: 1.2,
+		MaxWeight: 100, UniformMix: 0.3, Seed: seed})
+}
+
+// chaosReadPaths are the member paths the schedule may mangle with
+// response-body faults (throttle, truncation, blackhole, latency).
+// These are idempotent GETs — a mangled response is retried or failed,
+// never half-applied. Write paths (/ingest, /insert) and the health
+// probe only ever see pre-forward faults (down, reset, status), which
+// guarantee the backend never saw the request, keeping every write
+// chunk's outcome attributable.
+var chaosReadPaths = []string{
+	"/edge", "/successors", "/precursors", "/nodeout", "/nodein",
+	"/nodes", "/heavy", "/stats", "/reachable",
+}
+
+// chaosViolations collects invariant breaches from the reader and
+// writer goroutines (t.Fatalf is main-goroutine-only).
+type chaosViolations struct {
+	mu sync.Mutex
+	v  []string
+}
+
+func (c *chaosViolations) addf(format string, args ...interface{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.v) < 20 { // enough to diagnose; don't flood the log
+		c.v = append(c.v, fmt.Sprintf(format, args...))
+	}
+}
+
+func (c *chaosViolations) report(t *testing.T) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, v := range c.v {
+		t.Errorf("chaos invariant: %s", v)
+	}
+}
+
+// chunkByOwner splits the stream into single-owner chunks of at most
+// size items, round-robining owners so every partition sees writes
+// throughout the run. Single-owner chunks are what makes a 429 reply
+// attributable: the chunk feeds exactly one member stream, so the
+// router's dropped count is the unapplied PREFIX (lines routed to the
+// stream before the partition was marked down) and the spilled count is
+// the absorbed SUFFIX.
+func chunkByOwner(ring *Ring, items []stream.Item, size int) [][]stream.Item {
+	buckets := make([][]stream.Item, ring.Size())
+	for _, it := range items {
+		o := ring.Owner(it.Src)
+		buckets[o] = append(buckets[o], it)
+	}
+	var chunks [][]stream.Item
+	for progress := true; progress; {
+		progress = false
+		for o := range buckets {
+			if len(buckets[o]) == 0 {
+				continue
+			}
+			n := min(size, len(buckets[o]))
+			chunks = append(chunks, buckets[o][:n])
+			buckets[o] = buckets[o][n:]
+			progress = true
+		}
+	}
+	return chunks
+}
+
+// chaosWriteChunk pushes one single-owner chunk through the router
+// until every item is confirmed (ingested or durably spilled), and
+// returns the items in confirmation order. The fault schedule only
+// aborts writes pre-forward, so:
+//
+//	200 → the whole remainder was applied (ingested + spilled = len);
+//	429 → ingested is 0 (the member stream aborted before the backend
+//	      saw a byte), the spilled suffix rest[dropped:] was absorbed,
+//	      and the dropped prefix rest[:dropped] is safe to resend;
+//	502 → an injected 5xx refused the member stream pre-forward, or the
+//	      router's deadline hit first: nothing applied, resend all.
+//
+// Anything else is an attribution failure and fails the test: it would
+// mean a write was half-applied, which the schedule is built to forbid.
+func chaosWriteChunk(routerURL string, chunk []stream.Item) ([]stream.Item, error) {
+	applied := make([]stream.Item, 0, len(chunk))
+	rest := chunk
+	deadline := time.Now().Add(20 * time.Second)
+	for len(rest) > 0 {
+		var buf bytes.Buffer
+		if err := stream.EncodeNDJSON(&buf, rest); err != nil {
+			return applied, err
+		}
+		resp, err := http.Post(routerURL+"/ingest", "application/x-ndjson", &buf)
+		if err != nil {
+			return applied, fmt.Errorf("router unreachable: %v", err)
+		}
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		var res struct {
+			Ingested int64 `json:"ingested"`
+			Spilled  int64 `json:"spilled"`
+			Dropped  int64 `json:"dropped"`
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			if err := json.Unmarshal(raw, &res); err != nil {
+				return applied, fmt.Errorf("ingest 200 body: %v (%s)", err, raw)
+			}
+			if res.Ingested+res.Spilled != int64(len(rest)) {
+				return applied, fmt.Errorf("ingest 200 confirmed %d+%d of %d: %s",
+					res.Ingested, res.Spilled, len(rest), raw)
+			}
+			applied = append(applied, rest...)
+			rest = nil
+		case http.StatusTooManyRequests:
+			if err := json.Unmarshal(raw, &res); err != nil {
+				return applied, fmt.Errorf("ingest 429 body: %v (%s)", err, raw)
+			}
+			if res.Ingested != 0 || res.Spilled+res.Dropped != int64(len(rest)) {
+				return applied, fmt.Errorf(
+					"ingest 429 not attributable (ingested %d, spilled %d, dropped %d of %d): %s",
+					res.Ingested, res.Spilled, res.Dropped, len(rest), raw)
+			}
+			applied = append(applied, rest[res.Dropped:]...)
+			rest = rest[:res.Dropped]
+		case http.StatusBadGateway:
+			// Injected member refusal; nothing reached the backend.
+		default:
+			return applied, fmt.Errorf("ingest status %d: %s", resp.StatusCode, raw)
+		}
+		if len(rest) > 0 {
+			if time.Now().After(deadline) {
+				return applied, fmt.Errorf("chunk never confirmed (%d items left)", len(rest))
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	return applied, nil
+}
+
+// strictBodyMarkers are the fields a strict response must never carry.
+var strictBodyMarkers = []string{"partial", "missing_members", "certain"}
+
+// chaosStrictProbe issues one strict read and checks it leaks nothing.
+func chaosStrictProbe(client *http.Client, base string, nodes []string, rng *rand.Rand, viol *chaosViolations) bool {
+	src := nodes[rng.Intn(len(nodes))]
+	dst := nodes[rng.Intn(len(nodes))]
+	urls := []string{
+		"/edge?src=" + queryEscape(src) + "&dst=" + queryEscape(dst),
+		"/successors?v=" + queryEscape(src),
+		"/nodeout?v=" + queryEscape(src),
+		"/nodes?limit=50",
+		"/nodein?v=" + queryEscape(dst),
+		"/precursors?v=" + queryEscape(dst),
+		"/stats",
+		"/heavy?min=2",
+		"/reachable?src=" + queryEscape(src) + "&dst=" + queryEscape(dst) + "&timeout_ms=500",
+	}
+	q := urls[rng.Intn(len(urls))]
+	bounded := rng.Intn(3) == 0 && q != urls[8]
+	if bounded {
+		sep := "?"
+		if bytes.ContainsRune([]byte(q), '?') {
+			sep = "&"
+		}
+		q += sep + "timeout_ms=300"
+	}
+	start := time.Now()
+	resp, err := client.Get(base + q)
+	if err != nil {
+		return false
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if bounded && time.Since(start) > 5*time.Second {
+		viol.addf("strict %s with 300ms budget took %v", q, time.Since(start))
+	}
+	if resp.StatusCode == http.StatusBadRequest {
+		viol.addf("strict %s answered 400: %s", q, raw)
+		return false
+	}
+	if h := resp.Header.Get(headerPartial); h != "" {
+		viol.addf("strict %s leaked %s=%q (status %d)", q, headerPartial, h, resp.StatusCode)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	if len(raw) > 0 && raw[0] == '{' {
+		var body map[string]interface{}
+		if json.Unmarshal(raw, &body) == nil {
+			for _, k := range strictBodyMarkers {
+				if _, leaked := body[k]; leaked {
+					viol.addf("strict %s leaked %q in body: %s", q, k, raw)
+				}
+			}
+		}
+	}
+	return true
+}
+
+// chaosPartialProbe issues one ?partial=1 scatter read and checks the
+// degradation markers are present and mutually consistent.
+func chaosPartialProbe(client *http.Client, base string, nodes []string, rng *rand.Rand, viol *chaosViolations) (ok, degraded bool) {
+	src := nodes[rng.Intn(len(nodes))]
+	dst := nodes[rng.Intn(len(nodes))]
+	urls := []string{
+		"/nodes?limit=50",
+		"/nodein?v=" + queryEscape(dst),
+		"/precursors?v=" + queryEscape(dst),
+		"/stats",
+		"/heavy?min=2",
+		"/reachable?src=" + queryEscape(src) + "&dst=" + queryEscape(dst) + "&timeout_ms=500",
+	}
+	q := urls[rng.Intn(len(urls))]
+	isHeavy := q == urls[4]
+	isReach := q == urls[5]
+	sep := "?"
+	if bytes.ContainsRune([]byte(q), '?') {
+		sep = "&"
+	}
+	q += sep + "partial=1"
+	resp, err := client.Get(base + q)
+	if err != nil {
+		return false, false
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusBadRequest {
+		viol.addf("partial %s answered 400: %s", q, raw)
+		return false, false
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, false
+	}
+	h := resp.Header.Get(headerPartial)
+	if h != "true" && h != "false" {
+		viol.addf("partial %s answered 200 with %s=%q", q, headerPartial, h)
+		return true, false
+	}
+	degraded = h == "true"
+	if degraded && resp.Header.Get(headerMissing) == "" {
+		viol.addf("partial %s degraded but %s empty", q, headerMissing)
+	}
+	if isHeavy {
+		return true, degraded // JSON array: markers ride the headers only
+	}
+	var body map[string]interface{}
+	if err := json.Unmarshal(raw, &body); err != nil {
+		viol.addf("partial %s body: %v (%s)", q, err, raw)
+		return true, degraded
+	}
+	if p, _ := body["partial"].(bool); p != degraded {
+		viol.addf("partial %s header %q but body partial=%v: %s", q, h, body["partial"], raw)
+	}
+	if degraded {
+		if miss, _ := body["missing_members"].([]interface{}); len(miss) == 0 {
+			viol.addf("partial %s degraded but missing_members empty: %s", q, raw)
+		}
+	}
+	if isReach {
+		if _, has := body["certain"].(bool); !has {
+			viol.addf("partial %s missing certain field: %s", q, raw)
+		}
+	}
+	return true, degraded
+}
+
+// TestChaosBattery is the headline robustness test: the full fault
+// schedule, live writes, strict and partial readers, then an exact
+// post-heal oracle diff.
+func TestChaosBattery(t *testing.T) {
+	seed := chaosSeed(t)
+	chaosFor := 2500 * time.Millisecond
+	extraNodes, extraEdges := 200, 1600
+	if testing.Short() {
+		chaosFor = 900 * time.Millisecond
+		extraNodes, extraEdges = 120, 500
+	}
+
+	opt := server.Options{Backend: sketch.BackendConcurrent}
+	fms := make([]*faultMember, 3)
+	urls := make([]string, 3)
+	for i := range fms {
+		fms[i] = startFaultMember(t, opt)
+		urls[i] = fms[i].url
+	}
+	rt, ts := newTestRouter(t, Config{
+		Members:       urls,
+		ProbeInterval: 25 * time.Millisecond,
+		// Generous probe budget: down proxies abort instantly so failure
+		// detection stays fast, but a loaded CI host must not flap a
+		// healthy member on a slow /healthz.
+		ProbeTimeout:      2 * time.Second,
+		SpillDir:          t.TempDir(),
+		AllowPartialReads: true,
+		ReadTimeout:       2 * time.Second,
+		RetryBackoff:      5 * time.Millisecond,
+	})
+	routerURL := ts.URL
+
+	// A clean base load before the faults start, so readers always have
+	// real nodes to probe.
+	base := chaosStream(120, 500, seed)
+	ingestAll(t, routerURL, base)
+	nodes := nodesOf(base)
+
+	ring, err := NewRing(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := chaosStream(extraNodes, extraEdges, seed+1)
+	chunks := chunkByOwner(ring, extra, 24)
+
+	viol := &chaosViolations{}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+
+	// Writer: paced across the chaos window, confirming every chunk.
+	applied := append([]stream.Item(nil), base...)
+	writerErr := make(chan error, 1)
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		interval := chaosFor / time.Duration(len(chunks)+1)
+		start := time.Now()
+		for i, chunk := range chunks {
+			got, err := chaosWriteChunk(routerURL, chunk)
+			applied = append(applied, got...)
+			if err != nil {
+				writerErr <- fmt.Errorf("chunk %d/%d: %v", i+1, len(chunks), err)
+				return
+			}
+			if ahead := start.Add(time.Duration(i+1) * interval); time.Now().Before(ahead) {
+				time.Sleep(time.Until(ahead))
+			}
+		}
+		writerErr <- nil
+	}()
+
+	// Readers: one strict, one partial, until the chaos window closes.
+	var strictReqs, strictOK, partialReqs, partialOK, partialDegraded int64
+	readers.Add(2)
+	go func() {
+		defer readers.Done()
+		client := &http.Client{Timeout: 8 * time.Second}
+		rng := rand.New(rand.NewSource(seed + 2))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			strictReqs++
+			if chaosStrictProbe(client, routerURL, nodes, rng, viol) {
+				strictOK++
+			}
+		}
+	}()
+	go func() {
+		defer readers.Done()
+		client := &http.Client{Timeout: 8 * time.Second}
+		rng := rand.New(rand.NewSource(seed + 3))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			partialReqs++
+			ok, degraded := chaosPartialProbe(client, routerURL, nodes, rng, viol)
+			if ok {
+				partialOK++
+			}
+			if degraded {
+				partialDegraded++
+			}
+		}
+	}()
+
+	// The fault schedule itself: seeded, so a failing nightly run
+	// replays exactly under its printed seed.
+	actor := rand.New(rand.NewSource(seed + 4))
+	for end := time.Now().Add(chaosFor); time.Now().Before(end); {
+		fm := fms[actor.Intn(len(fms))]
+		switch actor.Intn(7) {
+		case 0:
+			fm.proxy.SetDown(true)
+		case 1, 2:
+			fm.proxy.SetDown(false)
+		case 3:
+			fm.proxy.Set(faultproxy.Fault{Prob: 0.35, Reset: true})
+		case 4:
+			fm.proxy.Set(faultproxy.Fault{Prob: 0.5, Status: 503})
+		case 5:
+			p := chaosReadPaths[actor.Intn(len(chaosReadPaths))]
+			fm.proxy.Set(
+				faultproxy.Fault{Path: p, Prob: 0.6,
+					Latency: time.Duration(20+actor.Intn(100)) * time.Millisecond},
+				faultproxy.Fault{Path: p, Prob: 0.3, TruncateBody: 40},
+				faultproxy.Fault{Path: p, Prob: 0.2, Blackhole: true},
+			)
+		case 6:
+			fm.proxy.Set() // clear injected faults; the down switch stands
+		}
+		time.Sleep(time.Duration(10+actor.Intn(40)) * time.Millisecond)
+	}
+	close(stop)
+	readers.Wait()
+
+	// Heal: clear every fault, bring every proxy up, let the writer
+	// finish against the healthy cluster.
+	for _, fm := range fms {
+		fm.proxy.Clear()
+	}
+	writer.Wait()
+	if err := <-writerErr; err != nil {
+		t.Fatalf("chaos writer: %v", err)
+	}
+	viol.report(t)
+	t.Logf("chaos load: strict %d/%d ok, partial %d/%d ok (%d degraded), %d items confirmed",
+		strictOK, strictReqs, partialOK, partialReqs, partialDegraded, len(applied))
+
+	// Every partition healthy and every spill drained before the diff.
+	waitCluster(t, rt, "post-heal recovery", func(st ClusterStats) bool {
+		if st.DownMembers != 0 {
+			return false
+		}
+		for _, ms := range st.Members {
+			if !ms.Healthy || (ms.Spill != nil && ms.Spill.PendingItems != 0) {
+				return false
+			}
+		}
+		return true
+	})
+
+	// The exactness oracle: a single node fed exactly the confirmed
+	// writes must agree with the healed cluster on every observable.
+	oracleURL := oracleOf(t, opt, applied)
+	diffObservables(t, routerURL, oracleURL, applied, seed)
+}

@@ -14,10 +14,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/faultproxy"
 	"repro/internal/server"
 	"repro/internal/sketch"
 	"repro/internal/stream"
@@ -55,16 +55,17 @@ func migrationCluster(t *testing.T, n int, backend string, cfg Config) ([]*testM
 	return members, urls, rt, ts.URL
 }
 
-// faultMember wraps a real server in a fault-injecting front: it can be
+// faultMember is a real server behind a faultproxy front: it can be
 // crash-killed (requests abort at the transport level; the state and the
-// port survive, unlike testMember.die), slowed down per path to widen
-// migration phases into testable windows, and made to reject a path with
-// a status code without running the handler.
+// proxy's port survive, unlike testMember.die), slowed down per path to
+// widen migration phases into testable windows, and made to reject a
+// path with a status code without the backend ever seeing the request.
+// The router is pointed at fm.url — the proxy — never at the backend.
 type faultMember struct {
-	srv      *server.Server
-	ts       *httptest.Server
-	dead     atomic.Bool
-	inflight atomic.Int64
+	srv     *server.Server
+	backend *httptest.Server
+	proxy   *faultproxy.Proxy
+	url     string // the proxy front: the member URL the cluster sees
 
 	mu     sync.Mutex
 	delay  map[string]time.Duration
@@ -80,35 +81,24 @@ func startFaultMember(t *testing.T, opt server.Options) *faultMember {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fm := &faultMember{srv: srv,
+	backend := httptest.NewServer(srv.Handler())
+	proxy, err := faultproxy.New(backend.URL, faultproxy.Options{Logf: silentLogf})
+	if err != nil {
+		backend.Close()
+		srv.Close()
+		t.Fatal(err)
+	}
+	fm := &faultMember{srv: srv, backend: backend, proxy: proxy, url: proxy.URL(),
 		delay: make(map[string]time.Duration), reject: make(map[string]int)}
-	inner := srv.Handler()
-	fm.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		fm.inflight.Add(1)
-		defer fm.inflight.Add(-1)
-		if fm.dead.Load() {
-			panic(http.ErrAbortHandler)
-		}
-		if d := fm.pathDelay(r.URL.Path); d > 0 {
-			time.Sleep(d)
-			if fm.dead.Load() {
-				panic(http.ErrAbortHandler) // killed mid-transfer
-			}
-		}
-		if code := fm.pathReject(r.URL.Path); code != 0 {
-			w.WriteHeader(code)
-			return
-		}
-		inner.ServeHTTP(w, r)
-	}))
 	t.Cleanup(fm.stop)
 	return fm
 }
 
 func (fm *faultMember) stop() {
 	fm.stopOnce.Do(func() {
-		fm.ts.CloseClientConnections()
-		fm.ts.Close()
+		fm.proxy.Close()
+		fm.backend.CloseClientConnections()
+		fm.backend.Close()
 		fm.srv.Close()
 	})
 }
@@ -116,53 +106,53 @@ func (fm *faultMember) stop() {
 // kill simulates a crash: every connection dies and new requests abort
 // without a response, but the address stays bound (no impostor can take
 // it) and the in-memory state survives for revive.
-func (fm *faultMember) kill() {
-	fm.dead.Store(true)
-	fm.ts.CloseClientConnections()
-}
+func (fm *faultMember) kill() { fm.proxy.Kill() }
 
-func (fm *faultMember) revive() { fm.dead.Store(false) }
+func (fm *faultMember) revive() { fm.proxy.Revive() }
 
-// waitIdle blocks until no request is inside the member's handler —
+// waitIdle blocks until no request is inside the member's front —
 // needed when a delayed request from a dead router could otherwise
 // land after a successor's recovery already reset the member.
 func (fm *faultMember) waitIdle(t *testing.T) {
 	t.Helper()
-	deadline := time.Now().Add(15 * time.Second)
-	for fm.inflight.Load() != 0 {
-		if time.Now().After(deadline) {
-			t.Fatalf("fault member never went idle (%d requests in flight)", fm.inflight.Load())
-		}
-		time.Sleep(time.Millisecond)
+	if !fm.proxy.WaitIdle(15 * time.Second) {
+		t.Fatalf("fault member never went idle (%d requests in flight)", fm.proxy.Inflight())
 	}
 }
 
 func (fm *faultMember) setDelay(path string, d time.Duration) {
 	fm.mu.Lock()
-	fm.delay[path] = d
-	fm.mu.Unlock()
+	defer fm.mu.Unlock()
+	if d == 0 {
+		delete(fm.delay, path)
+	} else {
+		fm.delay[path] = d
+	}
+	fm.applyLocked()
 }
 
 func (fm *faultMember) setReject(path string, code int) {
 	fm.mu.Lock()
+	defer fm.mu.Unlock()
 	if code == 0 {
 		delete(fm.reject, path)
 	} else {
 		fm.reject[path] = code
 	}
-	fm.mu.Unlock()
+	fm.applyLocked()
 }
 
-func (fm *faultMember) pathDelay(path string) time.Duration {
-	fm.mu.Lock()
-	defer fm.mu.Unlock()
-	return fm.delay[path]
-}
-
-func (fm *faultMember) pathReject(path string) int {
-	fm.mu.Lock()
-	defer fm.mu.Unlock()
-	return fm.reject[path]
+// applyLocked rebuilds the proxy's fault set from the delay/reject
+// maps. Caller holds fm.mu.
+func (fm *faultMember) applyLocked() {
+	var faults []faultproxy.Fault
+	for path, d := range fm.delay {
+		faults = append(faults, faultproxy.Fault{Path: path, Prob: 1, Latency: d})
+	}
+	for path, code := range fm.reject {
+		faults = append(faults, faultproxy.Fault{Path: path, Prob: 1, Status: code})
+	}
+	fm.proxy.Set(faults...)
 }
 
 // ingestChunks streams items through the router in small /ingest
@@ -323,7 +313,7 @@ func TestClusterMigrationAddEquivalence(t *testing.T) {
 	writerErr := make(chan error, 1)
 	go func() { writerErr <- ingestChunks(routerURL, live, 30) }()
 
-	st := changeMembership(t, routerURL, "/cluster/members", joiner.ts.URL)
+	st := changeMembership(t, routerURL, "/cluster/members", joiner.url)
 	if err := <-writerErr; err != nil {
 		t.Fatalf("concurrent writer during add: %v", err)
 	}
@@ -413,7 +403,7 @@ func TestClusterMigrationSaturatedCatchUp(t *testing.T) {
 	slow := startFaultMember(t, server.Options{Backend: sketch.BackendConcurrent,
 		LogDir: t.TempDir(), LogSyncEvery: -1})
 	slow.setDelay("/log", 15*time.Millisecond)
-	urls := []string{steady[0].ts.URL, steady[1].ts.URL, slow.ts.URL}
+	urls := []string{steady[0].ts.URL, steady[1].ts.URL, slow.url}
 	rt, ts := newTestRouter(t, Config{Members: urls,
 		AllowMembershipChanges: true, BatchSize: 64})
 
@@ -550,7 +540,7 @@ func TestClusterMigrationKillSourceRollsBack(t *testing.T) {
 	source := startFaultMember(t, server.Options{Backend: sketch.BackendConcurrent,
 		LogDir: t.TempDir(), LogSyncEvery: -1})
 	source.setDelay("/partition/export", 150*time.Millisecond)
-	urls := []string{steady[0].ts.URL, steady[1].ts.URL, source.ts.URL}
+	urls := []string{steady[0].ts.URL, steady[1].ts.URL, source.url}
 
 	rt, ts := newTestRouter(t, Config{Members: urls,
 		AllowMembershipChanges: true, BatchSize: 64,
@@ -584,7 +574,7 @@ func TestClusterMigrationKillSourceRollsBack(t *testing.T) {
 	// Heal the source and retry: the same change must now complete.
 	source.revive()
 	source.setDelay("/partition/export", 0)
-	idx := memberIndex(t, rt, source.ts.URL)
+	idx := memberIndex(t, rt, source.url)
 	waitMember(t, rt, idx, "source healthy again", func(ms MemberStatus) bool {
 		return ms.Healthy
 	})
@@ -615,7 +605,7 @@ func TestClusterMigrationKillDestinationRollsBack(t *testing.T) {
 	joiner.setDelay("/insert", 10*time.Millisecond)
 
 	resp, raw := postBody(t, routerURL+"/cluster/members",
-		fmt.Sprintf(`{"url":%q}`, joiner.ts.URL), nil)
+		fmt.Sprintf(`{"url":%q}`, joiner.url), nil)
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("starting add: status %d (%s), want 202", resp.StatusCode, raw)
 	}
@@ -644,7 +634,7 @@ func TestClusterMigrationKillDestinationRollsBack(t *testing.T) {
 	}
 
 	joiner.setDelay("/insert", 0)
-	changeMembership(t, routerURL, "/cluster/members", joiner.ts.URL)
+	changeMembership(t, routerURL, "/cluster/members", joiner.url)
 	oracleURL := oracleOf(t, server.Options{Backend: sketch.BackendConcurrent}, items)
 	diffObservables(t, routerURL, oracleURL, items, 907)
 }
@@ -672,7 +662,7 @@ func TestRouterRestartRollsBackMigration(t *testing.T) {
 	joiner.setDelay("/insert", 10*time.Millisecond)
 
 	resp, raw := postBody(t, ts1.URL+"/cluster/members",
-		fmt.Sprintf(`{"url":%q}`, joiner.ts.URL), nil)
+		fmt.Sprintf(`{"url":%q}`, joiner.url), nil)
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("starting add: status %d (%s), want 202", resp.StatusCode, raw)
 	}
@@ -729,7 +719,7 @@ func TestRouterRestartRollsForwardCommittedMigration(t *testing.T) {
 	// Reject — not delay — the drop: a 503 never runs the handler, so the
 	// drop's item subtraction cannot half-apply across the restart.
 	stubborn.setReject("/partition/drop", http.StatusServiceUnavailable)
-	urls := []string{steady[0].ts.URL, steady[1].ts.URL, stubborn.ts.URL}
+	urls := []string{steady[0].ts.URL, steady[1].ts.URL, stubborn.url}
 
 	cfg := Config{Members: urls, AllowMembershipChanges: true,
 		BatchSize: 64, StateDir: stateDir}
@@ -816,7 +806,7 @@ func TestRouterCloseDuringMigration(t *testing.T) {
 	}
 	rec = httptest.NewRecorder()
 	rt.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/cluster/members",
-		strings.NewReader(fmt.Sprintf(`{"url":%q}`, joiner.ts.URL))))
+		strings.NewReader(fmt.Sprintf(`{"url":%q}`, joiner.url))))
 	if rec.Code != http.StatusAccepted {
 		t.Fatalf("starting add: status %d: %s", rec.Code, rec.Body)
 	}
@@ -863,10 +853,10 @@ func TestClusterStatsCoherentDuringMigration(t *testing.T) {
 	joiner := startFaultMember(t, server.Options{Backend: sketch.BackendConcurrent,
 		LogDir: t.TempDir(), LogSyncEvery: -1})
 	joiner.setDelay("/insert", 10*time.Millisecond)
-	newList := append(append([]string(nil), urls...), joiner.ts.URL)
+	newList := append(append([]string(nil), urls...), joiner.url)
 
 	resp, raw := postBody(t, routerURL+"/cluster/members",
-		fmt.Sprintf(`{"url":%q}`, joiner.ts.URL), nil)
+		fmt.Sprintf(`{"url":%q}`, joiner.url), nil)
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("starting add: status %d (%s), want 202", resp.StatusCode, raw)
 	}

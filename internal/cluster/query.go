@@ -21,10 +21,18 @@ import (
 // anywhere), /nodes (a node is registered wherever it appears as either
 // endpoint), /heavy, /stats, and /reachable (a path hops across
 // partitions, so the BFS frontier fans out per round).
+//
+// Every read runs under the deadline/retry/partial discipline in
+// read.go: readCtx bounds the whole fan-out, memberGet retries
+// idempotent GETs, and scatter-gathered handlers resolve per-member
+// errors through settleScatter — all-or-nothing by default, surviving
+// members' merge with partial markers under ?partial=1.
 
 // proxyByKey proxies a single-member query to the owner of the named
 // query parameter, passing the member's status and body through
-// unchanged.
+// unchanged. A single-member read has no partial merge — ?partial=1 is
+// validated for consistency but changes nothing; the owner either
+// answers or the query fails.
 func (rt *Router) proxyByKey(param string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		key := r.URL.Query().Get(param)
@@ -32,13 +40,20 @@ func (rt *Router) proxyByKey(param string) http.HandlerFunc {
 			httpError(w, http.StatusBadRequest, "%s is required", param)
 			return
 		}
-		ctx, cancel := rt.reqCtx(r)
+		ctx, cancel, ok := rt.readCtx(w, r)
+		if !ok {
+			return
+		}
 		defer cancel()
+		if _, ok := rt.partialMode(w, r); !ok {
+			return
+		}
 		pathQuery := r.URL.Path
 		if r.URL.RawQuery != "" {
 			pathQuery += "?" + r.URL.RawQuery
 		}
-		resp, err := rt.memberGet(ctx, rt.owner(key), pathQuery)
+		m := rt.owner(key)
+		resp, err := rt.memberGet(ctx, m, pathQuery)
 		if err != nil {
 			httpError(w, http.StatusBadGateway, "cluster: %v", err)
 			return
@@ -48,7 +63,13 @@ func (rt *Router) proxyByKey(param string) http.HandlerFunc {
 			w.Header().Set("Content-Type", ct)
 		}
 		w.WriteHeader(resp.StatusCode)
-		_, _ = io.Copy(w, resp.Body)
+		if _, err := io.Copy(w, resp.Body); err != nil {
+			// The status line and part of the body are already on the
+			// wire, so the client sees a truncated 200 — count and log it
+			// rather than fail silently.
+			m.copyFails.Add(1)
+			rt.cfg.Logf("cluster: %s proxy to %s failed mid-body: %v", r.URL.Path, m.primary, err)
+		}
 	}
 }
 
@@ -62,11 +83,19 @@ func (rt *Router) handlePrecursors(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "v is required")
 		return
 	}
-	ctx, cancel := rt.reqCtx(r)
+	ctx, cancel, ok := rt.readCtx(w, r)
+	if !ok {
+		return
+	}
 	defer cancel()
+	partial, ok := rt.partialMode(w, r)
+	if !ok {
+		return
+	}
 	var mu sync.Mutex
 	set := make(map[string]bool)
-	err := rt.scatter(rt.topology().members, func(i int, m *member) error {
+	members := rt.topology().members
+	errs := rt.scatter(members, func(i int, m *member) error {
 		var page struct {
 			Nodes []string `json:"nodes"`
 		}
@@ -80,6 +109,7 @@ func (rt *Router) handlePrecursors(w http.ResponseWriter, r *http.Request) {
 		mu.Unlock()
 		return nil
 	})
+	missing, err := rt.settleScatter(members, errs, partial)
 	if err != nil {
 		httpError(w, http.StatusBadGateway, "cluster: %v", err)
 		return
@@ -89,7 +119,11 @@ func (rt *Router) handlePrecursors(w http.ResponseWriter, r *http.Request) {
 		nodes = append(nodes, u)
 	}
 	sort.Strings(nodes)
-	writeJSON(w, map[string]interface{}{"v": v, "nodes": nodes})
+	res := map[string]interface{}{"v": v, "nodes": nodes}
+	if partial {
+		markPartial(w, res, missing)
+	}
+	writeJSON(w, res)
 }
 
 // handleNodeIn sums the per-member in-aggregates. An edge (u,v) lives
@@ -101,11 +135,19 @@ func (rt *Router) handleNodeIn(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "v is required")
 		return
 	}
-	ctx, cancel := rt.reqCtx(r)
+	ctx, cancel, ok := rt.readCtx(w, r)
+	if !ok {
+		return
+	}
 	defer cancel()
+	partial, ok := rt.partialMode(w, r)
+	if !ok {
+		return
+	}
 	var mu sync.Mutex
 	var total int64
-	err := rt.scatter(rt.topology().members, func(i int, m *member) error {
+	members := rt.topology().members
+	errs := rt.scatter(members, func(i int, m *member) error {
 		var res struct {
 			In int64 `json:"in"`
 		}
@@ -117,11 +159,16 @@ func (rt *Router) handleNodeIn(w http.ResponseWriter, r *http.Request) {
 		mu.Unlock()
 		return nil
 	})
+	missing, err := rt.settleScatter(members, errs, partial)
 	if err != nil {
 		httpError(w, http.StatusBadGateway, "cluster: %v", err)
 		return
 	}
-	writeJSON(w, map[string]interface{}{"v": v, "in": total})
+	res := map[string]interface{}{"v": v, "in": total}
+	if partial {
+		markPartial(w, res, missing)
+	}
+	writeJSON(w, res)
 }
 
 // defaultNodesLimit mirrors internal/server's /nodes cap.
@@ -142,11 +189,19 @@ func (rt *Router) handleNodes(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	ctx, cancel := rt.reqCtx(r)
+	ctx, cancel, ok := rt.readCtx(w, r)
+	if !ok {
+		return
+	}
 	defer cancel()
+	partial, ok := rt.partialMode(w, r)
+	if !ok {
+		return
+	}
 	var mu sync.Mutex
 	set := make(map[string]bool)
-	err := rt.scatter(rt.topology().members, func(i int, m *member) error {
+	members := rt.topology().members
+	errs := rt.scatter(members, func(i int, m *member) error {
 		var page struct {
 			Nodes []string `json:"nodes"`
 		}
@@ -160,6 +215,7 @@ func (rt *Router) handleNodes(w http.ResponseWriter, r *http.Request) {
 		mu.Unlock()
 		return nil
 	})
+	missing, err := rt.settleScatter(members, errs, partial)
 	if err != nil {
 		httpError(w, http.StatusBadGateway, "cluster: %v", err)
 		return
@@ -173,31 +229,54 @@ func (rt *Router) handleNodes(w http.ResponseWriter, r *http.Request) {
 	if limit > 0 && total > limit {
 		nodes = nodes[:limit]
 	}
-	writeJSON(w, map[string]interface{}{
+	res := map[string]interface{}{
 		"nodes":     nodes,
 		"total":     total,
 		"truncated": len(nodes) < total,
-	})
+	}
+	if partial {
+		markPartial(w, res, missing)
+	}
+	writeJSON(w, res)
 }
 
 // handleStats merges the member sketches' statistics field-wise, the
 // same convention the sharded backend uses to aggregate its shards:
-// configuration fields come from member 0, counters add, and the
-// derived buffer ratio is recomputed over the sums.
+// configuration fields come from the first answering member, counters
+// add, and the derived buffer ratio is recomputed over the sums. In
+// partial mode the merge covers the surviving members only; the wire
+// shape grows partial/missing_members fields next to the flattened
+// gss.Stats.
 func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
-	ctx, cancel := rt.reqCtx(r)
+	ctx, cancel, ok := rt.readCtx(w, r)
+	if !ok {
+		return
+	}
 	defer cancel()
+	partial, ok := rt.partialMode(w, r)
+	if !ok {
+		return
+	}
 	members := rt.topology().members
 	stats := make([]gss.Stats, len(members))
-	err := rt.scatter(members, func(i int, m *member) error {
+	errs := rt.scatter(members, func(i int, m *member) error {
 		return rt.memberGetJSON(ctx, m, "/stats", &stats[i])
 	})
+	missing, err := rt.settleScatter(members, errs, partial)
 	if err != nil {
 		httpError(w, http.StatusBadGateway, "cluster: %v", err)
 		return
 	}
-	agg := stats[0]
-	for _, st := range stats[1:] {
+	var agg gss.Stats
+	first := true
+	for i, st := range stats {
+		if errs[i] != nil {
+			continue
+		}
+		if first {
+			agg, first = st, false
+			continue
+		}
 		agg.Items += st.Items
 		agg.MatrixEdges += st.MatrixEdges
 		agg.BufferEdges += st.BufferEdges
@@ -212,7 +291,16 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 	if total := agg.MatrixEdges + agg.BufferEdges; total > 0 {
 		agg.BufferPct = float64(agg.BufferEdges) / float64(total)
 	}
-	writeJSON(w, agg)
+	if !partial {
+		writeJSON(w, agg)
+		return
+	}
+	markPartial(w, nil, missing)
+	writeJSON(w, struct {
+		gss.Stats
+		Partial        bool     `json:"partial"`
+		MissingMembers []string `json:"missing_members,omitempty"`
+	}{agg, len(missing) > 0, missing})
 }
 
 // heavyEdge is the /heavy wire shape (internal/server's edge type).
@@ -226,18 +314,27 @@ type heavyEdge struct {
 // edge lives in exactly one member, so concatenation never
 // double-counts — and re-sorts by weight (descending) with the string
 // endpoints as the tiebreak, since endpoint hashes do not cross the
-// wire.
+// wire. The payload is a JSON array, so partial-mode markers ride the
+// X-Gss-Partial / X-Gss-Missing-Members headers alone.
 func (rt *Router) handleHeavy(w http.ResponseWriter, r *http.Request) {
 	min, err := strconv.ParseInt(r.URL.Query().Get("min"), 10, 64)
 	if err != nil || min <= 0 {
 		httpError(w, http.StatusBadRequest, "positive integer min is required")
 		return
 	}
-	ctx, cancel := rt.reqCtx(r)
+	ctx, cancel, ok := rt.readCtx(w, r)
+	if !ok {
+		return
+	}
 	defer cancel()
+	partial, ok := rt.partialMode(w, r)
+	if !ok {
+		return
+	}
 	var mu sync.Mutex
 	merged := make([]heavyEdge, 0)
-	err = rt.scatter(rt.topology().members, func(i int, m *member) error {
+	members := rt.topology().members
+	errs := rt.scatter(members, func(i int, m *member) error {
 		var page []heavyEdge
 		if err := rt.memberGetJSON(ctx, m, "/heavy?min="+strconv.FormatInt(min, 10), &page); err != nil {
 			return err
@@ -247,6 +344,7 @@ func (rt *Router) handleHeavy(w http.ResponseWriter, r *http.Request) {
 		mu.Unlock()
 		return nil
 	})
+	missing, err := rt.settleScatter(members, errs, partial)
 	if err != nil {
 		httpError(w, http.StatusBadGateway, "cluster: %v", err)
 		return
@@ -261,6 +359,9 @@ func (rt *Router) handleHeavy(w http.ResponseWriter, r *http.Request) {
 		}
 		return strings.Join(merged[i].Dsts, ",") < strings.Join(merged[j].Dsts, ",")
 	})
+	if partial {
+		markPartial(w, nil, missing)
+	}
 	writeJSON(w, merged)
 }
 
@@ -272,38 +373,71 @@ const reachableFanout = 16
 // groups the frontier by owner — every node's successor set lives
 // wholly on its owner — queries the members in parallel, and the
 // answers form the next frontier. Like the single-node query, "false"
-// is certain while "true" may be a sketch false positive.
+// is certain while "true" may be a sketch false positive. In partial
+// mode an unreachable owner's successor sets are treated as empty and
+// the response carries "certain": a negative answer explored through
+// missing members may have missed a real path, so it reports
+// "certain": false.
 func (rt *Router) handleReachable(w http.ResponseWriter, r *http.Request) {
 	src, dst := r.URL.Query().Get("src"), r.URL.Query().Get("dst")
 	if src == "" || dst == "" {
 		httpError(w, http.StatusBadRequest, "src and dst are required")
 		return
 	}
-	ctx, cancel := rt.reqCtx(r)
+	ctx, cancel, ok := rt.readCtx(w, r)
+	if !ok {
+		return
+	}
 	defer cancel()
-	ok, err := rt.reachable(ctx, src, dst)
+	partial, ok := rt.partialMode(w, r)
+	if !ok {
+		return
+	}
+	found, missing, err := rt.reachable(ctx, src, dst, partial)
 	if err != nil {
 		httpError(w, http.StatusBadGateway, "cluster: %v", err)
 		return
 	}
-	writeJSON(w, map[string]interface{}{"src": src, "dst": dst, "reachable": ok})
+	res := map[string]interface{}{"src": src, "dst": dst, "reachable": found}
+	if partial {
+		res["certain"] = found || len(missing) == 0
+		markPartial(w, res, missing)
+		if len(missing) > 0 {
+			rt.partialReads.Add(1)
+			for _, p := range missing {
+				if m := rt.lookupMember(p); m != nil {
+					m.degradedReads.Add(1)
+				}
+			}
+		}
+	}
+	writeJSON(w, res)
 }
 
-func (rt *Router) reachable(ctx context.Context, src, dst string) (bool, error) {
+// reachable runs the BFS. In partial mode, member failures shrink the
+// explored frontier instead of failing the query; the sorted primaries
+// of the members whose successor sets went missing come back alongside
+// the verdict. The missing list is best-effort on an early "true" exit:
+// a found path is a definite answer, so exploration stops there.
+func (rt *Router) reachable(ctx context.Context, src, dst string, partial bool) (bool, []string, error) {
 	if src == dst {
-		return true, nil
+		return true, nil, nil
 	}
 	visited := map[string]bool{src: true}
 	frontier := []string{src}
+	missing := make(map[string]bool)
 	for len(frontier) > 0 {
-		succs, err := rt.successorsOf(ctx, frontier)
+		succs, miss, err := rt.successorsOf(ctx, frontier, partial)
 		if err != nil {
-			return false, err
+			return false, nil, err
+		}
+		for _, p := range miss {
+			missing[p] = true
 		}
 		var next []string
 		for _, u := range succs {
 			if u == dst {
-				return true, nil
+				return true, sortedKeys(missing), nil
 			}
 			if !visited[u] {
 				visited[u] = true
@@ -312,14 +446,19 @@ func (rt *Router) reachable(ctx context.Context, src, dst string) (bool, error) 
 		}
 		frontier = next
 	}
-	return false, nil
+	return false, sortedKeys(missing), nil
 }
 
 // successorsOf fans /successors queries for the frontier nodes across
 // their owners with bounded concurrency and returns the concatenated
 // successor lists (duplicates included; the BFS dedups via visited).
-func (rt *Router) successorsOf(ctx context.Context, frontier []string) ([]string, error) {
+// In partial mode a failed owner contributes an empty set and its
+// primary URL lands in the missing list — unless the failure is the
+// request's own context dying (deadline or cancellation), which fails
+// the query in either mode.
+func (rt *Router) successorsOf(ctx context.Context, frontier []string, partial bool) ([]string, []string, error) {
 	results := make([][]string, len(frontier))
+	owners := make([]*member, len(frontier))
 	errs := make([]error, len(frontier))
 	sem := make(chan struct{}, reachableFanout)
 	var wg sync.WaitGroup
@@ -336,17 +475,36 @@ func (rt *Router) successorsOf(ctx context.Context, frontier []string) ([]string
 			var page struct {
 				Nodes []string `json:"nodes"`
 			}
-			errs[i] = rt.memberGetJSON(ctx, rt.owner(v), "/successors?v="+queryEscape(v), &page)
+			owners[i] = rt.owner(v)
+			errs[i] = rt.memberGetJSON(ctx, owners[i], "/successors?v="+queryEscape(v), &page)
 			results[i] = page.Nodes
 		}(i, v)
 	}
 	wg.Wait()
 	var out []string
+	missing := make(map[string]bool)
 	for i := range frontier {
-		if errs[i] != nil {
-			return nil, errs[i]
+		if errs[i] == nil {
+			out = append(out, results[i]...)
+			continue
 		}
-		out = append(out, results[i]...)
+		if !partial || ctx.Err() != nil {
+			return nil, nil, errs[i]
+		}
+		missing[owners[i].primary] = true
 	}
-	return out, nil
+	return out, sortedKeys(missing), nil
+}
+
+// sortedKeys flattens a string set into a sorted slice, nil when empty.
+func sortedKeys(set map[string]bool) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }

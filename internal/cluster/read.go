@@ -1,0 +1,269 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Read-plane discipline. The write plane degrades explicitly when a
+// partition is unavailable (spill logs, 429 + Retry-After); this file
+// is the read plane's equivalent. Every read request gets a deadline
+// budget (Config.ReadTimeout, overridable per request with
+// ?timeout_ms=), idempotent member GETs retry with jittered backoff
+// across primary→follower→primary, member responses decode through a
+// hard byte cap, and scatter-gathered queries can opt into partial
+// answers (Config.AllowPartialReads + ?partial=1) that serve the
+// surviving members' merge with the missing members declared instead
+// of turning one dead member into a cluster-wide 502. Strict mode —
+// the default — keeps the old all-or-nothing wire shapes byte for
+// byte.
+
+const (
+	// defaultReadRetries is how many extra attempts a member read gets
+	// when Config.ReadRetries is zero. Retries also power same-request
+	// fail-over: the attempt schedule alternates primary and follower.
+	defaultReadRetries = 2
+	// defaultRetryBackoff is the base backoff between read attempts;
+	// each retry doubles it and the sleep is jittered ±50%.
+	defaultRetryBackoff = 25 * time.Millisecond
+	// defaultMaxResponseBytes caps one member's decoded response body
+	// in scatter-gather merges (64 MiB).
+	defaultMaxResponseBytes = 64 << 20
+)
+
+// headerPartial marks a degraded response; headerMissing lists the
+// member primaries whose data the response is missing. /heavy, whose
+// payload is a JSON array, carries its partial markers only here.
+const (
+	headerPartial = "X-Gss-Partial"
+	headerMissing = "X-Gss-Missing-Members"
+)
+
+// readCtx derives the context for one read request: bound to the
+// request and the router lifetime (reqCtx) plus the read deadline
+// budget. ?timeout_ms= overrides Config.ReadTimeout for the request;
+// 0 disables the deadline. Returns ok=false after writing a 400.
+func (rt *Router) readCtx(w http.ResponseWriter, r *http.Request) (context.Context, context.CancelFunc, bool) {
+	d := rt.cfg.ReadTimeout
+	if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest,
+				"timeout_ms must be a non-negative integer (0 disables the deadline)")
+			return nil, nil, false
+		}
+		d = time.Duration(n) * time.Millisecond
+	}
+	ctx, cancel := rt.reqCtx(r)
+	if d <= 0 {
+		return ctx, cancel, true
+	}
+	tctx, tcancel := context.WithTimeout(ctx, d)
+	return tctx, func() { tcancel(); cancel() }, true
+}
+
+// partialMode reports whether the request opted into partial reads
+// with ?partial=1. Partial mode is an explicit operator decision:
+// without Config.AllowPartialReads the parameter answers 400, so a
+// client cannot silently receive incomplete data from a router that
+// promises strict reads. Returns ok=false after writing a 400.
+func (rt *Router) partialMode(w http.ResponseWriter, r *http.Request) (bool, bool) {
+	switch r.URL.Query().Get("partial") {
+	case "", "0", "false":
+		return false, true
+	case "1", "true":
+		if !rt.cfg.AllowPartialReads {
+			httpError(w, http.StatusBadRequest,
+				"partial reads are disabled (start the router with -allow-partial-reads)")
+			return false, false
+		}
+		return true, true
+	default:
+		httpError(w, http.StatusBadRequest, "partial must be 0 or 1")
+		return false, false
+	}
+}
+
+// sleepJittered waits d jittered across [d/2, 3d/2) — so concurrent
+// retries against a recovering member do not arrive as a burst — and
+// returns early with the context error if ctx dies first.
+func sleepJittered(ctx context.Context, d time.Duration) error {
+	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// memberGet issues one idempotent read against m's partition under the
+// retry discipline: up to 1+Config.ReadRetries attempts with jittered
+// exponential backoff, alternating primary and follower when a
+// follower exists (primary→follower→primary, starting wherever the
+// router currently believes the data is). A transport failure against
+// the primary marks it down on the spot; a success against a
+// down-marked primary marks it back up before the next probe tick. A
+// 5xx answer retries like a transport failure (the GET is idempotent)
+// but the last attempt's response passes through whatever its status.
+// The caller owns the response body.
+func (rt *Router) memberGet(ctx context.Context, m *member, pathQuery string) (*http.Response, error) {
+	attempts := 1 + rt.cfg.ReadRetries
+	backoff := rt.cfg.RetryBackoff
+	useFollower := m.follower != "" && m.down.Load()
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			m.readRetries.Add(1)
+			if sleepJittered(ctx, backoff) != nil {
+				break // the deadline died during backoff
+			}
+			backoff *= 2
+		}
+		target := m.primary
+		if useFollower {
+			target = m.follower
+		}
+		resp, err := rt.get(ctx, target+pathQuery)
+		switch {
+		case err == nil && resp.StatusCode >= 500 && attempt < attempts-1:
+			// The member answered but unhealthily; drain and retry, on
+			// the other replica when one exists.
+			lastErr = fmt.Errorf("%s: %s returned %d", target, pathQuery, resp.StatusCode)
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+			resp.Body.Close()
+		case err == nil:
+			if useFollower {
+				m.failovers.Add(1)
+			} else if m.down.Load() && m.down.Swap(false) {
+				// Optimistic read against a down primary succeeded: the
+				// member recovered between probe ticks.
+				rt.cfg.Logf("cluster: member %s back up (read succeeded)", m.primary)
+			}
+			return resp, nil
+		case ctx.Err() != nil:
+			// Cancelled or out of deadline budget — not a member verdict,
+			// so the member's health view is left alone.
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				m.deadlineFails.Add(1)
+			}
+			return nil, err
+		default:
+			lastErr = err
+			if !useFollower {
+				m.setErr(err)
+				if !m.down.Swap(true) {
+					rt.cfg.Logf("cluster: member %s down (read failed): %v", m.primary, err)
+				}
+			}
+		}
+		if m.follower != "" {
+			useFollower = !useFollower
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			m.deadlineFails.Add(1)
+		}
+		return nil, fmt.Errorf("member %s: %w", m.primary, err)
+	}
+	if m.follower == "" {
+		return nil, fmt.Errorf("member %s down (no follower): %w", m.primary, lastErr)
+	}
+	return nil, fmt.Errorf("member %s down and follower %s failed: %w", m.primary, m.follower, lastErr)
+}
+
+// memberGetJSON runs memberGet and decodes a 200 JSON body into out,
+// through a hard cap of Config.MaxResponseBytes — a huge (or
+// malicious) member response fails the one member's read instead of
+// ballooning the router's heap mid-merge.
+func (rt *Router) memberGetJSON(ctx context.Context, m *member, pathQuery string, out interface{}) error {
+	resp, err := rt.memberGet(ctx, m, pathQuery)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("member %s: %s returned %d: %s",
+			m.primary, pathQuery, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	// Read through the cap plus one byte: a decode that touches the
+	// extra byte proves the body exceeded the cap, whether or not the
+	// truncated prefix happened to parse.
+	lr := &io.LimitedReader{R: resp.Body, N: rt.cfg.MaxResponseBytes + 1}
+	if err := json.NewDecoder(lr).Decode(out); err != nil || lr.N <= 0 {
+		if lr.N <= 0 {
+			return fmt.Errorf("member %s: %s response exceeds %d bytes",
+				m.primary, pathQuery, rt.cfg.MaxResponseBytes)
+		}
+		return fmt.Errorf("member %s: %s: %w", m.primary, pathQuery, err)
+	}
+	return nil
+}
+
+// settleScatter resolves a scatter's per-member outcomes under the
+// request's mode. Strict mode fails the whole query on any member
+// error (the old all-or-nothing contract). Partial mode tolerates
+// failures while at least one member answered: the failed members are
+// logged, counted as degraded, and returned as the sorted missing
+// list for the response's partial markers. All members failing is an
+// error in either mode — there is nothing to serve.
+func (rt *Router) settleScatter(members []*member, errs []error, partial bool) ([]string, error) {
+	var firstErr error
+	var missing []string
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		missing = append(missing, members[i].primary)
+	}
+	if firstErr == nil {
+		return nil, nil
+	}
+	if !partial || len(missing) == len(members) {
+		return nil, firstErr
+	}
+	for i, err := range errs {
+		if err != nil {
+			members[i].degradedReads.Add(1)
+			rt.cfg.Logf("cluster: partial read served without member %s: %v", members[i].primary, err)
+		}
+	}
+	rt.partialReads.Add(1)
+	sort.Strings(missing)
+	return missing, nil
+}
+
+// markPartial stamps a partial-mode response with its coverage:
+// X-Gss-Partial is always set (true or false) so clients can assert
+// on it, X-Gss-Missing-Members and the body fields appear only when
+// coverage actually degraded. res may be nil for array-shaped
+// payloads (/heavy), whose markers ride the headers alone.
+func markPartial(w http.ResponseWriter, res map[string]interface{}, missing []string) {
+	degraded := len(missing) > 0
+	w.Header().Set(headerPartial, strconv.FormatBool(degraded))
+	if degraded {
+		w.Header().Set(headerMissing, strings.Join(missing, ","))
+	}
+	if res != nil {
+		res["partial"] = degraded
+		if degraded {
+			res["missing_members"] = missing
+		}
+	}
+}

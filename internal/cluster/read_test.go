@@ -1,0 +1,429 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultproxy"
+	"repro/internal/server"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+// Read-plane battery: the deadline/retry/partial discipline in read.go
+// under deterministic faults. The randomized end of the spectrum lives
+// in chaos_test.go.
+
+// getFull is getJSON plus the pieces the read-plane tests assert on:
+// the raw body and the response headers.
+func getFull(t *testing.T, url string, out interface{}) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("GET %s: decoding %q: %v", url, raw, err)
+		}
+	}
+	return resp, raw
+}
+
+// stubMember fakes just enough of a member for unit-level read-plane
+// tests: a healthy /healthz plus whatever handler the test installs.
+func stubMember(t *testing.T, handler http.HandlerFunc) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			writeJSON(w, map[string]string{"status": "ok", "role": "stub", "backend": "stub"})
+			return
+		}
+		handler(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestMemberGetJSONNon200: a member answering a scatter leg with a
+// non-200 fails that leg with the status and body in the error — and a
+// 4xx is a verdict, not a flake, so it must not burn retries.
+func TestMemberGetJSONNon200(t *testing.T) {
+	stub := stubMember(t, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "synthetic member refusal", http.StatusNotFound)
+	})
+	rt, ts := newTestRouter(t, Config{Members: []string{stub.URL}, ProbeInterval: time.Hour})
+
+	resp, raw := getFull(t, ts.URL+"/precursors?v=x", nil)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502 (body %s)", resp.StatusCode, raw)
+	}
+	for _, want := range []string{"returned 404", "synthetic member refusal", "/precursors"} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("502 body %q does not mention %q", raw, want)
+		}
+	}
+	if got := rt.Stats().Members[0].ReadRetries; got != 0 {
+		t.Fatalf("a 404 burned %d retries; 4xx must not retry", got)
+	}
+}
+
+// TestMemberGetRetries5xx: transient 5xx answers on an idempotent GET
+// are retried within the same request, and the retries are counted.
+func TestMemberGetRetries5xx(t *testing.T) {
+	var calls atomic.Int64
+	stub := stubMember(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "warming up", http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, map[string]int64{"in": 7})
+	})
+	rt, ts := newTestRouter(t, Config{Members: []string{stub.URL},
+		ProbeInterval: time.Hour, RetryBackoff: time.Millisecond})
+
+	var res struct {
+		In int64 `json:"in"`
+	}
+	if code := getJSON(t, ts.URL+"/nodein?v=x", &res); code != http.StatusOK {
+		t.Fatalf("status %d, want 200 after 5xx retries", code)
+	}
+	if res.In != 7 {
+		t.Fatalf("in = %d, want 7", res.In)
+	}
+	if got := rt.Stats().Members[0].ReadRetries; got != 2 {
+		t.Fatalf("read_retries = %d, want 2", got)
+	}
+}
+
+// TestMemberResponseSizeCap: a member body over MaxResponseBytes fails
+// that member's read instead of being decoded — the regression is a
+// huge /nodes?limit=0 enumeration ballooning the router.
+func TestMemberResponseSizeCap(t *testing.T) {
+	big := make([]string, 0, 2048)
+	for i := 0; i < 2048; i++ {
+		big = append(big, fmt.Sprintf("node-%04d", i))
+	}
+	stub := stubMember(t, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]interface{}{"nodes": big})
+	})
+	rt, ts := newTestRouter(t, Config{Members: []string{stub.URL},
+		ProbeInterval: time.Hour, MaxResponseBytes: 4096, RetryBackoff: time.Millisecond})
+
+	resp, raw := getFull(t, ts.URL+"/nodes?limit=0", nil)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502 (body %.120s)", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), "exceeds 4096 bytes") {
+		t.Fatalf("502 body %q does not name the size cap", raw)
+	}
+	// The cap sizes one member response, not the merged result: a body
+	// under the cap flows through untouched.
+	small := stubMember(t, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]interface{}{"nodes": []string{"a", "b"}})
+	})
+	_, rts := newTestRouter(t, Config{Members: []string{small.URL},
+		ProbeInterval: time.Hour, MaxResponseBytes: 1 << 20})
+	var page struct {
+		Total int `json:"total"`
+	}
+	if code := getJSON(t, rts.URL+"/nodes", &page); code != http.StatusOK || page.Total != 2 {
+		t.Fatalf("under-cap read: status %d total %d, want 200/2", code, page.Total)
+	}
+	_ = rt
+}
+
+// TestOptimisticRecoveryBeforeProbe: a down-marked member with no
+// follower serves reads again the moment it is back — the read path's
+// optimistic retry must not wait for the prober (which this test
+// effectively disables).
+func TestOptimisticRecoveryBeforeProbe(t *testing.T) {
+	fm := startFaultMember(t, server.Options{Backend: sketch.BackendConcurrent})
+	rt, ts := newTestRouter(t, Config{Members: []string{fm.url},
+		ProbeInterval: time.Hour, RetryBackoff: time.Millisecond})
+
+	resp, _ := postBody(t, ts.URL+"/insert", `{"src":"a","dst":"b","weight":1}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed insert status %d", resp.StatusCode)
+	}
+
+	fm.kill()
+	if code := getJSON(t, ts.URL+"/nodes", nil); code != http.StatusBadGateway {
+		t.Fatalf("dead member read status %d, want 502", code)
+	}
+	if st := rt.Stats(); st.DownMembers != 1 {
+		t.Fatalf("down_members = %d after failed read, want 1", st.DownMembers)
+	}
+
+	fm.revive()
+	var page struct {
+		Total int `json:"total"`
+	}
+	if code := getJSON(t, ts.URL+"/nodes", &page); code != http.StatusOK {
+		t.Fatalf("revived member read status %d, want 200 before any probe tick", code)
+	}
+	if page.Total != 2 {
+		t.Fatalf("revived read total = %d, want 2", page.Total)
+	}
+	if st := rt.Stats(); st.DownMembers != 0 {
+		t.Fatalf("down_members = %d after recovered read, want 0", st.DownMembers)
+	}
+}
+
+// TestPartialReadsDisabledByDefault: without AllowPartialReads the
+// partial parameter is an explicit 400, never silently ignored.
+func TestPartialReadsDisabledByDefault(t *testing.T) {
+	_, urls := startMembers(t, 1, sketch.BackendConcurrent)
+	_, ts := newTestRouter(t, Config{Members: urls, ProbeInterval: time.Hour})
+	for _, path := range []string{"/nodes?partial=1", "/stats?partial=true",
+		"/edge?src=a&dst=b&partial=1", "/reachable?src=a&dst=b&partial=1"} {
+		if code := getJSON(t, ts.URL+path, nil); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 while partial reads are disabled", path, code)
+		}
+	}
+	// Garbage values are 400 even with the feature enabled.
+	_, ts2 := newTestRouter(t, Config{Members: urls, ProbeInterval: time.Hour,
+		AllowPartialReads: true})
+	if code := getJSON(t, ts2.URL+"/nodes?partial=2", nil); code != http.StatusBadRequest {
+		t.Errorf("partial=2: status %d, want 400", code)
+	}
+}
+
+// TestPartialScatterGather: with one member dead, strict scatter reads
+// are a cluster-wide 502 while ?partial=1 serves the surviving merge
+// with the partial marker, the missing-member list, and the counters.
+func TestPartialScatterGather(t *testing.T) {
+	fms := make([]*faultMember, 2)
+	urls := make([]string, 2)
+	for i := range fms {
+		fms[i] = startFaultMember(t, server.Options{Backend: sketch.BackendConcurrent})
+		urls[i] = fms[i].url
+	}
+	rt, ts := newTestRouter(t, Config{Members: urls, ProbeInterval: time.Hour,
+		RetryBackoff: time.Millisecond, AllowPartialReads: true})
+
+	owned0 := keysOwnedBy(rt.Ring(), 0, 2)
+	owned1 := keysOwnedBy(rt.Ring(), 1, 1)
+	items := []stream.Item{
+		{Src: owned0[0], Dst: owned1[0], Weight: 3}, // crosses into partition 1
+		{Src: owned0[0], Dst: owned0[1], Weight: 2},
+		{Src: owned1[0], Dst: owned0[1], Weight: 5}, // lives on partition 1
+	}
+	resp, raw := postBody(t, ts.URL+"/ingest", ndjsonBody(items), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed ingest status %d: %s", resp.StatusCode, raw)
+	}
+
+	fms[1].kill()
+
+	// Strict mode: all-or-nothing, no partial leakage.
+	for _, path := range []string{"/nodes", "/stats", "/heavy?min=1",
+		"/nodein?v=" + owned0[1], "/precursors?v=" + owned0[1]} {
+		if code := getJSON(t, ts.URL+path, nil); code != http.StatusBadGateway {
+			t.Errorf("strict %s with dead member: status %d, want 502", path, code)
+		}
+	}
+
+	// Partial /nodes: surviving member's view, flagged.
+	var nodes struct {
+		Nodes          []string `json:"nodes"`
+		Partial        bool     `json:"partial"`
+		MissingMembers []string `json:"missing_members"`
+	}
+	nresp, nraw := getFull(t, ts.URL+"/nodes?partial=1", &nodes)
+	if nresp.StatusCode != http.StatusOK {
+		t.Fatalf("partial /nodes status %d: %s", nresp.StatusCode, nraw)
+	}
+	if !nodes.Partial {
+		t.Fatalf("partial /nodes not flagged: %s", nraw)
+	}
+	if len(nodes.MissingMembers) != 1 || nodes.MissingMembers[0] != fms[1].url {
+		t.Fatalf("missing_members = %v, want [%s]", nodes.MissingMembers, fms[1].url)
+	}
+	if got := nresp.Header.Get(headerPartial); got != "true" {
+		t.Fatalf("%s = %q, want true", headerPartial, got)
+	}
+	if got := nresp.Header.Get(headerMissing); got != fms[1].url {
+		t.Fatalf("%s = %q, want %q", headerMissing, got, fms[1].url)
+	}
+	if len(nodes.Nodes) == 0 {
+		t.Fatal("partial /nodes served no surviving data")
+	}
+
+	// Partial /stats: flattened gss.Stats plus the markers, counting
+	// only the surviving partition's items.
+	var stats struct {
+		Items          int64    `json:"items"`
+		Partial        bool     `json:"partial"`
+		MissingMembers []string `json:"missing_members"`
+	}
+	if code := getJSON(t, ts.URL+"/stats?partial=1", &stats); code != http.StatusOK {
+		t.Fatalf("partial /stats status %d", code)
+	}
+	if !stats.Partial || len(stats.MissingMembers) != 1 {
+		t.Fatalf("partial /stats markers = %+v", stats)
+	}
+	if stats.Items != 2 {
+		t.Fatalf("partial /stats items = %d, want the surviving member's 2", stats.Items)
+	}
+
+	// Partial /heavy: array payload, markers ride the headers.
+	var heavy []heavyEdge
+	hresp, hraw := getFull(t, ts.URL+"/heavy?min=1&partial=1", &heavy)
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("partial /heavy status %d: %s", hresp.StatusCode, hraw)
+	}
+	if got := hresp.Header.Get(headerPartial); got != "true" {
+		t.Fatalf("partial /heavy %s = %q, want true", headerPartial, got)
+	}
+	if len(heavy) != 2 {
+		t.Fatalf("partial /heavy = %d edges, want the surviving member's 2 (%s)", len(heavy), hraw)
+	}
+
+	// Partial /reachable: a negative explored through a dead member is
+	// uncertain; a positive found in surviving data is certain.
+	var reach struct {
+		Reachable bool `json:"reachable"`
+		Certain   bool `json:"certain"`
+		Partial   bool `json:"partial"`
+	}
+	if code := getJSON(t, ts.URL+"/reachable?src="+owned0[0]+"&dst=absent&partial=1", &reach); code != http.StatusOK {
+		t.Fatalf("partial /reachable status %d", code)
+	}
+	if reach.Reachable || reach.Certain || !reach.Partial {
+		t.Fatalf("negative through dead member = %+v, want uncertain partial false", reach)
+	}
+	if code := getJSON(t, ts.URL+"/reachable?src="+owned0[0]+"&dst="+owned0[1]+"&partial=1", &reach); code != http.StatusOK {
+		t.Fatalf("partial /reachable status %d", code)
+	}
+	if !reach.Reachable || !reach.Certain {
+		t.Fatalf("positive within surviving data = %+v, want certain true", reach)
+	}
+	if code := getJSON(t, ts.URL+"/reachable?src="+owned0[0]+"&dst=absent", nil); code != http.StatusBadGateway {
+		t.Fatalf("strict /reachable through dead member: status %d, want 502", code)
+	}
+
+	st := rt.Stats()
+	if st.PartialReads == 0 {
+		t.Fatal("partial_reads counter never moved")
+	}
+	if st.Members[1].DegradedReads == 0 {
+		t.Fatal("dead member's degraded_reads counter never moved")
+	}
+
+	// Healed cluster: partial mode reports full coverage.
+	fms[1].revive()
+	nresp, nraw = getFull(t, ts.URL+"/nodes?partial=1", &nodes)
+	if nresp.StatusCode != http.StatusOK || nodes.Partial {
+		t.Fatalf("healed partial /nodes: status %d partial %v (%s)", nresp.StatusCode, nodes.Partial, nraw)
+	}
+	if got := nresp.Header.Get(headerPartial); got != "false" {
+		t.Fatalf("healed %s = %q, want false", headerPartial, got)
+	}
+	if len(nodes.Nodes) != 3 {
+		t.Fatalf("healed /nodes = %v, want all 3", nodes.Nodes)
+	}
+}
+
+// TestReadDeadlineBudget: a slow member cannot pin a fan-out past the
+// request's deadline budget, and the timeout is counted against it.
+func TestReadDeadlineBudget(t *testing.T) {
+	fm := startFaultMember(t, server.Options{Backend: sketch.BackendConcurrent})
+	rt, ts := newTestRouter(t, Config{Members: []string{fm.url},
+		ProbeInterval: time.Hour, RetryBackoff: time.Millisecond})
+
+	fm.setDelay("/nodes", 2*time.Second)
+	start := time.Now()
+	code := getJSON(t, ts.URL+"/nodes?timeout_ms=100", nil)
+	elapsed := time.Since(start)
+	if code != http.StatusBadGateway {
+		t.Fatalf("deadline-bound read status %d, want 502", code)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("deadline-bound read took %v, budget was 100ms", elapsed)
+	}
+	if got := rt.Stats().Members[0].DeadlineFails; got == 0 {
+		t.Fatal("deadline_exceeded counter never moved")
+	}
+
+	for _, bad := range []string{"/nodes?timeout_ms=-5", "/nodes?timeout_ms=abc"} {
+		if code := getJSON(t, ts.URL+bad, nil); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", bad, code)
+		}
+	}
+
+	// timeout_ms=0 disables the budget: the slow read completes.
+	fm.setDelay("/nodes", 50*time.Millisecond)
+	if code := getJSON(t, ts.URL+"/nodes?timeout_ms=0", nil); code != http.StatusOK {
+		t.Fatalf("unbounded slow read status %d, want 200", code)
+	}
+}
+
+// TestProxyCopyFailureCounted: a client hanging up mid-body on a
+// proxied single-member query shows up in the member's
+// proxy_copy_failures instead of vanishing.
+func TestProxyCopyFailureCounted(t *testing.T) {
+	fm := startFaultMember(t, server.Options{Backend: sketch.BackendConcurrent})
+	rt, ts := newTestRouter(t, Config{Members: []string{fm.url},
+		ProbeInterval: time.Hour, RetryBackoff: time.Millisecond})
+
+	// Enough fan-in that /successors has a body worth truncating.
+	items := make([]stream.Item, 512)
+	for i := range items {
+		items[i] = stream.Item{Src: "hub", Dst: fmt.Sprintf("spoke-%03d", i), Weight: 1}
+	}
+	resp, raw := postBody(t, ts.URL+"/ingest", ndjsonBody(items), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed ingest status %d: %s", resp.StatusCode, raw)
+	}
+
+	// Throttle the member's body so the headers land but the payload
+	// trickles, then hang up mid-body — the router's io.Copy to this
+	// client must fail partway and be counted.
+	fm.proxy.Set(faultproxy.Fault{Path: "/successors", Prob: 1, BytesPerSec: 2048})
+	client := &http.Client{Timeout: 150 * time.Millisecond}
+	if resp, err := client.Get(ts.URL + "/successors?v=hub"); err == nil {
+		if _, err := io.ReadAll(resp.Body); err == nil {
+			resp.Body.Close()
+			t.Fatal("client read the whole throttled body; throttle did not bite")
+		}
+		resp.Body.Close()
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.Stats().Members[0].ProxyCopyFails == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("proxy_copy_failures never moved after client hangup")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestProbeDelayJitter: the prober tick is spread across
+// [interval/2, 3·interval/2) and actually varies.
+func TestProbeDelayJitter(t *testing.T) {
+	rt := &Router{cfg: Config{ProbeInterval: 100 * time.Millisecond}}
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 200; i++ {
+		d := rt.probeDelay()
+		if d < 50*time.Millisecond || d >= 150*time.Millisecond {
+			t.Fatalf("probeDelay = %v, want [50ms, 150ms)", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("probeDelay never varied; jitter is missing")
+	}
+}

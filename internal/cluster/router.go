@@ -4,8 +4,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
 	"log"
+	"math/rand"
 	"net"
 	"net/http"
 	"strings"
@@ -31,8 +31,9 @@ type Config struct {
 	// /healthz (default 2s). A failed probe — or a failed proxied
 	// request — marks the member down; a successful one marks it up.
 	ProbeInterval time.Duration
-	// ProbeTimeout bounds one health probe (default: ProbeInterval,
-	// capped at 2s).
+	// ProbeTimeout bounds one health probe (default: ProbeInterval
+	// clamped to [1s, 2s] — a fast probe cadence does not imply a
+	// tiny answer budget).
 	ProbeTimeout time.Duration
 	// BatchSize is the /ingest decode batch size, overridable per
 	// request with ?batch=N (default 512). Spill replay also forwards
@@ -47,6 +48,30 @@ type Config struct {
 	// SpillMaxBytes bounds one member's spill log (default 64 MiB).
 	// At the cap the router reverts to 429 + Retry-After.
 	SpillMaxBytes int64
+	// ReadTimeout is the default deadline budget for one read request
+	// (proxied or scatter-gathered), covering every member attempt and
+	// retry it fans into. 0 disables the deadline. Overridable per
+	// request with ?timeout_ms= (0 there disables it too).
+	ReadTimeout time.Duration
+	// ReadRetries is how many extra attempts an idempotent member GET
+	// gets after the first try (default 2; negative disables retries).
+	// The attempt schedule alternates primary and follower when a
+	// follower exists, so retries also power same-request fail-over.
+	ReadRetries int
+	// RetryBackoff is the base delay between read attempts (default
+	// 25ms); each retry doubles it and the sleep is jittered ±50%.
+	RetryBackoff time.Duration
+	// MaxResponseBytes caps one member's response body on
+	// scatter-gather JSON decodes (default 64 MiB). A response over the
+	// cap fails that member's read instead of ballooning the router's
+	// heap.
+	MaxResponseBytes int64
+	// AllowPartialReads enables opt-in degraded reads: a request
+	// carrying ?partial=1 serves the surviving members' merge with
+	// partial markers when some members are unreachable. Off by
+	// default: ?partial=1 answers 400 and every scatter stays
+	// all-or-nothing.
+	AllowPartialReads bool
 	// AllowMembershipChanges enables the live-migration admin endpoints
 	// (POST /cluster/members to add a member, POST /cluster/drain to
 	// remove one). Off by default: membership changes rewire write
@@ -73,13 +98,34 @@ func (c Config) withDefaults() Config {
 		c.ProbeInterval = 2 * time.Second
 	}
 	if c.ProbeTimeout <= 0 {
+		// Clamp the default to [1s, 2s] regardless of cadence: an
+		// aggressive probe interval should not shrink the budget one
+		// healthy-but-busy member gets to answer /healthz (a dead
+		// member refuses the connection instantly either way, so the
+		// floor costs down-detection nothing). Probes never overlap —
+		// the prober waits out each sweep before rescheduling — so a
+		// hung member only slows the cadence, never stacks probes.
 		c.ProbeTimeout = c.ProbeInterval
 		if c.ProbeTimeout > 2*time.Second {
 			c.ProbeTimeout = 2 * time.Second
 		}
+		if c.ProbeTimeout < time.Second {
+			c.ProbeTimeout = time.Second
+		}
 	}
 	if c.BatchSize < 1 {
 		c.BatchSize = 512
+	}
+	if c.ReadRetries == 0 {
+		c.ReadRetries = defaultReadRetries
+	} else if c.ReadRetries < 0 {
+		c.ReadRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = defaultRetryBackoff
+	}
+	if c.MaxResponseBytes <= 0 {
+		c.MaxResponseBytes = defaultMaxResponseBytes
 	}
 	if c.Client == nil {
 		// A zero-value Transport would wait on raw OS timeouts (minutes)
@@ -116,6 +162,11 @@ type member struct {
 	probes     atomic.Int64
 	probeFails atomic.Int64
 	failovers  atomic.Int64 // reads the follower served
+
+	readRetries   atomic.Int64 // extra attempts the read discipline issued
+	deadlineFails atomic.Int64 // reads that died on the deadline budget
+	degradedReads atomic.Int64 // partial merges served without this member
+	copyFails     atomic.Int64 // proxied bodies that died mid-copy
 
 	mu      sync.Mutex
 	lastErr string
@@ -158,6 +209,10 @@ type Router struct {
 	migMu   sync.Mutex
 	mig     *migration
 	lastMig *MigrationStatus
+
+	// partialReads counts scatter-gathered responses served in partial
+	// mode with at least one member missing.
+	partialReads atomic.Int64
 
 	// ctx is cancelled by Close; every member request and fan-out
 	// goroutine is bound to it, so Close stops in-flight work.
@@ -331,17 +386,26 @@ func (rt *Router) Handler() http.Handler {
 
 func (rt *Router) probeLoop() {
 	defer rt.wg.Done()
-	t := time.NewTicker(rt.cfg.ProbeInterval)
-	defer t.Stop()
 	rt.probeAll() // first verdict immediately, not one interval late
+	t := time.NewTimer(rt.probeDelay())
+	defer t.Stop()
 	for {
 		select {
 		case <-rt.ctx.Done():
 			return
 		case <-t.C:
 			rt.probeAll()
+			t.Reset(rt.probeDelay())
 		}
 	}
+}
+
+// probeDelay jitters each prober tick across [interval/2, 3·interval/2)
+// so multiple routers fronting the same members cannot synchronize
+// into probe bursts.
+func (rt *Router) probeDelay() time.Duration {
+	i := rt.cfg.ProbeInterval
+	return i/2 + time.Duration(rand.Int63n(int64(i)))
 }
 
 func (rt *Router) probeAll() {
@@ -408,47 +472,8 @@ func (rt *Router) fetchHealthz(ctx context.Context, base string) (probedHealthz,
 	return hz, nil
 }
 
-// memberGet issues a read against m, failing over to the follower. The
-// primary is tried unless the router already believes it is down; a
-// transport failure marks it down on the spot (the prober will notice
-// recovery) and the follower, when configured, takes the read. The
-// caller owns the response body.
-func (rt *Router) memberGet(ctx context.Context, m *member, pathQuery string) (*http.Response, error) {
-	tryPrimary := !m.down.Load()
-	if tryPrimary {
-		resp, err := rt.get(ctx, m.primary+pathQuery)
-		if err == nil {
-			return resp, nil
-		}
-		if ctx.Err() != nil {
-			return nil, err // cancelled, not a member verdict
-		}
-		m.setErr(err)
-		if !m.down.Swap(true) {
-			rt.cfg.Logf("cluster: member %s down (read failed): %v", m.primary, err)
-		}
-	}
-	if m.follower == "" {
-		if !tryPrimary {
-			// Down with no replica: one optimistic try against the
-			// primary, so a recovered member serves reads before the
-			// next probe tick.
-			resp, err := rt.get(ctx, m.primary+pathQuery)
-			if err == nil {
-				m.down.Store(false)
-				return resp, nil
-			}
-			return nil, fmt.Errorf("member %s down (no follower): %w", m.primary, err)
-		}
-		return nil, fmt.Errorf("member %s unreachable and no follower configured", m.primary)
-	}
-	resp, err := rt.get(ctx, m.follower+pathQuery)
-	if err != nil {
-		return nil, fmt.Errorf("member %s down and follower %s failed: %w", m.primary, m.follower, err)
-	}
-	m.failovers.Add(1)
-	return resp, nil
-}
+// memberGet and memberGetJSON — the per-member read discipline with
+// deadlines, retries and size caps — live in read.go.
 
 func (rt *Router) get(ctx context.Context, url string) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
@@ -458,26 +483,13 @@ func (rt *Router) get(ctx context.Context, url string) (*http.Response, error) {
 	return rt.cfg.Client.Do(req)
 }
 
-// memberGetJSON runs memberGet and decodes a 200 JSON body into out.
-func (rt *Router) memberGetJSON(ctx context.Context, m *member, pathQuery string, out interface{}) error {
-	resp, err := rt.memberGet(ctx, m, pathQuery)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("member %s: %s returned %d: %s",
-			m.primary, pathQuery, resp.StatusCode, strings.TrimSpace(string(body)))
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
-}
-
-// scatter runs fn once per member concurrently and returns the first
-// error. The member slice comes from one topology snapshot so a
-// concurrent cutover cannot split a fan-out across two layouts. fn must
-// be safe to run in parallel with the others.
-func (rt *Router) scatter(members []*member, fn func(i int, m *member) error) error {
+// scatter runs fn once per member concurrently and returns the
+// per-member outcomes, index-aligned with members — callers resolve
+// them through settleScatter (read.go), which applies the strict or
+// partial contract. The member slice comes from one topology snapshot
+// so a concurrent cutover cannot split a fan-out across two layouts.
+// fn must be safe to run in parallel with the others.
+func (rt *Router) scatter(members []*member, fn func(i int, m *member) error) []error {
 	errs := make([]error, len(members))
 	var wg sync.WaitGroup
 	for i, m := range members {
@@ -488,12 +500,7 @@ func (rt *Router) scatter(members []*member, fn func(i int, m *member) error) er
 		}(i, m)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return errs
 }
 
 // --- router-level observability ---
@@ -508,6 +515,10 @@ type MemberStatus struct {
 	Probes          int64        `json:"probes"`
 	ProbeFailures   int64        `json:"probe_failures"`
 	FailedOverReads int64        `json:"failed_over_reads"`
+	ReadRetries     int64        `json:"read_retries"`
+	DeadlineFails   int64        `json:"deadline_exceeded"`
+	DegradedReads   int64        `json:"degraded_reads"`
+	ProxyCopyFails  int64        `json:"proxy_copy_failures"`
 	Spill           *SpillStatus `json:"spill,omitempty"`
 	LastError       string       `json:"last_error,omitempty"`
 	// Migration marks the member's role in an in-flight migration:
@@ -525,6 +536,9 @@ type ClusterStats struct {
 	Members       []MemberStatus `json:"members"`
 	DownMembers   int            `json:"down_members"`
 	ProbeInterval string         `json:"probe_interval"`
+	// PartialReads counts scatter-gathered responses this router served
+	// in partial mode with at least one member missing.
+	PartialReads int64 `json:"partial_reads"`
 	// RingVersion increments atomically at each migration cutover.
 	RingVersion int64 `json:"ring_version"`
 	// Ring lists the serving layout's member URLs in ring order.
@@ -541,6 +555,7 @@ func (rt *Router) Stats() ClusterStats {
 	t := rt.topology()
 	st := ClusterStats{
 		ProbeInterval: rt.cfg.ProbeInterval.String(),
+		PartialReads:  rt.partialReads.Load(),
 		RingVersion:   t.version,
 		Ring:          t.ring.Members(),
 	}
@@ -563,6 +578,10 @@ func (rt *Router) Stats() ClusterStats {
 			Probes:          m.probes.Load(),
 			ProbeFailures:   m.probeFails.Load(),
 			FailedOverReads: m.failovers.Load(),
+			ReadRetries:     m.readRetries.Load(),
+			DeadlineFails:   m.deadlineFails.Load(),
+			DegradedReads:   m.degradedReads.Load(),
+			ProxyCopyFails:  m.copyFails.Load(),
 			LastError:       m.lastErr,
 		}
 		m.mu.Unlock()

@@ -1,0 +1,417 @@
+package faultproxy
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// backend returns a test server echoing method, path and body length,
+// plus a /big endpoint with a sized body.
+func backend(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/big":
+			w.Header().Set("Content-Type", "application/octet-stream")
+			big := make([]byte, 256<<10)
+			_, _ = w.Write(big)
+		default:
+			body, _ := io.ReadAll(r.Body)
+			fmt.Fprintf(w, "%s %s %d", r.Method, r.URL.RequestURI(), len(body))
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func newProxy(t *testing.T, target string, opt Options) *Proxy {
+	t.Helper()
+	p, err := New(target, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func get(t *testing.T, client *http.Client, url string) (*http.Response, string, error) {
+	t.Helper()
+	resp, err := client.Do(mustReq(t, url))
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp, string(body), err
+}
+
+func mustReq(t *testing.T, url string) *http.Request {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+// TestProxyTransparent: with no faults the proxy relays method, path,
+// query and body untouched.
+func TestProxyTransparent(t *testing.T) {
+	ts := backend(t)
+	p := newProxy(t, ts.URL, Options{})
+	resp, err := http.Post(p.URL()+"/echo?a=1&b=2", "text/plain", strings.NewReader("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if got, want := string(body), "POST /echo?a=1&b=2 5"; got != want {
+		t.Fatalf("relayed %q, want %q", got, want)
+	}
+	if st := p.Stats(); st.Forwarded != 1 || st.Requests != 1 {
+		t.Fatalf("stats %+v, want 1 forwarded of 1", st)
+	}
+}
+
+// TestProxyStatusInjection: a matching Status rule answers without
+// reaching the backend; other paths pass through.
+func TestProxyStatusInjection(t *testing.T) {
+	ts := backend(t)
+	p := newProxy(t, ts.URL, Options{})
+	p.Set(Fault{Path: "/nodes", Status: http.StatusServiceUnavailable})
+
+	resp, _, err := get(t, http.DefaultClient, p.URL()+"/nodes?limit=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	resp, body, err := get(t, http.DefaultClient, p.URL()+"/stats")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("unfaulted path: %v status %d", err, resp.StatusCode)
+	}
+	if !strings.HasPrefix(body, "GET /stats") {
+		t.Fatalf("unfaulted body %q", body)
+	}
+	if st := p.Stats(); st.Injected != 1 {
+		t.Fatalf("injected %d, want 1", st.Injected)
+	}
+}
+
+// TestProxyReset: a reset fault tears the connection with no response.
+func TestProxyReset(t *testing.T) {
+	ts := backend(t)
+	p := newProxy(t, ts.URL, Options{})
+	p.Set(Fault{Reset: true})
+	_, _, err := get(t, http.DefaultClient, p.URL()+"/x")
+	if err == nil {
+		t.Fatal("reset fault produced a clean response")
+	}
+	if st := p.Stats(); st.Resets != 1 || st.Forwarded != 0 {
+		t.Fatalf("stats %+v, want 1 reset, 0 forwarded", st)
+	}
+}
+
+// TestProxyDownKillRevive: the kill switch aborts everything, revive
+// restores service, and the backend kept its state (it was never
+// touched).
+func TestProxyDownKillRevive(t *testing.T) {
+	ts := backend(t)
+	p := newProxy(t, ts.URL, Options{})
+	p.Kill()
+	if _, _, err := get(t, http.DefaultClient, p.URL()+"/x"); err == nil {
+		t.Fatal("killed proxy answered")
+	}
+	p.Revive()
+	resp, _, err := get(t, http.DefaultClient, p.URL()+"/x")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("revived proxy: %v status %v", err, resp)
+	}
+}
+
+// TestProxyLatency: a latency fault delays the round trip; a kill
+// landing during the sleep aborts it.
+func TestProxyLatency(t *testing.T) {
+	ts := backend(t)
+	p := newProxy(t, ts.URL, Options{})
+	p.Set(Fault{Path: "/slow", Latency: 80 * time.Millisecond})
+
+	start := time.Now()
+	resp, _, err := get(t, http.DefaultClient, p.URL()+"/slow")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("latency fault broke the request: %v", err)
+	}
+	if d := time.Since(start); d < 80*time.Millisecond {
+		t.Fatalf("request returned in %v, want >= 80ms", d)
+	}
+
+	// Kill mid-sleep: the delayed request must abort, not complete.
+	p.Set(Fault{Path: "/slow", Latency: 300 * time.Millisecond})
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := get(t, http.DefaultClient, p.URL()+"/slow")
+		errc <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	p.Kill()
+	if err := <-errc; err == nil {
+		t.Fatal("request delayed across a kill still completed")
+	}
+	p.Revive()
+}
+
+// TestProxyBlackhole: a blackholed request never answers until the
+// client gives up; clearing the rules releases a waiting one.
+func TestProxyBlackhole(t *testing.T) {
+	ts := backend(t)
+	p := newProxy(t, ts.URL, Options{})
+	p.Set(Fault{Blackhole: true})
+
+	client := &http.Client{Timeout: 150 * time.Millisecond}
+	start := time.Now()
+	_, _, err := get(t, client, p.URL()+"/x")
+	if err == nil {
+		t.Fatal("blackholed request completed")
+	}
+	if d := time.Since(start); d < 140*time.Millisecond {
+		t.Fatalf("blackholed request failed after only %v — not held", d)
+	}
+
+	// A second blackholed request is released by Clear, as an abort.
+	errc := make(chan error, 1)
+	go func() {
+		_, err := http.Get(p.URL() + "/y")
+		errc <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	p.Clear()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("released blackhole produced a clean response")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Clear did not release the blackholed request")
+	}
+	if st := p.Stats(); st.Blackholed != 2 {
+		t.Fatalf("blackholed %d, want 2", st.Blackholed)
+	}
+}
+
+// TestProxyTruncatedBody: the status goes out, the body cuts off at
+// the configured byte — the client must observe a broken transfer, not
+// a clean short body.
+func TestProxyTruncatedBody(t *testing.T) {
+	ts := backend(t)
+	p := newProxy(t, ts.URL, Options{})
+	p.Set(Fault{Path: "/big", TruncateBody: 1024})
+
+	resp, err := http.Get(p.URL() + "/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 (truncation is mid-body)", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err == nil && int64(len(body)) >= 256<<10 {
+		t.Fatalf("read the full %d-byte body through a truncating proxy", len(body))
+	}
+	if err == nil && resp.ContentLength > 0 && int64(len(body)) == resp.ContentLength {
+		t.Fatal("truncated transfer looked clean to the client")
+	}
+	if st := p.Stats(); st.Truncated != 1 {
+		t.Fatalf("truncated %d, want 1", st.Truncated)
+	}
+}
+
+// TestProxyThrottledBody: a byte-rate throttle stretches the transfer.
+func TestProxyThrottledBody(t *testing.T) {
+	ts := backend(t)
+	p := newProxy(t, ts.URL, Options{})
+	// 256 KiB body at 512 KiB/s ≈ 500ms.
+	p.Set(Fault{Path: "/big", BytesPerSec: 512 << 10})
+	start := time.Now()
+	resp, err := http.Get(p.URL() + "/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(body) != 256<<10 {
+		t.Fatalf("throttled read: %v (%d bytes)", err, len(body))
+	}
+	if d := time.Since(start); d < 200*time.Millisecond {
+		t.Fatalf("256KiB at 512KiB/s took %v, want >= 200ms", d)
+	}
+}
+
+// TestProxyProbabilisticDeterminism: the same seed plays the same
+// fault sequence; a different seed plays a different one (with
+// overwhelming probability over 64 draws).
+func TestProxyProbabilisticDeterminism(t *testing.T) {
+	ts := backend(t)
+	run := func(seed int64) string {
+		p := newProxy(t, ts.URL, Options{Seed: seed})
+		defer p.Close()
+		p.Set(Fault{Prob: 0.5, Status: http.StatusServiceUnavailable})
+		var out strings.Builder
+		for i := 0; i < 64; i++ {
+			resp, _, err := get(t, http.DefaultClient, p.URL()+"/x")
+			switch {
+			case err != nil:
+				t.Fatal(err)
+			case resp.StatusCode == http.StatusOK:
+				out.WriteByte('.')
+			default:
+				out.WriteByte('F')
+			}
+		}
+		return out.String()
+	}
+	a, b, c := run(7), run(7), run(8)
+	if a != b {
+		t.Fatalf("same seed, different schedules:\n%s\n%s", a, b)
+	}
+	if a == c {
+		t.Fatalf("different seeds, identical schedules: %s", a)
+	}
+	if !strings.Contains(a, "F") || !strings.Contains(a, ".") {
+		t.Fatalf("Prob 0.5 produced a degenerate schedule: %s", a)
+	}
+}
+
+// TestProxyFlap: the schedule alternates up and down.
+func TestProxyFlap(t *testing.T) {
+	ts := backend(t)
+	p := newProxy(t, ts.URL, Options{})
+	p.StartFlap(40*time.Millisecond, 40*time.Millisecond)
+	var ok, fail int
+	deadline := time.Now().Add(400 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if _, _, err := get(t, http.DefaultClient, p.URL()+"/x"); err == nil {
+			ok++
+		} else {
+			fail++
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	p.StopFlap()
+	if ok == 0 || fail == 0 {
+		t.Fatalf("flap schedule never alternated: %d ok, %d failed", ok, fail)
+	}
+	// After StopFlap the proxy is up.
+	if _, _, err := get(t, http.DefaultClient, p.URL()+"/x"); err != nil {
+		t.Fatalf("proxy down after StopFlap: %v", err)
+	}
+}
+
+// TestProxyWaitIdle: inflight tracks requests through the backend, and
+// WaitIdle observes the drain.
+func TestProxyWaitIdle(t *testing.T) {
+	ts := backend(t)
+	p := newProxy(t, ts.URL, Options{})
+	p.Set(Fault{Path: "/slow", Latency: 150 * time.Millisecond})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, _ = get(t, http.DefaultClient, p.URL()+"/slow")
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Inflight() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("inflight never rose")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !p.WaitIdle(5 * time.Second) {
+		t.Fatal("WaitIdle timed out")
+	}
+	<-done
+}
+
+// TestProxyCloseReleasesGoroutines: the loop-owning-package convention
+// — everything the proxy spawned exits on Close, including a flap
+// schedule and a blackholed request.
+func TestProxyCloseReleasesGoroutines(t *testing.T) {
+	ts := backend(t)
+	before := runtime.NumGoroutine()
+	p, err := New(ts.URL, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.StartFlap(time.Hour, time.Hour)
+	p.Add(Fault{Path: "/hole", Blackhole: true})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := http.Get(p.URL() + "/hole")
+		errc <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	p.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("blackholed request survived Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not release the blackholed request")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		// The aborted client connection can leave an idle keep-alive
+		// loop in the default transport; that is the client's goroutine,
+		// not the proxy's.
+		http.DefaultClient.CloseIdleConnections()
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not return to %d (now %d)", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestProxyUpstreamDead: a dead backend behind a live proxy surfaces
+// as a torn connection, not a clean error page — callers must treat it
+// like any other transport failure.
+func TestProxyUpstreamDead(t *testing.T) {
+	ts := backend(t)
+	p := newProxy(t, ts.URL, Options{})
+	ts.Close()
+	if _, _, err := get(t, http.DefaultClient, p.URL()+"/x"); err == nil {
+		t.Fatal("dead upstream produced a clean response")
+	}
+	if st := p.Stats(); st.UpstreamErr != 1 {
+		t.Fatalf("upstream errors %d, want 1", st.UpstreamErr)
+	}
+}
+
+// TestProxyComposedFaults: latency composes with a terminal fault, and
+// the first terminal rule wins.
+func TestProxyComposedFaults(t *testing.T) {
+	ts := backend(t)
+	p := newProxy(t, ts.URL, Options{})
+	p.Set(
+		Fault{Latency: 60 * time.Millisecond},
+		Fault{Status: http.StatusBadGateway},
+		Fault{Reset: true}, // second terminal rule: must not override
+	)
+	start := time.Now()
+	resp, _, err := get(t, http.DefaultClient, p.URL()+"/x")
+	if err != nil {
+		t.Fatalf("composed fault reset the connection (second terminal rule won): %v", err)
+	}
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502", resp.StatusCode)
+	}
+	if time.Since(start) < 60*time.Millisecond {
+		t.Fatal("latency rule did not compose with the status rule")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/stream"
 )
@@ -33,9 +34,10 @@ func (j ingestJob) len() int {
 // backpressure signal handlers turn into HTTP 429, pushing flow
 // control back to producers instead of buffering without bound.
 type pipeline struct {
-	apply func(ingestJob)
-	queue chan ingestJob
-	wg    sync.WaitGroup
+	apply   func(ingestJob)
+	queue   chan ingestJob
+	workers int
+	wg      sync.WaitGroup
 
 	enqueuedItems    atomic.Int64
 	enqueuedBatches  atomic.Int64
@@ -43,12 +45,13 @@ type pipeline struct {
 	processedBatches atomic.Int64
 	droppedItems     atomic.Int64
 	droppedBatches   atomic.Int64
+	applyNanos       atomic.Int64 // total wall time spent inside apply
 
 	closeOnce sync.Once
 }
 
 func newPipeline(apply func(ingestJob), queueDepth, workers int) *pipeline {
-	p := &pipeline{apply: apply, queue: make(chan ingestJob, queueDepth)}
+	p := &pipeline{apply: apply, queue: make(chan ingestJob, queueDepth), workers: workers}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go p.worker()
@@ -59,10 +62,44 @@ func newPipeline(apply func(ingestJob), queueDepth, workers int) *pipeline {
 func (p *pipeline) worker() {
 	defer p.wg.Done()
 	for job := range p.queue {
+		start := time.Now()
 		p.apply(job)
+		p.applyNanos.Add(time.Since(start).Nanoseconds())
 		p.processedItems.Add(int64(job.len()))
 		p.processedBatches.Add(1)
 	}
+}
+
+// retryAfterSecs is the backoff hint a 429 carries: an estimate of how
+// long the worker pool needs to drain the queue as it stands, from the
+// observed mean per-batch apply cost.
+func (p *pipeline) retryAfterSecs() int {
+	return drainEstimateSecs(len(p.queue), p.processedBatches.Load(),
+		p.applyNanos.Load(), p.workers)
+}
+
+// drainEstimateSecs estimates, in whole seconds (rounded up), the time
+// `workers` goroutines need to drain `depth` queued batches plus the
+// one in flight, given `nanos` total apply time over `batches`
+// completed batches. Before the first batch completes there is no
+// observation and the historical fixed 1s stands in. Clamped to
+// [1, 30]: the estimate is a hint, and a huge backlog should slow
+// producers down, not park them for minutes against a queue that
+// drains nonlinearly.
+func drainEstimateSecs(depth int, batches, nanos int64, workers int) int {
+	if batches <= 0 || nanos <= 0 || workers < 1 {
+		return 1
+	}
+	avg := nanos / batches
+	est := time.Duration((int64(depth) + 1) * avg / int64(workers))
+	secs := int((est + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
 }
 
 // tryEnqueue hands a job to the worker pool without blocking. A false
@@ -234,12 +271,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 }
 
 // enqueueOr429 enqueues one job, replying 429 (and returning false)
-// when the ingest queue is full.
+// when the ingest queue is full. Retry-After is derived from the
+// queue's drain state rather than fixed, so a client backs off in
+// proportion to the actual backlog.
 func (s *Server) enqueueOr429(w http.ResponseWriter, job ingestJob, accepted int64) bool {
-	if s.pipeline().tryEnqueue(job) {
+	p := s.pipeline()
+	if p.tryEnqueue(job) {
 		return true
 	}
-	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Retry-After", strconv.Itoa(p.retryAfterSecs()))
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusTooManyRequests)
 	writeBody(w, map[string]interface{}{

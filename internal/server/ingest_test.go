@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -194,8 +195,8 @@ func TestIngestAsyncBackpressure429(t *testing.T) {
 	if resp3.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("third async ingest status %d, want 429 (body %s)", resp3.StatusCode, body)
 	}
-	if resp3.Header.Get("Retry-After") == "" {
-		t.Fatal("429 without Retry-After")
+	if ra, err := strconv.Atoi(resp3.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("429 Retry-After = %q, want integer seconds >= 1", resp3.Header.Get("Retry-After"))
 	}
 	var rej struct {
 		Error   string `json:"error"`
@@ -358,5 +359,52 @@ func TestNodesEndpoint(t *testing.T) {
 	getJSON(t, ts.URL+"/nodes", &nodes)
 	if len(nodes.Nodes) != 2 {
 		t.Fatalf("nodes = %v", nodes.Nodes)
+	}
+}
+
+// drainEstimateSecs turns the pipeline's observed apply cost into the
+// Retry-After hint; the table pins the estimate's shape — fallback
+// before any observation, round-up, per-worker division, and the
+// [1, 30] clamp.
+func TestDrainEstimateSecs(t *testing.T) {
+	sec := int64(time.Second)
+	cases := []struct {
+		name    string
+		depth   int
+		batches int64
+		nanos   int64
+		workers int
+		want    int
+	}{
+		{"no observations yet", 8, 0, 0, 2, 1},
+		{"fast drain rounds up to one second", 4, 100, 100 * int64(time.Millisecond), 2, 1},
+		{"one worker at one second per batch", 3, 10, 10 * sec, 1, 4},
+		{"two workers halve the estimate", 3, 10, 10 * sec, 2, 2},
+		{"deep backlog clamps at 30s", 1000, 1, 2 * sec, 1, 30},
+		{"zero workers falls back", 8, 10, 10 * sec, 0, 1},
+	}
+	for _, tc := range cases {
+		if got := drainEstimateSecs(tc.depth, tc.batches, tc.nanos, tc.workers); got != tc.want {
+			t.Errorf("%s: drainEstimateSecs(%d, %d, %d, %d) = %d, want %d",
+				tc.name, tc.depth, tc.batches, tc.nanos, tc.workers, got, tc.want)
+		}
+	}
+}
+
+// The Retry-After a live 429 carries must track the backlog: with one
+// parked worker whose only completed batch took a measurable time, the
+// estimate is the observed cost times the queued batches.
+func TestRetryAfterTracksDrainState(t *testing.T) {
+	p := newPipeline(func(ingestJob) {}, 4, 2)
+	defer p.close()
+	if got := p.retryAfterSecs(); got != 1 {
+		t.Fatalf("retryAfterSecs with no history = %d, want fallback 1", got)
+	}
+	// Simulate history: 2 batches took 6s total -> avg 3s; empty queue
+	// means one in-flight slot over 2 workers -> ceil(3s/2) = 2.
+	p.processedBatches.Store(2)
+	p.applyNanos.Store(6 * int64(time.Second))
+	if got := p.retryAfterSecs(); got != 2 {
+		t.Fatalf("retryAfterSecs with 3s avg, empty queue, 2 workers = %d, want 2", got)
 	}
 }
