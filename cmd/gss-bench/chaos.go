@@ -241,6 +241,11 @@ func runChaosBench(opt chaosBenchOptions, w io.Writer) error {
 			r.name, r.requests, r.ok, r.degraded, r.requests-r.ok, r.availability(),
 			r.percentile(0.50).Round(10*time.Microsecond),
 			r.percentile(0.99).Round(10*time.Microsecond))
+		record("chaos_availability", r.availability(), "percent", "phase", r.name)
+		record("chaos_requests", float64(r.requests), "requests", "phase", r.name)
+		record("chaos_degraded", float64(r.degraded), "requests", "phase", r.name)
+		record("chaos_read_latency_p50", r.percentile(0.50).Seconds(), "seconds", "phase", r.name)
+		record("chaos_read_latency_p99", r.percentile(0.99).Seconds(), "seconds", "phase", r.name)
 	}
 	fmt.Fprintf(w, "\ndegraded = answers served from the surviving members, flagged partial.\n")
 	fmt.Fprintf(w, "strict fails any scatter read that touches a faulted member; partial\n")

@@ -138,6 +138,10 @@ func runClusterBench(opt clusterBenchOptions, w io.Writer) error {
 		fmt.Fprintf(w, "%-8d %10d %12.0f %9.2fx %14s %7.1f%% %7.1f%%\n",
 			r.members, r.items, r.rate(), r.rate()/base,
 			r.reach.Round(time.Microsecond), 100*r.occ, 100*r.bufPct)
+		members := fmt.Sprintf("%d", r.members)
+		record("cluster_throughput", r.rate(), "items/sec", "members", members)
+		record("cluster_reachable_latency", r.reach.Seconds(), "seconds", "members", members)
+		record("cluster_occupancy", r.occ, "fraction", "members", members)
 	}
 
 	// Router overhead: the same single member driven directly (no
@@ -156,6 +160,8 @@ func runClusterBench(opt clusterBenchOptions, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "\nrouter overhead (uncapped, 1 member): direct %.0f items/s vs routed %.0f items/s (%.0f%% of direct)\n",
 		direct.rate(), routed.rate(), 100*routed.rate()/direct.rate())
+	record("cluster_direct_throughput", direct.rate(), "items/sec")
+	record("cluster_routed_throughput", routed.rate(), "items/sec")
 	return nil
 }
 

@@ -109,6 +109,8 @@ func runIngestBench(opt ingestOptions, w io.Writer) error {
 	for _, r := range results {
 		fmt.Fprintf(w, "%-12s %-6s %10d %12.0f %9.2fx\n",
 			r.backend, r.path, r.items, r.rate(), r.rate()/base)
+		record("ingest_throughput", r.rate(), "items/sec",
+			"backend", r.backend, "path", r.path)
 	}
 
 	// Plane comparison: same stream, same server configuration, NDJSON
@@ -143,6 +145,10 @@ func runIngestBench(opt ingestOptions, w io.Writer) error {
 		p := best[backend]
 		fmt.Fprintf(w, "%-12s %14.0f %14.0f %7.2fx\n",
 			backend, p.nd.rate(), p.bin.rate(), p.bin.rate()/p.nd.rate())
+		record("ingest_plane_throughput", p.nd.rate(), "items/sec",
+			"backend", backend, "plane", "ndjson")
+		record("ingest_plane_throughput", p.bin.rate(), "items/sec",
+			"backend", backend, "plane", "binary")
 	}
 	return nil
 }

@@ -70,8 +70,24 @@ func main() {
 			"replica mode: primary checkpoint interval")
 		followEvery = flag.Duration("follow-interval", 100*time.Millisecond,
 			"replica mode: follower poll interval")
+
+		jsonPath = flag.String("json", "",
+			"also write machine-readable results (one measurement per quoted number) to this file")
 	)
 	flag.Parse()
+
+	if *jsonPath != "" {
+		enableReport(*mode)
+	}
+	finish := func() {
+		if *jsonPath == "" {
+			return
+		}
+		if err := writeReport(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "gss-bench: writing -json report:", err)
+			os.Exit(1)
+		}
+	}
 
 	switch *mode {
 	case "query":
@@ -80,6 +96,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		finish()
 		return
 	case "ingest":
 		opt := ingestOptions{Ingesters: *ingesters, Items: *items, Batch: *batch,
@@ -88,6 +105,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		finish()
 		return
 	case "window":
 		opt := windowBenchOptions{Ingesters: *ingesters, Items: *items, Batch: *batch,
@@ -97,6 +115,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		finish()
 		return
 	case "replica":
 		opt := replicaBenchOptions{Ingesters: *ingesters, Items: *items, Batch: *batch,
@@ -106,6 +125,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		finish()
 		return
 	case "cluster":
 		opt := clusterBenchOptions{Ingesters: *ingesters, Items: *items, Batch: *batch,
@@ -114,6 +134,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		finish()
 		return
 	case "migrate":
 		opt := migrateBenchOptions{Ingesters: *ingesters, Items: *items, Batch: *batch,
@@ -122,6 +143,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		finish()
 		return
 	case "chaos":
 		opt := chaosBenchOptions{Seed: *seed, Readers: *ingesters, Items: *items,
@@ -130,6 +152,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		finish()
 		return
 	case "paper":
 	default:
@@ -151,4 +174,5 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	finish()
 }

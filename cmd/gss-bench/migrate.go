@@ -260,12 +260,17 @@ func runMigrateBench(opt migrateBenchOptions, w io.Writer) error {
 	fmt.Fprintf(w, "\n%-24s %12s %12s\n", "phase", "items/sec", "vs baseline")
 	for _, p := range phases {
 		fmt.Fprintf(w, "%-24s %12.0f %11.2fx\n", p.name, p.rate(), p.rate()/base)
+		record("migrate_phase_throughput", p.rate(), "items/sec", "phase", p.name)
 	}
 	fmt.Fprintln(w)
 	for _, st := range migs {
 		fmt.Fprintf(w, "%-5s %s: done in %.0fms (handoff stall %.1fms, cutover stall %.1fms), moved %d edges / %d KB, forwarded %d items, shadowed %d\n",
 			st.Mode, st.Target, st.DurationMS, st.HandoffStallMS, st.CutoverStallMS,
 			st.MovedEdges, st.MovedBytes/1024, st.ForwardedItems, st.ShadowItems)
+		record("migrate_duration", st.DurationMS/1000, "seconds", "mode", st.Mode)
+		record("migrate_handoff_stall", st.HandoffStallMS/1000, "seconds", "mode", st.Mode)
+		record("migrate_cutover_stall", st.CutoverStallMS/1000, "seconds", "mode", st.Mode)
+		record("migrate_moved_bytes", float64(st.MovedBytes), "bytes", "mode", st.Mode)
 	}
 
 	// Conservation under load: everything the servers acknowledged must

@@ -94,6 +94,8 @@ func runQueryBench(opt queryBenchOptions, w io.Writer) error {
 	fmt.Fprintf(w, "\n%-28s %14s %14s %9s\n", "workload", "before q/s", "after q/s", "speedup")
 	row := func(name string, before, after float64) {
 		fmt.Fprintf(w, "%-28s %14.0f %14.0f %8.1fx\n", name, before, after, after/before)
+		record("query_rate", before, "queries/sec", "workload", name, "stack", "reference")
+		record("query_rate", after, "queries/sec", "workload", name, "stack", "hash-native")
 	}
 
 	// Edge primitive: unchanged algorithmically, quoted for the mix.
@@ -102,6 +104,7 @@ func runQueryBench(opt queryBenchOptions, w io.Writer) error {
 		g.EdgeWeight(it.Src, it.Dst)
 	})
 	fmt.Fprintf(w, "%-28s %14s %14.0f %9s\n", "edge weight", "-", edgeRate, "-")
+	record("query_rate", edgeRate, "queries/sec", "workload", "edge weight")
 
 	// 1-hop successors: occupancy-word row walk vs per-slot strided scan.
 	var hbuf []uint64
@@ -137,6 +140,8 @@ func runQueryBench(opt queryBenchOptions, w io.Writer) error {
 	})
 	fmt.Fprintf(w, "%-28s %14s %14.0f %9s\n", "successors (strings)", "-", succStr, "-")
 	fmt.Fprintf(w, "%-28s %14s %14.0f %9s\n", "precursors (strings)", "-", precStr, "-")
+	record("query_rate", succStr, "queries/sec", "workload", "successors (strings)")
+	record("query_rate", precStr, "queries/sec", "workload", "precursors (strings)")
 
 	// Compound traversals: the before-side is the full pre-PR stack —
 	// strided scan primitives under the string-plane reference

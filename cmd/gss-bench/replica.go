@@ -124,7 +124,11 @@ func runReplicaBench(opt replicaBenchOptions, w io.Writer) error {
 		} else {
 			fmt.Fprintf(w, "%-24s %12.0f %14d %12d\n", label,
 				float64(opt.Items)/elapsed.Seconds(), written, bytesWritten)
+			record("replica_checkpoint_bytes", float64(bytesWritten), "bytes",
+				"configuration", label)
 		}
+		record("replica_ingest_throughput", float64(opt.Items)/elapsed.Seconds(), "items/sec",
+			"configuration", label)
 	}
 
 	// Part 2: follower staleness while the primary ingests.
@@ -202,6 +206,9 @@ func runReplicaBench(opt replicaBenchOptions, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "  item lag during ingest: avg %d, max %d (%d samples)\n", avg, maxLag, samples)
 	fmt.Fprintf(w, "  converged %v after last write (interval %s)\n", convergence, opt.FollowEach)
+	record("replica_follower_lag_avg", float64(avg), "items")
+	record("replica_follower_lag_max", float64(maxLag), "items")
+	record("replica_follower_convergence", convergence.Seconds(), "seconds")
 	if rs.Follower != nil {
 		fmt.Fprintf(w, "  polls=%d applied=%d failed=%d\n",
 			rs.Follower.Polls, rs.Follower.Applied, rs.Follower.Failed)
@@ -247,6 +254,8 @@ func runReplicaBench(opt replicaBenchOptions, w io.Writer) error {
 			}
 			fmt.Fprintf(w, "%-10s %-9s %10d %14d %12.0f %14.0f\n",
 				workload, mode, res.items, res.bytes, perItem, res.perPoll)
+			record("replica_transfer_bytes_per_poll", res.perPoll, "bytes",
+				"workload", workload, "mode", mode)
 			perPoll[tkey{workload, tail}] = res.perPoll
 		}
 	}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Machine-readable results. Every bench mode narrates a human table to
+// stdout; with -json <file> it ALSO records each quoted number as one
+// flat measurement row. The flat shape — name + label map + value +
+// unit — survives mode-specific table layouts, so CI can archive every
+// mode's artifact with one schema and diff runs with jq instead of
+// screen-scraping the tables.
+//
+// The collector is a package-level no-op until main enables it, so the
+// mode files sprinkle record() calls next to their Fprintf rows without
+// threading a handle through every helper.
+
+// benchMeasurement is one quoted number from a bench table.
+type benchMeasurement struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+	Unit   string            `json:"unit"`
+}
+
+// benchReport is the artifact written to the -json path.
+type benchReport struct {
+	Schema     int                `json:"schema"` // bump on incompatible shape changes
+	Mode       string             `json:"mode"`
+	Go         string             `json:"go"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Started    time.Time          `json:"started"`
+	ElapsedSec float64            `json:"elapsed_seconds"`
+	Results    []benchMeasurement `json:"results"`
+}
+
+var reportMu sync.Mutex
+var report *benchReport
+
+// enableReport arms the collector for one mode run.
+func enableReport(mode string) {
+	reportMu.Lock()
+	defer reportMu.Unlock()
+	report = &benchReport{
+		Schema: 1, Mode: mode,
+		Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Started:    time.Now().UTC(),
+	}
+}
+
+// record adds one measurement; labels alternate key, value. A no-op
+// unless -json armed the collector.
+func record(name string, value float64, unit string, labels ...string) {
+	reportMu.Lock()
+	defer reportMu.Unlock()
+	if report == nil {
+		return
+	}
+	m := benchMeasurement{Name: name, Value: value, Unit: unit}
+	if len(labels) > 0 {
+		m.Labels = make(map[string]string, len(labels)/2)
+		for i := 0; i+1 < len(labels); i += 2 {
+			m.Labels[labels[i]] = labels[i+1]
+		}
+	}
+	report.Results = append(report.Results, m)
+}
+
+// writeReport finalizes the artifact. Atomic rename so a crashed or
+// interrupted run cannot leave a truncated JSON file for CI to parse.
+func writeReport(path string) error {
+	reportMu.Lock()
+	defer reportMu.Unlock()
+	if report == nil {
+		return nil
+	}
+	report.ElapsedSec = time.Since(report.Started).Seconds()
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

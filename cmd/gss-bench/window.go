@@ -110,6 +110,12 @@ func runWindowBench(opt windowBenchOptions, w io.Writer) error {
 		fmt.Fprintf(w, "%-10s %12.0f %12d %14d %12d %10d %8s\n",
 			r.backend, float64(opt.Items)/r.elapsed.Seconds(), r.st.Items,
 			r.st.MatrixEdges+r.st.BufferEdges, r.st.IndexedNodes, r.st.MatrixBytes/1024, gens)
+		record("window_throughput", float64(opt.Items)/r.elapsed.Seconds(), "items/sec",
+			"backend", r.backend)
+		record("window_live_items", float64(r.st.Items), "items", "backend", r.backend)
+		record("window_resident_edges", float64(r.st.MatrixEdges+r.st.BufferEdges), "edges",
+			"backend", r.backend)
+		record("window_matrix_bytes", float64(r.st.MatrixBytes), "bytes", "backend", r.backend)
 	}
 	if st := rows[0].st; st.DroppedStragglers > 0 {
 		fmt.Fprintf(w, "\nwindowed dropped %d stragglers (concurrent ingesters raced a rotation) "+

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -56,12 +58,25 @@ func main() {
 			"let ?partial=1 requests accept a scatter-gather merge over the surviving members, flagged with partial/missing_members markers")
 		maxRespBytes = flag.Int64("max-member-response-bytes", 0,
 			"cap on one member's response body during scatter-gather decodes (0 = 64MiB default)")
+
+		debugAddr = flag.String("debug-addr", "",
+			"serve net/http/pprof on this separate address (empty disables; keep it off the service port)")
+		slowQuery = flag.Duration("slow-query-log", 0,
+			"log any request slower than this threshold, with its request ID and per-member timings (0 disables)")
 	)
 	flag.Parse()
 
 	if *members == "" {
 		fmt.Fprintln(os.Stderr, "gss-router: -member is required")
 		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	var slow *telemetry.SlowQueryLog
+	if *slowQuery > 0 {
+		slow = telemetry.NewSlowQueryLog(*slowQuery, logger)
+		// Registered before rt's deferred Close, so LIFO ordering drains
+		// the log only after the router has stopped observing into it.
+		defer slow.Close()
 	}
 	cfg := cluster.Config{
 		Members:                strings.Split(*members, ","),
@@ -75,6 +90,8 @@ func main() {
 		ReadRetries:            *readRetries,
 		MaxResponseBytes:       *maxRespBytes,
 		AllowPartialReads:      *allowPartial,
+		Logf:                   telemetry.Logf(logger),
+		SlowQuery:              slow,
 	}
 	if *readRetries <= 0 {
 		// Config treats 0 as "use the default"; the flag's 0 and -1 both
@@ -110,6 +127,16 @@ func main() {
 	}
 	fmt.Printf("gss-router listening on %s (%d members, %d with followers, probe every %s%s)\n",
 		*addr, len(cfg.Members), len(cfg.Failover), *probeEvery, role)
+
+	if *debugAddr != "" {
+		dbg, err := telemetry.StartDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gss-router: debug listener:", err)
+			os.Exit(2)
+		}
+		defer dbg.Close()
+		fmt.Printf("gss-router: pprof debug listener on http://%s/debug/pprof/\n", dbg.Addr())
+	}
 
 	// Same header/idle hardening as gss-server: a slow-header client
 	// must not pin a connection, while /ingest bodies may stream for as

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/gss"
 	"repro/internal/server"
 	"repro/internal/sketch"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -65,8 +67,22 @@ func main() {
 			"read replica: poll interval")
 		followTail = flag.Bool("follow-tail", false,
 			"read replica: tail the primary's operation log instead of re-fetching snapshots")
+
+		debugAddr = flag.String("debug-addr", "",
+			"serve net/http/pprof on this separate address (empty disables; keep it off the service port)")
+		slowQuery = flag.Duration("slow-query-log", 0,
+			"log any request slower than this threshold, with its request ID (0 disables)")
 	)
 	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	var slow *telemetry.SlowQueryLog
+	if *slowQuery > 0 {
+		slow = telemetry.NewSlowQueryLog(*slowQuery, logger)
+		// Registered before srv's deferred Close, so LIFO ordering drains
+		// the log only after the server has stopped observing into it.
+		defer slow.Close()
+	}
 
 	srv, err := server.NewWithOptions(
 		gss.Config{Width: *width, FingerprintBits: *fpbits,
@@ -77,7 +93,8 @@ func main() {
 			CheckpointDir: *ckptDir, CheckpointInterval: *ckptEvery,
 			CheckpointKeep: *ckptKeep,
 			LogDir:         *logDir, LogSyncEvery: *logSync, LogSegmentBytes: *logSegBytes,
-			FollowURL: *follow, FollowInterval: *followEvery, FollowTail: *followTail})
+			FollowURL: *follow, FollowInterval: *followEvery, FollowTail: *followTail,
+			Logf: telemetry.Logf(logger), SlowQuery: slow})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gss-server:", err)
 		os.Exit(2)
@@ -98,6 +115,16 @@ func main() {
 	}
 	fmt.Printf("gss-server listening on %s (backend=%s width=%d fp=%dbit rooms=%d r=%d batch=%d; %s)\n",
 		*addr, *backend, *width, *fpbits, *rooms, *seqlen, *batch, role)
+
+	if *debugAddr != "" {
+		dbg, err := telemetry.StartDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gss-server: debug listener:", err)
+			os.Exit(2)
+		}
+		defer dbg.Close()
+		fmt.Printf("gss-server: pprof debug listener on http://%s/debug/pprof/\n", dbg.Addr())
+	}
 
 	// SIGINT/SIGTERM shut down gracefully: stop accepting requests,
 	// then Close the server — which drains the async ingest queue and

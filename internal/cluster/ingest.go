@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // Write routing. Items partition by source node: the ring owner of
@@ -280,6 +281,9 @@ func (rt *Router) forwardInsert(ctx context.Context, m *member, group []stream.I
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if id := telemetry.RequestID(ctx); id != "" {
+		req.Header.Set(telemetry.HeaderRequestID, id)
+	}
 	resp, err := rt.cfg.Client.Do(req)
 	if err != nil {
 		return 0, transportError{err}
@@ -349,6 +353,9 @@ func (rt *Router) openStream(ctx context.Context, m *member, batchSize int) *mem
 		return ms
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
+	if id := telemetry.RequestID(ctx); id != "" {
+		req.Header.Set(telemetry.HeaderRequestID, id)
+	}
 	go rt.postIngest(req, pr, m, ms.done)
 	return ms
 }

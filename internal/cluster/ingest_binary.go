@@ -9,6 +9,7 @@ import (
 	"strconv"
 
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // Binary ingest plane. A GSB1 body is routed at the frame layer: the
@@ -82,6 +83,9 @@ func (rt *Router) openBinStream(ctx context.Context, m *member, batchSize int) *
 		return ms
 	}
 	req.Header.Set("Content-Type", stream.ContentTypeBinary)
+	if id := telemetry.RequestID(ctx); id != "" {
+		req.Header.Set(telemetry.HeaderRequestID, id)
+	}
 	magic := stream.BinaryMagic()
 	_, _ = ms.bw.Write(magic[:]) // buffered; a dead pipe surfaces at the first flush
 	go rt.postIngest(req, pr, m, ms.done)

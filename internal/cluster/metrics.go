@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"repro/internal/telemetry"
+)
+
+// Metrics wiring for the router's /metrics exposition. Per-member
+// counters (probes, retries, fail-overs, deadline deaths, degraded
+// reads, proxy copy failures) live directly on the member struct as
+// telemetry handles labeled by primary URL — /cluster/stats reads the
+// same series, so the JSON view and the exposition can never disagree.
+// Topology-level values (ring version, down members, migration phase,
+// spill depth) are scrape-time funcs over the live structures.
+
+// migrationPhaseValue maps the migration state machine onto a gauge:
+// 0 when no migration is in flight, then one step per phase in
+// protocol order. A scraper alerting on "phase > 0 for too long"
+// catches a stuck migration regardless of where it stalled.
+var migrationPhaseValue = map[string]float64{
+	"":          0,
+	"preflight": 1,
+	"copy":      2,
+	"catchup":   3,
+	"handoff":   4,
+	"cutover":   5,
+	"drop":      6,
+	"absorb":    7,
+	"rollback":  8,
+}
+
+type routerMetrics struct {
+	reg  *telemetry.Registry
+	http *telemetry.HTTPMetrics
+
+	partialReads *telemetry.Counter
+}
+
+func newRouterMetrics(rt *Router, reg *telemetry.Registry, slow *telemetry.SlowQueryLog) *routerMetrics {
+	m := &routerMetrics{
+		reg:  reg,
+		http: telemetry.NewHTTPMetrics(reg, slow),
+		partialReads: reg.Counter("gss_cluster_partial_reads_total",
+			"Scatter-gathered responses served in partial mode with at least one member missing."),
+	}
+	reg.GaugeFunc("gss_cluster_ring_version", "Version of the serving ring; increments at each migration cutover.",
+		func() float64 { return float64(rt.topology().version) })
+	reg.GaugeFunc("gss_cluster_members", "Members in the serving ring.",
+		func() float64 { return float64(len(rt.topology().members)) })
+	reg.GaugeFunc("gss_cluster_down_members", "Members the prober currently believes are down.",
+		func() float64 {
+			var down float64
+			for _, mem := range rt.topology().all {
+				if mem.down.Load() {
+					down++
+				}
+			}
+			return down
+		})
+	reg.GaugeFunc("gss_cluster_migration_phase",
+		"In-flight migration phase: 0 idle, 1 preflight, 2 copy, 3 catchup, 4 handoff, 5 cutover, 6 drop, 7 absorb, 8 rollback.",
+		func() float64 {
+			rt.migMu.Lock()
+			mig := rt.mig
+			rt.migMu.Unlock()
+			if mig == nil {
+				return 0
+			}
+			if v, ok := migrationPhaseValue[mig.phaseName()]; ok {
+				return v
+			}
+			return -1
+		})
+	return m
+}
+
+// bindMember registers m's hot-path counters and scrape-time gauges
+// under its primary URL. Registration is idempotent in the registry,
+// so a member dropped and re-added across migrations keeps its counts.
+func (rm *routerMetrics) bindMember(m *member) {
+	l := telemetry.L("member", m.primary)
+	reg := rm.reg
+	m.probes = reg.Counter("gss_cluster_member_probes_total", "Health probes issued, by member.", l)
+	m.probeFails = reg.Counter("gss_cluster_member_probe_failures_total", "Health probes that failed, by member.", l)
+	m.failovers = reg.Counter("gss_cluster_member_failovers_total", "Reads the member's follower served, by member.", l)
+	m.readRetries = reg.Counter("gss_cluster_member_read_retries_total", "Extra read attempts the retry discipline issued, by member.", l)
+	m.deadlineFails = reg.Counter("gss_cluster_member_deadline_exceeded_total", "Reads that died on the deadline budget, by member.", l)
+	m.degradedReads = reg.Counter("gss_cluster_member_degraded_reads_total", "Partial merges served without this member.", l)
+	m.copyFails = reg.Counter("gss_cluster_member_proxy_copy_failures_total", "Proxied response bodies that died mid-copy, by member.", l)
+	reg.GaugeFunc("gss_cluster_member_up", "1 when the router believes the member's primary is healthy.",
+		func() float64 {
+			if m.down.Load() {
+				return 0
+			}
+			return 1
+		}, l)
+	reg.GaugeFunc("gss_cluster_member_spill_pending_items", "Spilled items absorbed but not yet replayed, by member.",
+		func() float64 {
+			if m.spill == nil {
+				return 0
+			}
+			return float64(m.spill.status().PendingItems)
+		}, l)
+	reg.GaugeFunc("gss_cluster_member_spill_pending_bytes", "Spill log bytes on disk, by member.",
+		func() float64 {
+			if m.spill == nil {
+				return 0
+			}
+			return float64(m.spill.status().PendingBytes)
+		}, l)
+	reg.CounterFunc("gss_cluster_member_spill_replayed_items_total", "Spilled items delivered to the recovered member.",
+		func() int64 {
+			if m.spill == nil {
+				return 0
+			}
+			return m.spill.status().ReplayedItems
+		}, l)
+}

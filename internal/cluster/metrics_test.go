@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// The telemetry contract the dashboards depend on: both exposition
+// endpoints stay strictly parseable, and the family set — which is
+// registered unconditionally, never per-configuration — matches the
+// committed golden list exactly. A renamed or dropped family breaks
+// someone's alerts silently; this test makes it break loudly in CI
+// instead. Refresh after an intentional change with
+//
+//	GSS_UPDATE_GOLDEN=1 go test ./internal/cluster -run TestMetricsFamiliesGolden
+
+const goldenFamiliesFile = "testdata/metrics_families.golden"
+
+// scrapeFamilies fetches url, validates the body against the strict
+// exposition grammar, and returns the sorted family names.
+func scrapeFamilies(t *testing.T, url string) []string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("scraping %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scraping %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := telemetry.Validate(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("exposition from %s is malformed: %v\nbody:\n%s", url, err, body)
+	}
+	sort.Strings(fams)
+	return fams
+}
+
+func TestMetricsFamiliesGolden(t *testing.T) {
+	members, urls := startMembers(t, 3, "concurrent")
+	_, front := newTestRouter(t, Config{Members: urls, SpillDir: t.TempDir()})
+
+	// Move some traffic through every layer so validation sees live
+	// series, not just zeros: inserts fan out to members, a scatter
+	// query exercises the read plane.
+	postBody(t, front.URL+"/insert", `{"src":"a","dst":"b","weight":2}`, nil)
+	var st struct{ Items int64 }
+	if code := getJSON(t, front.URL+"/stats", &st); code != http.StatusOK {
+		t.Fatalf("/stats: %d", code)
+	}
+
+	var got []string
+	for _, fam := range scrapeFamilies(t, front.URL+"/metrics") {
+		got = append(got, "router "+fam)
+	}
+	for _, fam := range scrapeFamilies(t, members[0].ts.URL+"/metrics") {
+		got = append(got, "member "+fam)
+	}
+
+	if os.Getenv("GSS_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenFamiliesFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenFamiliesFile,
+			[]byte(strings.Join(got, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d families)", goldenFamiliesFile, len(got))
+		return
+	}
+
+	raw, err := os.ReadFile(goldenFamiliesFile)
+	if err != nil {
+		t.Fatalf("reading golden list (refresh with GSS_UPDATE_GOLDEN=1): %v", err)
+	}
+	var want []string
+	sc := bufio.NewScanner(strings.NewReader(string(raw)))
+	for sc.Scan() {
+		if line := strings.TrimSpace(sc.Text()); line != "" {
+			want = append(want, line)
+		}
+	}
+
+	wantSet := make(map[string]bool, len(want))
+	for _, f := range want {
+		wantSet[f] = true
+	}
+	gotSet := make(map[string]bool, len(got))
+	for _, f := range got {
+		gotSet[f] = true
+	}
+	var diff []string
+	for _, f := range want {
+		if !gotSet[f] {
+			diff = append(diff, "missing: "+f)
+		}
+	}
+	for _, f := range got {
+		if !wantSet[f] {
+			diff = append(diff, "unexpected: "+f)
+		}
+	}
+	if len(diff) > 0 {
+		t.Fatalf("metric family set drifted from %s (refresh with GSS_UPDATE_GOLDEN=1 after an intentional change):\n  %s",
+			goldenFamiliesFile, strings.Join(diff, "\n  "))
+	}
+}
+
+// TestMetricsCountersMove pins the exposition to the traffic it
+// describes: the request counter for a route reflects the requests the
+// test just issued, and per-member ingest state is visible.
+func TestMetricsCountersMove(t *testing.T) {
+	_, urls := startMembers(t, 2, "concurrent")
+	_, front := newTestRouter(t, Config{Members: urls})
+
+	const n = 5
+	for i := 0; i < n; i++ {
+		postBody(t, front.URL+"/insert",
+			fmt.Sprintf(`{"src":"s%d","dst":"d%d","weight":1}`, i, i), nil)
+	}
+	resp, err := http.Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	want := fmt.Sprintf(`gss_http_requests_total{route="/insert",class="2xx"} %d`, n)
+	if !strings.Contains(string(body), want) {
+		t.Fatalf("router /metrics missing %q:\n%s", want, body)
+	}
+	for _, u := range urls {
+		if !strings.Contains(string(body), fmt.Sprintf(`gss_cluster_member_up{member=%q} 1`, u)) {
+			t.Fatalf("router /metrics missing up gauge for %s", u)
+		}
+	}
+}

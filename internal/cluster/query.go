@@ -403,7 +403,7 @@ func (rt *Router) handleReachable(w http.ResponseWriter, r *http.Request) {
 		res["certain"] = found || len(missing) == 0
 		markPartial(w, res, missing)
 		if len(missing) > 0 {
-			rt.partialReads.Add(1)
+			rt.met.partialReads.Inc()
 			for _, p := range missing {
 				if m := rt.lookupMember(p); m != nil {
 					m.degradedReads.Add(1)

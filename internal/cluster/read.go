@@ -12,6 +12,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Read-plane discipline. The write plane degrades explicitly when a
@@ -118,12 +120,41 @@ func sleepJittered(ctx context.Context, d time.Duration) error {
 // 5xx answer retries like a transport failure (the GET is idempotent)
 // but the last attempt's response passes through whatever its status.
 // The caller owns the response body.
+//
+// When the request is traced (the slow-query middleware planted a
+// telemetry.Trace in ctx), the whole retry episode is recorded as one
+// span — target, op, attempts spent, wall time, final error — so a
+// slow scatter-gather's log line names the member that dragged it.
 func (rt *Router) memberGet(ctx context.Context, m *member, pathQuery string) (*http.Response, error) {
+	tr := telemetry.TraceFrom(ctx)
+	if tr == nil {
+		return rt.memberGetAttempts(ctx, m, pathQuery, nil)
+	}
+	start := time.Now()
+	var attempts int
+	resp, err := rt.memberGetAttempts(ctx, m, pathQuery, &attempts)
+	span := telemetry.SpanRecord{
+		Target: m.primary, Op: pathQuery,
+		Attempts: attempts, Duration: time.Since(start),
+	}
+	if err != nil {
+		span.Err = err.Error()
+	}
+	tr.Add(span)
+	return resp, err
+}
+
+// memberGetAttempts is memberGet's retry loop; when counted is
+// non-nil it receives the number of attempts actually issued.
+func (rt *Router) memberGetAttempts(ctx context.Context, m *member, pathQuery string, counted *int) (*http.Response, error) {
 	attempts := 1 + rt.cfg.ReadRetries
 	backoff := rt.cfg.RetryBackoff
 	useFollower := m.follower != "" && m.down.Load()
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
+		if counted != nil {
+			*counted = attempt + 1
+		}
 		if attempt > 0 {
 			m.readRetries.Add(1)
 			if sleepJittered(ctx, backoff) != nil {
@@ -244,7 +275,7 @@ func (rt *Router) settleScatter(members []*member, errs []error, partial bool) (
 			rt.cfg.Logf("cluster: partial read served without member %s: %v", members[i].primary, err)
 		}
 	}
-	rt.partialReads.Add(1)
+	rt.met.partialReads.Inc()
 	sort.Strings(missing)
 	return missing, nil
 }

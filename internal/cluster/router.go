@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Config describes the cluster a Router fronts.
@@ -91,6 +93,14 @@ type Config struct {
 	// failed fan-outs). Defaults to log.Printf; inject to route or
 	// silence.
 	Logf func(format string, args ...interface{})
+	// Metrics is the registry the router registers its instruments in
+	// and serves at GET /metrics. Nil means a fresh private registry.
+	Metrics *telemetry.Registry
+	// SlowQuery, when non-nil, receives every routed request that ran
+	// past its threshold, with the per-member spans the read discipline
+	// records. The caller that built it closes it after the router
+	// stops.
+	SlowQuery *telemetry.SlowQueryLog
 }
 
 func (c Config) withDefaults() Config {
@@ -159,14 +169,17 @@ type member struct {
 
 	down atomic.Bool // router's view of the primary; false at start
 
-	probes     atomic.Int64
-	probeFails atomic.Int64
-	failovers  atomic.Int64 // reads the follower served
+	// Telemetry counters, registered per member URL by bindMember
+	// (metrics.go) — the same series /metrics exposes, so the
+	// /cluster/stats JSON view can never disagree with a scrape.
+	probes     *telemetry.Counter
+	probeFails *telemetry.Counter
+	failovers  *telemetry.Counter // reads the follower served
 
-	readRetries   atomic.Int64 // extra attempts the read discipline issued
-	deadlineFails atomic.Int64 // reads that died on the deadline budget
-	degradedReads atomic.Int64 // partial merges served without this member
-	copyFails     atomic.Int64 // proxied bodies that died mid-copy
+	readRetries   *telemetry.Counter // extra attempts the read discipline issued
+	deadlineFails *telemetry.Counter // reads that died on the deadline budget
+	degradedReads *telemetry.Counter // partial merges served without this member
+	copyFails     *telemetry.Counter // proxied bodies that died mid-copy
 
 	mu      sync.Mutex
 	lastErr string
@@ -210,9 +223,8 @@ type Router struct {
 	mig     *migration
 	lastMig *MigrationStatus
 
-	// partialReads counts scatter-gathered responses served in partial
-	// mode with at least one member missing.
-	partialReads atomic.Int64
+	// met holds the /metrics instruments (see metrics.go); always set.
+	met *routerMetrics
 
 	// ctx is cancelled by Close; every member request and fan-out
 	// goroutine is bound to it, so Close stops in-flight work.
@@ -231,6 +243,11 @@ type Router struct {
 func New(cfg Config) (*Router, error) {
 	cfg = cfg.withDefaults()
 	rt := &Router{cfg: cfg, known: make(map[string]*member)}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	rt.met = newRouterMetrics(rt, reg, cfg.SlowQuery)
 	rt.ctx, rt.cancel = context.WithCancel(context.Background())
 	members := cfg.Members
 	version := int64(1)
@@ -297,6 +314,7 @@ func (rt *Router) memberFor(primary string) (*member, error) {
 		}
 		m.spill = sp
 	}
+	rt.met.bindMember(m)
 	rt.known[primary] = m
 	return m, nil
 }
@@ -353,21 +371,24 @@ func (rt *Router) reqCtx(r *http.Request) (context.Context, context.CancelFunc) 
 // one addition.
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/insert", rt.handleInsert)
-	mux.HandleFunc("/ingest", rt.handleIngest)
-	mux.HandleFunc("/edge", rt.proxyByKey("src"))
-	mux.HandleFunc("/successors", rt.proxyByKey("v"))
-	mux.HandleFunc("/precursors", rt.handlePrecursors)
-	mux.HandleFunc("/nodes", rt.handleNodes)
-	mux.HandleFunc("/nodeout", rt.proxyByKey("v"))
-	mux.HandleFunc("/nodein", rt.handleNodeIn)
-	mux.HandleFunc("/reachable", rt.handleReachable)
-	mux.HandleFunc("/heavy", rt.handleHeavy)
-	mux.HandleFunc("/stats", rt.handleStats)
-	mux.HandleFunc("/healthz", rt.handleHealthz)
-	mux.HandleFunc("/cluster/stats", rt.handleClusterStats)
-	mux.HandleFunc("/cluster/members", rt.handleMemberAdd)
-	mux.HandleFunc("/cluster/drain", rt.handleMemberDrain)
+	handle := func(route string, h http.HandlerFunc) {
+		mux.HandleFunc(route, rt.met.http.Wrap(route, h))
+	}
+	handle("/insert", rt.handleInsert)
+	handle("/ingest", rt.handleIngest)
+	handle("/edge", rt.proxyByKey("src"))
+	handle("/successors", rt.proxyByKey("v"))
+	handle("/precursors", rt.handlePrecursors)
+	handle("/nodes", rt.handleNodes)
+	handle("/nodeout", rt.proxyByKey("v"))
+	handle("/nodein", rt.handleNodeIn)
+	handle("/reachable", rt.handleReachable)
+	handle("/heavy", rt.handleHeavy)
+	handle("/stats", rt.handleStats)
+	handle("/healthz", rt.handleHealthz)
+	handle("/cluster/stats", rt.handleClusterStats)
+	handle("/cluster/members", rt.handleMemberAdd)
+	handle("/cluster/drain", rt.handleMemberDrain)
 	// Snapshots are a per-member affair: each member's sketch is an
 	// independent partition, and a concatenation of snapshots is not a
 	// snapshot. Operators snapshot/restore members directly.
@@ -375,12 +396,17 @@ func (rt *Router) Handler() http.Handler {
 		httpError(w, http.StatusNotImplemented,
 			"%s is per-member: call it on a member, not the router", r.URL.Path)
 	}
-	mux.HandleFunc("/snapshot", perMember)
-	mux.HandleFunc("/restore", perMember)
-	mux.HandleFunc("/checkpoint", perMember)
-	mux.HandleFunc("/replica/stats", perMember)
+	handle("/snapshot", perMember)
+	handle("/restore", perMember)
+	handle("/checkpoint", perMember)
+	handle("/replica/stats", perMember)
+	mux.Handle("/metrics", rt.met.reg.Handler())
 	return mux
 }
+
+// Metrics returns the registry the router's instruments live in — the
+// one /metrics serves.
+func (rt *Router) Metrics() *telemetry.Registry { return rt.met.reg }
 
 // --- health probing and member request plumbing ---
 
@@ -480,6 +506,11 @@ func (rt *Router) get(ctx context.Context, url string) (*http.Response, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Forward the edge-minted request ID so one slow scatter-gather
+	// correlates across the router's and the members' logs.
+	if id := telemetry.RequestID(ctx); id != "" {
+		req.Header.Set(telemetry.HeaderRequestID, id)
+	}
 	return rt.cfg.Client.Do(req)
 }
 
@@ -555,7 +586,7 @@ func (rt *Router) Stats() ClusterStats {
 	t := rt.topology()
 	st := ClusterStats{
 		ProbeInterval: rt.cfg.ProbeInterval.String(),
-		PartialReads:  rt.partialReads.Load(),
+		PartialReads:  rt.met.partialReads.Value(),
 		RingVersion:   t.version,
 		Ring:          t.ring.Members(),
 	}
@@ -575,13 +606,13 @@ func (rt *Router) Stats() ClusterStats {
 			URL: m.primary, Follower: m.follower,
 			Healthy: !m.down.Load(),
 			Role:    m.role, Backend: m.backend,
-			Probes:          m.probes.Load(),
-			ProbeFailures:   m.probeFails.Load(),
-			FailedOverReads: m.failovers.Load(),
-			ReadRetries:     m.readRetries.Load(),
-			DeadlineFails:   m.deadlineFails.Load(),
-			DegradedReads:   m.degradedReads.Load(),
-			ProxyCopyFails:  m.copyFails.Load(),
+			Probes:          m.probes.Value(),
+			ProbeFailures:   m.probeFails.Value(),
+			FailedOverReads: m.failovers.Value(),
+			ReadRetries:     m.readRetries.Value(),
+			DeadlineFails:   m.deadlineFails.Value(),
+			DegradedReads:   m.degradedReads.Value(),
+			ProxyCopyFails:  m.copyFails.Value(),
 			LastError:       m.lastErr,
 		}
 		m.mu.Unlock()

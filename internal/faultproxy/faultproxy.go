@@ -42,6 +42,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Fault is one injection rule. Zero-valued fields do not participate:
@@ -125,14 +127,17 @@ type Proxy struct {
 
 	inflight atomic.Int64
 
-	requests    atomic.Int64
-	forwarded   atomic.Int64
-	resets      atomic.Int64
-	blackholed  atomic.Int64
-	injected    atomic.Int64
-	truncated   atomic.Int64
-	delayed     atomic.Int64
-	upstreamErr atomic.Int64
+	// Outcome counters are telemetry atomics, so a proxy embedded in a
+	// live harness can hand them to a registry-backed dashboard while
+	// Stats() keeps serving the plain snapshot.
+	requests    telemetry.Counter
+	forwarded   telemetry.Counter
+	resets      telemetry.Counter
+	blackholed  telemetry.Counter
+	injected    telemetry.Counter
+	truncated   telemetry.Counter
+	delayed     telemetry.Counter
+	upstreamErr telemetry.Counter
 
 	flapMu   sync.Mutex
 	flapStop chan struct{}
@@ -365,14 +370,14 @@ func (p *Proxy) WaitIdle(timeout time.Duration) bool {
 // Stats snapshots the outcome counters.
 func (p *Proxy) Stats() Stats {
 	return Stats{
-		Requests:    p.requests.Load(),
-		Forwarded:   p.forwarded.Load(),
-		Resets:      p.resets.Load(),
-		Blackholed:  p.blackholed.Load(),
-		Injected:    p.injected.Load(),
-		Truncated:   p.truncated.Load(),
-		Delayed:     p.delayed.Load(),
-		UpstreamErr: p.upstreamErr.Load(),
+		Requests:    p.requests.Value(),
+		Forwarded:   p.forwarded.Value(),
+		Resets:      p.resets.Value(),
+		Blackholed:  p.blackholed.Value(),
+		Injected:    p.injected.Value(),
+		Truncated:   p.truncated.Value(),
+		Delayed:     p.delayed.Value(),
+		UpstreamErr: p.upstreamErr.Value(),
 	}
 }
 
@@ -435,7 +440,7 @@ func (p *Proxy) isDown() bool {
 // linger-0 close (a true RST) when possible, else the abort panic the
 // net/http server converts into a torn connection.
 func (p *Proxy) abort(w http.ResponseWriter) {
-	p.resets.Add(1)
+	p.resets.Inc()
 	if hj, ok := w.(http.Hijacker); ok {
 		if conn, _, err := hj.Hijack(); err == nil {
 			if tcp, ok := conn.(*net.TCPConn); ok {
@@ -451,7 +456,7 @@ func (p *Proxy) abort(w http.ResponseWriter) {
 func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 	p.inflight.Add(1)
 	defer p.inflight.Add(-1)
-	p.requests.Add(1)
+	p.requests.Inc()
 
 	if p.isDown() {
 		p.abort(w)
@@ -460,7 +465,7 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 	e, release := p.decide(r.URL.Path)
 
 	if e.latency > 0 {
-		p.delayed.Add(1)
+		p.delayed.Inc()
 		select {
 		case <-time.After(e.latency):
 		case <-r.Context().Done():
@@ -483,7 +488,7 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 		p.abort(w)
 		return
 	case e.blackhole:
-		p.blackholed.Add(1)
+		p.blackholed.Inc()
 		select {
 		case <-r.Context().Done():
 		case <-release:
@@ -492,7 +497,7 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 		p.abort(w)
 		return
 	case e.status != 0:
-		p.injected.Add(1)
+		p.injected.Inc()
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(e.status)
 		_, _ = w.Write([]byte(`{"error":"faultproxy: injected status"}`))
@@ -507,7 +512,7 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, e effect) {
 	out, err := http.NewRequestWithContext(r.Context(), r.Method,
 		p.target.String()+r.URL.RequestURI(), r.Body)
 	if err != nil {
-		p.upstreamErr.Add(1)
+		p.upstreamErr.Inc()
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
@@ -516,13 +521,13 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, e effect) {
 	out.ContentLength = r.ContentLength
 	resp, err := p.transport.RoundTrip(out)
 	if err != nil {
-		p.upstreamErr.Add(1)
+		p.upstreamErr.Inc()
 		p.logf("faultproxy: forwarding %s %s: %v", r.Method, r.URL.Path, err)
 		p.abort(w) // to the client a dead backend is a torn connection
 		return
 	}
 	defer resp.Body.Close()
-	p.forwarded.Add(1)
+	p.forwarded.Inc()
 	hdr := w.Header()
 	for k, vs := range resp.Header {
 		hdr[k] = vs
@@ -560,7 +565,7 @@ func (p *Proxy) copyBody(w http.ResponseWriter, body io.Reader, e effect) error 
 			limit = e.truncate - written
 		}
 		if limit <= 0 {
-			p.truncated.Add(1)
+			p.truncated.Inc()
 			return io.ErrShortWrite
 		}
 		n, rerr := body.Read(buf[:limit])

@@ -206,6 +206,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			r.Header.Get("Content-Type"), stream.ContentTypeBinary)
 		return
 	}
+	pm := s.met.plane(binary)
 	batchSize := s.opt.BatchSize
 	if raw := r.URL.Query().Get("batch"); raw != "" {
 		n, err := strconv.Atoi(raw)
@@ -225,11 +226,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if binary {
-		s.ingestBinary(w, r, async)
+		s.ingestBinary(w, r, async, pm)
 		return
 	}
 
-	dec := stream.NewBatchDecoder(r.Body, batchSize)
+	dec := stream.NewBatchDecoder(&countingReader{r: r.Body, c: pm.bytes}, batchSize)
 	// The sync path inserts each batch before decoding the next, so the
 	// decoder can recycle one batch slice for the whole request. Async
 	// batches are retained by the worker queue and must stay fresh.
@@ -245,7 +246,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		s.stampArrival(batch)
 		if async {
-			if !s.enqueueOr429(w, ingestJob{items: batch}, items) {
+			if !s.enqueueOr429(w, ingestJob{items: batch}, items, pm) {
 				return
 			}
 		} else {
@@ -253,10 +254,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		items += int64(len(batch))
 		batches++
+		pm.items.Add(int64(len(batch)))
+		pm.batches.Inc()
 	}
 	if err := dec.Err(); err != nil {
 		// Everything before the bad line was already ingested or
 		// enqueued; report how far we got.
+		pm.decodeErrors.Inc()
 		httpError(w, http.StatusBadRequest, "line %d: %v (%d items accepted)",
 			dec.Line(), err, items)
 		return
@@ -274,11 +278,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // when the ingest queue is full. Retry-After is derived from the
 // queue's drain state rather than fixed, so a client backs off in
 // proportion to the actual backlog.
-func (s *Server) enqueueOr429(w http.ResponseWriter, job ingestJob, accepted int64) bool {
+func (s *Server) enqueueOr429(w http.ResponseWriter, job ingestJob, accepted int64, pm *planeStats) bool {
 	p := s.pipeline()
 	if p.tryEnqueue(job) {
 		return true
 	}
+	pm.rejected.Inc()
 	w.Header().Set("Retry-After", strconv.Itoa(p.retryAfterSecs()))
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusTooManyRequests)
@@ -296,8 +301,8 @@ func (s *Server) enqueueOr429(w http.ResponseWriter, job ingestJob, accepted int
 // go to the operation log verbatim — no decode, no re-encode. Only a
 // frame whose items needed arrival stamping loses that shortcut: its
 // encoded times went stale, so the log takes the re-encoding path.
-func (s *Server) ingestBinary(w http.ResponseWriter, r *http.Request, async bool) {
-	dec := stream.NewBinaryBatchDecoder(r.Body)
+func (s *Server) ingestBinary(w http.ResponseWriter, r *http.Request, async bool, pm *planeStats) {
+	dec := stream.NewBinaryBatchDecoder(&countingReader{r: r.Body, c: pm.bytes})
 	// Mirror the NDJSON reuse discipline: the sync path recycles one
 	// frame buffer; async jobs are retained by the queue.
 	if !async {
@@ -318,7 +323,7 @@ func (s *Server) ingestBinary(w http.ResponseWriter, r *http.Request, async bool
 		}
 		job := ingestJob{hashed: batch, payloads: payloads}
 		if async {
-			if !s.enqueueOr429(w, job, items) {
+			if !s.enqueueOr429(w, job, items, pm) {
 				return
 			}
 		} else {
@@ -326,10 +331,13 @@ func (s *Server) ingestBinary(w http.ResponseWriter, r *http.Request, async bool
 		}
 		items += int64(len(batch))
 		batches++
+		pm.items.Add(int64(len(batch)))
+		pm.batches.Inc()
 	}
 	if err := dec.Err(); err != nil {
 		// Whole frames before the bad one were already ingested or
 		// enqueued; a bad frame is rejected atomically.
+		pm.decodeErrors.Inc()
 		httpError(w, http.StatusBadRequest, "frame %d: %v (%d items accepted)",
 			dec.Frames()+1, err, items)
 		return

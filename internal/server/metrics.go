@@ -1,0 +1,289 @@
+package server
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/gss"
+	"repro/internal/telemetry"
+)
+
+// Metrics wiring: every instrument the server exposes at GET /metrics.
+// Hot-path handles (the ingest plane counters) are registered once
+// here and bumped with plain atomics; everything that already lives in
+// another subsystem's stats — sketch occupancy, oplog sequences,
+// checkpoint and follower counters, pipeline depth — is bridged with
+// scrape-time funcs over a short-TTL cache, so a scrape costs one
+// Stats() call per subsystem, not one per metric, and an unscraped
+// server pays nothing.
+
+// statsTTL bounds how often a scrape recomputes the cached subsystem
+// snapshots. Sketch Stats() walks the matrix under the backend's lock;
+// a scraper refreshing every 10-15s never notices a quarter second of
+// staleness, and a tight scrape loop cannot turn stats into load.
+const statsTTL = 250 * time.Millisecond
+
+// planeStats is the per-ingest-plane counter set ("ndjson" or "gsb1").
+type planeStats struct {
+	items        *telemetry.Counter
+	batches      *telemetry.Counter
+	bytes        *telemetry.Counter
+	decodeErrors *telemetry.Counter
+	rejected     *telemetry.Counter // batches answered 429
+}
+
+type serverMetrics struct {
+	reg  *telemetry.Registry
+	http *telemetry.HTTPMetrics
+
+	ndjson planeStats
+	gsb1   planeStats
+
+	sketchMu sync.Mutex
+	sketchAt time.Time
+	sketch   gss.Stats
+
+	replMu sync.Mutex
+	replAt time.Time
+	repl   ReplicaStats
+}
+
+func newPlaneStats(reg *telemetry.Registry, plane string) planeStats {
+	l := telemetry.L("plane", plane)
+	return planeStats{
+		items:        reg.Counter("gss_ingest_items_total", "Items accepted for ingest, by wire plane.", l),
+		batches:      reg.Counter("gss_ingest_batches_total", "Batches accepted for ingest, by wire plane.", l),
+		bytes:        reg.Counter("gss_ingest_bytes_total", "Request body bytes read by the ingest decoders, by wire plane.", l),
+		decodeErrors: reg.Counter("gss_ingest_decode_errors_total", "Ingest requests rejected mid-body for a malformed line or frame, by wire plane.", l),
+		rejected:     reg.Counter("gss_ingest_rejected_batches_total", "Batches answered 429 because the async queue was full, by wire plane.", l),
+	}
+}
+
+// newServerMetrics registers the server's instruments in reg. The
+// scrape funcs capture s and check the optional subsystems (pipeline,
+// oplog, checkpointer, follower) for nil at scrape time, so the family
+// set is identical however the server is configured — a golden metric
+// list holds across deployments.
+func newServerMetrics(s *Server, reg *telemetry.Registry, slow *telemetry.SlowQueryLog) *serverMetrics {
+	m := &serverMetrics{
+		reg:    reg,
+		http:   telemetry.NewHTTPMetrics(reg, slow),
+		ndjson: newPlaneStats(reg, "ndjson"),
+		gsb1:   newPlaneStats(reg, "gsb1"),
+	}
+
+	// Async ingest pipeline. The funcs must not start the pool — an
+	// idle server stays at zero goroutines — so they go through
+	// startedPipeline.
+	pipeC := func(get func(*pipeline) int64) func() int64 {
+		return func() int64 {
+			if p := s.startedPipeline(); p != nil {
+				return get(p)
+			}
+			return 0
+		}
+	}
+	reg.CounterFunc("gss_ingest_enqueued_items_total", "Items accepted into the async ingest queue.",
+		pipeC(func(p *pipeline) int64 { return p.enqueuedItems.Load() }))
+	reg.CounterFunc("gss_ingest_processed_items_total", "Items the async workers applied to the sketch.",
+		pipeC(func(p *pipeline) int64 { return p.processedItems.Load() }))
+	reg.CounterFunc("gss_ingest_dropped_items_total", "Items dropped because the async queue was full.",
+		pipeC(func(p *pipeline) int64 { return p.droppedItems.Load() }))
+	reg.GaugeFunc("gss_ingest_queue_depth", "Async ingest batches waiting in the queue.",
+		func() float64 {
+			if p := s.startedPipeline(); p != nil {
+				return float64(len(p.queue))
+			}
+			return 0
+		})
+
+	// Sketch state, through the TTL cache.
+	sketchG := func(get func(gss.Stats) float64) func() float64 {
+		return func() float64 { return get(m.sketchStats(s)) }
+	}
+	reg.GaugeFunc("gss_sketch_items", "Stream items resident in the sketch (windowed: still live in the window).",
+		sketchG(func(st gss.Stats) float64 { return float64(st.Items) }))
+	reg.GaugeFunc("gss_sketch_indexed_nodes", "Registered original node identifiers (0 when the index is disabled).",
+		sketchG(func(st gss.Stats) float64 { return float64(st.IndexedNodes) }))
+	reg.GaugeFunc("gss_sketch_matrix_edges", "Distinct sketch edges resident in the matrix.",
+		sketchG(func(st gss.Stats) float64 { return float64(st.MatrixEdges) }))
+	reg.GaugeFunc("gss_sketch_buffer_edges", "Distinct left-over sketch edges in the buffer.",
+		sketchG(func(st gss.Stats) float64 { return float64(st.BufferEdges) }))
+	reg.GaugeFunc("gss_sketch_occupancy", "Fraction of matrix rooms occupied.",
+		sketchG(func(st gss.Stats) float64 { return st.Occupancy }))
+	reg.GaugeFunc("gss_sketch_matrix_bytes", "Matrix footprint in bytes (the paper-comparable figure).",
+		sketchG(func(st gss.Stats) float64 { return float64(st.MatrixBytes) }))
+	reg.GaugeFunc("gss_sketch_reverse_index_bytes", "Per-column reverse index footprint in bytes.",
+		sketchG(func(st gss.Stats) float64 { return float64(st.ReverseIndexBytes) }))
+	reg.GaugeFunc("gss_sketch_window_live_generations", "Resident generation sketches (windowed backends only).",
+		sketchG(func(st gss.Stats) float64 { return float64(st.LiveGenerations) }))
+	reg.CounterFunc("gss_sketch_window_expired_items_total", "Items that left the sliding window with a rotated generation.",
+		func() int64 { return m.sketchStats(s).ExpiredItems })
+	reg.CounterFunc("gss_sketch_window_dropped_stragglers_total", "Items older than the window on arrival, dropped.",
+		func() int64 { return m.sketchStats(s).DroppedStragglers })
+
+	// Operation log, checkpoints and replication, through one cached
+	// replicaStats() snapshot. Unconfigured subsystems read as zero.
+	logC := func(get func(ReplicaStats) int64) func() int64 {
+		return func() int64 { return get(m.replicaSnap(s)) }
+	}
+	logG := func(get func(ReplicaStats) float64) func() float64 {
+		return func() float64 { return get(m.replicaSnap(s)) }
+	}
+	reg.GaugeFunc("gss_oplog_next_seq", "Next operation-log sequence number to be assigned.",
+		logG(func(st ReplicaStats) float64 {
+			if st.Log != nil {
+				return float64(st.Log.NextSeq)
+			}
+			return 0
+		}))
+	reg.GaugeFunc("gss_oplog_oldest_seq", "Oldest operation-log sequence still retained.",
+		logG(func(st ReplicaStats) float64 {
+			if st.Log != nil {
+				return float64(st.Log.OldestSeq)
+			}
+			return 0
+		}))
+	reg.GaugeFunc("gss_oplog_segments", "Operation-log segment files on disk.",
+		logG(func(st ReplicaStats) float64 {
+			if st.Log != nil {
+				return float64(st.Log.Segments)
+			}
+			return 0
+		}))
+	reg.GaugeFunc("gss_oplog_size_bytes", "Total operation-log bytes on disk.",
+		logG(func(st ReplicaStats) float64 {
+			if st.Log != nil {
+				return float64(st.Log.SizeBytes)
+			}
+			return 0
+		}))
+	reg.CounterFunc("gss_oplog_appended_items_total", "Items appended to the operation log.",
+		logC(func(st ReplicaStats) int64 {
+			if st.Log != nil {
+				return st.Log.AppendedItems
+			}
+			return 0
+		}))
+	reg.CounterFunc("gss_oplog_syncs_total", "fsyncs the operation log issued.",
+		logC(func(st ReplicaStats) int64 {
+			if st.Log != nil {
+				return st.Log.Syncs
+			}
+			return 0
+		}))
+	reg.CounterFunc("gss_checkpoint_written_total", "Durable checkpoints written.",
+		logC(func(st ReplicaStats) int64 {
+			if st.Checkpoint != nil {
+				return st.Checkpoint.Written
+			}
+			return 0
+		}))
+	reg.CounterFunc("gss_checkpoint_failed_total", "Checkpoint attempts that failed.",
+		logC(func(st ReplicaStats) int64 {
+			if st.Checkpoint != nil {
+				return st.Checkpoint.Failed
+			}
+			return 0
+		}))
+	reg.GaugeFunc("gss_checkpoint_last_unix", "Unix time of the newest checkpoint (0 when none).",
+		logG(func(st ReplicaStats) float64 {
+			if st.Checkpoint != nil {
+				return float64(st.Checkpoint.LastUnix)
+			}
+			return 0
+		}))
+	reg.GaugeFunc("gss_replica_lag_items", "Items the follower is behind the primary's log.",
+		logG(func(st ReplicaStats) float64 {
+			if st.Follower != nil {
+				return float64(st.Follower.LagItems)
+			}
+			return 0
+		}))
+	reg.GaugeFunc("gss_replica_lag_bytes", "Bytes the follower is behind the primary's log.",
+		logG(func(st ReplicaStats) float64 {
+			if st.Follower != nil {
+				return float64(st.Follower.LagBytes)
+			}
+			return 0
+		}))
+	reg.GaugeFunc("gss_replica_log_seq", "Log sequence the follower has applied through.",
+		logG(func(st ReplicaStats) float64 {
+			if st.Follower != nil {
+				return float64(st.Follower.LogSeq)
+			}
+			return 0
+		}))
+	reg.GaugeFunc("gss_replica_staleness_ms", "Milliseconds since the follower last applied from the primary.",
+		logG(func(st ReplicaStats) float64 {
+			if st.Follower != nil {
+				return float64(st.Follower.StalenessMs)
+			}
+			return 0
+		}))
+	reg.CounterFunc("gss_replica_snapshot_fallbacks_total", "Times a tailing follower fell back to a full snapshot fetch.",
+		logC(func(st ReplicaStats) int64 {
+			if st.Follower != nil {
+				return st.Follower.SnapshotFallbacks
+			}
+			return 0
+		}))
+	reg.CounterFunc("gss_replica_tailed_items_total", "Items the follower applied by tailing the primary's log.",
+		logC(func(st ReplicaStats) int64 {
+			if st.Follower != nil {
+				return st.Follower.TailedItems
+			}
+			return 0
+		}))
+	reg.GaugeFunc("gss_replica_replayed_items", "Log items startup recovery replayed on top of the recovered checkpoint.",
+		func() float64 { return float64(s.replayed.Load()) })
+	return m
+}
+
+// plane selects the counter set for one ingest request.
+func (m *serverMetrics) plane(binary bool) *planeStats {
+	if binary {
+		return &m.gsb1
+	}
+	return &m.ndjson
+}
+
+// sketchStats returns the cached sketch snapshot, refreshing it at
+// most once per statsTTL.
+func (m *serverMetrics) sketchStats(s *Server) gss.Stats {
+	m.sketchMu.Lock()
+	defer m.sketchMu.Unlock()
+	if now := time.Now(); now.Sub(m.sketchAt) > statsTTL {
+		m.sketch = s.sk.Stats()
+		m.sketchAt = now
+	}
+	return m.sketch
+}
+
+// replicaSnap is sketchStats for the replication subsystems.
+func (m *serverMetrics) replicaSnap(s *Server) ReplicaStats {
+	m.replMu.Lock()
+	defer m.replMu.Unlock()
+	if now := time.Now(); now.Sub(m.replAt) > statsTTL {
+		m.repl = s.replicaStats()
+		m.replAt = now
+	}
+	return m.repl
+}
+
+// countingReader counts body bytes into a plane's bytes counter as the
+// decoders pull them — per-Read atomic adds, amortized over the
+// decoder's internal buffering.
+type countingReader struct {
+	r io.Reader
+	c *telemetry.Counter
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	if n > 0 {
+		cr.c.Add(int64(n))
+	}
+	return n, err
+}

@@ -66,6 +66,7 @@ import (
 	"repro/internal/replica"
 	"repro/internal/sketch"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // Options configures the server's backend and ingest pipeline. The
@@ -153,6 +154,16 @@ type Options struct {
 	// corrupt checkpoints, failed follower polls). Defaults to
 	// log.Printf; inject to route or silence.
 	Logf func(format string, args ...interface{})
+
+	// Metrics is the registry the server registers its instruments in
+	// and serves at GET /metrics. Nil means a fresh private registry —
+	// tests and embedders that never scrape pay only the registration.
+	Metrics *telemetry.Registry
+	// SlowQuery, when non-nil, receives every request that ran past its
+	// threshold, with the per-member span trace the middleware collects.
+	// The server does not own it: the caller that built it closes it
+	// after the server stops.
+	SlowQuery *telemetry.SlowQueryLog
 }
 
 func (o Options) withDefaults() Options {
@@ -228,6 +239,9 @@ type Server struct {
 	ckpt *replica.Checkpointer
 	fol  *replica.Follower
 	hot  *sketch.Hot // the swappable read path, set in follower mode
+
+	// met holds the /metrics instruments (see metrics.go); always set.
+	met *serverMetrics
 }
 
 // New builds a Server around an empty concurrent sketch with default
@@ -265,8 +279,18 @@ func NewWithOptions(cfg gss.Config, opt Options) (*Server, error) {
 // wired here — building follower backends needs the sketch
 // configuration, which only NewWithOptions has.
 func NewFromSketch(sk sketch.Sketch, opt Options) *Server {
-	return &Server{sk: sk, opt: opt.withDefaults(), start: time.Now()}
+	s := &Server{sk: sk, opt: opt.withDefaults(), start: time.Now()}
+	reg := s.opt.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	s.met = newServerMetrics(s, reg, s.opt.SlowQuery)
+	return s
 }
+
+// Metrics returns the registry the server's instruments live in — the
+// one /metrics serves.
+func (s *Server) Metrics() *telemetry.Registry { return s.met.reg }
 
 // pipeline lazily starts the async worker pool on first use, so
 // servers that never see an async ingest spawn no goroutines and need
@@ -380,30 +404,38 @@ type Item struct {
 	Label  uint32 `json:"label,omitempty"`
 }
 
-// Handler returns the HTTP handler for the API.
+// Handler returns the HTTP handler for the API. Every route goes
+// through the telemetry middleware — request counts by status class,
+// in-flight gauge, latency histogram, request-ID minting — which
+// passes response bytes through untouched; the instrumented routes
+// answer byte-for-byte what the bare handlers would.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/insert", s.handleInsert)
-	mux.HandleFunc("/ingest", s.handleIngest)
-	mux.HandleFunc("/ingest/stats", s.handleIngestStats)
-	mux.HandleFunc("/edge", s.handleEdge)
-	mux.HandleFunc("/successors", s.handleNeighbors(true))
-	mux.HandleFunc("/precursors", s.handleNeighbors(false))
-	mux.HandleFunc("/nodes", s.handleNodes)
-	mux.HandleFunc("/nodeout", s.handleNodeOut)
-	mux.HandleFunc("/nodein", s.handleNodeIn)
-	mux.HandleFunc("/reachable", s.handleReachable)
-	mux.HandleFunc("/heavy", s.handleHeavy)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/snapshot", s.handleSnapshot)
-	mux.HandleFunc("/log", s.handleLog)
-	mux.HandleFunc("/partition/export", s.handlePartitionExport)
-	mux.HandleFunc("/partition/drop", s.handlePartitionDrop)
-	mux.HandleFunc("/partition/absorb", s.handlePartitionAbsorb)
-	mux.HandleFunc("/restore", s.handleRestore)
-	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
-	mux.HandleFunc("/replica/stats", s.handleReplicaStats)
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	handle := func(route string, h http.HandlerFunc) {
+		mux.HandleFunc(route, s.met.http.Wrap(route, h))
+	}
+	handle("/insert", s.handleInsert)
+	handle("/ingest", s.handleIngest)
+	handle("/ingest/stats", s.handleIngestStats)
+	handle("/edge", s.handleEdge)
+	handle("/successors", s.handleNeighbors(true))
+	handle("/precursors", s.handleNeighbors(false))
+	handle("/nodes", s.handleNodes)
+	handle("/nodeout", s.handleNodeOut)
+	handle("/nodein", s.handleNodeIn)
+	handle("/reachable", s.handleReachable)
+	handle("/heavy", s.handleHeavy)
+	handle("/stats", s.handleStats)
+	handle("/snapshot", s.handleSnapshot)
+	handle("/log", s.handleLog)
+	handle("/partition/export", s.handlePartitionExport)
+	handle("/partition/drop", s.handlePartitionDrop)
+	handle("/partition/absorb", s.handlePartitionAbsorb)
+	handle("/restore", s.handleRestore)
+	handle("/checkpoint", s.handleCheckpoint)
+	handle("/replica/stats", s.handleReplicaStats)
+	handle("/healthz", s.handleHealthz)
+	mux.Handle("/metrics", s.met.reg.Handler())
 	return mux
 }
 

@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// DebugServer serves net/http/pprof on its own listener, so profiling
+// never shares a port (or a request path) with production traffic.
+// Opt-in via the binaries' -debug-addr flag; bind it to localhost or a
+// management network — the profile endpoints expose heap contents.
+type DebugServer struct {
+	srv       *http.Server
+	ls        net.Listener
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// StartDebug listens on addr and serves the pprof index, profiles and
+// traces under /debug/pprof/. Close releases the listener and waits
+// for the serve goroutine.
+func StartDebug(addr string) (*DebugServer, error) {
+	ls, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	d := &DebugServer{
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second},
+		ls:   ls,
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(d.done)
+		_ = d.srv.Serve(ls)
+	}()
+	return d, nil
+}
+
+// Addr is the bound listen address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.ls.Addr().String() }
+
+// Close shuts the listener down and waits for the serve goroutine to
+// exit, so a Close-then-leak-check sees zero goroutines.
+func (d *DebugServer) Close() {
+	d.closeOnce.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = d.srv.Shutdown(ctx)
+		<-d.done
+	})
+}

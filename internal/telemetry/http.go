@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/hex"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// HeaderRequestID carries the request ID minted at the edge. The
+// router forwards it on every member request it fans a read into, so
+// one slow scatter-gather correlates across the router's and the
+// members' logs.
+const HeaderRequestID = "X-Gss-Request-Id"
+
+type ctxKey int
+
+const (
+	ctxKeyRequestID ctxKey = iota
+	ctxKeyTrace
+)
+
+// RequestID returns the request ID carried by ctx, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyRequestID).(string)
+	return id
+}
+
+// WithRequestID returns ctx carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKeyRequestID, id)
+}
+
+// newRequestID mints a 16-hex-char random ID. Collision resistance
+// only needs to cover concurrent requests in one correlation window,
+// so 64 random bits from the fast non-crypto source are plenty.
+func newRequestID() string {
+	var b [8]byte
+	v := rand.Uint64()
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Trace accumulates the per-member spans of one request as it fans
+// out, for the slow-query log. Safe for concurrent use — scatter
+// goroutines append in parallel.
+type Trace struct {
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// SpanRecord is one downstream call inside a traced request.
+type SpanRecord struct {
+	Target   string        // member base URL (or other downstream name)
+	Op       string        // path+query issued
+	Attempts int           // total tries the retry discipline spent
+	Duration time.Duration // wall time across all attempts
+	Err      string        // "" on success
+}
+
+// TraceFrom returns the Trace carried by ctx, or nil when the request
+// is not being traced.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKeyTrace).(*Trace)
+	return t
+}
+
+// WithTrace returns ctx carrying t.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxKeyTrace, t)
+}
+
+// Add records one span.
+func (t *Trace) Add(s SpanRecord) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans.
+func (t *Trace) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanRecord(nil), t.spans...)
+}
+
+// HTTPMetrics wires per-route instrumentation over a mux's handlers:
+// a request counter by status class, an in-flight gauge and a latency
+// histogram per route, all registered once at Wrap time so the
+// request path touches only atomics. The wrapped handler's response
+// bytes pass through untouched — instrumentation must never change
+// what is on the wire.
+type HTTPMetrics struct {
+	reg  *Registry
+	slow *SlowQueryLog // nil disables slow-query logging
+}
+
+// NewHTTPMetrics builds the middleware factory for one registry.
+// slow may be nil.
+func NewHTTPMetrics(reg *Registry, slow *SlowQueryLog) *HTTPMetrics {
+	return &HTTPMetrics{reg: reg, slow: slow}
+}
+
+// routeInstruments is the pre-registered per-route set.
+type routeInstruments struct {
+	byClass  [6]*Counter // index = status/100; 0 collects the impossible
+	inFlight *Gauge
+	latency  *Histogram
+}
+
+// Wrap instruments h under the given route label. The same route can
+// be wrapped repeatedly (handlers are rebuilt in tests); counts
+// accumulate on the same series. Every request gets a request ID: an
+// incoming X-Gss-Request-Id (minted by an upstream router) is adopted,
+// otherwise one is minted here, and either way it is echoed on the
+// response and carried in the request context.
+func (hm *HTTPMetrics) Wrap(route string, h http.HandlerFunc) http.HandlerFunc {
+	ri := &routeInstruments{
+		inFlight: hm.reg.Gauge("gss_http_in_flight",
+			"Requests currently being served, by route.", L("route", route)),
+		latency: hm.reg.Histogram("gss_http_request_seconds",
+			"Request latency in seconds, by route.", nil, L("route", route)),
+	}
+	for class := 1; class <= 5; class++ {
+		ri.byClass[class] = hm.reg.Counter("gss_http_requests_total",
+			"Requests served, by route and status class.",
+			L("route", route), L("class", strconv.Itoa(class)+"xx"))
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(HeaderRequestID)
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set(HeaderRequestID, id)
+		ctx := WithRequestID(r.Context(), id)
+		var trace *Trace
+		if hm.slow != nil {
+			trace = &Trace{}
+			ctx = WithTrace(ctx, trace)
+		}
+		r = r.WithContext(ctx)
+
+		ri.inFlight.Inc()
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		elapsed := time.Since(start)
+		ri.inFlight.Dec()
+		ri.latency.Observe(elapsed.Seconds())
+		class := sw.status() / 100
+		if class < 1 || class > 5 {
+			class = 0
+		}
+		if c := ri.byClass[class]; c != nil {
+			c.Inc()
+		}
+		if hm.slow != nil {
+			hm.slow.observe(route, id, elapsed, sw.status(), trace)
+		}
+	}
+}
+
+// statusWriter records the status code while passing everything else
+// through byte-identically. It forwards Flush so streaming handlers
+// behave the same instrumented, and exposes Unwrap for
+// http.ResponseController.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK // handler wrote nothing: net/http sends 200
+	}
+	return w.code
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }

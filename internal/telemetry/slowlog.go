@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SlowQueryLog asynchronously logs requests that ran past a threshold,
+// with the per-member span trace when one was recorded — the flight
+// recorder for "why was this one scatter-gather slow". Logging runs on
+// its own goroutine so the request path pays one channel send, and a
+// full channel drops the record (counted) rather than stalling a
+// handler on the logger.
+type SlowQueryLog struct {
+	threshold time.Duration
+	logger    *slog.Logger
+	ch        chan slowRecord
+	done      chan struct{}
+	dropped   Counter
+	closeOnce sync.Once
+}
+
+type slowRecord struct {
+	route   string
+	id      string
+	elapsed time.Duration
+	status  int
+	trace   *Trace
+}
+
+// NewSlowQueryLog starts the logging goroutine. threshold must be
+// positive; logger nil means slog.Default(). Close stops the
+// goroutine after draining queued records.
+func NewSlowQueryLog(threshold time.Duration, logger *slog.Logger) *SlowQueryLog {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	l := &SlowQueryLog{
+		threshold: threshold,
+		logger:    logger,
+		ch:        make(chan slowRecord, 64),
+		done:      make(chan struct{}),
+	}
+	go l.loop()
+	return l
+}
+
+// Threshold returns the configured slow threshold.
+func (l *SlowQueryLog) Threshold() time.Duration { return l.threshold }
+
+// Dropped counts records lost to a full log queue.
+func (l *SlowQueryLog) Dropped() int64 { return l.dropped.Value() }
+
+// observe enqueues one finished request if it crossed the threshold.
+func (l *SlowQueryLog) observe(route, id string, elapsed time.Duration, status int, trace *Trace) {
+	if elapsed < l.threshold {
+		return
+	}
+	select {
+	case l.ch <- slowRecord{route: route, id: id, elapsed: elapsed, status: status, trace: trace}:
+	default:
+		l.dropped.Inc()
+	}
+}
+
+func (l *SlowQueryLog) loop() {
+	defer close(l.done)
+	for rec := range l.ch {
+		attrs := []any{
+			slog.String("route", rec.route),
+			slog.String("request_id", rec.id),
+			slog.Int64("elapsed_ms", rec.elapsed.Milliseconds()),
+			slog.Int("status", rec.status),
+			slog.String("threshold", l.threshold.String()),
+		}
+		if spans := rec.trace.Spans(); len(spans) > 0 {
+			parts := make([]string, len(spans))
+			for i, s := range spans {
+				p := fmt.Sprintf("%s %s attempts=%d ms=%d",
+					s.Target, s.Op, s.Attempts, s.Duration.Milliseconds())
+				if s.Err != "" {
+					p += " err=" + s.Err
+				}
+				parts[i] = p
+			}
+			attrs = append(attrs, slog.String("members", strings.Join(parts, "; ")))
+		}
+		l.logger.Warn("slow query", attrs...)
+	}
+}
+
+// Close stops the logger goroutine after draining what is queued.
+// Safe to call more than once; the caller must not observe afterwards.
+func (l *SlowQueryLog) Close() {
+	l.closeOnce.Do(func() {
+		close(l.ch)
+		<-l.done
+	})
+}
+
+// Logf adapts a structured logger to the `func(format, args...)`
+// signature threaded through the pre-slog layers (server.Options.Logf,
+// cluster.Config.Logf). The format-string call sites keep working
+// unmodified; their output lands in the structured stream at Info.
+func Logf(logger *slog.Logger) func(format string, args ...interface{}) {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return func(format string, args ...interface{}) {
+		logger.Info(fmt.Sprintf(format, args...))
+	}
+}

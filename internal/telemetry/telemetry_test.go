@@ -1,0 +1,201 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_depth", "depth")
+	g.Set(7)
+	g.Dec()
+	if got := g.Value(); got != 6 {
+		t.Fatalf("gauge = %d, want 6", got)
+	}
+	// Re-registration returns the same handle with counts intact.
+	if again := r.Counter("test_ops_total", "ops"); again.Value() != 5 {
+		t.Fatalf("re-registered counter lost its value: %d", again.Value())
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-56.05) > 1e-9 {
+		t.Fatalf("sum = %v, want 56.05", h.Sum())
+	}
+	if q := h.Quantile(0.5); q != 1 {
+		t.Fatalf("p50 = %v, want bucket bound 1", q)
+	}
+	if q := h.Quantile(0.99); q != 10 {
+		t.Fatalf("p99 = %v, want largest finite bound 10", q)
+	}
+}
+
+func TestLabeledSeriesIndependent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_reqs_total", "reqs", L("route", "/a"))
+	b := r.Counter("test_reqs_total", "reqs", L("route", "/b"))
+	a.Add(3)
+	b.Add(9)
+	if a.Value() != 3 || b.Value() != 9 {
+		t.Fatalf("labeled series not independent: %d, %d", a.Value(), b.Value())
+	}
+	if same := r.Counter("test_reqs_total", "reqs", L("route", "/a")); same != a {
+		t.Fatal("same label values did not return the same handle")
+	}
+}
+
+func TestMismatchedRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering the same name as a gauge did not panic")
+		}
+	}()
+	r.Gauge("test_x_total", "x")
+}
+
+// TestExpositionValidates round-trips a fully loaded registry through
+// the strict hand-rolled validator: every metric type, labeled and
+// unlabeled series, escaped label values, scrape-time funcs.
+func TestExpositionValidates(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_requests_total", "Requests.", L("route", "/x"), L("class", "2xx")).Add(12)
+	r.Counter("app_requests_total", "Requests.", L("route", "/y"), L("class", "5xx")).Inc()
+	r.Gauge("app_in_flight", "In flight.").Set(3)
+	r.GaugeFunc("app_occupancy", "Occupancy.", func() float64 { return 0.375 })
+	r.CounterFunc("app_synced_total", "Syncs.", func() int64 { return 42 })
+	h := r.Histogram("app_latency_seconds", "Latency.", nil, L("route", "/x"))
+	h.Observe(0.002)
+	h.Observe(0.3)
+	h.Observe(30) // lands in +Inf
+	r.Counter("app_weird_total", "Escapes.", L("member", "http://a:1/\"q\"\n")).Inc()
+
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := Validate(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("exposition failed strict validation: %v\n%s", err, buf.String())
+	}
+	want := []string{"app_in_flight", "app_latency_seconds", "app_occupancy",
+		"app_requests_total", "app_synced_total", "app_weird_total"}
+	if strings.Join(fams, " ") != strings.Join(want, " ") {
+		t.Fatalf("families = %v, want %v", fams, want)
+	}
+	// Two scrapes of identical state must be byte-identical.
+	var again bytes.Buffer
+	if err := r.Write(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("two scrapes of identical state differ")
+	}
+}
+
+// TestValidatorRejectsMalformed feeds the validator hand-broken
+// expositions; a validator that cannot fail is not validating.
+func TestValidatorRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample before HELP/TYPE": "a_total 1\n",
+		"TYPE before HELP":        "# TYPE a_total counter\na_total 1\n",
+		"bad metric name":         "# HELP 9bad x\n# TYPE 9bad counter\n9bad 1\n",
+		"bad label name": "# HELP a x\n# TYPE a counter\n" +
+			"a{9bad=\"v\"} 1\n",
+		"unquoted label value": "# HELP a x\n# TYPE a counter\na{l=v} 1\n",
+		"bad escape":           "# HELP a x\n# TYPE a counter\na{l=\"\\q\"} 1\n",
+		"bad value":            "# HELP a x\n# TYPE a counter\na{l=\"v\"} one\n",
+		"negative counter":     "# HELP a x\n# TYPE a counter\na -1\n",
+		"duplicate series":     "# HELP a x\n# TYPE a counter\na 1\na 2\n",
+		"inconsistent labels": "# HELP a x\n# TYPE a gauge\n" +
+			"a{l=\"v\"} 1\na{m=\"v\"} 2\n",
+		"unknown type": "# HELP a x\n# TYPE a widget\na 1\n",
+		"histogram buckets not cumulative": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"histogram bounds not ascending": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+		"histogram missing +Inf": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"histogram missing sum": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+		"histogram count mismatch": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 2\n",
+		"sample outside family block": "# HELP a x\n# TYPE a counter\n" +
+			"# HELP b x\n# TYPE b counter\na 1\n",
+	}
+	for name, body := range cases {
+		if _, err := Validate(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: validator accepted malformed exposition:\n%s", name, body)
+		}
+	}
+}
+
+// TestConcurrentObservation hammers all three metric kinds from many
+// goroutines while a scraper renders — the -race pass proves the hot
+// path needs no external synchronization.
+func TestConcurrentObservation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_total", "t")
+	g := r.Gauge("t_gauge", "t")
+	h := r.Histogram("t_seconds", "t", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Dec()
+				h.Observe(float64(j) / 1000)
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf bytes.Buffer
+			for j := 0; j < 50; j++ {
+				buf.Reset()
+				if err := r.Write(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := Validate(bytes.NewReader(buf.Bytes())); err != nil {
+					t.Errorf("mid-flight scrape invalid: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Value())
+	}
+}

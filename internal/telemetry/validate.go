@@ -1,0 +1,394 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// A hand-rolled strict validator for the Prometheus text exposition
+// format (0.0.4). It exists so the /metrics surface is pinned by a
+// parser the repo controls — a scrape that only "looks right" to a
+// lenient consumer still fails the test battery here. Checked:
+//
+//   - every sample is preceded by HELP and TYPE lines for its family,
+//     in that order, exactly once per family
+//   - metric and label names match the spec grammar
+//   - label values are well-formed quoted strings with valid escapes
+//   - sample values parse as Go floats ("+Inf", "NaN" included)
+//   - within a family, series label signatures are consistent and no
+//     (name, labels) series repeats
+//   - histogram families expose ascending, cumulative _bucket series
+//     ending in le="+Inf", plus _sum and _count, with _count equal to
+//     the +Inf bucket
+//   - counter samples are non-negative
+//
+// Validate returns the family names in exposition order.
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+type familyState struct {
+	name    string
+	typ     string
+	help    bool
+	labels  string          // joined label-name signature of the first series
+	seen    map[string]bool // full series keys, for duplicate detection
+	samples int
+
+	// histogram bookkeeping, keyed by the non-le label signature
+	hist map[string]*histState
+}
+
+type histState struct {
+	lastLe  float64
+	lastCum float64
+	infSeen bool
+	infVal  float64
+	sum     bool
+	count   bool
+	countV  float64
+}
+
+// Validate parses one exposition body strictly. On success it returns
+// the family names in the order their TYPE lines appeared.
+func Validate(r io.Reader) ([]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	fams := make(map[string]*familyState)
+	var order []string
+	var cur *familyState
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, _ := strings.Cut(rest, " ")
+			if !metricNameRe.MatchString(name) {
+				return nil, fmt.Errorf("line %d: bad metric name %q in HELP", lineNo, name)
+			}
+			if f, ok := fams[name]; ok && f.help {
+				return nil, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+			}
+			fams[name] = &familyState{name: name, help: true,
+				seen: make(map[string]bool), hist: make(map[string]*histState)}
+			cur = fams[name]
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: malformed TYPE line", lineNo)
+			}
+			name, typ := fields[0], fields[1]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown TYPE %q", lineNo, typ)
+			}
+			f, ok := fams[name]
+			if !ok || !f.help {
+				return nil, fmt.Errorf("line %d: TYPE %s before its HELP", lineNo, name)
+			}
+			if f.typ != "" {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			f.typ = typ
+			order = append(order, name)
+			cur = f
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		f := sampleFamily(fams, name)
+		if f == nil || f.typ == "" {
+			return nil, fmt.Errorf("line %d: sample %s before HELP/TYPE", lineNo, name)
+		}
+		if cur == nil || f != cur {
+			return nil, fmt.Errorf("line %d: sample %s outside its family block", lineNo, name)
+		}
+		if err := checkSample(f, name, labels, value); err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, name := range order {
+		f := fams[name]
+		if f.samples == 0 {
+			continue // an empty family (no series yet) is legal
+		}
+		if f.typ == "histogram" {
+			for sig, h := range f.hist {
+				if !h.infSeen {
+					return nil, fmt.Errorf("histogram %s{%s}: no le=\"+Inf\" bucket", name, sig)
+				}
+				if !h.sum || !h.count {
+					return nil, fmt.Errorf("histogram %s{%s}: missing _sum or _count", name, sig)
+				}
+				if h.countV != h.infVal {
+					return nil, fmt.Errorf("histogram %s{%s}: _count %v != +Inf bucket %v",
+						name, sig, h.countV, h.infVal)
+				}
+			}
+		}
+	}
+	return order, nil
+}
+
+// sampleFamily maps a sample name to its family, folding histogram
+// suffixes onto the base name.
+func sampleFamily(fams map[string]*familyState, name string) *familyState {
+	if f, ok := fams[name]; ok {
+		return f
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if f, ok := fams[base]; ok && (f.typ == "histogram" || f.typ == "summary") {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// parseSample splits `name{labels} value` into parts, validating the
+// grammar of each.
+func parseSample(line string) (name string, labels []Label, value float64, err error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = rest[:i]
+	if !metricNameRe.MatchString(name) {
+		return "", nil, 0, fmt.Errorf("bad metric name %q", name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		end := -1
+		inQuote := false
+		for j := 1; j < len(rest); j++ {
+			switch {
+			case inQuote && rest[j] == '\\':
+				j++ // skip the escaped char
+			case rest[j] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[j] == '}':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err = parseLabels(rest[1:end])
+		if err != nil {
+			return "", nil, 0, err
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// An optional timestamp may follow the value; we do not emit them,
+	// so reject anything after the first field.
+	fields := strings.Fields(rest)
+	if len(fields) != 1 {
+		return "", nil, 0, fmt.Errorf("expected a single value in %q", line)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad sample value %q: %v", fields[0], err)
+	}
+	return name, labels, value, nil
+}
+
+func parseLabels(s string) ([]Label, error) {
+	var out []Label
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed label in %q", s)
+		}
+		name := s[:eq]
+		if !labelNameRe.MatchString(name) {
+			return nil, fmt.Errorf("bad label name %q", name)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label %s: value not quoted", name)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("label %s: bad escape \\%c", name, s[i+1])
+				}
+				i++
+				continue
+			}
+			if c == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("label %s: unterminated value", name)
+		}
+		out = append(out, Label{Name: name, Value: val.String()})
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return nil, fmt.Errorf("expected ',' between labels, got %q", s)
+			}
+			s = s[1:]
+		}
+	}
+	return out, nil
+}
+
+// histSeriesKey identifies one histogram sub-series: the full
+// name=value label set minus the le bucket label.
+func histSeriesKey(labels []Label) string {
+	var sb strings.Builder
+	for _, l := range labels {
+		if l.Name == "le" {
+			continue
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Name)
+		sb.WriteByte('=')
+		sb.WriteString(l.Value)
+	}
+	return sb.String()
+}
+
+func labelSignature(labels []Label, dropLe bool) string {
+	names := make([]string, 0, len(labels))
+	for _, l := range labels {
+		if dropLe && l.Name == "le" {
+			continue
+		}
+		names = append(names, l.Name)
+	}
+	return strings.Join(names, ",")
+}
+
+func seriesKey(name string, labels []Label) string {
+	var sb strings.Builder
+	sb.WriteString(name)
+	for _, l := range labels {
+		sb.WriteByte('\xff')
+		sb.WriteString(l.Name)
+		sb.WriteByte('=')
+		sb.WriteString(l.Value)
+	}
+	return sb.String()
+}
+
+func checkSample(f *familyState, name string, labels []Label, value float64) error {
+	f.samples++
+	key := seriesKey(name, labels)
+	if f.seen[key] {
+		return fmt.Errorf("duplicate series %s", key)
+	}
+	f.seen[key] = true
+	if f.typ == "counter" && value < 0 {
+		return fmt.Errorf("counter %s has negative value %v", name, value)
+	}
+	if f.typ != "histogram" {
+		sig := labelSignature(labels, false)
+		if f.labels == "" && f.samples == 1 {
+			f.labels = sig
+		} else if sig != f.labels {
+			return fmt.Errorf("%s: inconsistent label names %q vs %q", name, sig, f.labels)
+		}
+		return nil
+	}
+	// Histogram sub-series bookkeeping, keyed by the non-le label
+	// name=value pairs — each labeled series (e.g. each route) carries
+	// its own bucket ladder, so the ascending/cumulative checks must
+	// not bleed across series within the family.
+	sig := histSeriesKey(labels)
+	h := f.hist[sig]
+	if h == nil {
+		h = &histState{lastLe: math.Inf(-1)}
+		f.hist[sig] = h
+	}
+	switch {
+	case strings.HasSuffix(name, "_bucket"):
+		var le string
+		for _, l := range labels {
+			if l.Name == "le" {
+				le = l.Value
+			}
+		}
+		if le == "" {
+			return fmt.Errorf("%s: bucket without le label", name)
+		}
+		if le == "+Inf" {
+			h.infSeen = true
+			h.infVal = value
+			if value < h.lastCum {
+				return fmt.Errorf("%s: +Inf bucket %v below cumulative %v", name, value, h.lastCum)
+			}
+			return nil
+		}
+		bound, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			return fmt.Errorf("%s: bad le %q", name, le)
+		}
+		if h.infSeen {
+			return fmt.Errorf("%s: bucket le=%q after +Inf", name, le)
+		}
+		if bound <= h.lastLe {
+			return fmt.Errorf("%s: bucket bounds not ascending at le=%q", name, le)
+		}
+		if value < h.lastCum {
+			return fmt.Errorf("%s: bucket counts not cumulative at le=%q (%v < %v)",
+				name, le, value, h.lastCum)
+		}
+		h.lastLe, h.lastCum = bound, value
+	case strings.HasSuffix(name, "_sum"):
+		h.sum = true
+	case strings.HasSuffix(name, "_count"):
+		h.count = true
+		h.countV = value
+	default:
+		return fmt.Errorf("histogram family got plain sample %s", name)
+	}
+	return nil
+}
